@@ -1,0 +1,401 @@
+package latest
+
+// bench_test.go holds one testing.B benchmark per table and figure of the
+// paper's evaluation section (regenerating the artifact and reporting its
+// headline numbers as custom metrics) plus ablation benchmarks for the
+// design decisions called out in DESIGN.md §4.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark executes a scaled-down run per iteration; use
+// cmd/latest-bench for the full-size artifacts.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/spatiotext/latest/internal/asptree"
+	"github.com/spatiotext/latest/internal/core"
+	"github.com/spatiotext/latest/internal/estimator"
+	"github.com/spatiotext/latest/internal/experiments"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/hoeffding"
+	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// benchCfg scales the experiments down so a full -bench=. pass stays in
+// minutes. The shapes survive the scaling; EXPERIMENTS.md records the
+// full-size numbers.
+func benchCfg() experiments.RunConfig {
+	return experiments.RunConfig{Queries: 800, PretrainQueries: 200}
+}
+
+// benchTimeline runs a switch-timeline experiment per iteration.
+func benchTimeline(b *testing.B, id string) {
+	b.Helper()
+	var acc float64
+	var switches int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tl := res.(*experiments.TimelineResult)
+		acc = tl.ModuleAccuracy
+		switches = len(tl.Switches)
+	}
+	b.ReportMetric(acc, "module-accuracy")
+	b.ReportMetric(float64(switches), "switches")
+}
+
+func BenchmarkFig3(b *testing.B)  { benchTimeline(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchTimeline(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchTimeline(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchTimeline(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchTimeline(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchTimeline(b, "fig8") }
+func BenchmarkFig12(b *testing.B) { benchTimeline(b, "fig12") }
+
+func BenchmarkTable1(b *testing.B) {
+	var maxOverhead float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Queries = 400
+		res, err := experiments.Run("table1", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxOverhead = 0
+		for _, row := range res.(*experiments.OverheadResult).Rows {
+			if row.OverheadFactor > maxOverhead {
+				maxOverhead = row.OverheadFactor
+			}
+		}
+	}
+	b.ReportMetric(maxOverhead, "max-index-overhead-x")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		if _, err := experiments.Run("table2", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSweep runs a sweep experiment per iteration and reports the chosen
+// estimator's accuracy at the last point.
+func benchSweep(b *testing.B, id string) {
+	b.Helper()
+	var choiceAcc float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.Queries, cfg.PretrainQueries = 400, 120
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw := res.(*experiments.SweepResult)
+		last := sw.Points[len(sw.Points)-1]
+		choiceAcc = last.Accuracy[last.Choice]
+	}
+	b.ReportMetric(choiceAcc, "choice-accuracy")
+}
+
+func BenchmarkFig9(b *testing.B)  { benchSweep(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchSweep(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchSweep(b, "fig11") }
+func BenchmarkFig13(b *testing.B) { benchSweep(b, "fig13") }
+
+// BenchmarkAblationSlices sweeps the time-slice ring granularity of the
+// windowed quadtree (DESIGN.md §4.1): fewer slices mean coarser expiry and
+// worse window tracking; more slices mean more per-advance work.
+func BenchmarkAblationSlices(b *testing.B) {
+	for _, slices := range []int{4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("slices=%d", slices), func(b *testing.B) {
+			const (
+				spanMS = 10_000
+				horizn = 40 * spanMS
+			)
+			sliceDur := spanMS / slices
+			var meanErr float64
+			for i := 0; i < b.N; i++ {
+				tr := asptree.New(geo.UnitSquare, asptree.Config{
+					SplitThreshold: 64, Slices: slices,
+				})
+				rng := rand.New(rand.NewSource(1))
+				// Poisson-ish arrivals at ~1/ms; probe the tree against the
+				// exact continuous-time window mid-slice, where bucketed
+				// expiry is most stale. Few slices ⇒ coarse expiry ⇒ higher
+				// window error; many slices ⇒ tighter tracking at more
+				// per-advance cost (the reported ns/op).
+				var arrivals []int64
+				head := 0
+				var errSum float64
+				samples := 0
+				ts := int64(0)
+				nextRotate := int64(sliceDur)
+				for ts < horizn {
+					ts += int64(rng.Intn(3)) // mean ~1ms
+					for ts >= nextRotate {
+						tr.AdvanceSlice()
+						nextRotate += int64(sliceDur)
+					}
+					tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), nil)
+					arrivals = append(arrivals, ts)
+					if len(arrivals)%997 == 0 && ts > spanMS {
+						for head < len(arrivals) && arrivals[head] <= ts-spanMS {
+							head++
+						}
+						exact := len(arrivals) - head
+						est := tr.EstimateRange(geo.UnitSquare)
+						errSum += metrics.RelativeError(est, float64(exact))
+						samples++
+					}
+				}
+				meanErr = errSum / float64(samples)
+			}
+			b.ReportMetric(meanErr, "window-rel-err")
+		})
+	}
+}
+
+// BenchmarkAblationBeta sweeps the pre-fill earliness β (DESIGN.md §4.2):
+// late pre-fill (β→1) means colder switch targets; early pre-fill means
+// longer double maintenance.
+func BenchmarkAblationBeta(b *testing.B) {
+	for _, beta := range []float64{0.5, 0.8, 0.95} {
+		b.Run(fmt.Sprintf("beta=%.2f", beta), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg()
+				cfg.Workload, cfg.Dataset = "TwQW6", "Twitter"
+				cfg.Beta = beta
+				res, err := experiments.Run("fig4", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.(*experiments.TimelineResult).ModuleAccuracy
+			}
+			b.ReportMetric(acc, "module-accuracy")
+		})
+	}
+}
+
+// BenchmarkAblationOpportunity compares the adaptor with and without the
+// proactive opportunity trigger (DESIGN.md §4.5): without it, switches
+// happen only on τ violations, so a strictly faster equal-accuracy
+// estimator is never adopted (the paper's Fig. 5 scenario).
+func BenchmarkAblationOpportunity(b *testing.B) {
+	run := func(b *testing.B, margin float64) (switches int) {
+		world := geo.UnitSquare
+		oracle := stream.NewWindow(world, 10_000, 1024)
+		m, err := core.New(core.Config{
+			World: world, Span: 10_000,
+			Estimators:        []string{estimator.NameH4096, estimator.NameRSH},
+			Default:           estimator.NameRSH,
+			PretrainQueries:   150,
+			AccWindow:         60,
+			OpportunityMargin: margin,
+			Seed:              1,
+			Refill: func(e estimator.Estimator) {
+				oracle.Each(func(o *stream.Object) bool { e.Insert(o); return true })
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		ts := int64(0)
+		feed := func(n int) {
+			for j := 0; j < n; j++ {
+				ts++
+				o := stream.Object{ID: uint64(ts), Loc: geo.Pt(rng.Float64(), rng.Float64()), Timestamp: ts}
+				oracle.Insert(o)
+				m.Insert(&o)
+			}
+		}
+		feed(10_000)
+		for q := 0; q < 900; q++ {
+			feed(15)
+			// Pure spatial workload: H4096 dominates RSH on latency at
+			// equal accuracy, the opportunity trigger's home turf.
+			qu := stream.SpatialQ(geo.CenteredRect(geo.Pt(rng.Float64(), rng.Float64()), 0.2, 0.2), ts)
+			m.Estimate(&qu)
+			m.Observe(float64(oracle.Answer(&qu)))
+		}
+		return len(m.Switches())
+	}
+	b.Run("enabled", func(b *testing.B) {
+		var s int
+		for i := 0; i < b.N; i++ {
+			s = run(b, 0) // 0 = default margin
+		}
+		b.ReportMetric(float64(s), "switches")
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var s int
+		for i := 0; i < b.N; i++ {
+			s = run(b, -1)
+		}
+		b.ReportMetric(float64(s), "switches")
+	})
+}
+
+// BenchmarkAblationCooldown sweeps the anti-flapping cooldown
+// (DESIGN.md §4.5): shorter cooldowns react faster but can thrash.
+func BenchmarkAblationCooldown(b *testing.B) {
+	for _, cd := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("cooldown=%d", cd), func(b *testing.B) {
+			var switches int
+			for i := 0; i < b.N; i++ {
+				world := geo.UnitSquare
+				oracle := stream.NewWindow(world, 10_000, 1024)
+				m, err := core.New(core.Config{
+					World: world, Span: 10_000,
+					Estimators:      []string{estimator.NameH4096, estimator.NameRSL, estimator.NameRSH},
+					Default:         estimator.NameRSH,
+					PretrainQueries: 150,
+					AccWindow:       60,
+					CooldownQueries: cd,
+					Seed:            1,
+					Refill: func(e estimator.Estimator) {
+						oracle.Each(func(o *stream.Object) bool { e.Insert(o); return true })
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(4))
+				ts := int64(0)
+				kw := func() []string { return []string{fmt.Sprintf("kw%d", rng.Intn(10))} }
+				feed := func(n int) {
+					for j := 0; j < n; j++ {
+						ts++
+						o := stream.Object{ID: uint64(ts), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+							Keywords: kw(), Timestamp: ts}
+						oracle.Insert(o)
+						m.Insert(&o)
+					}
+				}
+				feed(10_000)
+				// Alternate spatial and keyword regimes every 120 queries
+				// to invite flapping.
+				for q := 0; q < 960; q++ {
+					feed(15)
+					var qu stream.Query
+					if (q/120)%2 == 0 {
+						qu = stream.SpatialQ(geo.CenteredRect(geo.Pt(rng.Float64(), rng.Float64()), 0.15, 0.15), ts)
+					} else {
+						qu = stream.KeywordQ(kw(), ts)
+					}
+					m.Estimate(&qu)
+					m.Observe(float64(oracle.Answer(&qu)))
+				}
+				switches = len(m.Switches())
+			}
+			b.ReportMetric(float64(switches), "switches")
+		})
+	}
+}
+
+// BenchmarkAblationGracePeriod sweeps the Hoeffding tree's grace period
+// (DESIGN.md §4.4): smaller periods attempt splits more often (slower
+// learning steps, earlier structure); larger ones delay adaptation.
+func BenchmarkAblationGracePeriod(b *testing.B) {
+	for _, grace := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("grace=%d", grace), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				tr := hoeffding.New(
+					[]hoeffding.Attribute{
+						{Name: "qtype", Kind: hoeffding.Nominal, NumValues: 3},
+						{Name: "size", Kind: hoeffding.Numeric},
+					},
+					[]string{"a", "b", "c"},
+					hoeffding.Config{GracePeriod: grace},
+				)
+				rng := rand.New(rand.NewSource(2))
+				correct, total := 0, 0
+				for n := 0; n < 30_000; n++ {
+					qt := rng.Intn(3)
+					size := rng.Float64()
+					want := qt
+					if qt == 1 && size > 0.5 {
+						want = 2
+					}
+					x := []float64{float64(qt), size}
+					if n > 15_000 { // prequential accuracy on the back half
+						if tr.Predict(x) == want {
+							correct++
+						}
+						total++
+					}
+					tr.Learn(x, want)
+				}
+				acc = float64(correct) / float64(total)
+			}
+			b.ReportMetric(acc, "prequential-accuracy")
+		})
+	}
+}
+
+// BenchmarkSystemFeed measures the public API's ingest hot path.
+func BenchmarkSystemFeed(b *testing.B) {
+	sys, err := New(Config{
+		World:  Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		Window: time.Minute,
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	kws := []string{"a", "b", "c", "d"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Feed(Object{
+			ID:        uint64(i),
+			Loc:       Pt(rng.Float64(), rng.Float64()),
+			Keywords:  kws[:1+i%3],
+			Timestamp: int64(i / 2),
+		})
+	}
+}
+
+// BenchmarkSystemEstimate measures the public API's query hot path on the
+// default estimator.
+func BenchmarkSystemEstimate(b *testing.B) {
+	sys, err := New(Config{
+		World:           Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		Window:          time.Minute,
+		PretrainQueries: 50,
+		Seed:            1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ts := int64(0)
+	for i := 0; i < 60_000; i++ {
+		ts++
+		sys.Feed(Object{ID: uint64(i), Loc: Pt(rng.Float64(), rng.Float64()),
+			Keywords: []string{fmt.Sprintf("kw%d", i%20)}, Timestamp: ts})
+	}
+	for i := 0; i < 60; i++ {
+		q := HybridQuery(CenteredRect(Pt(0.5, 0.5), 0.2, 0.2), []string{"kw3"}, ts)
+		sys.EstimateAndExecute(&q)
+	}
+	q := HybridQuery(CenteredRect(Pt(0.5, 0.5), 0.2, 0.2), []string{"kw3"}, ts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Estimate(&q)
+		sys.ObserveActual(120)
+	}
+}

@@ -1,0 +1,87 @@
+// latest-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	latest-bench -exp fig3            # one experiment, text output
+//	latest-bench -exp all             # the full evaluation section
+//	latest-bench -exp table1 -json    # machine-readable output
+//	latest-bench -list                # available experiment ids
+//
+// The -queries/-pretrain/-scale/-seed flags rescale any experiment; zero
+// values take the defaults documented in DESIGN.md §2.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/spatiotext/latest/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (fig3..fig13, table1, table2) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		queries  = flag.Int("queries", 0, "incremental-phase query count (0 = default 3000)")
+		pretrain = flag.Int("pretrain", 0, "pre-training query count (0 = default 600)")
+		windowMS = flag.Int64("window", 0, "time window T in virtual ms (0 = default 30000)")
+		rate     = flag.Float64("rate", 0, "stream rate in objects per virtual ms (0 = default 2)")
+		scale    = flag.Float64("scale", 0, "estimator memory scale (0 = default 1)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = default 1)")
+		alpha    = flag.Float64("alpha", -1, "accuracy/latency weight override (-1 = experiment default)")
+		asJSON   = flag.Bool("json", false, "emit JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "latest-bench: -exp required (use -list to see ids)")
+		os.Exit(2)
+	}
+	cfg := experiments.RunConfig{
+		Queries:         *queries,
+		PretrainQueries: *pretrain,
+		WindowMS:        *windowMS,
+		Rate:            *rate,
+		Scale:           *scale,
+		Seed:            *seed,
+	}
+	if *alpha >= 0 {
+		cfg.Alpha, cfg.AlphaSet = *alpha, true
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintf(os.Stderr, "latest-bench: encoding %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if _, err := res.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "latest-bench: writing %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

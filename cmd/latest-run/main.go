@@ -1,0 +1,294 @@
+// latest-run drives a LATEST module over a stream — synthetic or replayed
+// from a JSONL file — and narrates what the adaptor does: phase
+// transitions, pre-fills, switches, and a rolling accuracy/latency report;
+// the closest thing to watching Figure 2 live.
+//
+// Usage:
+//
+//	latest-run -dataset Twitter -workload TwQW1 -queries 3000
+//	latest-run -dataset eBird -workload EbRQW1 -alpha 1
+//	latest-run -input mystream.jsonl -world "-125,24,-66,50" -workload TwQW1
+//
+// The JSONL format is one object per line:
+// {"id":1,"lon":-118.2,"lat":34.0,"keywords":["fire"],"ts":1700000000000}
+// with non-decreasing ts. Query focal points and keywords are then sampled
+// from the replayed data itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/spatiotext/latest/internal/core"
+	"github.com/spatiotext/latest/internal/datagen"
+	"github.com/spatiotext/latest/internal/estimator"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/replay"
+	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/workload"
+)
+
+// replaySource adapts a replayed object stream into a workload.Source:
+// reservoirs of recent locations and keywords stand in for the synthetic
+// generator's hotspot model, so query traffic keeps tracking data density.
+type replaySource struct {
+	world geo.Rect
+	rng   *rand.Rand
+	locs  []geo.Point
+	kws   []string
+	nLoc  int
+	nKw   int
+}
+
+const replayReservoir = 4096
+
+func newReplaySource(world geo.Rect, seed int64) *replaySource {
+	return &replaySource{world: world, rng: rand.New(rand.NewSource(seed + 0x52))}
+}
+
+// observe folds an arriving object into the sampling reservoirs.
+func (s *replaySource) observe(o *stream.Object) {
+	s.nLoc++
+	if len(s.locs) < replayReservoir {
+		s.locs = append(s.locs, o.Loc)
+	} else if j := s.rng.Intn(s.nLoc); j < replayReservoir {
+		s.locs[j] = o.Loc
+	}
+	for _, kw := range o.Keywords {
+		s.nKw++
+		if len(s.kws) < replayReservoir {
+			s.kws = append(s.kws, kw)
+		} else if j := s.rng.Intn(s.nKw); j < replayReservoir {
+			s.kws[j] = kw
+		}
+	}
+}
+
+func (s *replaySource) World() geo.Rect { return s.world }
+
+func (s *replaySource) SampleQueryPoint() geo.Point {
+	if len(s.locs) == 0 {
+		return s.world.Center()
+	}
+	p := s.locs[s.rng.Intn(len(s.locs))]
+	// Jitter by ~1% of the world so queries don't all snap to data points.
+	return s.world.Clamp(geo.Pt(
+		p.X+s.rng.NormFloat64()*s.world.Width()*0.01,
+		p.Y+s.rng.NormFloat64()*s.world.Height()*0.01,
+	))
+}
+
+func (s *replaySource) SampleQueryKeyword() string {
+	if len(s.kws) == 0 {
+		return "?"
+	}
+	return s.kws[s.rng.Intn(len(s.kws))]
+}
+
+func (s *replaySource) QueryRand() *rand.Rand { return s.rng }
+
+// parseWorld parses "minx,miny,maxx,maxy".
+func parseWorld(spec string) (geo.Rect, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return geo.Rect{}, fmt.Errorf("want minx,miny,maxx,maxy, got %q", spec)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.Rect{}, err
+		}
+		vals[i] = v
+	}
+	r := geo.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	if !r.Valid() || r.Empty() {
+		return geo.Rect{}, fmt.Errorf("invalid world %v", r)
+	}
+	return r, nil
+}
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "Twitter", "dataset: Twitter, eBird or CheckIn")
+		wlName   = flag.String("workload", "TwQW1", "workload preset (TwQW1..6, EbRQW1..6, CiQW1..3)")
+		queries  = flag.Int("queries", 3000, "incremental-phase query count")
+		pretrain = flag.Int("pretrain", 600, "pre-training query count")
+		windowMS = flag.Int64("window", 30_000, "time window T in virtual ms")
+		rate     = flag.Float64("rate", 2, "stream rate (objects per virtual ms)")
+		alpha    = flag.Float64("alpha", 0.5, "accuracy/latency weight α")
+		tau      = flag.Float64("tau", 0.75, "switch threshold τ")
+		beta     = flag.Float64("beta", 0.8, "pre-fill fraction β")
+		seed     = flag.Int64("seed", 1, "random seed")
+		every    = flag.Int("report", 200, "progress report interval (queries)")
+		input    = flag.String("input", "", "replay a JSONL object stream instead of generating one")
+		worldStr = flag.String("world", "-125,24,-66,50", "world rect for -input mode: minx,miny,maxx,maxy")
+	)
+	flag.Parse()
+
+	// nextObject abstracts over synthetic generation and file replay.
+	var nextObject func() (stream.Object, bool)
+	var world geo.Rect
+	var src workload.Source
+	if *input != "" {
+		w, err := parseWorld(*worldStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latest-run: -world: %v\n", err)
+			os.Exit(2)
+		}
+		world = w
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latest-run: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rd := replay.NewReader(f)
+		rd.SetWorld(world)
+		rs := newReplaySource(world, *seed)
+		src = rs
+		nextObject = func() (stream.Object, bool) {
+			o, err := rd.Next()
+			if err == io.EOF {
+				return stream.Object{}, false
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "latest-run: %v\n", err)
+				os.Exit(1)
+			}
+			rs.observe(&o)
+			return o, true
+		}
+	} else {
+		data := datagen.ByName(*dataset, *seed, *rate)
+		world = data.World()
+		src = data
+		nextObject = func() (stream.Object, bool) { return data.Next(), true }
+	}
+	spec := workload.ByName(*wlName)
+	gen := workload.NewGenerator(spec, src, *pretrain+*queries)
+	oracle := stream.NewWindow(world, *windowMS, 4096)
+
+	// Scale the monitored accuracy window to 5% of the run, matching the
+	// experiments harness.
+	accWindow := *queries / 20
+	if accWindow < 60 {
+		accWindow = 60
+	}
+	module, err := core.New(core.Config{
+		World:           world,
+		Span:            *windowMS,
+		Alpha:           *alpha,
+		AlphaSet:        true,
+		Tau:             *tau,
+		Beta:            *beta,
+		AccWindow:       accWindow,
+		PretrainQueries: *pretrain,
+		Seed:            *seed,
+		Refill: func(e estimator.Estimator) {
+			oracle.Each(func(o *stream.Object) bool {
+				e.Insert(o)
+				return true
+			})
+		},
+		OnSwitch: func(ev core.SwitchEvent) {
+			fmt.Printf("  >> %s\n", ev)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latest-run: %v\n", err)
+		os.Exit(1)
+	}
+
+	var exhausted bool
+	var lastTS int64
+	feed := func(n int) {
+		for i := 0; i < n && !exhausted; i++ {
+			o, ok := nextObject()
+			if !ok {
+				exhausted = true
+				return
+			}
+			lastTS = o.Timestamp
+			oracle.Insert(o)
+			module.Insert(&o)
+		}
+	}
+
+	sourceName := *dataset
+	if *input != "" {
+		sourceName = *input
+	}
+	fmt.Printf("warm-up: filling one %.0fs window of %s data...\n",
+		float64(*windowMS)/1000, sourceName)
+	if *input != "" {
+		// Replayed time is whatever the file says: fill until one window
+		// has elapsed.
+		o, ok := nextObject()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "latest-run: input is empty")
+			os.Exit(1)
+		}
+		start := o.Timestamp
+		lastTS = o.Timestamp
+		oracle.Insert(o)
+		module.Insert(&o)
+		for lastTS-start < *windowMS && !exhausted {
+			feed(1024)
+		}
+	} else {
+		feed(int(float64(*windowMS) * *rate))
+	}
+	fmt.Printf("window holds %d objects; starting %s (%d pre-training + %d queries)\n",
+		oracle.Size(), *wlName, *pretrain, *queries)
+
+	var lat metrics.LatencyTracker
+	accSum, n := 0.0, 0
+	lastPhase := module.Phase()
+	for gen.Remaining() > 0 && !exhausted {
+		feed(40)
+		q := gen.Next(lastTS)
+		start := time.Now()
+		est := module.Estimate(&q)
+		lat.Add(time.Since(start))
+		actual := oracle.Answer(&q)
+		module.Observe(float64(actual))
+		accSum += metrics.Accuracy(est, float64(actual))
+		n++
+		if module.Phase() != lastPhase {
+			fmt.Printf("  -- phase: %s -> %s (after %d queries)\n", lastPhase, module.Phase(), n)
+			lastPhase = module.Phase()
+		}
+		if n%*every == 0 {
+			s := module.Snapshot()
+			fmt.Printf("q=%-6d phase=%-11s active=%-5s prefill=%-5s acc(avg)=%.3f lat(p50)=%s tree{rec=%d nodes=%d}\n",
+				n, s.Phase, s.Active, orDash(s.Prefilling), accSum/float64(n),
+				lat.Percentile(0.5).Round(time.Microsecond), s.TrainingRecords, s.TreeNodes)
+		}
+	}
+
+	s := module.Snapshot()
+	fmt.Printf("\nfinished: %d queries, overall accuracy %.3f, mean latency %s\n",
+		n, accSum/float64(n), lat.Mean().Round(time.Microsecond))
+	fmt.Printf("switches (%d):\n", s.Switches)
+	for _, ev := range module.Switches() {
+		fmt.Printf("  %s\n", ev)
+	}
+	if s.Switches == 0 {
+		fmt.Println("  none — the workload never degraded the active estimator")
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+// workloadgen generates and inspects query workloads. It either prints a
+// composition summary (query types per timeline decile — handy for
+// verifying a phase schedule) or emits the queries as JSON lines for
+// external tooling.
+//
+// Usage:
+//
+//	workloadgen -workload TwQW1 -n 100000            # composition summary
+//	workloadgen -workload CiQW1 -n 1000 -emit        # queries as JSONL
+//	workloadgen -exportstream Twitter -n 100000      # objects as JSONL (for latest-run -input)
+//	workloadgen -list                                # available presets
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/spatiotext/latest/internal/datagen"
+	"github.com/spatiotext/latest/internal/replay"
+	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/workload"
+)
+
+// jsonQuery is the emitted wire format of one query.
+type jsonQuery struct {
+	Type     string    `json:"type"`
+	Range    []float64 `json:"range,omitempty"` // minx, miny, maxx, maxy
+	Keywords []string  `json:"keywords,omitempty"`
+}
+
+func main() {
+	var (
+		wlName = flag.String("workload", "TwQW1", "workload preset name")
+		n      = flag.Int("n", 100_000, "number of queries (the paper uses 100K)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		emit   = flag.Bool("emit", false, "emit queries as JSON lines instead of a summary")
+		list   = flag.Bool("list", false, "list workload presets and exit")
+		export = flag.String("exportstream", "", "emit n *objects* of the named dataset (Twitter/eBird/CheckIn) as JSONL")
+		rate   = flag.Float64("rate", 2, "stream rate for -exportstream (objects per virtual ms)")
+	)
+	flag.Parse()
+
+	if *export != "" {
+		data := datagen.ByName(*export, *seed, *rate)
+		w := replay.NewWriter(os.Stdout)
+		for i := 0; i < *n; i++ {
+			o := data.Next()
+			if err := w.Write(&o); err != nil {
+				fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		names := workload.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			spec := workload.ByName(name)
+			fmt.Printf("%-8s dataset=%-8s phases=%d rangeSide=%.3f kw=%d..%d\n",
+				name, spec.Dataset, len(spec.Phases), spec.RangeSide, spec.KwMin, spec.KwMax)
+		}
+		return
+	}
+
+	spec := workload.ByName(*wlName)
+	data := datagen.ByName(spec.Dataset, *seed, 2)
+	gen := workload.NewGenerator(spec, data, *n)
+
+	if *emit {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		enc := json.NewEncoder(w)
+		for gen.Remaining() > 0 {
+			q := gen.Next(0)
+			jq := jsonQuery{Type: q.Type().String(), Keywords: q.Keywords}
+			if q.HasRange {
+				jq.Range = []float64{q.Range.MinX, q.Range.MinY, q.Range.MaxX, q.Range.MaxY}
+			}
+			if err := enc.Encode(jq); err != nil {
+				fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	// Composition summary: query-type counts per timeline decile.
+	const deciles = 10
+	var counts [deciles][3]int
+	kwTotal, kwQueries := 0, 0
+	for gen.Remaining() > 0 {
+		d := int(gen.Progress() * deciles)
+		if d >= deciles {
+			d = deciles - 1
+		}
+		q := gen.Next(0)
+		counts[d][q.Type()]++
+		if len(q.Keywords) > 0 {
+			kwTotal += len(q.Keywords)
+			kwQueries++
+		}
+	}
+	fmt.Printf("# %s on %s — %d queries\n", spec.Name, spec.Dataset, *n)
+	fmt.Printf("%-8s %10s %10s %10s\n", "decile", "spatial", "keyword", "hybrid")
+	var totals [3]int
+	for d := 0; d < deciles; d++ {
+		fmt.Printf("%d0-%d0%%   %10d %10d %10d\n", d, d+1,
+			counts[d][stream.SpatialQuery], counts[d][stream.KeywordQuery], counts[d][stream.HybridQuery])
+		for t := 0; t < 3; t++ {
+			totals[t] += counts[d][t]
+		}
+	}
+	fmt.Printf("%-8s %10d %10d %10d\n", "total", totals[0], totals[1], totals[2])
+	if kwQueries > 0 {
+		fmt.Printf("mean keywords per keyword-bearing query: %.2f\n", float64(kwTotal)/float64(kwQueries))
+	}
+}

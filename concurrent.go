@@ -1,0 +1,92 @@
+package latest
+
+import "sync"
+
+// ConcurrentSystem wraps a System with a mutex so multiple goroutines can
+// feed and query it. Every operation — including Estimate, which records
+// per-query measurement state — mutates the module, so a single exclusive
+// lock is the honest synchronization (streaming ingest paths are
+// single-writer in practice; this wrapper exists for applications that
+// fan queries out across request handlers).
+//
+// Estimate and the feedback call must still pair up per query; under
+// concurrency that pairing is only maintainable atomically, so
+// ConcurrentSystem exposes the combined EstimateAndExecute/EstimateWith
+// operations instead of the split halves.
+type ConcurrentSystem struct {
+	mu  sync.Mutex
+	sys *System
+}
+
+// NewConcurrent builds a thread-safe LATEST system.
+func NewConcurrent(cfg Config) (*ConcurrentSystem, error) {
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentSystem{sys: sys}, nil
+}
+
+// Feed ingests one stream object. Timestamps must still be globally
+// non-decreasing; with multiple producers, order them before calling.
+func (c *ConcurrentSystem) Feed(o Object) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sys.Feed(o)
+}
+
+// EstimateAndExecute answers the query approximately, then exactly, and
+// feeds the truth back — one atomic estimate/observe cycle.
+func (c *ConcurrentSystem) EstimateAndExecute(q *Query) (estimate float64, actual int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.EstimateAndExecute(q)
+}
+
+// EstimateWith answers the query approximately and immediately closes the
+// feedback loop with the truth produced by fn (called under the lock with
+// the exact window count, letting callers substitute their own execution
+// result or accept the store's).
+func (c *ConcurrentSystem) EstimateWith(q *Query, fn func(windowExact int) (actual float64)) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est := c.sys.Estimate(q)
+	exact := c.sys.window.Answer(q)
+	c.sys.ObserveActual(fn(exact))
+	return est
+}
+
+// ActiveEstimator returns the currently employed estimator's name.
+func (c *ConcurrentSystem) ActiveEstimator() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.ActiveEstimator()
+}
+
+// Phase returns the lifecycle phase.
+func (c *ConcurrentSystem) Phase() Phase {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Phase()
+}
+
+// Switches returns the switch history.
+func (c *ConcurrentSystem) Switches() []SwitchEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Switches()
+}
+
+// WindowSize returns the number of live objects in the exact store.
+func (c *ConcurrentSystem) WindowSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.WindowSize()
+}
+
+// Stats returns a snapshot of the module internals.
+func (c *ConcurrentSystem) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Stats()
+}

@@ -1,0 +1,135 @@
+package latest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrentSystemBasics(t *testing.T) {
+	cs, err := NewConcurrent(Config{
+		World:           Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		Window:          10 * time.Second,
+		PretrainQueries: 100,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewConcurrent(Config{}); err == nil {
+		t.Error("bad config accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	ts := int64(0)
+	for i := 0; i < 2000; i++ {
+		ts++
+		cs.Feed(Object{ID: uint64(i), Loc: Pt(rng.Float64(), rng.Float64()),
+			Keywords: []string{"a"}, Timestamp: ts})
+	}
+	q := HybridQuery(CenteredRect(Pt(0.5, 0.5), 0.4, 0.4), []string{"a"}, ts)
+	est, actual := cs.EstimateAndExecute(&q)
+	if est < 0 || actual <= 0 {
+		t.Errorf("est %v actual %d", est, actual)
+	}
+	// EstimateWith lets the caller adjust the truth before feedback.
+	got := cs.EstimateWith(&q, func(exact int) float64 {
+		if exact != actual {
+			t.Errorf("exact %d != previous actual %d", exact, actual)
+		}
+		return float64(exact)
+	})
+	if got < 0 {
+		t.Errorf("EstimateWith = %v", got)
+	}
+	if cs.WindowSize() == 0 || cs.ActiveEstimator() == "" {
+		t.Error("accessors broken")
+	}
+	if cs.Phase() != PhasePretrain {
+		t.Errorf("phase = %v", cs.Phase())
+	}
+	if len(cs.Switches()) != 0 {
+		t.Errorf("switches = %v", cs.Switches())
+	}
+	if cs.Stats().TrainingRecords == 0 {
+		t.Error("no training records")
+	}
+}
+
+// TestConcurrentSystemParallel hammers the wrapper from many goroutines;
+// run with -race to verify the locking. One producer owns the clock (the
+// stream contract requires non-decreasing timestamps); many consumers
+// query concurrently.
+func TestConcurrentSystemParallel(t *testing.T) {
+	cs, err := NewConcurrent(Config{
+		World:           Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		Window:          10 * time.Second,
+		PretrainQueries: 50,
+		AccWindow:       30,
+		Seed:            2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed data first so queries see a populated window.
+	rng := rand.New(rand.NewSource(2))
+	var clock int64
+	for i := 0; i < 5000; i++ {
+		clock++
+		cs.Feed(Object{ID: uint64(i), Loc: Pt(rng.Float64(), rng.Float64()),
+			Keywords: []string{fmt.Sprintf("kw%d", i%10)}, Timestamp: clock})
+	}
+
+	stop := make(chan struct{})
+	var producer sync.WaitGroup
+	producer.Add(1)
+	go func() {
+		defer producer.Done()
+		prng := rand.New(rand.NewSource(3))
+		var localClock int64 = clock
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			localClock++
+			cs.Feed(Object{ID: uint64(10000 + i), Loc: Pt(prng.Float64(), prng.Float64()),
+				Keywords: []string{fmt.Sprintf("kw%d", i%10)}, Timestamp: localClock})
+		}
+	}()
+
+	var queriers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		queriers.Add(1)
+		go func(seed int64) {
+			defer queriers.Done()
+			qrng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				// Query at the already-seeded clock: older than live feeds,
+				// but within the window — valid and race-free.
+				q := HybridQuery(
+					CenteredRect(Pt(qrng.Float64(), qrng.Float64()), 0.3, 0.3),
+					[]string{fmt.Sprintf("kw%d", qrng.Intn(10))},
+					clock)
+				est, _ := cs.EstimateAndExecute(&q)
+				if est < 0 {
+					t.Errorf("negative estimate %v", est)
+					return
+				}
+				_ = cs.Stats()
+			}
+		}(int64(10 + g))
+	}
+	queriers.Wait()
+	close(stop)
+	producer.Wait()
+
+	// Tree records can reset on a drift retrain; the query counters are the
+	// stable invariant.
+	st := cs.Stats()
+	if st.PretrainSeen != 50 || st.IncrementalSeen != 800-50 {
+		t.Errorf("query accounting: pretrain=%d incremental=%d", st.PretrainSeen, st.IncrementalSeen)
+	}
+}

@@ -1,0 +1,64 @@
+package latest_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spatiotext/latest"
+)
+
+// ExampleSystem demonstrates the full feedback loop on a tiny deterministic
+// stream: ingest, estimate, execute, and inspect the adaptor.
+func ExampleSystem() {
+	sys, err := latest.New(latest.Config{
+		World:  latest.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+		Window: time.Minute,
+		Seed:   1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Ten objects: five tagged "fire" clustered in the south-west, five
+	// tagged "food" in the north-east.
+	for i := 0; i < 5; i++ {
+		sys.Feed(latest.Object{
+			ID: uint64(i), Loc: latest.Pt(2+float64(i)*0.1, 2),
+			Keywords: []string{"fire"}, Timestamp: int64(i),
+		})
+	}
+	for i := 5; i < 10; i++ {
+		sys.Feed(latest.Object{
+			ID: uint64(i), Loc: latest.Pt(8, 8+float64(i-5)*0.1),
+			Keywords: []string{"food"}, Timestamp: int64(i),
+		})
+	}
+
+	// How many "fire" objects in the south-west quadrant?
+	q := latest.HybridQuery(latest.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}, []string{"fire"}, 10)
+	estimate := sys.Estimate(&q) // approximate, via the active estimator
+	actual := sys.Execute(&q)    // exact, and feeds the switching model
+
+	fmt.Printf("estimate: %.0f\n", estimate)
+	fmt.Printf("actual: %d\n", actual)
+	fmt.Printf("window size: %d\n", sys.WindowSize())
+	fmt.Printf("active estimator: %s\n", sys.ActiveEstimator())
+	fmt.Printf("phase: %v\n", sys.Phase())
+	// Output:
+	// estimate: 5
+	// actual: 5
+	// window size: 10
+	// active estimator: RSH
+	// phase: pretrain
+}
+
+// ExampleKeywordQuery shows a pure distinct-value query (no spatial
+// predicate).
+func ExampleKeywordQuery() {
+	q := latest.KeywordQuery([]string{"fire", "rescue"}, 42)
+	fmt.Println(q.Type())
+	fmt.Println(q.HasRange)
+	// Output:
+	// keyword
+	// false
+}

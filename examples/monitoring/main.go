@@ -1,0 +1,129 @@
+// Monitoring service: a long-running deployment shape. One goroutine
+// ingests the stream, several serve estimation requests concurrently
+// through latest.ConcurrentSystem, and an operations loop polls Stats() to
+// watch the adaptor work (phase, active estimator, switch count, model
+// size) — the numbers an SRE would export to a metrics system.
+//
+// Run with:
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spatiotext/latest"
+)
+
+var world = latest.Rect{MinX: -125, MinY: 24, MaxX: -66, MaxY: 50}
+
+func main() {
+	sys, err := latest.NewConcurrent(latest.Config{
+		World:           world,
+		Window:          2 * time.Minute,
+		PretrainQueries: 400,
+		AccWindow:       100,
+		Seed:            21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Virtual clock shared by the single producer; queries read it
+	// atomically.
+	var clock atomic.Int64
+
+	// Producer: ~simulated social stream with two topic clusters.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(21))
+		topics := []string{"news", "traffic", "sports", "food", "music"}
+		id := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ts := clock.Add(1)
+			id++
+			var loc latest.Point
+			if rng.Float64() < 0.5 {
+				loc = world.Clamp(latest.Pt(-74+rng.NormFloat64(), 40.7+rng.NormFloat64()))
+			} else {
+				loc = latest.Pt(world.MinX+rng.Float64()*world.Width(), world.MinY+rng.Float64()*world.Height())
+			}
+			sys.Feed(latest.Object{
+				ID: id, Loc: loc,
+				Keywords:  []string{topics[rng.Intn(len(topics))]},
+				Timestamp: ts,
+			})
+		}
+	}()
+
+	// Wait for one full window of data before serving.
+	for clock.Load() < (2 * time.Minute).Milliseconds() {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("window primed: %d objects live\n", sys.WindowSize())
+
+	// Request handlers: each serves a mix of dashboard queries.
+	var served atomic.Int64
+	for h := 0; h < 3; h++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			topics := []string{"news", "traffic", "sports", "food", "music"}
+			for i := 0; i < 700; i++ {
+				area := latest.CenteredRect(
+					latest.Pt(world.MinX+rng.Float64()*world.Width(), world.MinY+rng.Float64()*world.Height()),
+					4, 3)
+				var q latest.Query
+				switch rng.Intn(3) {
+				case 0:
+					q = latest.SpatialQuery(area, clock.Load())
+				case 1:
+					q = latest.KeywordQuery([]string{topics[rng.Intn(len(topics))]}, clock.Load())
+				default:
+					q = latest.HybridQuery(area, []string{topics[rng.Intn(len(topics))]}, clock.Load())
+				}
+				sys.EstimateAndExecute(&q)
+				served.Add(1)
+			}
+		}(int64(100 + h))
+	}
+
+	// Operations loop: the metrics an exporter would scrape.
+	opsDone := make(chan struct{})
+	go func() {
+		defer close(opsDone)
+		ticker := time.NewTicker(300 * time.Millisecond)
+		defer ticker.Stop()
+		for served.Load() < 3*700 {
+			<-ticker.C
+			st := sys.Stats()
+			fmt.Printf("[ops] served=%-5d phase=%-11s active=%-5s switches=%d accuracy=%.3f model{records=%d nodes=%d retrains=%d} mem=%dKB\n",
+				served.Load(), st.Phase, st.Active, st.Switches, st.AccuracyAvg,
+				st.TrainingRecords, st.TreeNodes, st.ModelRetrains, st.MemoryBytes/1024)
+		}
+	}()
+	<-opsDone
+	close(stop)
+	wg.Wait()
+
+	st := sys.Stats()
+	fmt.Printf("\nshutdown: %d requests served, final active %s, %d switches\n",
+		served.Load(), st.Active, st.Switches)
+	for _, ev := range sys.Switches() {
+		fmt.Printf("  %v\n", ev)
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: feed a spatio-textual stream into LATEST, ask estimation
+// queries, and let the module learn from the executed queries' true
+// selectivity. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/spatiotext/latest"
+)
+
+func main() {
+	// A LATEST system over a city-scale bounding box (Los Angeles county,
+	// roughly), keeping the last 5 minutes of stream data.
+	world := latest.Rect{MinX: -118.7, MinY: 33.7, MaxX: -117.6, MaxY: 34.4}
+	sys, err := latest.New(latest.Config{
+		World:           world,
+		Window:          5 * time.Minute,
+		PretrainQueries: 300, // short demo; production uses thousands
+		Seed:            42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	now := int64(0)
+	topics := []string{"traffic", "concert", "food", "fire", "news"}
+
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			now += 2 // one object every 2 virtual ms
+			sys.Feed(latest.Object{
+				ID:        uint64(now),
+				Loc:       latest.Pt(world.MinX+rng.Float64()*world.Width(), world.MinY+rng.Float64()*world.Height()),
+				Keywords:  []string{topics[rng.Intn(len(topics))]},
+				Timestamp: now,
+			})
+		}
+	}
+
+	// Warm up: one full window of data before the first query (Figure 2's
+	// warm-up phase).
+	fmt.Println("warming up with 5 minutes of stream data...")
+	feed(150_000)
+	fmt.Printf("window holds %d objects\n\n", sys.WindowSize())
+
+	// Drive queries. Estimate is the query optimizer's cheap call; Execute
+	// answers exactly and feeds the truth back to the switching model.
+	downtown := latest.CenteredRect(latest.Pt(-118.24, 34.05), 0.1, 0.1)
+	for i := 0; i < 400; i++ {
+		feed(50)
+		var q latest.Query
+		switch i % 3 {
+		case 0:
+			q = latest.SpatialQuery(downtown, now)
+		case 1:
+			q = latest.KeywordQuery([]string{"traffic"}, now)
+		default:
+			q = latest.HybridQuery(downtown, []string{"fire", "news"}, now)
+		}
+		est, actual := sys.EstimateAndExecute(&q)
+		if i%100 == 0 {
+			fmt.Printf("q%-4d %-8s estimate=%-8.0f actual=%-7d active=%s phase=%s\n",
+				i, q.Type(), est, actual, sys.ActiveEstimator(), sys.Phase())
+		}
+	}
+
+	stats := sys.Stats()
+	fmt.Printf("\nafter %d queries: active=%s, %d switches, %d training records, monitored accuracy %.2f\n",
+		400, stats.Active, stats.Switches, stats.TrainingRecords, stats.AccuracyAvg)
+}

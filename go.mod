@@ -1,0 +1,3 @@
+module github.com/spatiotext/latest
+
+go 1.22

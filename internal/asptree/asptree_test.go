@@ -1,0 +1,296 @@
+package asptree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+)
+
+func newTestTree(cfg Config) *Tree { return New(geo.UnitSquare, cfg) }
+
+func TestInsertCountsExactlyOnce(t *testing.T) {
+	tr := newTestTree(Config{SplitThreshold: 10})
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), nil)
+	}
+	if tr.Live() != n {
+		t.Fatalf("Live = %d, want %d", tr.Live(), n)
+	}
+	// The whole world must estimate the exact total regardless of splits.
+	got := tr.EstimateRange(geo.UnitSquare)
+	if math.Abs(got-n) > 1e-6 {
+		t.Fatalf("EstimateRange(world) = %v, want %d", got, n)
+	}
+	if tr.NodeCount() <= 1 {
+		t.Error("tree should have split under threshold 10")
+	}
+}
+
+func TestSplitRespectsMaxNodes(t *testing.T) {
+	tr := newTestTree(Config{SplitThreshold: 1, MaxNodes: 9})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), nil)
+	}
+	if tr.NodeCount() > 9 {
+		t.Fatalf("NodeCount = %d exceeds MaxNodes 9", tr.NodeCount())
+	}
+}
+
+func TestSplitRespectsMaxDepth(t *testing.T) {
+	tr := newTestTree(Config{SplitThreshold: 1, MaxDepth: 3, MaxNodes: 1 << 20})
+	// Hammer one point so only one path can deepen.
+	for i := 0; i < 1000; i++ {
+		tr.Insert(geo.Pt(0.1, 0.1), nil)
+	}
+	if d := tr.Depth(); d > 3 {
+		t.Fatalf("Depth = %d exceeds MaxDepth 3", d)
+	}
+}
+
+func TestEstimateRangeUniformData(t *testing.T) {
+	tr := newTestTree(Config{SplitThreshold: 64})
+	rng := rand.New(rand.NewSource(3))
+	const n = 40000
+	for i := 0; i < n; i++ {
+		tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), nil)
+	}
+	// A quarter of uniform space should hold ~a quarter of the points.
+	got := tr.EstimateRange(geo.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 0.5})
+	if rel := math.Abs(got-n/4) / (n / 4); rel > 0.1 {
+		t.Errorf("quarter estimate %v, want ~%d (rel err %.3f)", got, n/4, rel)
+	}
+	// Out-of-world range estimates zero.
+	if got := tr.EstimateRange(geo.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}); got != 0 {
+		t.Errorf("out-of-world estimate = %v", got)
+	}
+}
+
+func TestEstimateAdaptsToSkew(t *testing.T) {
+	// Clustered data: adaptivity should give a much better estimate for a
+	// query on the dense cluster than a single uniform cell would.
+	tr := newTestTree(Config{SplitThreshold: 32, MaxNodes: 1 << 14})
+	rng := rand.New(rand.NewSource(4))
+	const n = 30000
+	for i := 0; i < n; i++ {
+		// 90% in a tight cluster, 10% uniform noise.
+		if rng.Float64() < 0.9 {
+			tr.Insert(geo.Pt(0.7+rng.NormFloat64()*0.01, 0.7+rng.NormFloat64()*0.01), nil)
+		} else {
+			tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), nil)
+		}
+	}
+	cluster := geo.CenteredRect(geo.Pt(0.7, 0.7), 0.08, 0.08)
+	got := tr.EstimateRange(cluster)
+	// Truth is ~0.9*n (cluster ±4σ) + tiny uniform part.
+	want := 0.9 * float64(n)
+	if rel := math.Abs(got-want) / want; rel > 0.15 {
+		t.Errorf("cluster estimate %v, want ~%v (rel %.3f)", got, want, rel)
+	}
+	// Far empty area estimates near zero.
+	empty := geo.CenteredRect(geo.Pt(0.2, 0.2), 0.05, 0.05)
+	if got := tr.EstimateRange(empty); got > 0.02*float64(n) {
+		t.Errorf("empty-area estimate too high: %v", got)
+	}
+}
+
+func TestKeywordEstimates(t *testing.T) {
+	tr := newTestTree(Config{SplitThreshold: 256, KeywordBuckets: 64})
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		kws := []string{"common"}
+		if i%10 == 0 {
+			kws = append(kws, "rare")
+		}
+		tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), kws)
+	}
+	// "common" appears on every object.
+	got := tr.EstimateKeywords([]string{"common"})
+	if rel := math.Abs(got-n) / n; rel > 0.15 {
+		t.Errorf("common keyword estimate %v, want ~%d", got, n)
+	}
+	// "rare" appears on 10%: collisions may inflate, so allow headroom
+	// above but require at least the true frequency.
+	got = tr.EstimateKeywords([]string{"rare"})
+	if got < 0.08*n || got > 0.35*n {
+		t.Errorf("rare keyword estimate %v, want ~%d", got, n/10)
+	}
+	// Unknown keyword may only pick up collision mass.
+	got = tr.EstimateKeywords([]string{"nonexistent-kw-xyz"})
+	if got > 0.3*n {
+		t.Errorf("unknown keyword estimate too high: %v", got)
+	}
+}
+
+func TestHybridEstimateUsesLocalCorrelation(t *testing.T) {
+	// Keyword "fire" only occurs in the north-east; a south-west hybrid
+	// query should estimate near zero even though "fire" is common overall.
+	tr := newTestTree(Config{SplitThreshold: 64, MaxNodes: 1 << 14})
+	rng := rand.New(rand.NewSource(6))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := geo.Pt(rng.Float64(), rng.Float64())
+		kws := []string{"base"}
+		if p.X > 0.5 && p.Y > 0.5 {
+			kws = append(kws, "fire")
+		}
+		tr.Insert(p, kws)
+	}
+	sw := geo.Rect{MinX: 0, MinY: 0, MaxX: 0.4, MaxY: 0.4}
+	ne := geo.Rect{MinX: 0.6, MinY: 0.6, MaxX: 1, MaxY: 1}
+	swEst := tr.EstimateRangeKeywords(sw, []string{"fire"})
+	neEst := tr.EstimateRangeKeywords(ne, []string{"fire"})
+	if neEst < 5*math.Max(swEst, 1) {
+		t.Errorf("local correlation lost: sw=%v ne=%v", swEst, neEst)
+	}
+	// NE truth: all ~0.16*n objects there carry "fire".
+	want := 0.16 * float64(n)
+	if rel := math.Abs(neEst-want) / want; rel > 0.3 {
+		t.Errorf("ne estimate %v, want ~%v", neEst, want)
+	}
+}
+
+func TestAdvanceSliceExpiresCounts(t *testing.T) {
+	tr := newTestTree(Config{SplitThreshold: 100, Slices: 4})
+	for i := 0; i < 1000; i++ {
+		tr.Insert(geo.Pt(0.5, 0.5), []string{"k"})
+	}
+	if tr.Live() != 1000 {
+		t.Fatalf("Live = %d", tr.Live())
+	}
+	// Counts live for Slices-1 more advances, then expire.
+	for i := 0; i < 3; i++ {
+		tr.AdvanceSlice()
+		if tr.Live() != 1000 {
+			t.Fatalf("Live after %d advances = %d, want 1000", i+1, tr.Live())
+		}
+	}
+	tr.AdvanceSlice()
+	if tr.Live() != 0 {
+		t.Fatalf("Live after expiry = %d, want 0", tr.Live())
+	}
+	if got := tr.EstimateRange(geo.UnitSquare); got != 0 {
+		t.Fatalf("estimate after expiry = %v", got)
+	}
+	if got := tr.EstimateKeywords([]string{"k"}); got != 0 {
+		t.Fatalf("keyword estimate after expiry = %v", got)
+	}
+}
+
+func TestCollapseReclaimsNodes(t *testing.T) {
+	tr := newTestTree(Config{SplitThreshold: 8, Slices: 2, MaxNodes: 1 << 14})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), nil)
+	}
+	grown := tr.NodeCount()
+	if grown < 100 {
+		t.Fatalf("tree did not grow: %d nodes", grown)
+	}
+	tr.AdvanceSlice()
+	tr.AdvanceSlice() // everything expired
+	if tr.Live() != 0 {
+		t.Fatalf("Live = %d", tr.Live())
+	}
+	if tr.NodeCount() != 1 {
+		t.Fatalf("collapse left %d nodes, want 1", tr.NodeCount())
+	}
+	// The tree keeps working after a full collapse.
+	tr.Insert(geo.Pt(0.5, 0.5), []string{"x"})
+	if tr.Live() != 1 {
+		t.Fatalf("post-collapse insert lost: Live = %d", tr.Live())
+	}
+}
+
+func TestSlidingWindowMatchesSteadyState(t *testing.T) {
+	// Continuous arrival with periodic advances: live count must track
+	// exactly the inserts of the last `Slices` slices.
+	tr := newTestTree(Config{SplitThreshold: 50, Slices: 5})
+	perSlice := 200
+	for s := 0; s < 20; s++ {
+		for i := 0; i < perSlice; i++ {
+			tr.Insert(geo.Pt(rand.New(rand.NewSource(int64(s*1000+i))).Float64(), 0.5), nil)
+		}
+		if s >= 4 {
+			if tr.Live() != perSlice*5 {
+				t.Fatalf("slice %d: Live = %d, want %d", s, tr.Live(), perSlice*5)
+			}
+		}
+		tr.AdvanceSlice()
+	}
+}
+
+func TestResetAndMemory(t *testing.T) {
+	tr := newTestTree(Config{SplitThreshold: 4})
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), []string{fmt.Sprintf("k%d", i%50)})
+	}
+	memGrown := tr.MemoryBytes()
+	tr.Reset()
+	if tr.Live() != 0 || tr.NodeCount() != 1 {
+		t.Fatalf("Reset incomplete: live=%d nodes=%d", tr.Live(), tr.NodeCount())
+	}
+	if tr.MemoryBytes() >= memGrown {
+		t.Errorf("memory did not shrink after Reset: %d >= %d", tr.MemoryBytes(), memGrown)
+	}
+	if tr.DistinctKeywords() != 0 {
+		t.Errorf("synopsis not reset: %v", tr.DistinctKeywords())
+	}
+}
+
+func TestDistinctKeywords(t *testing.T) {
+	tr := newTestTree(Config{})
+	for i := 0; i < 500; i++ {
+		tr.Insert(geo.Pt(0.5, 0.5), []string{fmt.Sprintf("kw%d", i%100)})
+	}
+	got := tr.DistinctKeywords()
+	if got != 100 { // below KMV k: exact
+		t.Errorf("DistinctKeywords = %v, want 100", got)
+	}
+}
+
+func TestInvalidWorldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(geo.Rect{}, Config{})
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tr := newTestTree(Config{SplitThreshold: 256, MaxNodes: 1 << 14})
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, 4096)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64(), rng.Float64())
+	}
+	kws := []string{"a", "b"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(pts[i&4095], kws)
+		if i%100_000 == 99_999 {
+			tr.AdvanceSlice()
+		}
+	}
+}
+
+func BenchmarkTreeEstimate(b *testing.B) {
+	tr := newTestTree(Config{SplitThreshold: 128, MaxNodes: 1 << 14})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200_000; i++ {
+		tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), []string{"a"})
+	}
+	r := geo.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.7, MaxY: 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.EstimateRangeKeywords(r, []string{"a"})
+	}
+}

@@ -1,0 +1,76 @@
+package asptree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/spatiotext/latest/internal/geo"
+)
+
+// Property: with no slice advances, the whole-world estimate equals the
+// exact insert count regardless of split structure — every point is
+// counted by exactly one node.
+func TestWholeWorldCountExact(t *testing.T) {
+	f := func(seed int64, nRaw uint16, threshRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%3000 + 1
+		thresh := int(threshRaw)%200 + 2
+		tr := New(geo.UnitSquare, Config{SplitThreshold: thresh, MaxNodes: 1 << 14})
+		for i := 0; i < n; i++ {
+			tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), nil)
+		}
+		got := tr.EstimateRange(geo.UnitSquare)
+		return got > float64(n)-1e-6 && got < float64(n)+1e-6 && tr.Live() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: estimates are monotone under range growth — a superset range
+// never estimates fewer points.
+func TestEstimateMonotoneInRange(t *testing.T) {
+	tr := New(geo.UnitSquare, Config{SplitThreshold: 32, MaxNodes: 1 << 14})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		tr.Insert(geo.Pt(rng.Float64()*rng.Float64(), rng.Float64()), nil)
+	}
+	f := func(cxRaw, cyRaw, wRaw, hRaw, growRaw uint16) bool {
+		cx := float64(cxRaw) / 65536
+		cy := float64(cyRaw) / 65536
+		w := float64(wRaw)/65536*0.5 + 1e-6
+		h := float64(hRaw)/65536*0.5 + 1e-6
+		grow := float64(growRaw) / 65536 * 0.3
+		inner := geo.CenteredRect(geo.Pt(cx, cy), w, h)
+		outer := inner.Expand(grow)
+		return tr.EstimateRange(outer) >= tr.EstimateRange(inner)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: keyword estimates never exceed the spatial estimate for the
+// same range (the keyword predicate only filters).
+func TestKeywordEstimateBounded(t *testing.T) {
+	tr := New(geo.UnitSquare, Config{SplitThreshold: 64})
+	rng := rand.New(rand.NewSource(6))
+	kws := []string{"a", "b", "c", "d"}
+	for i := 0; i < 10000; i++ {
+		tr.Insert(geo.Pt(rng.Float64(), rng.Float64()), kws[:1+rng.Intn(2)])
+	}
+	f := func(cxRaw, cyRaw, sRaw uint16, kwPick uint8) bool {
+		cx := float64(cxRaw) / 65536
+		cy := float64(cyRaw) / 65536
+		s := float64(sRaw)/65536*0.6 + 0.01
+		r := geo.CenteredRect(geo.Pt(cx, cy), s, s)
+		kw := kws[int(kwPick)%len(kws)]
+		spatial := tr.EstimateRange(r)
+		both := tr.EstimateRangeKeywords(r, []string{kw})
+		return both <= spatial+1e-9 && both >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

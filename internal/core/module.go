@@ -1,0 +1,555 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spatiotext/latest/internal/estimator"
+	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// Module is a LATEST instance. It is single-goroutine like the estimators
+// it drives; the stream driver owns it.
+//
+// Protocol: Insert for every stream object; for every query, Estimate
+// followed by exactly one Observe carrying the true selectivity from the
+// executed query (the system-log feedback). The strict pairing is asserted
+// because the adaptor's bookkeeping is per-query.
+type Module struct {
+	cfg   Config
+	names []string
+	index map[string]int
+	ests  []estimator.Estimator
+
+	active     int
+	prefill    int // -1 when no candidate is warming
+	prefillAge int // adapt() calls since the candidate began warming
+
+	brain     *brain // Hoeffding tree + features + profile (features.go)
+	accWindow *metrics.SlidingAverage
+
+	phase           Phase
+	pretrainSeen    int
+	incrementalSeen int
+	cooldown        int
+
+	switches []SwitchEvent
+	pending  *pendingQuery
+
+	prefillThreshold float64
+
+	// Opportunity-switch state: a sliding window of per-query score gaps
+	// (best alternative minus active, for that query's type) and of which
+	// alternative was best. Averaging over the window weighs the gap by
+	// the live workload mix, so a 95%-spatial phase accumulates evidence
+	// even with keyword queries interleaved.
+	oppGap  *metrics.SlidingAverage
+	oppBest []int
+	oppQt   []stream.QueryType
+	oppN    int
+}
+
+// pendingQuery carries the measurements taken at Estimate time until the
+// matching Observe supplies the ground truth.
+type pendingQuery struct {
+	q         stream.Query
+	estimates []float64
+	latencies []time.Duration
+	measured  []bool
+	answer    float64
+}
+
+// New builds a LATEST module. The returned module is in the warm-up phase:
+// feed it objects, then start issuing queries.
+func New(cfg Config) (*Module, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Module{
+		cfg:       cfg,
+		names:     append([]string(nil), cfg.Estimators...),
+		index:     make(map[string]int, len(cfg.Estimators)),
+		accWindow: metrics.NewSlidingAverage(cfg.AccWindow),
+		oppGap:    metrics.NewSlidingAverage(maxInt(cfg.AccWindow/2, 8)),
+		oppBest:   make([]int, maxInt(cfg.AccWindow/2, 8)),
+		oppQt:     make([]stream.QueryType, maxInt(cfg.AccWindow/2, 8)),
+		prefill:   -1,
+		phase:     PhaseWarmup,
+	}
+	// The paper's text places pre-filling at β·τ and switching at τ, but
+	// with 0<β<1 a falling average crosses τ first; the mechanism is only
+	// coherent with the pre-fill threshold above the switch threshold. We
+	// keep τ as the switch threshold exactly as stated and anticipate
+	// pre-filling at τ/β (β→1 ⇒ late pre-fill, low overhead, colder start;
+	// β→0 ⇒ early pre-fill, more overhead, warmer start — the trade-off
+	// §V-D describes).
+	m.prefillThreshold = cfg.Tau / cfg.Beta
+	if m.prefillThreshold > 0.999 {
+		m.prefillThreshold = 0.999
+	}
+	p := estimator.Params{World: cfg.World, Span: cfg.Span, Scale: cfg.Scale, Seed: cfg.Seed}
+	for i, name := range m.names {
+		e, err := cfg.Registry.Build(name, p)
+		if err != nil {
+			return nil, err
+		}
+		m.ests = append(m.ests, e)
+		m.index[name] = i
+	}
+	m.active = m.index[cfg.Default]
+	m.brain = newBrain(m.names, cfg)
+	return m, nil
+}
+
+// Phase returns the current lifecycle phase.
+func (m *Module) Phase() Phase { return m.phase }
+
+// ActiveName returns the currently employed estimator's name.
+func (m *Module) ActiveName() string { return m.names[m.active] }
+
+// PrefillingName returns the name of the estimator being pre-filled, or ""
+// when none is warming.
+func (m *Module) PrefillingName() string {
+	if m.prefill < 0 {
+		return ""
+	}
+	return m.names[m.prefill]
+}
+
+// Switches returns the switch history (incremental phase only).
+func (m *Module) Switches() []SwitchEvent {
+	return append([]SwitchEvent(nil), m.switches...)
+}
+
+// AccuracyAverage returns the sliding accuracy average the adaptor
+// monitors.
+func (m *Module) AccuracyAverage() float64 { return m.accWindow.Mean() }
+
+// Estimators returns the fleet's names in order.
+func (m *Module) Estimators() []string { return append([]string(nil), m.names...) }
+
+// TrainingRecords returns how many records the Hoeffding tree has absorbed.
+func (m *Module) TrainingRecords() int { return m.brain.tree.Instances() }
+
+// Insert feeds a stream object. During warm-up and pre-training every
+// estimator is filled; afterwards only the active estimator (plus any
+// pre-filling candidate) is maintained — the paper's single-active-summary
+// invariant.
+func (m *Module) Insert(o *stream.Object) {
+	switch m.phase {
+	case PhaseWarmup, PhasePretrain:
+		for _, e := range m.ests {
+			e.Insert(o)
+		}
+	default:
+		m.ests[m.active].Insert(o)
+		if m.prefill >= 0 {
+			m.ests[m.prefill].Insert(o)
+		}
+	}
+}
+
+// Estimate answers an RC-DVQ from the active estimator. During
+// pre-training it additionally runs the query on every other estimator to
+// harvest training measurements. Each Estimate must be followed by Observe
+// before the next Estimate.
+func (m *Module) Estimate(q *stream.Query) float64 {
+	if m.pending != nil {
+		panic("core: Estimate called before Observe of previous query")
+	}
+	if !q.Valid() {
+		panic(fmt.Sprintf("core: invalid query %v", q))
+	}
+	if m.phase == PhaseWarmup {
+		m.phase = PhasePretrain
+	}
+	p := &pendingQuery{
+		q:         *q,
+		estimates: make([]float64, len(m.ests)),
+		latencies: make([]time.Duration, len(m.ests)),
+		measured:  make([]bool, len(m.ests)),
+	}
+	measure := func(i int) {
+		start := time.Now()
+		est := m.ests[i].Estimate(q)
+		lat := time.Since(start)
+		if m.cfg.LatencyOf != nil {
+			lat = m.cfg.LatencyOf(m.names[i], q, lat)
+		}
+		p.estimates[i] = est
+		p.latencies[i] = lat
+		p.measured[i] = true
+	}
+	if m.phase == PhasePretrain {
+		for i := range m.ests {
+			measure(i)
+		}
+	} else {
+		measure(m.active)
+		if m.prefill >= 0 {
+			// The warming candidate is measured too: its feedback seeds the
+			// profile so a recovery-discard or the eventual switch is an
+			// informed decision, at the cost of one extra lookup.
+			measure(m.prefill)
+		}
+	}
+	p.answer = p.estimates[m.active]
+	m.pending = p
+	return p.answer
+}
+
+// Observe supplies the executed query's true selectivity (the system-log
+// entry for the query Estimate just answered), closing the feedback loop:
+// profile and normalizer updates, a Hoeffding training record per measured
+// estimator, accuracy monitoring, and — in the incremental phase — the
+// adaptor's pre-fill/switch decisions.
+func (m *Module) Observe(actual float64) {
+	p := m.pending
+	if p == nil {
+		panic("core: Observe without a pending Estimate")
+	}
+	m.pending = nil
+
+	qt := p.q.Type()
+	for i := range m.ests {
+		if !p.measured[i] {
+			continue
+		}
+		acc := metrics.Accuracy(p.estimates[i], actual)
+		relErr := metrics.RelativeError(p.estimates[i], actual)
+		m.brain.observe(i, qt, acc, p.latencies[i])
+		m.brain.learn(&p.q, i, acc, p.latencies[i], relErr)
+		// Workload-driven estimators get the raw feedback as well.
+		m.ests[i].Observe(&p.q, actual)
+	}
+	m.accWindow.Add(metrics.Accuracy(p.estimates[m.active], actual))
+
+	switch m.phase {
+	case PhasePretrain:
+		m.pretrainSeen++
+		if m.pretrainSeen >= m.cfg.PretrainQueries {
+			m.concludePretraining()
+		}
+	case PhaseIncremental:
+		m.incrementalSeen++
+		m.adapt(&p.q)
+	}
+}
+
+// concludePretraining wipes every estimator except the default and enters
+// the incremental phase (§V-C's overhead reduction).
+func (m *Module) concludePretraining() {
+	m.active = m.index[m.cfg.Default]
+	for i, e := range m.ests {
+		if i != m.active {
+			e.Reset()
+		}
+	}
+	m.phase = PhaseIncremental
+	m.accWindow.Reset()
+	m.cooldown = m.cfg.CooldownQueries
+	m.incrementalSeen = 0
+}
+
+// adapt is the Estimator Adaptor (§V-D): monitors the sliding accuracy
+// average against the pre-fill and switch thresholds, and additionally
+// watches for a strictly dominating alternative (the opportunity trigger
+// behind the paper's Fig. 5/8 switches, where the active estimator's
+// accuracy never degraded but a faster equal-accuracy one existed).
+func (m *Module) adapt(q *stream.Query) {
+	if m.prefill >= 0 {
+		m.prefillAge++
+		if m.prefillAge > 2*m.cfg.AccWindow {
+			// The candidate has been warming for two full monitoring
+			// windows without a switch materializing: the degradation that
+			// motivated it has stalled. Stop paying double maintenance.
+			m.ests[m.prefill].Reset()
+			m.prefill = -1
+		}
+	}
+	if m.cooldown > 0 {
+		m.cooldown--
+		return
+	}
+	// Decisions need a reasonably full window; otherwise one bad query
+	// right after a switch would trigger flapping.
+	if m.accWindow.Len() < m.cfg.AccWindow/2 {
+		return
+	}
+	mean := m.accWindow.Mean()
+
+	if mean < m.cfg.Tau {
+		m.performSwitch(q)
+		return
+	}
+	if m.opportunity(q) {
+		return
+	}
+	if m.prefill < 0 && mean < m.prefillThreshold {
+		if rec := m.brain.recommend(q, m.active); rec >= 0 && rec != m.active {
+			m.freshen(rec)
+			m.prefill = rec
+			m.prefillAge = 0
+		}
+		return
+	}
+	if m.prefill >= 0 && mean >= m.prefillThreshold {
+		// Accuracy recovered: discard the warming candidate (§V-D).
+		m.ests[m.prefill].Reset()
+		m.prefill = -1
+	}
+}
+
+// opportunity maintains a sliding window of per-query score gaps between
+// the best alternative and the active estimator. A window mean above the
+// margin pre-fills (at half the margin) and then switches to the
+// alternative that was best most often. Returns true when it owns the
+// current pre-fill, so the τ/β logic leaves the candidate alone.
+func (m *Module) opportunity(q *stream.Query) bool {
+	if m.cfg.OpportunityMargin < 0 {
+		return false
+	}
+	qt := q.Type()
+	scores, ok := m.brain.scores(qt)
+	if !ok[m.active] {
+		return false
+	}
+	best := m.brain.bestOpportunity(qt, m.active)
+	gap := 0.0
+	if best >= 0 {
+		gap = scores[best] - scores[m.active]
+	}
+	m.oppGap.Add(gap)
+	m.oppBest[m.oppN%len(m.oppBest)] = best
+	m.oppQt[m.oppN%len(m.oppQt)] = qt
+	m.oppN++
+	if !m.oppGap.Full() {
+		return false
+	}
+	mean := m.oppGap.Mean()
+	if mean <= m.cfg.OpportunityMargin/2 {
+		return false
+	}
+	// Target: the alternative that won most of the recent window.
+	counts := make(map[int]int, len(m.names))
+	for _, b := range m.oppBest {
+		if b >= 0 {
+			counts[b]++
+		}
+	}
+	target, targetN := -1, 0
+	for est, n := range counts {
+		if n > targetN {
+			target, targetN = est, n
+		}
+	}
+	if target < 0 || target == m.active {
+		return false
+	}
+	// The target will serve the *whole* mix, not just the type it wins on:
+	// it must clear the accuracy gate for every query type that forms a
+	// material share of the recent window. Without this, a 50/50
+	// spatial-hybrid workload would flap into the histogram on the
+	// strength of its spatial half alone.
+	if !m.passesPrevalentGates(target) {
+		return false
+	}
+	if mean > m.cfg.OpportunityMargin {
+		prefilled := m.prefill == target
+		if !prefilled {
+			if m.prefill >= 0 {
+				m.ests[m.prefill].Reset()
+				m.prefill = -1
+			}
+			m.freshen(target)
+		}
+		m.switchTo(target, q, prefilled)
+		return true
+	}
+	if m.prefill < 0 {
+		m.freshen(target)
+		m.prefill = target
+		m.prefillAge = 0
+	}
+	return m.prefill == target
+}
+
+// passesPrevalentGates reports whether an estimator clears the accuracy
+// gate for every query type forming at least a quarter of the recent
+// opportunity window.
+func (m *Module) passesPrevalentGates(est int) bool {
+	if m.oppN < len(m.oppQt) {
+		return true // window not yet representative
+	}
+	var qtShare [numQueryTypes]int
+	for _, t := range m.oppQt {
+		qtShare[t]++
+	}
+	for t := 0; t < numQueryTypes; t++ {
+		if qtShare[t]*4 >= len(m.oppQt) && !m.brain.passesGate(est, stream.QueryType(t)) {
+			return false
+		}
+	}
+	return true
+}
+
+// freshen wipes an estimator and seeds it from the live window store.
+func (m *Module) freshen(i int) {
+	m.ests[i].Reset()
+	if m.cfg.Refill != nil {
+		m.cfg.Refill(m.ests[i])
+	}
+}
+
+// performSwitch activates the pre-filled candidate, or consults the model
+// for a cold switch when accuracy collapsed before any pre-fill began. The
+// switch is score-gated: moving to an estimator the profile scores *worse*
+// than the active one would be pure churn (this is also what keeps an
+// α=1 run parked on the fastest estimator instead of fleeing its poor
+// accuracy — the paper's Fig. 7 behaviour).
+func (m *Module) performSwitch(q *stream.Query) {
+	target := m.prefill
+	prefilled := target >= 0
+	if target < 0 {
+		target = m.brain.recommend(q, m.active)
+		if target < 0 || target == m.active {
+			return // no credible alternative; stay put
+		}
+	}
+	if !m.passesPrevalentGates(target) {
+		// The recommendation wins on this query's type but would violate τ
+		// on another prevalent type; pick the best candidate that serves
+		// the whole mix, if any.
+		if alt := m.brain.bestByProfileExcluding(q.Type(), m.active); alt >= 0 &&
+			alt != target && m.passesPrevalentGates(alt) {
+			target = alt
+			prefilled = false
+			if m.prefill >= 0 {
+				m.ests[m.prefill].Reset()
+				m.prefill = -1
+			}
+		} else {
+			m.cooldown = m.cfg.CooldownQueries / 2
+			return
+		}
+	}
+	qt := q.Type()
+	// Score-gate the switch — except when the active estimator violates
+	// the accuracy gate for this query type while the target clears it.
+	// In that case the τ breach is an SLA violation and the recommendation
+	// wins regardless of score ties: at α=0.5 a useless-but-instant
+	// estimator scores the same 0.5 as an accurate-but-slow one
+	// (all-latency vs all-accuracy), and without the bypass the module
+	// could sit on zero accuracy forever. When the target is just as
+	// gate-failing as the active (near-tied samplers during a hard
+	// stretch), the tie-gate still holds position — swapping equals is
+	// pure churn.
+	if m.brain.passesGate(m.active, qt) || !m.brain.passesGate(target, qt) {
+		targetScore, ok1 := m.brain.score(target, qt)
+		activeScore, ok2 := m.brain.score(m.active, qt)
+		if ok1 && ok2 && targetScore <= activeScore {
+			// The alternative is no better under the configured α; discard
+			// any warming candidate and hold position until the profile
+			// changes.
+			if m.prefill >= 0 {
+				m.ests[m.prefill].Reset()
+				m.prefill = -1
+			}
+			m.cooldown = m.cfg.CooldownQueries / 2
+			return
+		}
+	}
+	if !prefilled {
+		m.freshen(target)
+	}
+	m.switchTo(target, q, prefilled)
+}
+
+// switchTo performs the actual estimator swap and bookkeeping. The target
+// must already be filled (pre-filled or freshened by the caller).
+func (m *Module) switchTo(target int, q *stream.Query, prefilled bool) {
+	ev := SwitchEvent{
+		QueryIndex: m.incrementalSeen - 1,
+		Timestamp:  q.Timestamp,
+		From:       m.names[m.active],
+		To:         m.names[target],
+		Prefilled:  prefilled,
+	}
+	// The displaced estimator is wiped: only one summary (plus at most one
+	// warming candidate) is ever maintained.
+	m.ests[m.active].Reset()
+	m.active = target
+	m.prefill = -1
+	m.oppGap.Reset()
+	m.oppN = 0
+	for i := range m.oppBest {
+		m.oppBest[i] = -1
+	}
+	m.accWindow.Reset()
+	m.cooldown = m.cfg.CooldownQueries
+	m.switches = append(m.switches, ev)
+	if m.cfg.OnSwitch != nil {
+		m.cfg.OnSwitch(ev)
+	}
+}
+
+// maxInt returns the larger of two ints.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stats is a snapshot of the module's internals for logging and tests.
+type Stats struct {
+	Phase           Phase
+	Active          string
+	Prefilling      string
+	PretrainSeen    int
+	IncrementalSeen int
+	Switches        int
+	TrainingRecords int
+	TreeNodes       int
+	TreeSplits      int
+	ModelRetrains   int
+	AccuracyAvg     float64
+	MemoryBytes     int
+}
+
+// Snapshot returns current Stats.
+func (m *Module) Snapshot() Stats {
+	mem := 0
+	for i, e := range m.ests {
+		if m.phase != PhaseIncremental || i == m.active || i == m.prefill {
+			mem += e.MemoryBytes()
+		}
+	}
+	return Stats{
+		Phase:           m.phase,
+		Active:          m.ActiveName(),
+		Prefilling:      m.PrefillingName(),
+		PretrainSeen:    m.pretrainSeen,
+		IncrementalSeen: m.incrementalSeen,
+		Switches:        len(m.switches),
+		TrainingRecords: m.brain.tree.Instances(),
+		TreeNodes:       m.brain.tree.NodeCount(),
+		TreeSplits:      m.brain.tree.Splits(),
+		ModelRetrains:   m.brain.Retrains(),
+		AccuracyAvg:     m.accWindow.Mean(),
+		MemoryBytes:     mem,
+	}
+}
+
+// RecommendFor exposes the model's current recommendation for a query
+// without changing any state — the hook Table II uses to read LATEST's
+// choice at fixed time points.
+func (m *Module) RecommendFor(q *stream.Query) string {
+	rec := m.brain.recommendAny(q)
+	if rec < 0 {
+		return m.ActiveName()
+	}
+	return m.names[rec]
+}

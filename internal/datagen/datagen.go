@@ -1,0 +1,253 @@
+// Package datagen simulates the paper's three evaluation data streams.
+// The real datasets (75M geotagged tweets, 41M eBird records, 973K
+// Foursquare check-ins) are not redistributable, so each generator
+// reproduces the *statistical shape* that drives estimator behaviour —
+// spatial skew (Gaussian hotspot mixtures over a realistic bounding box),
+// keyword skew (Zipf vocabularies of dataset-appropriate cardinality) and
+// window churn (Poisson arrivals at a configurable rate) — as documented in
+// DESIGN.md §3. Generators are deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// Hotspot is one spatial cluster of the mixture.
+type Hotspot struct {
+	Center geo.Point
+	Sigma  float64 // isotropic std-dev in world units
+	Weight float64 // relative mixture weight
+}
+
+// Config fully describes a synthetic stream.
+type Config struct {
+	// Name labels the dataset in figures ("Twitter", "eBird", "CheckIn").
+	Name string
+	// World is the spatial bounding box.
+	World geo.Rect
+	// Hotspots is the Gaussian mixture; weights need not be normalized.
+	Hotspots []Hotspot
+	// UniformFrac is the probability an object is drawn uniformly from the
+	// world instead of a hotspot (background noise).
+	UniformFrac float64
+	// VocabSize is the number of distinct keywords.
+	VocabSize int
+	// ZipfS is the Zipf skew parameter (> 1).
+	ZipfS float64
+	// KwMin/KwMax bound the per-object keyword count (inclusive).
+	KwMin, KwMax int
+	// RatePerMS is the mean arrival rate in objects per virtual
+	// millisecond (Poisson arrivals).
+	RatePerMS float64
+	// DriftPeriodMS, when positive, rotates hotspot weights with this
+	// period so the spatial distribution shifts over the stream lifetime.
+	DriftPeriodMS int64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Generator produces a deterministic object stream and doubles as the
+// query-location sampler (query focal points follow data density plus a
+// uniform floor — the "Bing search locations" substitution).
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	vocab   []string
+	weights []float64 // cumulative hotspot weights, re-derived under drift
+	nextID  uint64
+	nowF    float64 // fractional virtual time accumulator
+	now     int64   // virtual ms of the last emitted object
+
+	// Separate query-side randomness so data and query streams are
+	// independently reproducible.
+	qrng  *rand.Rand
+	qzipf *rand.Zipf
+}
+
+// New builds a generator from an explicit config. It panics on nonsense
+// configuration, which is a harness bug rather than a data condition.
+func New(cfg Config) *Generator {
+	if cfg.World.Empty() || !cfg.World.Valid() {
+		panic(fmt.Sprintf("datagen: invalid world %v", cfg.World))
+	}
+	if cfg.VocabSize < 1 || cfg.ZipfS <= 1 || cfg.KwMin < 0 || cfg.KwMax < cfg.KwMin || cfg.RatePerMS <= 0 {
+		panic(fmt.Sprintf("datagen: invalid config %+v", cfg))
+	}
+	if len(cfg.Hotspots) == 0 && cfg.UniformFrac < 1 {
+		panic("datagen: need hotspots or UniformFrac=1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	qrng := rand.New(rand.NewSource(cfg.Seed + 0x51))
+	g := &Generator{
+		cfg:   cfg,
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1)),
+		vocab: makeVocab(cfg.Name, cfg.VocabSize),
+		qrng:  qrng,
+		qzipf: rand.NewZipf(qrng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1)),
+	}
+	g.reweigh(0)
+	return g
+}
+
+// makeVocab builds the keyword list. The head of the vocabulary carries a
+// few semantically meaningful words so the examples read naturally; the
+// tail is synthetic.
+func makeVocab(name string, n int) []string {
+	head := []string{"fire", "rescue", "flood", "storm", "evacuation", "traffic", "concert", "sale", "food", "news"}
+	vocab := make([]string, 0, n)
+	for i := 0; i < n && i < len(head); i++ {
+		vocab = append(vocab, head[i])
+	}
+	for i := len(vocab); i < n; i++ {
+		vocab = append(vocab, fmt.Sprintf("%s_tag%04d", shortName(name), i))
+	}
+	return vocab
+}
+
+func shortName(name string) string {
+	if name == "" {
+		return "gen"
+	}
+	if len(name) > 2 {
+		return name[:2]
+	}
+	return name
+}
+
+// reweigh recomputes cumulative hotspot weights, rotating the weight vector
+// under drift so hotspot prominence shifts over time.
+func (g *Generator) reweigh(now int64) {
+	n := len(g.cfg.Hotspots)
+	if n == 0 {
+		return
+	}
+	rot := 0
+	if g.cfg.DriftPeriodMS > 0 {
+		rot = int(now/g.cfg.DriftPeriodMS) % n
+	}
+	g.weights = g.weights[:0]
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += g.cfg.Hotspots[(i+rot)%n].Weight
+		g.weights = append(g.weights, total)
+	}
+}
+
+// Name returns the dataset name.
+func (g *Generator) Name() string { return g.cfg.Name }
+
+// World returns the spatial domain.
+func (g *Generator) World() geo.Rect { return g.cfg.World }
+
+// Vocab returns the keyword vocabulary ordered from most to least popular.
+func (g *Generator) Vocab() []string { return g.vocab }
+
+// Now returns the timestamp of the most recently emitted object.
+func (g *Generator) Now() int64 { return g.now }
+
+// Next emits the next stream object. Timestamps advance by exponential
+// inter-arrival times with the configured mean rate.
+func (g *Generator) Next() stream.Object {
+	g.nowF += g.rng.ExpFloat64() / g.cfg.RatePerMS
+	g.now = int64(g.nowF)
+	if g.cfg.DriftPeriodMS > 0 {
+		g.reweigh(g.now)
+	}
+	o := stream.Object{
+		ID:        g.nextID,
+		Loc:       g.samplePoint(),
+		Keywords:  g.sampleKeywords(),
+		Timestamp: g.now,
+	}
+	g.nextID++
+	return o
+}
+
+// samplePoint draws a location from the hotspot mixture plus uniform floor.
+func (g *Generator) samplePoint() geo.Point {
+	w := g.cfg.World
+	if len(g.cfg.Hotspots) == 0 || g.rng.Float64() < g.cfg.UniformFrac {
+		return geo.Pt(
+			w.MinX+g.rng.Float64()*w.Width(),
+			w.MinY+g.rng.Float64()*w.Height(),
+		)
+	}
+	total := g.weights[len(g.weights)-1]
+	target := g.rng.Float64() * total
+	hi := 0
+	for hi < len(g.weights)-1 && g.weights[hi] < target {
+		hi++
+	}
+	// weights[hi] was built from the drift-rotated weight vector, so slot
+	// hi's *location* keeps its own center while its prominence shifts.
+	h := g.cfg.Hotspots[hi]
+	p := geo.Pt(
+		h.Center.X+g.rng.NormFloat64()*h.Sigma,
+		h.Center.Y+g.rng.NormFloat64()*h.Sigma,
+	)
+	return w.Clamp(p)
+}
+
+// sampleKeywords draws KwMin..KwMax distinct Zipf-ranked keywords.
+func (g *Generator) sampleKeywords() []string {
+	n := g.cfg.KwMin
+	if g.cfg.KwMax > g.cfg.KwMin {
+		n += g.rng.Intn(g.cfg.KwMax - g.cfg.KwMin + 1)
+	}
+	if n == 0 {
+		return nil
+	}
+	kws := make([]string, 0, n)
+	for len(kws) < n {
+		kw := g.vocab[int(g.zipf.Uint64())]
+		dup := false
+		for _, k := range kws {
+			if k == kw {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kws = append(kws, kw)
+		}
+	}
+	return kws
+}
+
+// SampleQueryPoint draws a query focal point: 80% follows the data hotspot
+// mixture (search traffic tracks population), 20% uniform — the
+// substitution for the paper's Bing mobile-search locations.
+func (g *Generator) SampleQueryPoint() geo.Point {
+	w := g.cfg.World
+	if len(g.cfg.Hotspots) == 0 || g.qrng.Float64() < 0.2 {
+		return geo.Pt(
+			w.MinX+g.qrng.Float64()*w.Width(),
+			w.MinY+g.qrng.Float64()*w.Height(),
+		)
+	}
+	h := g.cfg.Hotspots[g.qrng.Intn(len(g.cfg.Hotspots))]
+	return w.Clamp(geo.Pt(
+		h.Center.X+g.qrng.NormFloat64()*h.Sigma*2,
+		h.Center.Y+g.qrng.NormFloat64()*h.Sigma*2,
+	))
+}
+
+// SampleQueryKeyword draws a keyword for queries, biased toward popular
+// words like real search traffic, with a uniform tail so rare- and
+// zero-result queries occur.
+func (g *Generator) SampleQueryKeyword() string {
+	if g.qrng.Float64() < 0.1 {
+		return g.vocab[g.qrng.Intn(len(g.vocab))]
+	}
+	return g.vocab[int(g.qzipf.Uint64())]
+}
+
+// QueryRand exposes the query-side RNG so workload generators share one
+// reproducible source for range sizes and mix draws.
+func (g *Generator) QueryRand() *rand.Rand { return g.qrng }

@@ -1,0 +1,177 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+func TestEquiDepthRegisterExtras(t *testing.T) {
+	r := DefaultRegistry()
+	RegisterExtras(r)
+	e, err := r.Build(NameED, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != NameED {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if len(r.Names()) != 7 {
+		t.Errorf("registry has %d estimators", len(r.Names()))
+	}
+}
+
+func TestEquiDepthUniformData(t *testing.T) {
+	p := testParams()
+	ed := NewEquiDepth(p)
+	rng := rand.New(rand.NewSource(1))
+	ts := int64(0)
+	for i := 0; i < 20000; i++ {
+		ts++
+		o := stream.Object{Loc: geo.Pt(rng.Float64(), rng.Float64()), Timestamp: ts}
+		ed.Insert(&o)
+	}
+	if ed.Rebuilds() == 0 {
+		t.Fatal("never rebuilt boundaries")
+	}
+	for _, frac := range []float64{0.25, 0.04} {
+		side := math.Sqrt(frac)
+		q := stream.SpatialQ(geo.CenteredRect(geo.Pt(0.5, 0.5), side, side), ts)
+		got := ed.Estimate(&q)
+		want := frac * 10_000 // window holds span=10s at 1/ms
+		if rel := math.Abs(got-want) / want; rel > 0.2 {
+			t.Errorf("frac %v: estimate %v, want ~%v", frac, got, want)
+		}
+	}
+}
+
+func TestEquiDepthBeatsEquiWidthOnSkew(t *testing.T) {
+	// Heavily clustered data with a query slicing through the cluster:
+	// equi-depth boundaries follow the density and should estimate better
+	// than the equi-width histogram's sub-cell interpolation.
+	p := testParams()
+	ed := NewEquiDepth(p)
+	h := NewHistogram(p)
+	w := stream.NewWindow(geo.UnitSquare, p.Span, 1024)
+	rng := rand.New(rand.NewSource(2))
+	ts := int64(0)
+	for i := 0; i < 20000; i++ {
+		ts++
+		var pt geo.Point
+		if rng.Float64() < 0.95 {
+			pt = geo.UnitSquare.Clamp(geo.Pt(0.5+rng.NormFloat64()*0.004, 0.5+rng.NormFloat64()*0.004))
+		} else {
+			pt = geo.Pt(rng.Float64(), rng.Float64())
+		}
+		o := stream.Object{ID: uint64(i), Loc: pt, Timestamp: ts}
+		ed.Insert(&o)
+		h.Insert(&o)
+		w.Insert(o)
+	}
+	// Queries at cluster scale (much smaller than H4096's 1/64 cells).
+	var edAcc, hAcc float64
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		c := geo.Pt(0.5+rng.NormFloat64()*0.003, 0.5+rng.NormFloat64()*0.003)
+		q := stream.SpatialQ(geo.CenteredRect(c, 0.004, 0.004), ts)
+		actual := float64(w.Answer(&q))
+		edAcc += metrics.Accuracy(ed.Estimate(&q), actual)
+		hAcc += metrics.Accuracy(h.Estimate(&q), actual)
+	}
+	edAcc /= trials
+	hAcc /= trials
+	if edAcc <= hAcc {
+		t.Errorf("equi-depth %.3f did not beat equi-width %.3f on skewed sub-cell queries", edAcc, hAcc)
+	}
+	if edAcc < 0.5 {
+		t.Errorf("equi-depth accuracy %.3f too low", edAcc)
+	}
+}
+
+func TestEquiDepthKeywordFallback(t *testing.T) {
+	p := testParams()
+	ed := NewEquiDepth(p)
+	ts := int64(0)
+	for i := 0; i < 500; i++ {
+		ts++
+		o := stream.Object{Loc: geo.Pt(0.5, 0.5), Keywords: []string{"x"}, Timestamp: ts}
+		ed.Insert(&o)
+	}
+	q := stream.KeywordQ([]string{"nope"}, ts)
+	if got := ed.Estimate(&q); math.Abs(got-500) > 1 {
+		t.Errorf("keyword fallback = %v, want window count 500", got)
+	}
+}
+
+func TestEquiDepthExpiry(t *testing.T) {
+	p := testParams()
+	ed := NewEquiDepth(p)
+	for i := 0; i < 1000; i++ {
+		o := stream.Object{Loc: geo.Pt(0.5, 0.5), Timestamp: int64(i)}
+		ed.Insert(&o)
+	}
+	q := stream.SpatialQ(geo.UnitSquare, 50_000)
+	if got := ed.Estimate(&q); got != 0 {
+		t.Errorf("stale estimate = %v", got)
+	}
+}
+
+func TestEquiDepthUnbuiltFallsBackToUniform(t *testing.T) {
+	p := testParams()
+	ed := NewEquiDepth(p)
+	// Too few samples to build boundaries (k*k = 256 minimum).
+	for i := 0; i < 50; i++ {
+		o := stream.Object{Loc: geo.Pt(0.5, 0.5), Timestamp: int64(i)}
+		ed.Insert(&o)
+	}
+	q := stream.SpatialQ(geo.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 1}, 50)
+	got := ed.Estimate(&q)
+	if math.Abs(got-25) > 1 { // 50 objects × half the world
+		t.Errorf("uniform fallback = %v, want ~25", got)
+	}
+}
+
+func TestEquiDepthResetAndString(t *testing.T) {
+	p := testParams()
+	ed := NewEquiDepth(p)
+	rng := rand.New(rand.NewSource(3))
+	ts := int64(0)
+	for i := 0; i < 6000; i++ {
+		ts++
+		o := stream.Object{Loc: geo.Pt(rng.Float64(), rng.Float64()), Timestamp: ts}
+		ed.Insert(&o)
+	}
+	ed.Reset()
+	q := stream.SpatialQ(geo.UnitSquare, ts)
+	if got := ed.Estimate(&q); got != 0 {
+		t.Errorf("post-Reset estimate = %v", got)
+	}
+	if ed.String() == "" || ed.MemoryBytes() <= 0 {
+		t.Error("String/MemoryBytes broken")
+	}
+}
+
+func TestQuantileCuts(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	cuts := quantileCuts(sorted, 4, 100)
+	if cuts[3] != 100 {
+		t.Errorf("last cut = %v, want worldMax", cuts[3])
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			t.Errorf("cuts not monotone: %v", cuts)
+		}
+	}
+	// Duplicates collapse but stay monotone.
+	dup := []float64{5, 5, 5, 5, 5, 5}
+	cuts = quantileCuts(dup, 3, 10)
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			t.Errorf("dup cuts not monotone: %v", cuts)
+		}
+	}
+}

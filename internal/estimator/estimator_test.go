@@ -1,0 +1,259 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// testParams is the shared environment for estimator tests: unit-square
+// world, a 10-second window.
+func testParams() Params {
+	return Params{World: geo.UnitSquare, Span: 10_000, Seed: 1}
+}
+
+// genObject draws a synthetic object: 70% from two Gaussian hotspots, 30%
+// uniform, with 1-3 Zipf-flavoured keywords.
+func genObject(rng *rand.Rand, id uint64, ts int64) stream.Object {
+	var p geo.Point
+	switch {
+	case rng.Float64() < 0.35:
+		p = geo.Pt(0.3+rng.NormFloat64()*0.05, 0.3+rng.NormFloat64()*0.05)
+	case rng.Float64() < 0.55:
+		p = geo.Pt(0.75+rng.NormFloat64()*0.04, 0.65+rng.NormFloat64()*0.04)
+	default:
+		p = geo.Pt(rng.Float64(), rng.Float64())
+	}
+	p = geo.UnitSquare.Clamp(p)
+	nk := 1 + rng.Intn(3)
+	kws := make([]string, nk)
+	for i := range kws {
+		// Squared uniform gives a skewed (Zipf-ish) keyword popularity.
+		kws[i] = fmt.Sprintf("kw%d", int(rng.Float64()*rng.Float64()*50))
+	}
+	return stream.Object{ID: id, Loc: p, Keywords: kws, Timestamp: ts}
+}
+
+// feedBoth inserts n objects into the estimator and the exact window, one
+// per virtual millisecond.
+func feedBoth(t *testing.T, e Estimator, w *stream.Window, n int, seed int64) int64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts++
+		o := genObject(rng, uint64(i), ts)
+		w.Insert(o)
+		e.Insert(&o)
+	}
+	return ts
+}
+
+// queryMix yields one of each query type around the data hotspots.
+func queryMix(ts int64) []stream.Query {
+	r1 := geo.CenteredRect(geo.Pt(0.3, 0.3), 0.2, 0.2)
+	r2 := geo.CenteredRect(geo.Pt(0.75, 0.65), 0.15, 0.15)
+	r3 := geo.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9}
+	return []stream.Query{
+		stream.SpatialQ(r1, ts),
+		stream.SpatialQ(r3, ts),
+		stream.KeywordQ([]string{"kw0"}, ts),
+		stream.KeywordQ([]string{"kw3", "kw7"}, ts),
+		stream.HybridQ(r2, []string{"kw0"}, ts),
+		stream.HybridQ(r1, []string{"kw1", "kw2"}, ts),
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := DefaultRegistry()
+	names := r.Names()
+	want := []string{NameH4096, NameRSL, NameRSH, NameAASP, NameFFN, NameSPN}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	if _, err := r.Build("nope", testParams()); err == nil {
+		t.Error("unknown name should error")
+	}
+	e, err := r.Build(NameRSL, testParams())
+	if err != nil || e.Name() != NameRSL {
+		t.Errorf("Build(RSL) = %v, %v", e, err)
+	}
+	all := r.BuildAll(testParams())
+	if len(all) != 6 {
+		t.Fatalf("BuildAll built %d", len(all))
+	}
+	for i, e := range all {
+		if e.Name() != want[i] {
+			t.Errorf("BuildAll[%d] = %q", i, e.Name())
+		}
+	}
+	// Duplicate registration panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate Register should panic")
+			}
+		}()
+		r.Register(NameRSL, func(p Params) Estimator { return nil })
+	}()
+	// Nil factory panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil factory should panic")
+			}
+		}()
+		NewRegistry().Register("x", nil)
+	}()
+}
+
+func TestSlicer(t *testing.T) {
+	s := NewSlicer(1000, 10) // 100ms slices
+	if s.Slices() != 10 {
+		t.Fatalf("Slices = %d", s.Slices())
+	}
+	if got := s.AdvanceTo(500); got != 0 {
+		t.Errorf("first call anchors: steps = %d", got)
+	}
+	if got := s.AdvanceTo(599); got != 0 {
+		t.Errorf("within slice: steps = %d", got)
+	}
+	if got := s.AdvanceTo(600); got != 1 {
+		t.Errorf("boundary crossing: steps = %d", got)
+	}
+	if got := s.AdvanceTo(650); got != 0 {
+		t.Errorf("same slice again: steps = %d", got)
+	}
+	if got := s.AdvanceTo(950); got != 3 {
+		t.Errorf("multi-step: steps = %d", got)
+	}
+	// A huge jump caps at the ring size.
+	if got := s.AdvanceTo(1_000_000); got != 10 {
+		t.Errorf("giant jump: steps = %d, want 10", got)
+	}
+	// After the jump, the boundary is beyond the timestamp.
+	if got := s.AdvanceTo(1_000_001); got != 0 {
+		t.Errorf("post-jump: steps = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad slicer args should panic")
+		}
+	}()
+	NewSlicer(0, 4)
+}
+
+func TestWindowCounter(t *testing.T) {
+	w := NewWindowCounter(1000, 10)
+	for ts := int64(1); ts <= 1000; ts++ {
+		w.Add(ts)
+	}
+	if got := w.Live(1000); got != 1000 {
+		t.Fatalf("Live = %v", got)
+	}
+	// 500ms later, roughly half the window expired (slice granularity).
+	got := w.Live(1500)
+	if got < 400 || got > 600 {
+		t.Errorf("Live(+500ms) = %v, want ~500", got)
+	}
+	// Far in the future everything expires.
+	if got := w.Live(100_000); got != 0 {
+		t.Errorf("Live(far) = %v", got)
+	}
+	w.Reset()
+	if got := w.Live(200_000); got != 0 {
+		t.Errorf("post-Reset Live = %v", got)
+	}
+	if w.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+// TestInterfaceConformance drives all six estimators through the same
+// stream and checks the universal contract: non-negative finite estimates,
+// positive memory, and a Reset that actually empties state.
+func TestInterfaceConformance(t *testing.T) {
+	for _, name := range DefaultRegistry().Names() {
+		t.Run(name, func(t *testing.T) {
+			e, err := DefaultRegistry().Build(name, testParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := stream.NewWindow(geo.UnitSquare, 10_000, 1024)
+			ts := feedBoth(t, e, w, 8000, 99)
+			for _, q := range queryMix(ts) {
+				q := q
+				got := e.Estimate(&q)
+				if got < 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Errorf("%v estimate = %v", q, got)
+				}
+				e.Observe(&q, float64(w.Answer(&q)))
+			}
+			if e.MemoryBytes() <= 0 {
+				t.Error("MemoryBytes should be positive")
+			}
+			e.Reset()
+			q := stream.SpatialQ(geo.UnitSquare, ts)
+			if got := e.Estimate(&q); got != 0 {
+				t.Errorf("post-Reset estimate = %v, want 0", got)
+			}
+		})
+	}
+}
+
+// TestStructuralAccuracy checks that each structural estimator lands within
+// a tolerance band on the query types it is designed for.
+func TestStructuralAccuracy(t *testing.T) {
+	cases := []struct {
+		name    string
+		queries func(ts int64) []stream.Query
+		minAcc  float64
+	}{
+		{NameH4096, func(ts int64) []stream.Query {
+			return []stream.Query{
+				stream.SpatialQ(geo.CenteredRect(geo.Pt(0.3, 0.3), 0.2, 0.2), ts),
+				stream.SpatialQ(geo.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9}, ts),
+				stream.SpatialQ(geo.CenteredRect(geo.Pt(0.75, 0.65), 0.3, 0.3), ts),
+			}
+		}, 0.85},
+		{NameRSL, func(ts int64) []stream.Query { return queryMix(ts) }, 0.7},
+		{NameRSH, func(ts int64) []stream.Query { return queryMix(ts) }, 0.7},
+		{NameAASP, func(ts int64) []stream.Query {
+			return []stream.Query{
+				stream.SpatialQ(geo.CenteredRect(geo.Pt(0.3, 0.3), 0.2, 0.2), ts),
+				stream.SpatialQ(geo.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.9, MaxY: 0.9}, ts),
+			}
+		}, 0.7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := DefaultRegistry().Build(tc.name, testParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := stream.NewWindow(geo.UnitSquare, 10_000, 1024)
+			ts := feedBoth(t, e, w, 9000, 7)
+			total := 0.0
+			qs := tc.queries(ts)
+			for _, q := range qs {
+				q := q
+				est := e.Estimate(&q)
+				actual := float64(w.Answer(&q))
+				total += metrics.Accuracy(est, actual)
+			}
+			if avg := total / float64(len(qs)); avg < tc.minAcc {
+				t.Errorf("mean accuracy %.3f below %.2f", avg, tc.minAcc)
+			}
+		})
+	}
+}

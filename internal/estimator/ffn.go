@@ -1,0 +1,153 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/kmv"
+	"github.com/spatiotext/latest/internal/mlp"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// FFN hyper-parameters. Learning rate and momentum are the WEKA defaults
+// the paper quotes (§VI-A: lr 0.3, momentum 0.2, unipolar sigmoid).
+const (
+	ffnKwFeatures    = 8   // keyword hash indicator width
+	ffnReplayBuffer  = 512 // recent observations kept for consolidation
+	ffnConsolidateAt = 256 // observations between replay passes
+	ffnReplayEpochs  = 3
+	// ffnLogCap normalizes log1p(selectivity) onto [0,1]; exp(16)≈8.9M
+	// comfortably exceeds any window count this repository produces.
+	ffnLogCap = 16.0
+)
+
+// FFN is the workload-driven feed-forward network baseline: it never sees
+// the stream, only (query, true selectivity) pairs from the system logs,
+// and regresses log-scaled selectivity from query features. Its paper role
+// is the cautionary one — decent once trained on a stationary workload,
+// slow to adapt when the workload or window drifts, since its knowledge
+// lives entirely in weights trained on past queries.
+type FFN struct {
+	world  geo.Rect
+	netCfg mlp.Config
+	net    *mlp.Network
+
+	// replay buffer of recent observations
+	xs [][]float64
+	ys [][]float64
+	n  int // observations since last consolidation
+
+	trained bool
+}
+
+// NewFFN builds the estimator. p.Scale multiplies the hidden width.
+func NewFFN(p Params) *FFN {
+	cfg := mlp.Config{
+		Inputs:       ffnInputDim,
+		Hidden:       []int{p.scaledInt(24, 4), p.scaledInt(12, 2)},
+		Outputs:      1,
+		LearningRate: 0.3,
+		Momentum:     0.2,
+		Seed:         p.Seed + 0x46464E,
+	}
+	return &FFN{world: p.World, netCfg: cfg, net: mlp.New(cfg)}
+}
+
+// ffnInputDim: type flags (2) + range geometry (4) + keyword count (1) +
+// keyword hash indicators.
+const ffnInputDim = 7 + ffnKwFeatures
+
+// Name implements Estimator.
+func (f *FFN) Name() string { return NameFFN }
+
+// features encodes a query into the network input vector.
+func (f *FFN) features(q *stream.Query) []float64 {
+	x := make([]float64, ffnInputDim)
+	if q.HasRange {
+		x[0] = 1
+		cx := (q.Range.Center().X - f.world.MinX) / f.world.Width()
+		cy := (q.Range.Center().Y - f.world.MinY) / f.world.Height()
+		x[2] = clamp01(cx)
+		x[3] = clamp01(cy)
+		x[4] = clamp01(q.Range.Width() / f.world.Width())
+		x[5] = clamp01(q.Range.Height() / f.world.Height())
+	} else {
+		x[2], x[3] = 0.5, 0.5
+	}
+	if len(q.Keywords) > 0 {
+		x[1] = 1
+		x[6] = math.Min(float64(len(q.Keywords))/5, 1)
+		for _, kw := range q.Keywords {
+			x[7+int(kmv.Hash64(kw)%ffnKwFeatures)] = 1
+		}
+	}
+	return x
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Insert implements Estimator. The FFN is workload-driven: stream objects
+// carry no training signal for it, so inserts are no-ops.
+func (f *FFN) Insert(o *stream.Object) {}
+
+// Estimate implements Estimator. Before any observation the network's
+// output is arbitrary, so an untrained FFN answers 0 — honestly useless,
+// exactly like an untrained model in the paper's pre-training phase.
+func (f *FFN) Estimate(q *stream.Query) float64 {
+	if !f.trained {
+		return 0
+	}
+	y := f.net.Predict(f.features(q))
+	return math.Expm1(y * ffnLogCap)
+}
+
+// Observe implements Estimator: one online SGD step per executed query,
+// plus a short replay pass over the recent buffer every ffnConsolidateAt
+// observations.
+func (f *FFN) Observe(q *stream.Query, actual float64) {
+	x := f.features(q)
+	y := []float64{clamp01(math.Log1p(math.Max(actual, 0)) / ffnLogCap)}
+	f.net.Train(x, y)
+	f.trained = true
+
+	if len(f.xs) < ffnReplayBuffer {
+		f.xs = append(f.xs, x)
+		f.ys = append(f.ys, y)
+	} else {
+		idx := f.n % ffnReplayBuffer
+		f.xs[idx] = x
+		f.ys[idx] = y
+	}
+	f.n++
+	if f.n%ffnConsolidateAt == 0 {
+		f.net.Fit(f.xs, f.ys, ffnReplayEpochs, 0)
+	}
+}
+
+// Reset implements Estimator: weights are reinitialized from the original
+// seed and the replay buffer dropped.
+func (f *FFN) Reset() {
+	f.net = mlp.New(f.netCfg)
+	f.xs, f.ys = nil, nil
+	f.n = 0
+	f.trained = false
+}
+
+// MemoryBytes implements Estimator: weights plus the replay buffer.
+func (f *FFN) MemoryBytes() int {
+	return 8*f.net.NumParameters() + (8*ffnInputDim+16)*len(f.xs)
+}
+
+// String summarizes state for diagnostics.
+func (f *FFN) String() string {
+	return fmt.Sprintf("FFN{params=%d obs=%d}", f.net.NumParameters(), f.n)
+}

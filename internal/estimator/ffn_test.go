@@ -1,0 +1,102 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+func TestFFNFeatureEncoding(t *testing.T) {
+	f := NewFFN(testParams()) // unit-square world
+
+	// Pure spatial query: range flags and geometry set, keyword features 0.
+	sq := stream.SpatialQ(geo.CenteredRect(geo.Pt(0.5, 0.25), 0.2, 0.1), 0)
+	x := f.features(&sq)
+	if len(x) != ffnInputDim {
+		t.Fatalf("dim = %d", len(x))
+	}
+	if x[0] != 1 || x[1] != 0 {
+		t.Errorf("type flags = %v, %v", x[0], x[1])
+	}
+	if math.Abs(x[2]-0.5) > 1e-9 || math.Abs(x[3]-0.25) > 1e-9 {
+		t.Errorf("center = %v, %v", x[2], x[3])
+	}
+	if math.Abs(x[4]-0.2) > 1e-9 || math.Abs(x[5]-0.1) > 1e-9 {
+		t.Errorf("extent = %v, %v", x[4], x[5])
+	}
+	if x[6] != 0 {
+		t.Errorf("kw count feature = %v", x[6])
+	}
+	for i := 7; i < ffnInputDim; i++ {
+		if x[i] != 0 {
+			t.Errorf("kw indicator %d = %v on a spatial query", i, x[i])
+		}
+	}
+
+	// Pure keyword query: no-range defaults, keyword features set.
+	kq := stream.KeywordQ([]string{"fire", "rescue"}, 0)
+	x = f.features(&kq)
+	if x[0] != 0 || x[1] != 1 {
+		t.Errorf("type flags = %v, %v", x[0], x[1])
+	}
+	if x[2] != 0.5 || x[3] != 0.5 || x[4] != 0 || x[5] != 0 {
+		t.Errorf("absent-range geometry = %v", x[2:6])
+	}
+	if math.Abs(x[6]-0.4) > 1e-9 { // 2 keywords / 5
+		t.Errorf("kw count feature = %v", x[6])
+	}
+	hot := 0
+	for i := 7; i < ffnInputDim; i++ {
+		if x[i] == 1 {
+			hot++
+		}
+	}
+	if hot < 1 || hot > 2 {
+		t.Errorf("%d hash indicators set for 2 keywords", hot)
+	}
+
+	// Same keywords always produce the same encoding (determinism).
+	x2 := f.features(&kq)
+	for i := range x {
+		if x[i] != x2[i] {
+			t.Fatalf("encoding not deterministic at %d", i)
+		}
+	}
+
+	// Out-of-world ranges clamp into [0,1].
+	wild := stream.SpatialQ(geo.Rect{MinX: -5, MinY: -5, MaxX: 10, MaxY: 10}, 0)
+	x = f.features(&wild)
+	for i := 2; i <= 5; i++ {
+		if x[i] < 0 || x[i] > 1 {
+			t.Errorf("feature %d = %v outside [0,1]", i, x[i])
+		}
+	}
+}
+
+func TestFFNMemoryGrowsWithObservations(t *testing.T) {
+	f := NewFFN(testParams())
+	before := f.MemoryBytes()
+	q := stream.KeywordQ([]string{"x"}, 0)
+	for i := 0; i < 100; i++ {
+		f.Observe(&q, 50)
+	}
+	if f.MemoryBytes() <= before {
+		t.Errorf("memory did not grow with the replay buffer: %d -> %d", before, f.MemoryBytes())
+	}
+	if f.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestFFNScaleChangesArchitecture(t *testing.T) {
+	p := testParams()
+	small := NewFFN(p)
+	p.Scale = 4
+	big := NewFFN(p)
+	if big.net.NumParameters() <= small.net.NumParameters() {
+		t.Errorf("scaled FFN not bigger: %d vs %d",
+			big.net.NumParameters(), small.net.NumParameters())
+	}
+}

@@ -1,0 +1,247 @@
+package estimator
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+func TestReservoirFillsThenSamples(t *testing.T) {
+	p := testParams()
+	r := NewReservoirList(p)
+	rng := rand.New(rand.NewSource(1))
+	// Below capacity: every object is retained.
+	for i := 0; i < 100; i++ {
+		o := genObject(rng, uint64(i), int64(i+1))
+		r.Insert(&o)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	// Far beyond capacity the list stays at capacity.
+	for i := 100; i < r.Capacity()*3; i++ {
+		o := genObject(rng, uint64(i), int64(i+1))
+		r.Insert(&o)
+	}
+	if r.Len() != r.Capacity() {
+		t.Fatalf("Len = %d, want capacity %d", r.Len(), r.Capacity())
+	}
+}
+
+func TestReservoirEstimateAccuracy(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		f    func(Params) Estimator
+	}{
+		{"RSL", func(p Params) Estimator { return NewReservoirList(p) }},
+		{"RSH", func(p Params) Estimator { return NewReservoirHashmap(p) }},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			p := testParams()
+			e := build.f(p)
+			w := stream.NewWindow(geo.UnitSquare, p.Span, 1024)
+			ts := feedBoth(t, e, w, 20000, 21)
+			// Keyword and hybrid queries: reservoirs carry full objects and
+			// should do well.
+			qs := []stream.Query{
+				stream.KeywordQ([]string{"kw0"}, ts),
+				stream.KeywordQ([]string{"kw1", "kw4"}, ts),
+				stream.HybridQ(geo.CenteredRect(geo.Pt(0.3, 0.3), 0.25, 0.25), []string{"kw0"}, ts),
+				stream.SpatialQ(geo.CenteredRect(geo.Pt(0.75, 0.65), 0.2, 0.2), ts),
+			}
+			for _, q := range qs {
+				q := q
+				est := e.Estimate(&q)
+				actual := float64(w.Answer(&q))
+				if acc := metrics.Accuracy(est, actual); acc < 0.7 {
+					t.Errorf("%v: est %v vs actual %v (acc %.3f)", q, est, actual, acc)
+				}
+			}
+		})
+	}
+}
+
+func TestReservoirExpiry(t *testing.T) {
+	p := testParams() // 10s window
+	r := NewReservoirList(p)
+	for i := 0; i < 500; i++ {
+		o := stream.Object{Loc: geo.Pt(0.5, 0.5), Keywords: []string{"old"}, Timestamp: int64(i)}
+		r.Insert(&o)
+	}
+	// 30 seconds later everything is stale: estimate 0 and purge happens.
+	q := stream.KeywordQ([]string{"old"}, 30_000)
+	if got := r.Estimate(&q); got != 0 {
+		t.Errorf("stale estimate = %v, want 0", got)
+	}
+	if r.Len() != 0 {
+		t.Errorf("purge left %d samples", r.Len())
+	}
+}
+
+func TestRSHSlotMapInvariants(t *testing.T) {
+	p := testParams()
+	r := NewReservoirHashmap(p)
+	rng := rand.New(rand.NewSource(5))
+	checkInvariants := func(stage string) {
+		t.Helper()
+		seen := 0
+		for cell, b := range r.buckets {
+			for pos, j := range b {
+				s := &r.samples[j]
+				if int(s.cell) != cell || int(s.pos) != pos {
+					t.Fatalf("%s: slot %d backlink broken: cell %d/%d pos %d/%d",
+						stage, j, s.cell, cell, s.pos, pos)
+				}
+				seen++
+			}
+		}
+		if seen != len(r.samples) {
+			t.Fatalf("%s: buckets hold %d refs, samples %d", stage, seen, len(r.samples))
+		}
+	}
+	// Fill phase.
+	ts := int64(0)
+	for i := 0; i < 200; i++ {
+		ts++
+		o := genObject(rng, uint64(i), ts)
+		r.Insert(&o)
+	}
+	checkInvariants("fill")
+	// Churn phase (replacements).
+	for i := 0; i < r.Capacity()*2; i++ {
+		ts++
+		o := genObject(rng, uint64(1000+i), ts)
+		r.Insert(&o)
+	}
+	checkInvariants("churn")
+	// Expiry churn: jump time so purges fire.
+	for i := 0; i < 5000; i++ {
+		ts += 5
+		o := genObject(rng, uint64(90000+i), ts)
+		r.Insert(&o)
+	}
+	checkInvariants("expiry")
+	// Query-time purge path.
+	q := stream.SpatialQ(geo.CenteredRect(geo.Pt(0.3, 0.3), 0.3, 0.3), ts+20_000)
+	_ = r.Estimate(&q)
+	checkInvariants("query purge")
+	kq := stream.KeywordQ([]string{"kw0"}, ts+20_000)
+	_ = r.Estimate(&kq)
+	checkInvariants("keyword purge")
+	if r.Len() != 0 {
+		t.Errorf("all samples expired but Len = %d", r.Len())
+	}
+}
+
+func TestRSHAgreesWithRSL(t *testing.T) {
+	// Same stream, same seed conventions: both samplers should produce
+	// estimates in the same ballpark (they share the estimation math).
+	p := testParams()
+	rsl := NewReservoirList(p)
+	rsh := NewReservoirHashmap(p)
+	w := stream.NewWindow(geo.UnitSquare, p.Span, 1024)
+	rng := rand.New(rand.NewSource(31))
+	ts := int64(0)
+	for i := 0; i < 15000; i++ {
+		ts++
+		o := genObject(rng, uint64(i), ts)
+		w.Insert(o)
+		rsl.Insert(&o)
+		rsh.Insert(&o)
+	}
+	q := stream.HybridQ(geo.CenteredRect(geo.Pt(0.3, 0.3), 0.3, 0.3), []string{"kw0", "kw2"}, ts)
+	actual := float64(w.Answer(&q))
+	a, b := rsl.Estimate(&q), rsh.Estimate(&q)
+	if metrics.Accuracy(a, actual) < 0.7 || metrics.Accuracy(b, actual) < 0.7 {
+		t.Errorf("RSL %v, RSH %v vs actual %v", a, b, actual)
+	}
+}
+
+func TestRSHReset(t *testing.T) {
+	p := testParams()
+	r := NewReservoirHashmap(p)
+	rng := rand.New(rand.NewSource(8))
+	ts := int64(0)
+	for i := 0; i < 1000; i++ {
+		ts++
+		o := genObject(rng, uint64(i), ts)
+		r.Insert(&o)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+	for _, b := range r.buckets {
+		if len(b) != 0 {
+			t.Fatal("bucket not cleared by Reset")
+		}
+	}
+	// Usable after reset.
+	o := genObject(rng, 1, ts+1)
+	r.Insert(&o)
+	if r.Len() != 1 {
+		t.Fatal("insert after Reset failed")
+	}
+}
+
+func TestSampleMatches(t *testing.T) {
+	s := sample{loc: geo.Pt(0.5, 0.5), kws: []string{"a", "b"}}
+	r := geo.CenteredRect(geo.Pt(0.5, 0.5), 0.2, 0.2)
+	far := geo.CenteredRect(geo.Pt(0.9, 0.9), 0.05, 0.05)
+	cases := []struct {
+		q    stream.Query
+		want bool
+	}{
+		{stream.SpatialQ(r, 0), true},
+		{stream.SpatialQ(far, 0), false},
+		{stream.KeywordQ([]string{"a"}, 0), true},
+		{stream.KeywordQ([]string{"z"}, 0), false},
+		{stream.KeywordQ([]string{"z", "b"}, 0), true},
+		{stream.HybridQ(r, []string{"a"}, 0), true},
+		{stream.HybridQ(r, []string{"z"}, 0), false},
+		{stream.HybridQ(far, []string{"a"}, 0), false},
+	}
+	for _, tc := range cases {
+		q := tc.q
+		if got := sampleMatches(&s, &q); got != tc.want {
+			t.Errorf("sampleMatches(%v) = %v, want %v", q, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkRSLEstimate(b *testing.B) {
+	p := testParams()
+	r := NewReservoirList(p)
+	rng := rand.New(rand.NewSource(1))
+	ts := int64(0)
+	for i := 0; i < 40000; i++ {
+		ts++
+		o := genObject(rng, uint64(i), ts)
+		r.Insert(&o)
+	}
+	q := stream.HybridQ(geo.CenteredRect(geo.Pt(0.3, 0.3), 0.3, 0.3), []string{"kw0"}, ts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Estimate(&q)
+	}
+}
+
+func BenchmarkRSHEstimateSpatial(b *testing.B) {
+	p := testParams()
+	r := NewReservoirHashmap(p)
+	rng := rand.New(rand.NewSource(1))
+	ts := int64(0)
+	for i := 0; i < 40000; i++ {
+		ts++
+		o := genObject(rng, uint64(i), ts)
+		r.Insert(&o)
+	}
+	q := stream.HybridQ(geo.CenteredRect(geo.Pt(0.3, 0.3), 0.3, 0.3), []string{"kw0"}, ts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Estimate(&q)
+	}
+}

@@ -1,0 +1,204 @@
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// defaultRSHGridCells matches the paper's RSH configuration: the reservoir
+// is indexed by a 4096-cell grid.
+const defaultRSHGridCells = 4096
+
+// ReservoirHashmap is the RSH estimator (Figure 1(b)): the same windowed
+// Algorithm R reservoir as RSL, but every retained sample is also threaded
+// into a 2-D grid bucket. Spatial and hybrid queries then touch only the
+// buckets overlapping the query range instead of scanning the whole list —
+// the iteration-overhead reduction the paper credits hybrid structures with.
+// Pure keyword queries still scan everything, so RSH's latency advantage
+// appears exactly where the paper reports it: on spatially constrained
+// workloads.
+//
+// The reservoir is a slot-map: samples live in a flat array; each bucket
+// stores slot indices and each slot knows its position in its bucket, so
+// replacement and purge are O(1) per sample.
+type ReservoirHashmap struct {
+	capacity int
+	rng      *rand.Rand
+	counter  *WindowCounter
+	grid     *geo.Grid
+	span     int64
+
+	samples []rshSample
+	buckets [][]int32
+}
+
+type rshSample struct {
+	sample
+	cell int32
+	pos  int32 // index of this slot within buckets[cell]
+}
+
+// NewReservoirHashmap builds the RSH estimator.
+func NewReservoirHashmap(p Params) *ReservoirHashmap {
+	cells := nearestSquare(p.scaledInt(defaultRSHGridCells, 16))
+	g := geo.NewSquareGrid(p.World, cells)
+	return &ReservoirHashmap{
+		capacity: p.scaledInt(defaultReservoirCapacity, 64),
+		rng:      rand.New(rand.NewSource(p.Seed + 0x5248)),
+		counter:  NewWindowCounter(p.Span, defaultHistSlices),
+		grid:     g,
+		span:     p.Span,
+		buckets:  make([][]int32, g.NumCells()),
+	}
+}
+
+// Name implements Estimator.
+func (r *ReservoirHashmap) Name() string { return NameRSH }
+
+// Capacity returns the reservoir size.
+func (r *ReservoirHashmap) Capacity() int { return r.capacity }
+
+// Len returns the number of retained samples.
+func (r *ReservoirHashmap) Len() int { return len(r.samples) }
+
+// detach unlinks slot j from its bucket.
+func (r *ReservoirHashmap) detach(j int32) {
+	s := &r.samples[j]
+	b := r.buckets[s.cell]
+	last := int32(len(b) - 1)
+	moved := b[last]
+	b[s.pos] = moved
+	r.samples[moved].pos = s.pos
+	r.buckets[s.cell] = b[:last]
+}
+
+// attach links slot j (whose sample fields are already set) into its cell
+// bucket.
+func (r *ReservoirHashmap) attach(j int32) {
+	s := &r.samples[j]
+	s.cell = int32(r.grid.CellOf(s.loc))
+	r.buckets[s.cell] = append(r.buckets[s.cell], j)
+	s.pos = int32(len(r.buckets[s.cell]) - 1)
+}
+
+// removeSlot purges slot j entirely, swapping the last slot into its place.
+func (r *ReservoirHashmap) removeSlot(j int32) {
+	r.detach(j)
+	last := int32(len(r.samples) - 1)
+	if j != last {
+		// Move the final slot into j and fix its bucket backlink.
+		r.samples[j] = r.samples[last]
+		r.buckets[r.samples[j].cell][r.samples[j].pos] = j
+	}
+	r.samples = r.samples[:last]
+}
+
+// Insert implements Estimator.
+func (r *ReservoirHashmap) Insert(o *stream.Object) {
+	r.counter.Add(o.Timestamp)
+	// Lazy purge: retire a few stale slots per insert so expired samples
+	// never accumulate past a small fraction of the reservoir.
+	r.purgeSome(o.Timestamp-r.span, 4)
+	if len(r.samples) < r.capacity {
+		j := int32(len(r.samples))
+		r.samples = append(r.samples, rshSample{sample: sample{loc: o.Loc, kws: o.Keywords, ts: o.Timestamp}})
+		r.attach(j)
+		return
+	}
+	n := int(r.counter.Live(o.Timestamp))
+	if n < r.capacity {
+		n = r.capacity
+	}
+	if j := r.rng.Intn(n); j < r.capacity {
+		jj := int32(j)
+		r.detach(jj)
+		r.samples[jj].sample = sample{loc: o.Loc, kws: o.Keywords, ts: o.Timestamp}
+		r.attach(jj)
+	}
+}
+
+// purgeSome checks up to n random slots and removes expired ones, keeping
+// the expired fraction of the reservoir small between query-time purges.
+func (r *ReservoirHashmap) purgeSome(cutoff int64, n int) {
+	for i := 0; i < n && len(r.samples) > 0; i++ {
+		j := int32(r.rng.Intn(len(r.samples)))
+		if r.samples[j].ts < cutoff {
+			r.removeSlot(j)
+		}
+	}
+}
+
+// Estimate implements Estimator. Spatial and hybrid queries visit only the
+// grid buckets overlapping the range; pure keyword queries scan all slots.
+func (r *ReservoirHashmap) Estimate(q *stream.Query) float64 {
+	cutoff := q.Timestamp - r.span
+	matches := 0
+	if q.HasRange {
+		cr := r.grid.CellsOverlapping(q.Range)
+		r.grid.ForEachCell(cr, func(idx int, cell geo.Rect) bool {
+			b := r.buckets[idx]
+			for bi := 0; bi < len(b); {
+				j := b[bi]
+				s := &r.samples[j]
+				if s.ts < cutoff {
+					r.removeSlot(j) // swaps within this bucket or shrinks it
+					b = r.buckets[idx]
+					continue
+				}
+				if sampleMatches(&s.sample, q) {
+					matches++
+				}
+				bi++
+			}
+			return true
+		})
+	} else {
+		for j := 0; j < len(r.samples); {
+			s := &r.samples[j]
+			if s.ts < cutoff {
+				r.removeSlot(int32(j))
+				continue
+			}
+			if sampleMatches(&s.sample, q) {
+				matches++
+			}
+			j++
+		}
+	}
+	live := len(r.samples)
+	if live == 0 {
+		return 0
+	}
+	w := r.counter.Live(q.Timestamp)
+	return float64(matches) / float64(live) * w
+}
+
+// Observe implements Estimator; sampling estimators ignore feedback.
+func (r *ReservoirHashmap) Observe(q *stream.Query, actual float64) {}
+
+// Reset implements Estimator.
+func (r *ReservoirHashmap) Reset() {
+	r.samples = r.samples[:0]
+	for i := range r.buckets {
+		r.buckets[i] = r.buckets[i][:0]
+	}
+	r.counter.Reset()
+}
+
+// MemoryBytes implements Estimator.
+func (r *ReservoirHashmap) MemoryBytes() int {
+	b := 64 + 56*cap(r.samples) + r.counter.MemoryBytes()
+	for i := range r.buckets {
+		b += 4 * cap(r.buckets[i])
+	}
+	b += 24 * len(r.buckets)
+	return b
+}
+
+// String summarizes state for diagnostics.
+func (r *ReservoirHashmap) String() string {
+	return fmt.Sprintf("RSH{cap=%d len=%d cells=%d}", r.capacity, len(r.samples), r.grid.NumCells())
+}

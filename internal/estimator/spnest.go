@@ -1,0 +1,169 @@
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/kmv"
+	"github.com/spatiotext/latest/internal/spn"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// SPN estimator defaults.
+const (
+	defaultSPNComponents = 8
+	defaultSPNBins       = 32
+	defaultSPNKwBuckets  = 64
+	defaultSPNSampleCap  = 4096
+	defaultSPNRetrain    = 4096 // inserts between full retrains
+)
+
+// SPNEstimator is the data-driven sum-product network baseline: it keeps a
+// windowed reservoir of raw objects and periodically retrains an SPN over
+// it, answering queries as model probability × windowed arrival count. The
+// periodic full retrain is the paper's core criticism of data-driven models
+// on streams ("very high computational intensity to update the model with
+// high-velocity data") and dominates this estimator's maintenance cost.
+type SPNEstimator struct {
+	world   geo.Rect
+	span    int64
+	net     *spn.Network
+	counter *WindowCounter
+	rng     *rand.Rand
+
+	capacity     int
+	samples      []sample
+	sinceRetrain int
+	retrainEvery int
+	retrains     int
+}
+
+// NewSPN builds the estimator; p.Scale multiplies the component count and
+// sample capacity.
+func NewSPN(p Params) *SPNEstimator {
+	return &SPNEstimator{
+		world: p.World,
+		span:  p.Span,
+		net: spn.New(spn.Config{
+			Components: p.scaledInt(defaultSPNComponents, 2),
+			XBins:      p.scaledInt(defaultSPNBins, 8),
+			YBins:      p.scaledInt(defaultSPNBins, 8),
+			KwBuckets:  defaultSPNKwBuckets,
+			Seed:       p.Seed + 0x53504E,
+		}),
+		counter:      NewWindowCounter(p.Span, defaultHistSlices),
+		rng:          rand.New(rand.NewSource(p.Seed + 0x53504E)),
+		capacity:     p.scaledInt(defaultSPNSampleCap, 64),
+		retrainEvery: defaultSPNRetrain,
+	}
+}
+
+// Name implements Estimator.
+func (s *SPNEstimator) Name() string { return NameSPN }
+
+// Retrains returns how many full model rebuilds have run, a cost the
+// ablation benchmarks report.
+func (s *SPNEstimator) Retrains() int { return s.retrains }
+
+// Insert implements Estimator: windowed reservoir sampling plus periodic
+// retraining.
+func (s *SPNEstimator) Insert(o *stream.Object) {
+	s.counter.Add(o.Timestamp)
+	sm := sample{loc: o.Loc, kws: o.Keywords, ts: o.Timestamp}
+	if len(s.samples) < s.capacity {
+		s.samples = append(s.samples, sm)
+	} else {
+		n := int(s.counter.Live(o.Timestamp))
+		if n < s.capacity {
+			n = s.capacity
+		}
+		if j := s.rng.Intn(n); j < s.capacity {
+			s.samples[j] = sm
+		}
+	}
+	s.sinceRetrain++
+	if s.sinceRetrain >= s.retrainEvery {
+		s.retrain(o.Timestamp)
+	}
+}
+
+// retrain purges expired samples and rebuilds the SPN from the survivors.
+func (s *SPNEstimator) retrain(now int64) {
+	cutoff := now - s.span
+	for i := 0; i < len(s.samples); {
+		if s.samples[i].ts < cutoff {
+			s.samples[i] = s.samples[len(s.samples)-1]
+			s.samples = s.samples[:len(s.samples)-1]
+			continue
+		}
+		i++
+	}
+	train := make([]spn.Sample, len(s.samples))
+	for i := range s.samples {
+		train[i] = spn.Sample{
+			X:   (s.samples[i].loc.X - s.world.MinX) / s.world.Width(),
+			Y:   (s.samples[i].loc.Y - s.world.MinY) / s.world.Height(),
+			KwB: s.kwBuckets(s.samples[i].kws),
+		}
+	}
+	s.net.Train(train)
+	s.sinceRetrain = 0
+	s.retrains++
+}
+
+func (s *SPNEstimator) kwBuckets(kws []string) []int {
+	if len(kws) == 0 {
+		return nil
+	}
+	out := make([]int, len(kws))
+	for i, kw := range kws {
+		out[i] = int(kmv.Hash64(kw) % defaultSPNKwBuckets)
+	}
+	return out
+}
+
+// Estimate implements Estimator.
+func (s *SPNEstimator) Estimate(q *stream.Query) float64 {
+	if !s.net.Trained() {
+		// Before the first retrain the model is a uniform prior; force an
+		// early train if we already have samples so pre-training queries
+		// get real answers.
+		if len(s.samples) > 0 {
+			s.retrain(q.Timestamp)
+		} else {
+			return 0
+		}
+	}
+	rq := spn.RangeQuery{KwB: s.kwBuckets(q.Keywords)}
+	if q.HasRange {
+		rq.HasRange = true
+		rq.XLo = (q.Range.MinX - s.world.MinX) / s.world.Width()
+		rq.XHi = (q.Range.MaxX - s.world.MinX) / s.world.Width()
+		rq.YLo = (q.Range.MinY - s.world.MinY) / s.world.Height()
+		rq.YHi = (q.Range.MaxY - s.world.MinY) / s.world.Height()
+	}
+	return s.net.Prob(rq) * s.counter.Live(q.Timestamp)
+}
+
+// Observe implements Estimator; the SPN is data-driven and ignores query
+// feedback.
+func (s *SPNEstimator) Observe(q *stream.Query, actual float64) {}
+
+// Reset implements Estimator.
+func (s *SPNEstimator) Reset() {
+	s.samples = s.samples[:0]
+	s.counter.Reset()
+	s.net.Train(nil)
+	s.sinceRetrain = 0
+}
+
+// MemoryBytes implements Estimator.
+func (s *SPNEstimator) MemoryBytes() int {
+	return s.net.MemoryBytes() + 48*cap(s.samples) + s.counter.MemoryBytes()
+}
+
+// String summarizes state for diagnostics.
+func (s *SPNEstimator) String() string {
+	return fmt.Sprintf("SPN{samples=%d retrains=%d %v}", len(s.samples), s.retrains, s.net)
+}

@@ -1,0 +1,239 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero cols", func() { NewGrid(UnitSquare, 0, 4) }},
+		{"negative rows", func() { NewGrid(UnitSquare, 4, -1) }},
+		{"empty world", func() { NewGrid(Rect{}, 4, 4) }},
+		{"non-square count", func() { NewSquareGrid(UnitSquare, 4095) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestSquareGrid4096(t *testing.T) {
+	g := NewSquareGrid(UnitSquare, 4096)
+	if g.Cols != 64 || g.Rows != 64 {
+		t.Fatalf("got %dx%d, want 64x64", g.Cols, g.Rows)
+	}
+	if g.NumCells() != 4096 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	w, h := g.CellSize()
+	if w != 1.0/64 || h != 1.0/64 {
+		t.Fatalf("CellSize = %v,%v", w, h)
+	}
+}
+
+func TestCellOfCorners(t *testing.T) {
+	g := NewGrid(UnitSquare, 4, 4)
+	tests := []struct {
+		p    Point
+		want int
+	}{
+		{Pt(0, 0), 0},
+		{Pt(0.999, 0.999), 15},
+		{Pt(0.25, 0), 1},       // exactly on a cell boundary goes right
+		{Pt(0, 0.25), 4},       // boundary row goes up
+		{Pt(0.5, 0.5), 10},     // centre
+		{Pt(-1, -1), 0},        // clamped
+		{Pt(2, 2), 15},         // clamped
+		{Pt(0.26, 0.74), 9},    // col 1, row 2
+		{Pt(0.99999, 0.0), 3},  // top of first row
+		{Pt(0.0, 0.99999), 12}, // first col, last row
+	}
+	for _, tc := range tests {
+		if got := g.CellOf(tc.p); got != tc.want {
+			t.Errorf("CellOf(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCellRectRoundTrip(t *testing.T) {
+	g := NewGrid(Rect{-10, -5, 30, 15}, 8, 5)
+	for idx := 0; idx < g.NumCells(); idx++ {
+		cell := g.CellRect(idx)
+		if got := g.CellOf(cell.Center()); got != idx {
+			t.Fatalf("cell %d center maps to %d", idx, got)
+		}
+		// Min corner belongs to the cell (half-open semantics).
+		if got := g.CellOf(Point{cell.MinX, cell.MinY}); got != idx {
+			t.Fatalf("cell %d min corner maps to %d", idx, got)
+		}
+	}
+}
+
+func TestCellRectPanicsOutOfRange(t *testing.T) {
+	g := NewGrid(UnitSquare, 2, 2)
+	for _, idx := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CellRect(%d) should panic", idx)
+				}
+			}()
+			g.CellRect(idx)
+		}()
+	}
+}
+
+func TestCellsOverlapping(t *testing.T) {
+	g := NewGrid(UnitSquare, 4, 4)
+	tests := []struct {
+		name string
+		r    Rect
+		want CellRange
+	}{
+		{"whole world", UnitSquare, CellRange{0, 3, 0, 3}},
+		{"single cell interior", Rect{0.1, 0.1, 0.2, 0.2}, CellRange{0, 0, 0, 0}},
+		{"exactly one cell", Rect{0.25, 0.25, 0.5, 0.5}, CellRange{1, 1, 1, 1}},
+		{"two cols", Rect{0.2, 0.1, 0.3, 0.2}, CellRange{0, 1, 0, 0}},
+		{"miss", Rect{2, 2, 3, 3}, CellRange{0, -1, 0, -1}},
+		{"overhang clips", Rect{-1, -1, 0.1, 0.1}, CellRange{0, 0, 0, 0}},
+		{"beyond max clips", Rect{0.9, 0.9, 5, 5}, CellRange{3, 3, 3, 3}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := g.CellsOverlapping(tc.r)
+			if got != tc.want {
+				t.Errorf("CellsOverlapping(%v) = %+v, want %+v", tc.r, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCellRangeCount(t *testing.T) {
+	if c := (CellRange{0, 3, 0, 3}).Count(); c != 16 {
+		t.Errorf("Count = %d", c)
+	}
+	if c := (CellRange{0, -1, 0, -1}).Count(); c != 0 {
+		t.Errorf("empty Count = %d", c)
+	}
+	if !(CellRange{2, 1, 0, 0}).Empty() {
+		t.Error("inverted range should be empty")
+	}
+}
+
+func TestForEachCellVisitsAllAndStops(t *testing.T) {
+	g := NewGrid(UnitSquare, 4, 4)
+	cr := g.CellsOverlapping(UnitSquare)
+	var visited []int
+	g.ForEachCell(cr, func(idx int, cell Rect) bool {
+		visited = append(visited, idx)
+		return true
+	})
+	if len(visited) != 16 {
+		t.Fatalf("visited %d cells, want 16", len(visited))
+	}
+	for i, idx := range visited {
+		if i > 0 && idx <= visited[i-1] {
+			t.Fatalf("visit order not increasing: %v", visited)
+		}
+	}
+	// Early stop.
+	n := 0
+	g.ForEachCell(cr, func(idx int, cell Rect) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d, want 5", n)
+	}
+}
+
+// Property: every point inside the world maps to a cell whose rect
+// contains it, and that cell is within every overlap range computed from a
+// rect containing the point.
+func TestGridPointCellConsistency(t *testing.T) {
+	g := NewGrid(Rect{-100, -50, 100, 50}, 17, 13) // deliberately non-square, odd
+	rng := rand.New(rand.NewSource(7))
+	f := func(fx, fy float64) bool {
+		x := g.World.MinX + pos01(fx)*g.World.Width()
+		y := g.World.MinY + pos01(fy)*g.World.Height()
+		p := Pt(x, y)
+		idx := g.CellOf(p)
+		if !g.CellRect(idx).Contains(p) {
+			return false
+		}
+		// A random query rect around p must include p's cell in its range.
+		qw := rng.Float64()*20 + 1e-6
+		qh := rng.Float64()*20 + 1e-6
+		cr := g.CellsOverlapping(CenteredRect(p, qw, qh))
+		col, row := g.ColRowOf(p)
+		return col >= cr.ColMin && col <= cr.ColMax && row >= cr.RowMin && row <= cr.RowMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the union of CellsOverlapping cell rects covers the clipped
+// query rect.
+func TestCellsOverlappingCoversQuery(t *testing.T) {
+	g := NewGrid(UnitSquare, 9, 6)
+	f := func(ax, ay, w, h float64) bool {
+		q := RectWH(Pt(pos01(ax), pos01(ay)), pos01(w)*0.5+1e-9, pos01(h)*0.5+1e-9)
+		cr := g.CellsOverlapping(q)
+		clipped := g.World.Intersect(q)
+		if clipped.Empty() {
+			return cr.Empty()
+		}
+		var cover Rect
+		g.ForEachCell(cr, func(idx int, cell Rect) bool {
+			cover = cover.Union(cell)
+			return true
+		})
+		// Cell rects are derived via MinX+col*cellW, so their union may be a
+		// few ulps narrower than the clipped query; grow by an epsilon.
+		return cover.Expand(1e-9).ContainsRect(clipped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pos01(v float64) float64 {
+	v = norm(v) / 1000
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+func BenchmarkCellOf(b *testing.B) {
+	g := NewSquareGrid(UnitSquare, 4096)
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 1024)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.CellOf(pts[i&1023])
+	}
+}
+
+func BenchmarkCellsOverlapping(b *testing.B) {
+	g := NewSquareGrid(UnitSquare, 4096)
+	q := Rect{0.2, 0.3, 0.6, 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.CellsOverlapping(q)
+	}
+}

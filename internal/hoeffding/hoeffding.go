@@ -1,0 +1,782 @@
+// Package hoeffding implements the Very Fast Decision Tree (VFDT) of
+// Domingos & Hulten ("Mining High-Speed Data Streams"), the incremental
+// classifier at the heart of LATEST (§V-B). The configuration mirrors the
+// WEKA HoeffdingTree options the paper uses: information-gain splits,
+// Majority Class leaf prediction, and WEKA's default grace period, delta
+// and tie threshold.
+//
+// The tree learns from a stream of labelled instances in constant time per
+// instance. Each leaf accumulates sufficient statistics — per-value class
+// counts for nominal attributes, per-class Gaussians for numeric ones — and
+// attempts a split every GracePeriod instances: the best attribute splits
+// when its information gain beats the runner-up by the Hoeffding bound
+// ε = sqrt(R²·ln(1/δ) / 2n), or when the two are tied within TieThreshold.
+package hoeffding
+
+import (
+	"fmt"
+	"math"
+)
+
+// AttributeKind distinguishes nominal from numeric attributes.
+type AttributeKind int
+
+const (
+	// Nominal attributes take one of a fixed set of values, encoded as the
+	// value's index.
+	Nominal AttributeKind = iota
+	// Numeric attributes are real-valued.
+	Numeric
+)
+
+// Attribute describes one feature column.
+type Attribute struct {
+	Name string
+	Kind AttributeKind
+	// NumValues is the domain size for nominal attributes (ignored for
+	// numeric ones).
+	NumValues int
+}
+
+// LeafStrategy selects how leaves turn their statistics into predictions,
+// mirroring WEKA's leaf prediction strategy option. The paper configures
+// Majority Class (§VI-A); the Naive Bayes variants exploit the per-leaf
+// attribute observers for finer-grained predictions.
+type LeafStrategy int
+
+const (
+	// MajorityClass predicts the most frequent class at the leaf.
+	MajorityClass LeafStrategy = iota
+	// NaiveBayes predicts argmax P(class)·∏P(attrᵢ|class) from the leaf's
+	// observers.
+	NaiveBayes
+	// NaiveBayesAdaptive tracks both predictors' prequential accuracy per
+	// leaf and uses whichever has been better there (WEKA's default).
+	NaiveBayesAdaptive
+)
+
+// Config holds the VFDT hyper-parameters. Zero values take the WEKA
+// defaults quoted in the comments.
+type Config struct {
+	// GracePeriod is the number of instances a leaf absorbs between split
+	// attempts. WEKA default: 200.
+	GracePeriod int
+	// Delta is the Hoeffding bound's confidence parameter (probability of
+	// choosing the wrong attribute). WEKA default: 1e-7.
+	Delta float64
+	// TieThreshold breaks near-ties: if ε falls below it, the best
+	// attribute splits even without dominating the runner-up. WEKA
+	// default: 0.05.
+	TieThreshold float64
+	// NumCandidates is how many thresholds a numeric attribute evaluates
+	// between its observed min and max. Default: 10.
+	NumCandidates int
+	// MaxDepth caps tree depth (0 = 32).
+	MaxDepth int
+	// Leaf selects the leaf prediction strategy. Default: MajorityClass,
+	// the paper's configuration.
+	Leaf LeafStrategy
+	// ReevaluateSplits enables EFDT/HATT mode (Manapragada et al.,
+	// "Extremely Fast Decision Tree" — the paper's reference [44]):
+	// internal nodes keep their sufficient statistics and periodically
+	// re-test their split choice; when another attribute's gain beats the
+	// installed split by the Hoeffding bound, the subtree is replaced.
+	// This lets the tree *revise* early decisions under drift instead of
+	// waiting for a full rebuild. Off by default (plain VFDT, the WEKA
+	// behaviour the paper configures).
+	ReevaluateSplits bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.GracePeriod <= 0 {
+		out.GracePeriod = 200
+	}
+	if out.Delta <= 0 {
+		out.Delta = 1e-7
+	}
+	if out.TieThreshold <= 0 {
+		out.TieThreshold = 0.05
+	}
+	if out.NumCandidates <= 0 {
+		out.NumCandidates = 10
+	}
+	if out.MaxDepth <= 0 {
+		out.MaxDepth = 32
+	}
+	return out
+}
+
+// gaussian is a per-class running Gaussian estimator (Welford).
+type gaussian struct {
+	n    float64
+	mean float64
+	m2   float64
+}
+
+func (g *gaussian) add(v float64) {
+	g.n++
+	d := v - g.mean
+	g.mean += d / g.n
+	g.m2 += d * (v - g.mean)
+}
+
+func (g *gaussian) variance() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return g.m2 / (g.n - 1)
+}
+
+// cdf is the Gaussian CDF at v.
+func (g *gaussian) cdf(v float64) float64 {
+	if g.n == 0 {
+		return 0.5
+	}
+	sd := math.Sqrt(g.variance())
+	if sd < 1e-12 {
+		if v < g.mean {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((v-g.mean)/(sd*math.Sqrt2)))
+}
+
+// nominalObserver tracks counts[value][class].
+type nominalObserver struct {
+	counts [][]float64
+}
+
+func newNominalObserver(values, classes int) *nominalObserver {
+	c := make([][]float64, values)
+	for i := range c {
+		c[i] = make([]float64, classes)
+	}
+	return &nominalObserver{counts: c}
+}
+
+func (o *nominalObserver) observe(value int, class int) {
+	if value < 0 {
+		value = 0
+	}
+	if value >= len(o.counts) {
+		value = len(o.counts) - 1
+	}
+	o.counts[value][class]++
+}
+
+// numericObserver tracks per-class Gaussians plus the global value range.
+type numericObserver struct {
+	perClass []gaussian
+	min, max float64
+	seen     bool
+}
+
+func newNumericObserver(classes int) *numericObserver {
+	return &numericObserver{perClass: make([]gaussian, classes)}
+}
+
+func (o *numericObserver) observe(v float64, class int) {
+	o.perClass[class].add(v)
+	if !o.seen {
+		o.min, o.max, o.seen = v, v, true
+	} else {
+		if v < o.min {
+			o.min = v
+		}
+		if v > o.max {
+			o.max = v
+		}
+	}
+}
+
+// node is a tree node: either a leaf with observers or an internal split.
+type node struct {
+	// Split fields (internal nodes).
+	splitAttr int
+	threshold float64 // numeric splits: left if v <= threshold
+	children  []*node // nominal: one per value; numeric: [left, right]
+
+	// Leaf fields.
+	classCounts []float64
+	nominal     map[int]*nominalObserver
+	numeric     map[int]*numericObserver
+	seenAtSplit float64 // instances seen at the last split attempt
+	depth       int
+
+	// Adaptive leaf-strategy bookkeeping: prequential correct counts of
+	// the two predictors at this leaf.
+	mcCorrect float64
+	nbCorrect float64
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+func (n *node) total() float64 {
+	t := 0.0
+	for _, c := range n.classCounts {
+		t += c
+	}
+	return t
+}
+
+// majority returns the index of the most frequent class at the leaf, or -1
+// for an empty leaf.
+func (n *node) majority() int {
+	best, bestC := -1, 0.0
+	for i, c := range n.classCounts {
+		if c > bestC {
+			best, bestC = i, c
+		}
+	}
+	return best
+}
+
+// Tree is the VFDT classifier. Not safe for concurrent use.
+type Tree struct {
+	cfg     Config
+	attrs   []Attribute
+	classes []string
+	root    *node
+
+	nodes     int
+	instances int
+	splits    int
+	resplits  int
+}
+
+// New creates an empty tree. Attributes and classes are fixed for the
+// tree's lifetime; classes must be non-empty and nominal attributes need at
+// least two values.
+func New(attrs []Attribute, classes []string, cfg Config) *Tree {
+	if len(classes) < 2 {
+		panic(fmt.Sprintf("hoeffding: need at least 2 classes, got %d", len(classes)))
+	}
+	for _, a := range attrs {
+		if a.Kind == Nominal && a.NumValues < 2 {
+			panic(fmt.Sprintf("hoeffding: nominal attribute %q needs ≥2 values", a.Name))
+		}
+	}
+	t := &Tree{cfg: cfg.withDefaults(), attrs: attrs, classes: classes}
+	t.root = t.newLeaf(0)
+	t.nodes = 1
+	return t
+}
+
+func (t *Tree) newLeaf(depth int) *node {
+	return &node{
+		classCounts: make([]float64, len(t.classes)),
+		nominal:     make(map[int]*nominalObserver),
+		numeric:     make(map[int]*numericObserver),
+		depth:       depth,
+	}
+}
+
+// Classes returns the class names.
+func (t *Tree) Classes() []string { return t.classes }
+
+// NodeCount returns the number of tree nodes.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// Splits returns how many leaf splits have occurred.
+func (t *Tree) Splits() int { return t.splits }
+
+// Resplits returns how many internal-node split revisions have occurred
+// (EFDT mode only).
+func (t *Tree) Resplits() int { return t.resplits }
+
+// Instances returns how many training instances the tree has absorbed.
+func (t *Tree) Instances() int { return t.instances }
+
+// sortToLeaf routes an instance to its leaf.
+func (t *Tree) sortToLeaf(x []float64) *node {
+	n := t.root
+	for !n.isLeaf() {
+		attr := t.attrs[n.splitAttr]
+		var idx int
+		if attr.Kind == Nominal {
+			idx = int(x[n.splitAttr])
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(n.children) {
+				idx = len(n.children) - 1
+			}
+		} else {
+			if x[n.splitAttr] <= n.threshold {
+				idx = 0
+			} else {
+				idx = 1
+			}
+		}
+		n = n.children[idx]
+	}
+	return n
+}
+
+// Learn absorbs one labelled instance. x must have one entry per attribute
+// (nominal entries are value indices); class is the label index.
+func (t *Tree) Learn(x []float64, class int) {
+	if len(x) != len(t.attrs) {
+		panic(fmt.Sprintf("hoeffding: instance has %d attributes, tree expects %d", len(x), len(t.attrs)))
+	}
+	if class < 0 || class >= len(t.classes) {
+		panic(fmt.Sprintf("hoeffding: class %d out of range [0,%d)", class, len(t.classes)))
+	}
+	t.instances++
+	if t.cfg.ReevaluateSplits {
+		t.learnAnytime(x, class)
+		return
+	}
+	leaf := t.sortToLeaf(x)
+	t.scoreLeafPredictors(leaf, x, class)
+	t.observeAt(leaf, x, class)
+	if leaf.total()-leaf.seenAtSplit >= float64(t.cfg.GracePeriod) && leaf.depth < t.cfg.MaxDepth {
+		t.attemptSplit(leaf)
+	}
+}
+
+// scoreLeafPredictors updates the adaptive strategy's prequential tallies
+// before the instance is absorbed.
+func (t *Tree) scoreLeafPredictors(leaf *node, x []float64, class int) {
+	if t.cfg.Leaf != NaiveBayesAdaptive {
+		return
+	}
+	if leaf.majority() == class {
+		leaf.mcCorrect++
+	}
+	if t.naiveBayes(leaf, x) == class {
+		leaf.nbCorrect++
+	}
+}
+
+// observeAt folds one instance into a node's counts and observers.
+func (t *Tree) observeAt(n *node, x []float64, class int) {
+	n.classCounts[class]++
+	for ai, attr := range t.attrs {
+		if attr.Kind == Nominal {
+			obs := n.nominal[ai]
+			if obs == nil {
+				obs = newNominalObserver(attr.NumValues, len(t.classes))
+				n.nominal[ai] = obs
+			}
+			obs.observe(int(x[ai]), class)
+		} else {
+			obs := n.numeric[ai]
+			if obs == nil {
+				obs = newNumericObserver(len(t.classes))
+				n.numeric[ai] = obs
+			}
+			obs.observe(x[ai], class)
+		}
+	}
+}
+
+// learnAnytime is the EFDT training path: the instance updates statistics
+// at *every* node it passes through, leaves split as in VFDT, and internal
+// nodes periodically re-test whether their installed split is still the
+// Hoeffding-best choice — replacing the subtree when it is not.
+func (t *Tree) learnAnytime(x []float64, class int) {
+	n := t.root
+	for {
+		if n.isLeaf() {
+			t.scoreLeafPredictors(n, x, class)
+		}
+		t.observeAt(n, x, class)
+		due := n.total()-n.seenAtSplit >= float64(t.cfg.GracePeriod)
+		if n.isLeaf() {
+			if due && n.depth < t.cfg.MaxDepth {
+				t.attemptSplit(n)
+			}
+			return
+		}
+		if due {
+			t.reevaluate(n)
+			if n.isLeaf() {
+				// The split was retracted; continue as a leaf next time.
+				return
+			}
+		}
+		n = n.children[t.routeIndex(n, x)]
+	}
+}
+
+// routeIndex picks the child index an instance follows at an internal node.
+func (t *Tree) routeIndex(n *node, x []float64) int {
+	if t.attrs[n.splitAttr].Kind == Nominal {
+		idx := int(x[n.splitAttr])
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(n.children) {
+			idx = len(n.children) - 1
+		}
+		return idx
+	}
+	if x[n.splitAttr] <= n.threshold {
+		return 0
+	}
+	return 1
+}
+
+// reevaluate re-tests an internal node's split (EFDT): when a different
+// attribute's gain now dominates the installed one by the Hoeffding bound,
+// the stale subtree is discarded and the node re-splits on the winner.
+func (t *Tree) reevaluate(n *node) {
+	n.seenAtSplit = n.total()
+	baseEntropy := entropy(n.classCounts)
+	if baseEntropy == 0 {
+		return
+	}
+	var best candidate
+	var current candidate
+	for ai, attr := range t.attrs {
+		var c candidate
+		if attr.Kind == Nominal {
+			c = t.nominalCandidate(n, ai, baseEntropy)
+		} else {
+			c = t.numericCandidate(n, ai, baseEntropy)
+		}
+		if ai == n.splitAttr {
+			current = c
+		}
+		if !c.valid {
+			continue
+		}
+		if !best.valid || c.gain > best.gain {
+			best = c
+		}
+	}
+	if !best.valid || best.attr == n.splitAttr {
+		return
+	}
+	currentGain := 0.0
+	if current.valid {
+		currentGain = current.gain
+	}
+	total := n.total()
+	r := math.Log2(float64(len(t.classes)))
+	eps := math.Sqrt(r * r * math.Log(1/t.cfg.Delta) / (2 * total))
+	if best.gain-currentGain <= eps {
+		return
+	}
+	// Kill the stale subtree and re-split on the winner.
+	t.nodes -= t.subtreeSize(n) - 1
+	n.children = nil
+	t.split(n, best)
+	t.resplits++
+}
+
+// subtreeSize counts the nodes rooted at n (including n).
+func (t *Tree) subtreeSize(n *node) int {
+	if n.isLeaf() {
+		return 1
+	}
+	total := 1
+	for _, c := range n.children {
+		total += t.subtreeSize(c)
+	}
+	return total
+}
+
+// Predict classifies an instance via the configured leaf strategy, or 0
+// when the tree has seen nothing.
+func (t *Tree) Predict(x []float64) int {
+	leaf := t.sortToLeaf(x)
+	if p := t.leafPredict(leaf, x); p >= 0 {
+		return p
+	}
+	return 0
+}
+
+// leafPredict applies the leaf strategy; -1 for an empty leaf.
+func (t *Tree) leafPredict(leaf *node, x []float64) int {
+	switch t.cfg.Leaf {
+	case NaiveBayes:
+		return t.naiveBayes(leaf, x)
+	case NaiveBayesAdaptive:
+		if leaf.nbCorrect > leaf.mcCorrect {
+			return t.naiveBayes(leaf, x)
+		}
+		return leaf.majority()
+	default:
+		return leaf.majority()
+	}
+}
+
+// naiveBayes scores argmax log P(c) + Σ log P(xᵢ|c) from the leaf's
+// observers, with Laplace smoothing on nominal counts and the per-class
+// Gaussians on numeric attributes. Falls back to majority when the leaf
+// has no observers (e.g. plain-VFDT internal statistics were discarded).
+func (t *Tree) naiveBayes(leaf *node, x []float64) int {
+	total := leaf.total()
+	if total == 0 {
+		return -1
+	}
+	if leaf.nominal == nil && leaf.numeric == nil {
+		return leaf.majority()
+	}
+	best, bestLL := -1, math.Inf(-1)
+	for cls, cc := range leaf.classCounts {
+		if cc == 0 {
+			continue
+		}
+		ll := math.Log(cc / total)
+		for ai, attr := range t.attrs {
+			if attr.Kind == Nominal {
+				obs := leaf.nominal[ai]
+				if obs == nil {
+					continue
+				}
+				v := int(x[ai])
+				if v < 0 {
+					v = 0
+				}
+				if v >= len(obs.counts) {
+					v = len(obs.counts) - 1
+				}
+				ll += math.Log((obs.counts[v][cls] + 1) / (cc + float64(attr.NumValues)))
+			} else {
+				obs := leaf.numeric[ai]
+				if obs == nil {
+					continue
+				}
+				g := &obs.perClass[cls]
+				if g.n < 2 {
+					continue
+				}
+				sd := math.Sqrt(g.variance())
+				if sd < 1e-9 {
+					sd = 1e-9
+				}
+				d := (x[ai] - g.mean) / sd
+				ll += -0.5*d*d - math.Log(sd)
+			}
+		}
+		if ll > bestLL {
+			best, bestLL = cls, ll
+		}
+	}
+	if best < 0 {
+		return leaf.majority()
+	}
+	return best
+}
+
+// PredictProba returns the normalized class distribution at the instance's
+// leaf (uniform for an empty leaf).
+func (t *Tree) PredictProba(x []float64) []float64 {
+	leaf := t.sortToLeaf(x)
+	out := make([]float64, len(t.classes))
+	total := leaf.total()
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, c := range leaf.classCounts {
+		out[i] = c / total
+	}
+	return out
+}
+
+// candidate is a potential split of one attribute.
+type candidate struct {
+	attr      int
+	gain      float64
+	threshold float64 // numeric only
+	valid     bool
+}
+
+// attemptSplit evaluates the Hoeffding bound at a leaf.
+func (t *Tree) attemptSplit(leaf *node) {
+	leaf.seenAtSplit = leaf.total()
+	baseEntropy := entropy(leaf.classCounts)
+	if baseEntropy == 0 {
+		return // pure leaf: nothing to gain
+	}
+	best, second := candidate{}, candidate{}
+	for ai, attr := range t.attrs {
+		var c candidate
+		if attr.Kind == Nominal {
+			c = t.nominalCandidate(leaf, ai, baseEntropy)
+		} else {
+			c = t.numericCandidate(leaf, ai, baseEntropy)
+		}
+		if !c.valid {
+			continue
+		}
+		if c.gain > best.gain || !best.valid {
+			second = best
+			best = c
+		} else if c.gain > second.gain || !second.valid {
+			second = c
+		}
+	}
+	if !best.valid || best.gain <= 0 {
+		return
+	}
+	n := leaf.total()
+	r := math.Log2(float64(len(t.classes)))
+	eps := math.Sqrt(r * r * math.Log(1/t.cfg.Delta) / (2 * n))
+	secondGain := 0.0
+	if second.valid {
+		secondGain = second.gain
+	}
+	if best.gain-secondGain > eps || eps < t.cfg.TieThreshold {
+		t.split(leaf, best)
+	}
+}
+
+// nominalCandidate computes the info gain of a multiway nominal split.
+func (t *Tree) nominalCandidate(leaf *node, ai int, baseEntropy float64) candidate {
+	obs := leaf.nominal[ai]
+	if obs == nil {
+		return candidate{}
+	}
+	total := leaf.total()
+	weighted := 0.0
+	nonEmpty := 0
+	for _, counts := range obs.counts {
+		sub := 0.0
+		for _, c := range counts {
+			sub += c
+		}
+		if sub == 0 {
+			continue
+		}
+		nonEmpty++
+		weighted += sub / total * entropy(counts)
+	}
+	if nonEmpty < 2 {
+		return candidate{} // splitting on a constant attribute is useless
+	}
+	return candidate{attr: ai, gain: baseEntropy - weighted, valid: true}
+}
+
+// numericCandidate evaluates equally spaced thresholds between the observed
+// min and max, estimating the class distribution on each side from the
+// per-class Gaussians (WEKA's Gaussian approximation).
+func (t *Tree) numericCandidate(leaf *node, ai int, baseEntropy float64) candidate {
+	obs := leaf.numeric[ai]
+	if obs == nil || !obs.seen || obs.max <= obs.min {
+		return candidate{}
+	}
+	total := leaf.total()
+	bestGain, bestThresh := -1.0, 0.0
+	k := t.cfg.NumCandidates
+	left := make([]float64, len(t.classes))
+	right := make([]float64, len(t.classes))
+	for i := 1; i <= k; i++ {
+		thresh := obs.min + (obs.max-obs.min)*float64(i)/float64(k+1)
+		lTot, rTot := 0.0, 0.0
+		for cls := range t.classes {
+			g := &obs.perClass[cls]
+			below := g.n * g.cdf(thresh)
+			left[cls] = below
+			right[cls] = g.n - below
+			lTot += below
+			rTot += g.n - below
+		}
+		if lTot < 1 || rTot < 1 {
+			continue
+		}
+		gain := baseEntropy - (lTot/total*entropy(left) + rTot/total*entropy(right))
+		if gain > bestGain {
+			bestGain, bestThresh = gain, thresh
+		}
+	}
+	if bestGain < 0 {
+		return candidate{}
+	}
+	return candidate{attr: ai, gain: bestGain, threshold: bestThresh, valid: true}
+}
+
+// split converts a leaf into an internal node. Children start with the
+// parent's class distribution projected through the observer so Majority
+// Class predictions stay sensible immediately after the split.
+func (t *Tree) split(leaf *node, c candidate) {
+	attr := t.attrs[c.attr]
+	var children []*node
+	if attr.Kind == Nominal {
+		obs := leaf.nominal[c.attr]
+		children = make([]*node, attr.NumValues)
+		for v := range children {
+			child := t.newLeaf(leaf.depth + 1)
+			if obs != nil {
+				copy(child.classCounts, obs.counts[v])
+			}
+			children[v] = child
+		}
+	} else {
+		obs := leaf.numeric[c.attr]
+		lo, hi := t.newLeaf(leaf.depth+1), t.newLeaf(leaf.depth+1)
+		for cls := range t.classes {
+			g := &obs.perClass[cls]
+			below := g.n * g.cdf(c.threshold)
+			lo.classCounts[cls] = below
+			hi.classCounts[cls] = g.n - below
+		}
+		children = []*node{lo, hi}
+	}
+	leaf.children = children
+	leaf.splitAttr = c.attr
+	leaf.threshold = c.threshold
+	if !t.cfg.ReevaluateSplits {
+		// Plain VFDT discards the observers once split; EFDT keeps them so
+		// the split can be re-tested later.
+		leaf.nominal = nil
+		leaf.numeric = nil
+	}
+	t.nodes += len(children)
+	t.splits++
+}
+
+// entropy is Shannon entropy in bits of an unnormalized count vector.
+func entropy(counts []float64) float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Depth returns the maximum leaf depth.
+func (t *Tree) Depth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n.isLeaf() {
+			return n.depth
+		}
+		d := n.depth
+		for _, c := range n.children {
+			if cd := walk(c); cd > d {
+				d = cd
+			}
+		}
+		return d
+	}
+	return walk(t.root)
+}
+
+// Reset wipes the tree back to a single empty leaf — the paper's manual
+// retraining trigger (§V-D) rebuilds from here.
+func (t *Tree) Reset() {
+	t.root = t.newLeaf(0)
+	t.nodes = 1
+	t.instances = 0
+	t.splits = 0
+	t.resplits = 0
+}

@@ -1,0 +1,143 @@
+package hoeffding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// leafStrategyProblem: within any leaf the numeric attribute still carries
+// class signal, so Naive Bayes (which reads the leaf's observers) should
+// beat Majority Class before splits catch up. A single numeric attribute
+// with three class bands works: early in training there is exactly one
+// leaf, where MC is right ~1/3 of the time and NB nearly always.
+func leafStrategyProblem(rng *rand.Rand) ([]float64, int) {
+	v := rng.Float64()
+	cls := 0
+	switch {
+	case v > 0.66:
+		cls = 2
+	case v > 0.33:
+		cls = 1
+	}
+	return []float64{v}, cls
+}
+
+func prequential(t *testing.T, strategy LeafStrategy, n int, seed int64) float64 {
+	t.Helper()
+	tr := New(
+		[]Attribute{{Name: "v", Kind: Numeric}},
+		[]string{"a", "b", "c"},
+		Config{GracePeriod: 10_000, Leaf: strategy}, // huge grace: leaf-only regime
+	)
+	rng := rand.New(rand.NewSource(seed))
+	correct := 0
+	for i := 0; i < n; i++ {
+		x, cls := leafStrategyProblem(rng)
+		if tr.Predict(x) == cls {
+			correct++
+		}
+		tr.Learn(x, cls)
+	}
+	return float64(correct) / float64(n)
+}
+
+func TestNaiveBayesLeavesBeatMajorityPreSplit(t *testing.T) {
+	mc := prequential(t, MajorityClass, 3000, 1)
+	nb := prequential(t, NaiveBayes, 3000, 1)
+	if mc > 0.45 {
+		t.Fatalf("majority class suspiciously good pre-split: %.3f", mc)
+	}
+	if nb < 0.85 {
+		t.Fatalf("naive bayes leaves should dominate pre-split: %.3f", nb)
+	}
+	if nb <= mc+0.2 {
+		t.Errorf("nb %.3f vs mc %.3f: expected a wide gap", nb, mc)
+	}
+}
+
+func TestNaiveBayesAdaptiveTracksBetterPredictor(t *testing.T) {
+	ad := prequential(t, NaiveBayesAdaptive, 3000, 2)
+	nb := prequential(t, NaiveBayes, 3000, 2)
+	// Adaptive should converge to NB here (within a warm-up gap).
+	if ad < nb-0.1 {
+		t.Errorf("adaptive %.3f lags naive bayes %.3f", ad, nb)
+	}
+}
+
+func TestNaiveBayesNominalAttributes(t *testing.T) {
+	// Class = attribute value with 10% noise; one giant leaf. NB reads the
+	// per-value counts and recovers the mapping.
+	tr := New(
+		[]Attribute{{Name: "a", Kind: Nominal, NumValues: 3}},
+		[]string{"x", "y", "z"},
+		Config{GracePeriod: 1 << 20, Leaf: NaiveBayes},
+	)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := rng.Intn(3)
+		cls := v
+		if rng.Float64() < 0.1 {
+			cls = rng.Intn(3)
+		}
+		tr.Learn([]float64{float64(v)}, cls)
+	}
+	for v := 0; v < 3; v++ {
+		if got := tr.Predict([]float64{float64(v)}); got != v {
+			t.Errorf("Predict(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestNaiveBayesEmptyAndDegenerateLeaves(t *testing.T) {
+	tr := New(
+		[]Attribute{{Name: "v", Kind: Numeric}},
+		[]string{"a", "b"},
+		Config{Leaf: NaiveBayes},
+	)
+	// Empty tree predicts 0 without panicking.
+	if got := tr.Predict([]float64{0.5}); got != 0 {
+		t.Errorf("empty Predict = %d", got)
+	}
+	// Single observation: Gaussian has n<2, NB falls back gracefully.
+	tr.Learn([]float64{0.5}, 1)
+	if got := tr.Predict([]float64{0.5}); got != 1 {
+		t.Errorf("one-shot Predict = %d", got)
+	}
+}
+
+func TestNaiveBayesWithEFDT(t *testing.T) {
+	// The strategies compose: EFDT keeps observers at internal nodes, NB
+	// leaves keep predicting; nothing panics and accuracy is sane.
+	tr := New(
+		[]Attribute{
+			{Name: "a", Kind: Nominal, NumValues: 2},
+			{Name: "v", Kind: Numeric},
+		},
+		[]string{"x", "y"},
+		Config{GracePeriod: 100, Leaf: NaiveBayesAdaptive, ReevaluateSplits: true},
+	)
+	rng := rand.New(rand.NewSource(4))
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		a := rng.Intn(2)
+		v := rng.Float64()
+		cls := a
+		if i > 10000 { // drift: numeric takes over
+			cls = 0
+			if v > 0.5 {
+				cls = 1
+			}
+		}
+		x := []float64{float64(a), v}
+		if i > 15000 {
+			if tr.Predict(x) == cls {
+				correct++
+			}
+			total++
+		}
+		tr.Learn(x, cls)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("EFDT+NB post-drift accuracy %.3f", acc)
+	}
+}

@@ -1,0 +1,229 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+const testSpan = 10_000
+
+func builders() []struct {
+	name string
+	f    func() Index
+} {
+	return []struct {
+		name string
+		f    func() Index
+	}{
+		{"Grid", func() Index { return NewGrid(geo.UnitSquare, 4096, testSpan) }},
+		{"QuadTree", func() Index { return NewQuadTree(geo.UnitSquare, testSpan) }},
+	}
+}
+
+func genObj(rng *rand.Rand, id uint64, ts int64) stream.Object {
+	kws := []string{fmt.Sprintf("kw%d", rng.Intn(30))}
+	if rng.Intn(2) == 0 {
+		kws = append(kws, fmt.Sprintf("kw%d", rng.Intn(30)))
+	}
+	return stream.Object{
+		ID:        id,
+		Loc:       geo.Pt(rng.Float64(), rng.Float64()),
+		Keywords:  kws,
+		Timestamp: ts,
+	}
+}
+
+func genQuery(rng *rand.Rand, ts int64) stream.Query {
+	switch rng.Intn(3) {
+	case 0:
+		return stream.SpatialQ(randRect(rng), ts)
+	case 1:
+		return stream.KeywordQ([]string{fmt.Sprintf("kw%d", rng.Intn(30))}, ts)
+	default:
+		return stream.HybridQ(randRect(rng), []string{fmt.Sprintf("kw%d", rng.Intn(30))}, ts)
+	}
+}
+
+func randRect(rng *rand.Rand) geo.Rect {
+	return geo.CenteredRect(geo.Pt(rng.Float64(), rng.Float64()), rng.Float64()*0.4+0.02, rng.Float64()*0.4+0.02)
+}
+
+// TestIndexesMatchOracle verifies both full indexes return exactly the
+// oracle's answers (IDs, not just counts) across mixed query types and
+// window churn.
+func TestIndexesMatchOracle(t *testing.T) {
+	for _, b := range builders() {
+		t.Run(b.name, func(t *testing.T) {
+			idx := b.f()
+			var all []stream.Object
+			rng := rand.New(rand.NewSource(77))
+			ts := int64(0)
+			for i := 0; i < 20000; i++ {
+				ts += int64(rng.Intn(3))
+				o := genObj(rng, uint64(i), ts)
+				all = append(all, o)
+				idx.Insert(&o)
+
+				if i%701 == 0 {
+					q := genQuery(rng, ts)
+					got := idx.Search(&q)
+					want := bruteIDs(all, &q, ts-testSpan)
+					sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+					if len(got) != len(want) {
+						t.Fatalf("at %d, %v: got %d ids, want %d", i, q, len(got), len(want))
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							t.Fatalf("at %d: id mismatch at %d: %d vs %d", i, j, got[j], want[j])
+						}
+					}
+					if c := idx.Count(&q); c != len(want) {
+						t.Fatalf("Count = %d, want %d", c, len(want))
+					}
+				}
+			}
+		})
+	}
+}
+
+func bruteIDs(objs []stream.Object, q *stream.Query, cutoff int64) []uint64 {
+	var out []uint64
+	for i := range objs {
+		o := &objs[i]
+		if o.Timestamp < cutoff || o.Timestamp > q.Timestamp {
+			continue
+		}
+		if q.Matches(o) {
+			out = append(out, o.ID)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func TestEvictionBoundsMemory(t *testing.T) {
+	for _, b := range builders() {
+		t.Run(b.name, func(t *testing.T) {
+			idx := b.f()
+			rng := rand.New(rand.NewSource(5))
+			// 200k inserts at 1/ms: window holds only the last 10k.
+			ts := int64(0)
+			for i := 0; i < 200_000; i++ {
+				ts++
+				o := genObj(rng, uint64(i), ts)
+				idx.Insert(&o)
+			}
+			// Live count must be near the window population (sweeps lag by
+			// their amortization interval).
+			live := idx.Len()
+			if live < 9000 || live > 30_000 {
+				t.Errorf("Len = %d, want ~10000 (bounded)", live)
+			}
+		})
+	}
+}
+
+func TestQuadTreeStructure(t *testing.T) {
+	qt := NewQuadTree(geo.UnitSquare, testSpan)
+	if qt.Nodes() != 1 {
+		t.Fatalf("fresh Nodes = %d", qt.Nodes())
+	}
+	rng := rand.New(rand.NewSource(9))
+	ts := int64(0)
+	for i := 0; i < 5000; i++ {
+		ts++
+		o := genObj(rng, uint64(i), ts)
+		qt.Insert(&o)
+	}
+	if qt.Nodes() <= 1 {
+		t.Error("quadtree never split")
+	}
+	if qt.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+	if qt.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestQuadTreeRebuildKeepsAnswers(t *testing.T) {
+	qt := NewQuadTree(geo.UnitSquare, 1000) // tiny window forces rebuilds
+	var all []stream.Object
+	rng := rand.New(rand.NewSource(13))
+	ts := int64(0)
+	for i := 0; i < 50_000; i++ {
+		ts++
+		o := genObj(rng, uint64(i), ts)
+		all = append(all, o)
+		qt.Insert(&o)
+	}
+	q := stream.SpatialQ(geo.CenteredRect(geo.Pt(0.5, 0.5), 0.5, 0.5), ts)
+	got := qt.Count(&q)
+	want := len(bruteIDs(all, &q, ts-1000))
+	if got != want {
+		t.Errorf("post-rebuild Count = %d, want %d", got, want)
+	}
+}
+
+func TestGridKeywordScanMatches(t *testing.T) {
+	g := NewGrid(geo.UnitSquare, 1024, testSpan)
+	var all []stream.Object
+	rng := rand.New(rand.NewSource(17))
+	ts := int64(0)
+	for i := 0; i < 10000; i++ {
+		ts++
+		o := genObj(rng, uint64(i), ts)
+		all = append(all, o)
+		g.Insert(&o)
+	}
+	q := stream.KeywordQ([]string{"kw0", "kw5"}, ts)
+	if got, want := g.Count(&q), len(bruteIDs(all, &q, ts-testSpan)); got != want {
+		t.Errorf("keyword Count = %d, want %d", got, want)
+	}
+}
+
+func TestInvalidWorldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewQuadTree(geo.Rect{}, 100)
+}
+
+func BenchmarkGridSearch(b *testing.B) {
+	g := NewGrid(geo.UnitSquare, 4096, 1_000_000)
+	rng := rand.New(rand.NewSource(1))
+	ts := int64(0)
+	for i := 0; i < 100_000; i++ {
+		ts++
+		o := genObj(rng, uint64(i), ts)
+		g.Insert(&o)
+	}
+	q := stream.HybridQ(geo.CenteredRect(geo.Pt(0.5, 0.5), 0.3, 0.3), []string{"kw0"}, ts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Count(&q)
+	}
+}
+
+func BenchmarkQuadTreeSearch(b *testing.B) {
+	qt := NewQuadTree(geo.UnitSquare, 1_000_000)
+	rng := rand.New(rand.NewSource(1))
+	ts := int64(0)
+	for i := 0; i < 100_000; i++ {
+		ts++
+		o := genObj(rng, uint64(i), ts)
+		qt.Insert(&o)
+	}
+	q := stream.HybridQ(geo.CenteredRect(geo.Pt(0.5, 0.5), 0.3, 0.3), []string{"kw0"}, ts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = qt.Count(&q)
+	}
+}

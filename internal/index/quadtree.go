@@ -1,0 +1,222 @@
+package index
+
+import (
+	"fmt"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// QuadTree defaults.
+const (
+	qtLeafCapacity = 64
+	qtMaxDepth     = 16
+	// qtRebuildSlack: rebuild once expired objects exceed this fraction of
+	// the tree's population.
+	qtRebuildSlack = 0.5
+	// qtCheckEvery is how many inserts pass between liveness censuses.
+	qtCheckEvery = 4096
+)
+
+// QuadTree is a bucket PR quadtree storing full objects. Leaves split at
+// qtLeafCapacity; expired objects become invisible to queries immediately
+// (timestamp check) and are physically reclaimed by a full rebuild once
+// they exceed half the population — the standard amortized approach for
+// append-heavy streaming indexes.
+type QuadTree struct {
+	world geo.Rect
+	span  int64
+	root  *qtNode
+
+	total      int // objects physically stored
+	oldest     int64
+	lastTs     int64
+	nodes      int
+	sinceCheck int
+}
+
+type qtNode struct {
+	bounds   geo.Rect
+	depth    int
+	children *[4]*qtNode
+	objs     []stream.Object
+}
+
+// NewQuadTree builds a quadtree index over world retaining span ms.
+func NewQuadTree(world geo.Rect, span int64) *QuadTree {
+	if world.Empty() || !world.Valid() {
+		panic(fmt.Sprintf("index: invalid world %v", world))
+	}
+	return &QuadTree{
+		world: world,
+		span:  span,
+		root:  &qtNode{bounds: world},
+		nodes: 1,
+	}
+}
+
+// Name implements Index.
+func (t *QuadTree) Name() string { return "QuadTree" }
+
+// Len implements Index: live (unexpired) objects.
+func (t *QuadTree) Len() int {
+	cutoff := t.lastTs - t.span
+	n := 0
+	t.walk(t.root, func(nd *qtNode) {
+		for i := range nd.objs {
+			if nd.objs[i].Timestamp >= cutoff {
+				n++
+			}
+		}
+	})
+	return n
+}
+
+// Nodes returns the structural node count.
+func (t *QuadTree) Nodes() int { return t.nodes }
+
+func (t *QuadTree) walk(n *qtNode, fn func(*qtNode)) {
+	fn(n)
+	if n.children != nil {
+		for _, c := range n.children {
+			t.walk(c, fn)
+		}
+	}
+}
+
+// Insert implements Index.
+func (t *QuadTree) Insert(o *stream.Object) {
+	if t.total == 0 {
+		t.oldest = o.Timestamp
+	}
+	t.lastTs = o.Timestamp
+	t.insert(t.root, o)
+	t.total++
+	t.sinceCheck++
+	// Rebuild when expired mass dominates. The liveness census is O(total),
+	// so it only runs every qtCheckEvery inserts once the oldest stored
+	// object has fallen out of the window.
+	if t.sinceCheck >= qtCheckEvery {
+		t.sinceCheck = 0
+		cutoff := o.Timestamp - t.span
+		if t.oldest < cutoff {
+			if live := t.countLive(cutoff); float64(t.total-live) > qtRebuildSlack*float64(t.total) {
+				t.rebuild(cutoff)
+			}
+		}
+	}
+}
+
+func (t *QuadTree) insert(n *qtNode, o *stream.Object) {
+	for n.children != nil {
+		n = n.children[n.bounds.QuadrantOf(o.Loc)]
+	}
+	n.objs = append(n.objs, *o)
+	if len(n.objs) > qtLeafCapacity && n.depth < qtMaxDepth {
+		t.splitLeaf(n)
+	}
+}
+
+func (t *QuadTree) splitLeaf(n *qtNode) {
+	quads := n.bounds.Quadrants()
+	var ch [4]*qtNode
+	for i := range ch {
+		ch[i] = &qtNode{bounds: quads[i], depth: n.depth + 1}
+	}
+	for i := range n.objs {
+		o := &n.objs[i]
+		c := ch[n.bounds.QuadrantOf(o.Loc)]
+		c.objs = append(c.objs, *o)
+	}
+	n.objs = nil
+	n.children = &ch
+	t.nodes += 4
+}
+
+func (t *QuadTree) countLive(cutoff int64) int {
+	n := 0
+	t.walk(t.root, func(nd *qtNode) {
+		for i := range nd.objs {
+			if nd.objs[i].Timestamp >= cutoff {
+				n++
+			}
+		}
+	})
+	return n
+}
+
+// rebuild reconstructs the tree from live objects only.
+func (t *QuadTree) rebuild(cutoff int64) {
+	var live []stream.Object
+	t.walk(t.root, func(nd *qtNode) {
+		for i := range nd.objs {
+			if nd.objs[i].Timestamp >= cutoff {
+				live = append(live, nd.objs[i])
+			}
+		}
+	})
+	t.root = &qtNode{bounds: t.world}
+	t.nodes = 1
+	t.total = len(live)
+	// Survivors are all ≥ cutoff; cutoff is a safe lower bound for the
+	// next census trigger (walk order is not arrival order, so live[0]
+	// would not be the true oldest).
+	t.oldest = cutoff
+	for i := range live {
+		t.insert(t.root, &live[i])
+	}
+}
+
+// Search implements Index.
+func (t *QuadTree) Search(q *stream.Query) []uint64 {
+	var out []uint64
+	t.scan(q, func(o *stream.Object) { out = append(out, o.ID) })
+	return out
+}
+
+// Count implements Index.
+func (t *QuadTree) Count(q *stream.Query) int {
+	n := 0
+	t.scan(q, func(o *stream.Object) { n++ })
+	return n
+}
+
+func (t *QuadTree) scan(q *stream.Query, fn func(o *stream.Object)) {
+	cutoff := q.Timestamp - t.span
+	var rec func(n *qtNode)
+	rec = func(n *qtNode) {
+		if q.HasRange && !n.bounds.Intersects(q.Range) {
+			return
+		}
+		if n.children != nil {
+			for _, c := range n.children {
+				rec(c)
+			}
+			return
+		}
+		for i := range n.objs {
+			o := &n.objs[i]
+			if o.Timestamp < cutoff || o.Timestamp > q.Timestamp {
+				continue
+			}
+			if q.Matches(o) {
+				fn(o)
+			}
+		}
+	}
+	rec(t.root)
+}
+
+// MemoryBytes implements Index.
+func (t *QuadTree) MemoryBytes() int {
+	b := 0
+	t.walk(t.root, func(nd *qtNode) {
+		b += 96 + 64*cap(nd.objs)
+	})
+	return b
+}
+
+// String summarizes state for diagnostics.
+func (t *QuadTree) String() string {
+	return fmt.Sprintf("QuadTree{nodes=%d stored=%d}", t.nodes, t.total)
+}

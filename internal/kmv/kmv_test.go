@@ -1,0 +1,286 @@
+package kmv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Stability(t *testing.T) {
+	// Hash64 is fmix64 applied to FNV-1a; guard the published FNV constants
+	// through the bijective finalizer.
+	if got := Hash64(""); got != Mix64(14695981039346656037) {
+		t.Errorf("Hash64(\"\") = %d", got)
+	}
+	if got := Hash64("a"); got != Mix64(0xaf63dc4c8601ec8c) {
+		t.Errorf("Hash64(\"a\") = %#x", got)
+	}
+	if Hash64("fire") == Hash64("rescue") {
+		t.Error("distinct strings should hash differently")
+	}
+	if Hash64("fire") != Hash64("fire") {
+		t.Error("hash must be deterministic")
+	}
+}
+
+func TestHash64UpperBitsUniform(t *testing.T) {
+	// Sequential short keys must land roughly uniformly on [0,1): this is
+	// the property raw FNV-1a lacks and the finalizer restores.
+	const n = 50000
+	buckets := make([]int, 16)
+	for i := 0; i < n; i++ {
+		u := Unit(Hash64(fmt.Sprintf("kw%d", i)))
+		buckets[int(u*16)]++
+	}
+	for b, c := range buckets {
+		frac := float64(c) / n
+		if frac < 0.04 || frac > 0.09 { // ideal 0.0625
+			t.Errorf("bucket %d holds %.3f of mass", b, frac)
+		}
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	f := func(h uint64) bool {
+		u := Unit(h)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Unit(0) != 0 {
+		t.Errorf("Unit(0) = %v", Unit(0))
+	}
+}
+
+func TestSynopsisExactBelowK(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 40; i++ {
+		s.Add(fmt.Sprintf("kw%d", i))
+	}
+	// Re-adding duplicates changes nothing.
+	for i := 0; i < 40; i++ {
+		s.Add(fmt.Sprintf("kw%d", i))
+	}
+	if got := s.Distinct(); got != 40 {
+		t.Errorf("Distinct = %v, want exactly 40", got)
+	}
+	if s.Len() != 40 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSynopsisEstimateAccuracy(t *testing.T) {
+	const trueDistinct = 20000
+	s := New(1024)
+	for i := 0; i < trueDistinct; i++ {
+		s.Add(fmt.Sprintf("elem-%d", i))
+	}
+	// Duplicates should not move the estimate.
+	before := s.Distinct()
+	for i := 0; i < trueDistinct; i += 3 {
+		s.Add(fmt.Sprintf("elem-%d", i))
+	}
+	if s.Distinct() != before {
+		t.Error("duplicates changed the estimate")
+	}
+	relErr := math.Abs(s.Distinct()-trueDistinct) / trueDistinct
+	// Standard error at k=1024 is ~3%; 15% is a generous determinism-safe bound.
+	if relErr > 0.15 {
+		t.Errorf("relative error %.3f too high (estimate %v)", relErr, s.Distinct())
+	}
+}
+
+func TestSynopsisMergeEquivalence(t *testing.T) {
+	a, b, both := New(256), New(256), New(256)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		e := fmt.Sprintf("x%d", rng.Intn(8000))
+		if i%2 == 0 {
+			a.Add(e)
+		} else {
+			b.Add(e)
+		}
+		both.Add(e)
+	}
+	a.Merge(b)
+	if got, want := a.Distinct(), both.Distinct(); math.Abs(got-want)/want > 0.1 {
+		t.Errorf("merged estimate %v differs from direct %v", got, want)
+	}
+	a.Merge(nil) // must be a no-op
+}
+
+func TestSynopsisKeepsSmallestK(t *testing.T) {
+	s := New(4)
+	hashes := []uint64{500, 100, 900, 300, 200, 800, 50}
+	for _, h := range hashes {
+		s.AddHash(h)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// The retained set must be {50, 100, 200, 300}.
+	for _, h := range []uint64{50, 100, 200, 300} {
+		if _, ok := s.set[h]; !ok {
+			t.Errorf("missing retained hash %d; set=%v", h, s.set)
+		}
+	}
+	if s.heap[0] != 300 {
+		t.Errorf("heap max = %d, want 300", s.heap[0])
+	}
+}
+
+func TestSynopsisCloneIndependent(t *testing.T) {
+	s := New(16)
+	for i := 0; i < 10; i++ {
+		s.Add(fmt.Sprintf("a%d", i))
+	}
+	c := s.Clone()
+	for i := 0; i < 10; i++ {
+		c.Add(fmt.Sprintf("b%d", i))
+	}
+	if s.Distinct() != 10 {
+		t.Errorf("clone mutated original: %v", s.Distinct())
+	}
+	if c.Distinct() != 16 { // capped at k=16 retained, but still <k... 20 distinct > 16
+		// 20 distinct with k=16 means estimation kicks in; just sanity-bound it.
+		if c.Distinct() < 12 || c.Distinct() > 40 {
+			t.Errorf("clone estimate wild: %v", c.Distinct())
+		}
+	}
+}
+
+func TestSynopsisResetAndPanics(t *testing.T) {
+	s := New(8)
+	s.Add("x")
+	s.Reset()
+	if s.Len() != 0 || s.Distinct() != 0 {
+		t.Error("Reset left state behind")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New(1) should panic")
+		}
+	}()
+	New(1)
+}
+
+func TestSlicedWindowEviction(t *testing.T) {
+	s := NewSliced(256, 4)
+	// Slice 0: elements a0..a999; slices 1..3: nothing new.
+	for i := 0; i < 1000; i++ {
+		s.Add(fmt.Sprintf("a%d", i))
+	}
+	est := s.Distinct()
+	if math.Abs(est-1000)/1000 > 0.2 {
+		t.Fatalf("initial estimate %v", est)
+	}
+	// After 3 advances the a-slice is still live (ring size 4).
+	s.Advance()
+	s.Advance()
+	s.Advance()
+	if got := s.Distinct(); math.Abs(got-est) > 1e-9 {
+		t.Fatalf("estimate changed while slice still live: %v -> %v", est, got)
+	}
+	// Fourth advance overwrites the a-slice: estimate drops to ~0.
+	s.Advance()
+	if got := s.Distinct(); got != 0 {
+		t.Fatalf("after eviction Distinct = %v, want 0", got)
+	}
+}
+
+func TestSlicedMixedSlices(t *testing.T) {
+	s := NewSliced(512, 3)
+	for i := 0; i < 500; i++ {
+		s.Add(fmt.Sprintf("s0-%d", i))
+	}
+	s.Advance()
+	for i := 0; i < 500; i++ {
+		s.Add(fmt.Sprintf("s1-%d", i))
+	}
+	got := s.Distinct()
+	if math.Abs(got-1000)/1000 > 0.2 {
+		t.Fatalf("two-slice distinct = %v, want ~1000", got)
+	}
+	s.Advance()
+	s.Advance() // evicts slice 0
+	got = s.Distinct()
+	if math.Abs(got-500)/500 > 0.2 {
+		t.Fatalf("after evicting first slice Distinct = %v, want ~500", got)
+	}
+}
+
+func TestSlicedPanicsOnBadSliceCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSliced(8, 0) should panic")
+		}
+	}()
+	NewSliced(8, 0)
+}
+
+func TestMemoryBytesGrowsWithK(t *testing.T) {
+	small, large := New(64), New(1024)
+	for i := 0; i < 5000; i++ {
+		e := fmt.Sprintf("m%d", i)
+		small.Add(e)
+		large.Add(e)
+	}
+	if small.MemoryBytes() >= large.MemoryBytes() {
+		t.Errorf("memory: k=64 %d >= k=1024 %d", small.MemoryBytes(), large.MemoryBytes())
+	}
+	sl := NewSliced(64, 8)
+	if sl.MemoryBytes() <= 0 {
+		t.Error("sliced memory should be positive")
+	}
+}
+
+// Property: Distinct never exceeds the true distinct count by more than a
+// loose multiplicative factor for adversarial small inputs, and is exact
+// below k.
+func TestDistinctNeverNegative(t *testing.T) {
+	f := func(elems []string) bool {
+		s := New(32)
+		seen := map[string]struct{}{}
+		for _, e := range elems {
+			s.Add(e)
+			seen[e] = struct{}{}
+		}
+		d := s.Distinct()
+		if d < 0 {
+			return false
+		}
+		if len(seen) < 32 && d != float64(len(seen)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSynopsisAdd(b *testing.B) {
+	s := New(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddHash(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}
+
+func BenchmarkSlicedDistinct(b *testing.B) {
+	s := NewSliced(1024, 16)
+	for i := 0; i < 100_000; i++ {
+		s.Add(fmt.Sprintf("e%d", i))
+		if i%6250 == 0 {
+			s.Advance()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.dirty = true // defeat the cache to measure a full merge
+		_ = s.Distinct()
+	}
+}

@@ -1,0 +1,159 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardShapeAndRange(t *testing.T) {
+	n := New(Config{Inputs: 3, Hidden: []int{5, 4}, Outputs: 2, Seed: 1})
+	out := n.Forward([]float64{0.1, 0.5, 0.9})
+	if len(out) != 2 {
+		t.Fatalf("output dim = %d", len(out))
+	}
+	for _, v := range out {
+		if v <= 0 || v >= 1 || math.IsNaN(v) {
+			t.Errorf("sigmoid output out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := New(Config{Inputs: 2, Hidden: []int{4}, Seed: 7})
+	b := New(Config{Inputs: 2, Hidden: []int{4}, Seed: 7})
+	x := []float64{0.3, 0.6}
+	if a.Predict(x) != b.Predict(x) {
+		t.Error("same seed must give identical networks")
+	}
+	c := New(Config{Inputs: 2, Hidden: []int{4}, Seed: 8})
+	if a.Predict(x) == c.Predict(x) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	// The classic non-linearly-separable sanity check.
+	n := New(Config{Inputs: 2, Hidden: []int{8}, Outputs: 1, Seed: 3})
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := [][]float64{{0.1}, {0.9}, {0.9}, {0.1}}
+	epochs, loss := n.Fit(xs, ys, 20000, 1e-9)
+	if loss > 0.01 {
+		t.Fatalf("XOR not learned after %d epochs: loss %v", epochs, loss)
+	}
+	for i, x := range xs {
+		p := n.Predict(x)
+		if math.Abs(p-ys[i][0]) > 0.2 {
+			t.Errorf("xor(%v) = %v, want ~%v", x, p, ys[i][0])
+		}
+	}
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	// y = 0.2 + 0.5*x1 + 0.2*x2, inputs in [0,1].
+	rng := rand.New(rand.NewSource(9))
+	var xs, ys [][]float64
+	for i := 0; i < 400; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		xs = append(xs, []float64{x1, x2})
+		ys = append(ys, []float64{0.2 + 0.5*x1 + 0.2*x2})
+	}
+	n := New(Config{Inputs: 2, Hidden: []int{6}, Seed: 11})
+	_, loss := n.Fit(xs, ys, 500, 1e-8)
+	if loss > 0.002 {
+		t.Fatalf("linear fn not learned: loss %v", loss)
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	n := New(Config{Inputs: 1, Hidden: []int{4}, Seed: 2})
+	x, y := []float64{0.5}, []float64{0.8}
+	first := n.Train(x, y)
+	var last float64
+	for i := 0; i < 200; i++ {
+		last = n.Train(x, y)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestFitEarlyStop(t *testing.T) {
+	// A constant target is learned almost immediately; Fit should stop far
+	// before the epoch cap.
+	xs := [][]float64{{0.1}, {0.4}, {0.9}}
+	ys := [][]float64{{0.5}, {0.5}, {0.5}}
+	n := New(Config{Inputs: 1, Hidden: []int{3}, Seed: 4})
+	epochs, _ := n.Fit(xs, ys, 100000, 1e-7)
+	if epochs >= 100000 {
+		t.Errorf("early stop never triggered (%d epochs)", epochs)
+	}
+}
+
+func TestFitEmptyDataset(t *testing.T) {
+	n := New(Config{Inputs: 2, Seed: 1})
+	if e, l := n.Fit(nil, nil, 100, 1e-6); e != 0 || l != 0 {
+		t.Errorf("empty Fit = (%d, %v)", e, l)
+	}
+}
+
+func TestPanicsOnBadShapes(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero inputs":     func() { New(Config{Inputs: 0}) },
+		"bad hidden":      func() { New(Config{Inputs: 2, Hidden: []int{0}}) },
+		"wrong input dim": func() { New(Config{Inputs: 2, Seed: 1}).Forward([]float64{1}) },
+		"wrong target":    func() { New(Config{Inputs: 1, Seed: 1}).Train([]float64{1}, []float64{1, 2}) },
+		"mismatched fit":  func() { New(Config{Inputs: 1, Seed: 1}).Fit([][]float64{{1}}, nil, 1, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestNumParameters(t *testing.T) {
+	n := New(Config{Inputs: 3, Hidden: []int{5}, Outputs: 2, Seed: 1})
+	// (3*5 + 5) + (5*2 + 2) = 20 + 12 = 32
+	if got := n.NumParameters(); got != 32 {
+		t.Errorf("NumParameters = %d, want 32", got)
+	}
+}
+
+func TestNoHiddenLayerIsLogisticRegression(t *testing.T) {
+	n := New(Config{Inputs: 2, Outputs: 1, Seed: 5})
+	xs := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+	ys := [][]float64{{0.1}, {0.9}, {0.5}, {0.5}}
+	if _, loss := n.Fit(xs, ys, 2000, 1e-9); loss > 0.05 {
+		t.Errorf("separable data not fit by perceptron: %v", loss)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	n := New(Config{Inputs: 8, Hidden: []int{16, 8}, Seed: 1})
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = float64(i) / 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.Predict(x)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	n := New(Config{Inputs: 8, Hidden: []int{16, 8}, Seed: 1})
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = float64(i) / 8
+	}
+	y := []float64{0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.Train(x, y)
+	}
+}

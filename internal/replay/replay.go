@@ -1,0 +1,151 @@
+// Package replay streams geo-textual objects from JSON Lines input, so
+// real datasets can drive LATEST instead of the synthetic generators. One
+// object per line:
+//
+//	{"id":1,"lon":-118.24,"lat":34.05,"keywords":["fire"],"ts":1700000000000}
+//
+// Fields map to stream.Object: ts is the virtual-time millisecond
+// timestamp (any epoch works; only differences matter), and lines must be
+// ordered by non-decreasing ts — the reader enforces this because every
+// window structure downstream depends on it. Missing ids are assigned
+// sequentially; empty keyword lists are allowed.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// wireObject is the JSONL wire format.
+type wireObject struct {
+	ID       *uint64  `json:"id"`
+	Lon      *float64 `json:"lon"`
+	Lat      *float64 `json:"lat"`
+	Keywords []string `json:"keywords"`
+	TS       *int64   `json:"ts"`
+}
+
+// Reader decodes a JSONL object stream.
+type Reader struct {
+	scan   *bufio.Scanner
+	line   int
+	lastTS int64
+	nextID uint64
+	seen   bool
+
+	world    geo.Rect
+	hasWorld bool
+	count    int
+}
+
+// NewReader wraps r. Call SetWorld to additionally validate locations
+// against a known domain.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &Reader{scan: s}
+}
+
+// SetWorld makes Next reject objects outside the given rectangle.
+func (r *Reader) SetWorld(world geo.Rect) { r.world, r.hasWorld = world, true }
+
+// Count returns how many objects have been decoded so far.
+func (r *Reader) Count() int { return r.count }
+
+// ErrOutOfOrder is wrapped into errors for timestamp regressions.
+var ErrOutOfOrder = errors.New("timestamps must be non-decreasing")
+
+// Next returns the next object, io.EOF at end of input, or a line-tagged
+// error for malformed input.
+func (r *Reader) Next() (stream.Object, error) {
+	for r.scan.Scan() {
+		r.line++
+		raw := r.scan.Bytes()
+		if len(trimSpace(raw)) == 0 {
+			continue // blank lines are permitted
+		}
+		var w wireObject
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return stream.Object{}, fmt.Errorf("replay: line %d: %w", r.line, err)
+		}
+		o, err := r.build(&w)
+		if err != nil {
+			return stream.Object{}, fmt.Errorf("replay: line %d: %w", r.line, err)
+		}
+		r.count++
+		return o, nil
+	}
+	if err := r.scan.Err(); err != nil {
+		return stream.Object{}, fmt.Errorf("replay: line %d: %w", r.line, err)
+	}
+	return stream.Object{}, io.EOF
+}
+
+func (r *Reader) build(w *wireObject) (stream.Object, error) {
+	if w.Lon == nil || w.Lat == nil {
+		return stream.Object{}, errors.New("missing lon/lat")
+	}
+	if w.TS == nil {
+		return stream.Object{}, errors.New("missing ts")
+	}
+	if r.seen && *w.TS < r.lastTS {
+		return stream.Object{}, fmt.Errorf("%w (got %d after %d)", ErrOutOfOrder, *w.TS, r.lastTS)
+	}
+	loc := geo.Pt(*w.Lon, *w.Lat)
+	if r.hasWorld && !r.world.Contains(loc) {
+		return stream.Object{}, fmt.Errorf("location %v outside world %v", loc, r.world)
+	}
+	id := r.nextID
+	if w.ID != nil {
+		id = *w.ID
+	}
+	r.nextID = id + 1
+	r.lastTS = *w.TS
+	r.seen = true
+	return stream.Object{
+		ID:        id,
+		Loc:       loc,
+		Keywords:  w.Keywords,
+		Timestamp: *w.TS,
+	}, nil
+}
+
+// trimSpace avoids importing bytes for one call.
+func trimSpace(b []byte) []byte {
+	start, end := 0, len(b)
+	for start < end && (b[start] == ' ' || b[start] == '\t' || b[start] == '\r') {
+		start++
+	}
+	for end > start && (b[end-1] == ' ' || b[end-1] == '\t' || b[end-1] == '\r') {
+		end--
+	}
+	return b[start:end]
+}
+
+// Writer encodes objects as JSONL — the inverse of Reader, used to export
+// synthetic streams for external tools or to snapshot a replayable trace.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write emits one object.
+func (w *Writer) Write(o *stream.Object) error {
+	id, lon, lat, ts := o.ID, o.Loc.X, o.Loc.Y, o.Timestamp
+	return w.enc.Encode(wireObject{ID: &id, Lon: &lon, Lat: &lat, Keywords: o.Keywords, TS: &ts})
+}
+
+// Flush flushes buffered output; call before closing the destination.
+func (w *Writer) Flush() error { return w.w.Flush() }

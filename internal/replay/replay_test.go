@@ -1,0 +1,162 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+func readAll(t *testing.T, r *Reader) []stream.Object {
+	t.Helper()
+	var out []stream.Object
+	for {
+		o, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, o)
+	}
+}
+
+func TestReaderBasic(t *testing.T) {
+	in := `{"id":7,"lon":-118.2,"lat":34.0,"keywords":["fire","rescue"],"ts":100}
+{"lon":-74.0,"lat":40.7,"keywords":[],"ts":150}
+
+{"lon":-87.6,"lat":41.9,"ts":150}
+`
+	objs := readAll(t, NewReader(strings.NewReader(in)))
+	if len(objs) != 3 {
+		t.Fatalf("decoded %d objects", len(objs))
+	}
+	if objs[0].ID != 7 || objs[0].Loc != geo.Pt(-118.2, 34.0) || objs[0].Timestamp != 100 {
+		t.Errorf("obj0 = %+v", objs[0])
+	}
+	if len(objs[0].Keywords) != 2 || objs[0].Keywords[0] != "fire" {
+		t.Errorf("keywords = %v", objs[0].Keywords)
+	}
+	// Missing id continues from the previous id.
+	if objs[1].ID != 8 || objs[2].ID != 9 {
+		t.Errorf("assigned ids = %d, %d; want 8, 9", objs[1].ID, objs[2].ID)
+	}
+	// Equal timestamps are allowed (non-decreasing).
+	if objs[2].Timestamp != 150 {
+		t.Errorf("ts = %d", objs[2].Timestamp)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":    `{"lon":1,`,
+		"missing lon": `{"lat":1,"ts":1}`,
+		"missing lat": `{"lon":1,"ts":1}`,
+		"missing ts":  `{"lon":1,"lat":1}`,
+	}
+	for name, line := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(line + "\n"))
+			if _, err := r.Next(); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReaderOutOfOrder(t *testing.T) {
+	in := `{"lon":1,"lat":1,"ts":100}
+{"lon":1,"lat":1,"ts":99}
+`
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("err = %v, want ErrOutOfOrder", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error not line-tagged: %v", err)
+	}
+}
+
+func TestReaderWorldValidation(t *testing.T) {
+	r := NewReader(strings.NewReader(`{"lon":5,"lat":5,"ts":1}` + "\n"))
+	r.SetWorld(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	if _, err := r.Next(); err == nil {
+		t.Error("out-of-world object accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	objs := []stream.Object{
+		{ID: 1, Loc: geo.Pt(-118.2, 34.0), Keywords: []string{"a", "b"}, Timestamp: 10},
+		{ID: 2, Loc: geo.Pt(0.5, -0.5), Timestamp: 20},
+		{ID: 9, Loc: geo.Pt(179.9, 89.9), Keywords: []string{"x"}, Timestamp: 20},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range objs {
+		if err := w.Write(&objs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, NewReader(&buf))
+	if len(got) != len(objs) {
+		t.Fatalf("round trip count %d", len(got))
+	}
+	for i := range objs {
+		if got[i].ID != objs[i].ID || got[i].Loc != objs[i].Loc || got[i].Timestamp != objs[i].Timestamp {
+			t.Errorf("obj %d: %+v vs %+v", i, got[i], objs[i])
+		}
+		if len(got[i].Keywords) != len(objs[i].Keywords) {
+			t.Errorf("obj %d keywords: %v vs %v", i, got[i].Keywords, objs[i].Keywords)
+		}
+	}
+	if r := NewReader(strings.NewReader("")); func() bool { _, err := r.Next(); return err == io.EOF }() != true {
+		t.Error("empty input should EOF")
+	}
+}
+
+func TestCount(t *testing.T) {
+	in := `{"lon":1,"lat":1,"ts":1}
+{"lon":1,"lat":1,"ts":2}
+`
+	r := NewReader(strings.NewReader(in))
+	readAll(t, r)
+	if r.Count() != 2 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestLongLine(t *testing.T) {
+	// Keyword-heavy objects can exceed bufio's default 64KiB token size;
+	// the reader raises its buffer cap.
+	kws := make([]string, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		kws = append(kws, "kw")
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	o := stream.Object{ID: 1, Loc: geo.Pt(1, 1), Keywords: kws, Timestamp: 1}
+	if err := w.Write(&o); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if buf.Len() < 80_000 {
+		t.Fatalf("test line too short: %d", buf.Len())
+	}
+	got := readAll(t, NewReader(&buf))
+	if len(got) != 1 || len(got[0].Keywords) != 20000 {
+		t.Fatal("long line not decoded")
+	}
+}

@@ -1,0 +1,212 @@
+package spn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func uniformSamples(rng *rand.Rand, n, kwBuckets int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{X: rng.Float64(), Y: rng.Float64(), KwB: []int{rng.Intn(kwBuckets)}}
+	}
+	return out
+}
+
+func TestUntrainedIsUniformPrior(t *testing.T) {
+	n := New(Config{Seed: 1})
+	if n.Trained() {
+		t.Error("fresh network claims trained")
+	}
+	p := n.Prob(RangeQuery{XLo: 0, XHi: 0.5, YLo: 0, YHi: 1, HasRange: true})
+	if math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("uniform prior half-space prob = %v, want 0.5", p)
+	}
+}
+
+func TestProbRangeUniformData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := New(Config{Components: 4, Seed: 2})
+	n.Train(uniformSamples(rng, 20000, 64))
+	if !n.Trained() {
+		t.Fatal("Train did not mark trained")
+	}
+	tests := []struct {
+		q    RangeQuery
+		want float64
+		tol  float64
+	}{
+		{RangeQuery{0, 1, 0, 1, true, nil}, 1, 0.02},
+		{RangeQuery{0, 0.5, 0, 1, true, nil}, 0.5, 0.05},
+		{RangeQuery{0.25, 0.75, 0.25, 0.75, true, nil}, 0.25, 0.05},
+		{RangeQuery{0, 0.1, 0, 0.1, true, nil}, 0.01, 0.01},
+	}
+	for _, tc := range tests {
+		got := n.Prob(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Prob(%+v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestProbClusteredData(t *testing.T) {
+	// Two well-separated clusters; a query on one cluster should capture
+	// roughly its mixture share.
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	for i := 0; i < 10000; i++ {
+		if i%2 == 0 {
+			samples = append(samples, Sample{X: 0.2 + rng.NormFloat64()*0.02, Y: 0.2 + rng.NormFloat64()*0.02})
+		} else {
+			samples = append(samples, Sample{X: 0.8 + rng.NormFloat64()*0.02, Y: 0.8 + rng.NormFloat64()*0.02})
+		}
+	}
+	n := New(Config{Components: 4, EMIters: 10, Seed: 3})
+	n.Train(samples)
+	got := n.Prob(RangeQuery{0.1, 0.3, 0.1, 0.3, true, nil})
+	if math.Abs(got-0.5) > 0.1 {
+		t.Errorf("cluster A prob = %v, want ~0.5", got)
+	}
+	// Empty middle.
+	if got := n.Prob(RangeQuery{0.45, 0.55, 0.45, 0.55, true, nil}); got > 0.05 {
+		t.Errorf("empty middle prob = %v", got)
+	}
+}
+
+func TestKeywordBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var samples []Sample
+	for i := 0; i < 8000; i++ {
+		s := Sample{X: rng.Float64(), Y: rng.Float64()}
+		if i%4 == 0 { // bucket 7 present on 25% of objects
+			s.KwB = []int{7}
+		} else {
+			s.KwB = []int{20}
+		}
+		samples = append(samples, s)
+	}
+	n := New(Config{Components: 2, Seed: 4})
+	n.Train(samples)
+	got := n.Prob(RangeQuery{KwB: []int{7}})
+	if math.Abs(got-0.25) > 0.05 {
+		t.Errorf("P(bucket 7) = %v, want ~0.25", got)
+	}
+	// Union of both buckets covers every object, but the per-component
+	// bucket-independence assumption caps the union of two mutually
+	// exclusive buckets at 1-(1-0.25)(1-0.75) = 0.8125 when a component
+	// mixes both. Anything in [0.78, 1] is model-faithful.
+	got = n.Prob(RangeQuery{KwB: []int{7, 20}})
+	if got < 0.78 {
+		t.Errorf("P(7 ∪ 20) = %v, want ≥ 0.78", got)
+	}
+	// Absent bucket has only smoothing mass.
+	if got := n.Prob(RangeQuery{KwB: []int{40}}); got > 0.05 {
+		t.Errorf("P(absent bucket) = %v", got)
+	}
+}
+
+func TestHybridQueryLocalCorrelation(t *testing.T) {
+	// Bucket 3 keywords only occur in the right half.
+	rng := rand.New(rand.NewSource(5))
+	var samples []Sample
+	for i := 0; i < 10000; i++ {
+		x := rng.Float64()
+		s := Sample{X: x, Y: rng.Float64()}
+		if x > 0.5 {
+			s.KwB = []int{3}
+		}
+		samples = append(samples, s)
+	}
+	n := New(Config{Components: 8, EMIters: 10, Seed: 5})
+	n.Train(samples)
+	right := n.Prob(RangeQuery{0.5, 1, 0, 1, true, []int{3}})
+	left := n.Prob(RangeQuery{0, 0.5, 0, 1, true, []int{3}})
+	if right < 3*math.Max(left, 1e-3) {
+		t.Errorf("correlation lost: right=%v left=%v", right, left)
+	}
+}
+
+func TestTrainEmptyResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := New(Config{Seed: 6})
+	n.Train(uniformSamples(rng, 1000, 64))
+	n.Train(nil)
+	if n.Trained() {
+		t.Error("empty Train should reset trained flag")
+	}
+	p := n.Prob(RangeQuery{0, 0.25, 0, 1, true, nil})
+	if math.Abs(p-0.25) > 1e-9 {
+		t.Errorf("reset prior prob = %v", p)
+	}
+}
+
+func TestProbBoundsAndDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := New(Config{Seed: 7})
+	n.Train(uniformSamples(rng, 2000, 64))
+	if p := n.Prob(RangeQuery{0.5, 0.5, 0, 1, true, nil}); p != 0 {
+		t.Errorf("zero-width range prob = %v", p)
+	}
+	if p := n.Prob(RangeQuery{-1, 2, -1, 2, true, nil}); math.Abs(p-1) > 0.02 {
+		t.Errorf("super-range prob = %v", p)
+	}
+	// Probabilities always within [0,1].
+	for i := 0; i < 100; i++ {
+		q := RangeQuery{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), true, []int{rng.Intn(64)}}
+		if q.XHi < q.XLo {
+			q.XLo, q.XHi = q.XHi, q.XLo
+		}
+		if q.YHi < q.YLo {
+			q.YLo, q.YHi = q.YHi, q.YLo
+		}
+		if p := n.Prob(q); p < 0 || p > 1 {
+			t.Fatalf("Prob out of bounds: %v for %+v", p, q)
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	samples := uniformSamples(rng, 3000, 64)
+	a, b := New(Config{Seed: 9}), New(Config{Seed: 9})
+	a.Train(samples)
+	b.Train(samples)
+	q := RangeQuery{0.1, 0.6, 0.2, 0.9, true, []int{5}}
+	if a.Prob(q) != b.Prob(q) {
+		t.Error("same seed + data must give identical models")
+	}
+}
+
+func TestMemoryScalesWithComponents(t *testing.T) {
+	small := New(Config{Components: 2})
+	big := New(Config{Components: 16})
+	if small.MemoryBytes() >= big.MemoryBytes() {
+		t.Errorf("memory: K=2 %d >= K=16 %d", small.MemoryBytes(), big.MemoryBytes())
+	}
+	if !strings.Contains(big.String(), "K=16") {
+		t.Errorf("String = %q", big.String())
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	samples := uniformSamples(rng, 10000, 64)
+	n := New(Config{Components: 8, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Train(samples)
+	}
+}
+
+func BenchmarkProb(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := New(Config{Components: 8, Seed: 1})
+	n.Train(uniformSamples(rng, 10000, 64))
+	q := RangeQuery{0.2, 0.7, 0.1, 0.8, true, []int{3, 9}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.Prob(q)
+	}
+}

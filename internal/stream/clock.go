@@ -1,0 +1,36 @@
+package stream
+
+import "fmt"
+
+// Clock is the virtual time source of a simulation run. All timestamps in
+// this repository are virtual milliseconds from an arbitrary epoch, so a
+// ten-hour paper stream can be replayed in seconds of wall time without
+// changing any windowing logic.
+type Clock struct {
+	now int64
+}
+
+// NewClock returns a clock starting at the given epoch (usually 0).
+func NewClock(epoch int64) *Clock { return &Clock{now: epoch} }
+
+// Now returns the current virtual time in milliseconds.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by d milliseconds. It panics on negative
+// d: virtual time never rewinds, and a negative advance is a driver bug.
+func (c *Clock) Advance(d int64) int64 {
+	if d < 0 {
+		panic(fmt.Sprintf("stream: clock cannot rewind (advance %d)", d))
+	}
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock to absolute time t, which must not precede the
+// current time.
+func (c *Clock) AdvanceTo(t int64) {
+	if t < c.now {
+		panic(fmt.Sprintf("stream: clock cannot rewind (%d -> %d)", c.now, t))
+	}
+	c.now = t
+}

@@ -1,0 +1,266 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+)
+
+// bruteCount is the trivially correct reference implementation of RC-DVQ
+// against a plain object slice.
+func bruteCount(objs []Object, q *Query, cutoff int64) int {
+	n := 0
+	for i := range objs {
+		o := &objs[i]
+		if o.Timestamp < cutoff {
+			continue
+		}
+		if q.Matches(o) {
+			n++
+		}
+	}
+	return n
+}
+
+func randomObject(rng *rand.Rand, id uint64, ts int64, vocab []string) Object {
+	nk := rng.Intn(4) // 0..3 keywords
+	kws := make([]string, 0, nk)
+	for i := 0; i < nk; i++ {
+		kws = append(kws, vocab[rng.Intn(len(vocab))])
+	}
+	return Object{
+		ID:        id,
+		Loc:       geo.Pt(rng.Float64(), rng.Float64()),
+		Keywords:  kws,
+		Timestamp: ts,
+	}
+}
+
+func randomQuery(rng *rand.Rand, ts int64, vocab []string) Query {
+	switch rng.Intn(3) {
+	case 0:
+		return SpatialQ(randRect(rng), ts)
+	case 1:
+		n := 1 + rng.Intn(3)
+		kws := make([]string, n)
+		for i := range kws {
+			kws[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return KeywordQ(kws, ts)
+	default:
+		return HybridQ(randRect(rng), []string{vocab[rng.Intn(len(vocab))]}, ts)
+	}
+}
+
+func randRect(rng *rand.Rand) geo.Rect {
+	cx, cy := rng.Float64(), rng.Float64()
+	w, h := rng.Float64()*0.4+0.01, rng.Float64()*0.4+0.01
+	return geo.CenteredRect(geo.Pt(cx, cy), w, h)
+}
+
+func vocabN(n int) []string {
+	v := make([]string, n)
+	for i := range v {
+		v[i] = fmt.Sprintf("kw%02d", i)
+	}
+	return v
+}
+
+func TestWindowMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocab := vocabN(20)
+	const span = 1000
+	w := NewWindow(geo.UnitSquare, span, 64)
+
+	var all []Object
+	ts := int64(0)
+	for i := 0; i < 3000; i++ {
+		ts += int64(rng.Intn(3))
+		o := randomObject(rng, uint64(i), ts, vocab)
+		all = append(all, o)
+		w.Insert(o)
+
+		if i%50 == 0 {
+			q := randomQuery(rng, ts, vocab)
+			got := w.Answer(&q)
+			want := bruteCount(all, &q, ts-span)
+			if got != want {
+				t.Fatalf("at insert %d, %v: got %d, want %d", i, q, got, want)
+			}
+		}
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(geo.UnitSquare, 100, 16)
+	for i := 0; i < 10; i++ {
+		w.Insert(Object{ID: uint64(i), Loc: geo.Pt(0.5, 0.5), Timestamp: int64(i * 10), Keywords: []string{"a"}})
+	}
+	if w.Size() != 10 {
+		t.Fatalf("Size = %d, want 10 (all inside window)", w.Size())
+	}
+	// Inserting at t=150 evicts everything with ts < 50 (ids 0..4).
+	w.Insert(Object{ID: 99, Loc: geo.Pt(0.5, 0.5), Timestamp: 150, Keywords: []string{"a"}})
+	if w.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", w.Size())
+	}
+	q := KeywordQ([]string{"a"}, 150)
+	if got := w.Answer(&q); got != 6 {
+		t.Fatalf("keyword count = %d, want 6", got)
+	}
+	// Advance far enough to empty the window entirely.
+	w.EvictBefore(10_000)
+	if w.Size() != 0 {
+		t.Fatalf("Size after full evict = %d", w.Size())
+	}
+	if w.DistinctKeywords() != 0 {
+		t.Fatalf("postings not cleaned: %d distinct keywords", w.DistinctKeywords())
+	}
+}
+
+func TestWindowOutOfOrderPanics(t *testing.T) {
+	w := NewWindow(geo.UnitSquare, 100, 16)
+	w.Insert(Object{ID: 1, Loc: geo.Pt(0.1, 0.1), Timestamp: 50})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-order insert")
+		}
+	}()
+	w.Insert(Object{ID: 2, Loc: geo.Pt(0.1, 0.1), Timestamp: 40})
+}
+
+func TestWindowBadSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-positive span")
+		}
+	}()
+	NewWindow(geo.UnitSquare, 0, 16)
+}
+
+func TestWindowDuplicateKeywordsCountOnce(t *testing.T) {
+	w := NewWindow(geo.UnitSquare, 1000, 16)
+	w.Insert(Object{ID: 1, Loc: geo.Pt(0.5, 0.5), Keywords: []string{"x", "x", "y"}, Timestamp: 0})
+	q := KeywordQ([]string{"x"}, 0)
+	if got := w.Answer(&q); got != 1 {
+		t.Fatalf("duplicate keyword object counted %d times", got)
+	}
+	// A multi-keyword query hitting both of the object's keywords still
+	// counts the object once (distinct-value semantics).
+	q2 := KeywordQ([]string{"x", "y"}, 0)
+	if got := w.Answer(&q2); got != 1 {
+		t.Fatalf("multi-keyword distinct count = %d, want 1", got)
+	}
+	// Duplicate keywords in the *query* don't double count either.
+	q3 := KeywordQ([]string{"x", "x"}, 0)
+	if got := w.Answer(&q3); got != 1 {
+		t.Fatalf("duplicate query keyword count = %d, want 1", got)
+	}
+}
+
+func TestWindowHybridBothDirections(t *testing.T) {
+	// Force both scan directions of countHybrid: a rare keyword (posting
+	// scan wins) and a common keyword with a tiny range (spatial scan wins).
+	rng := rand.New(rand.NewSource(3))
+	w := NewWindow(geo.UnitSquare, 1_000_000, 256)
+	var all []Object
+	for i := 0; i < 5000; i++ {
+		kw := "common"
+		if i%500 == 0 {
+			kw = "rare"
+		}
+		o := Object{ID: uint64(i), Loc: geo.Pt(rng.Float64(), rng.Float64()), Keywords: []string{kw}, Timestamp: int64(i)}
+		all = append(all, o)
+		w.Insert(o)
+	}
+	rare := HybridQ(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, []string{"rare"}, 5000)
+	if got, want := w.Answer(&rare), bruteCount(all, &rare, 0); got != want {
+		t.Errorf("rare hybrid: got %d want %d", got, want)
+	}
+	tiny := HybridQ(geo.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.45, MaxY: 0.45}, []string{"common"}, 5000)
+	if got, want := w.Answer(&tiny), bruteCount(all, &tiny, 0); got != want {
+		t.Errorf("tiny-range hybrid: got %d want %d", got, want)
+	}
+}
+
+func TestWindowEachOrder(t *testing.T) {
+	w := NewWindow(geo.UnitSquare, 1000, 16)
+	for i := 0; i < 20; i++ {
+		w.Insert(Object{ID: uint64(i), Loc: geo.Pt(0.5, 0.5), Timestamp: int64(i)})
+	}
+	var ids []uint64
+	w.Each(func(o *Object) bool {
+		ids = append(ids, o.ID)
+		return true
+	})
+	if len(ids) != 20 {
+		t.Fatalf("Each visited %d, want 20", len(ids))
+	}
+	for i, id := range ids {
+		if id != uint64(i) {
+			t.Fatalf("Each order broken at %d: %v", i, ids)
+		}
+	}
+	n := 0
+	w.Each(func(o *Object) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Each early stop visited %d", n)
+	}
+}
+
+func TestWindowCompactionKeepsAnswers(t *testing.T) {
+	// Long run with aggressive eviction: exercises arena and queue
+	// compaction paths, checking counts stay exact throughout.
+	rng := rand.New(rand.NewSource(9))
+	vocab := vocabN(8)
+	const span = 200
+	w := NewWindow(geo.UnitSquare, span, 64)
+	var all []Object
+	ts := int64(0)
+	for i := 0; i < 20000; i++ {
+		ts += 1
+		o := randomObject(rng, uint64(i), ts, vocab)
+		all = append(all, o)
+		w.Insert(o)
+		if i%997 == 0 {
+			q := randomQuery(rng, ts, vocab)
+			got := w.Answer(&q)
+			want := bruteCount(all, &q, ts-span)
+			if got != want {
+				t.Fatalf("at %d: got %d, want %d for %v", i, got, want, q)
+			}
+		}
+	}
+	if w.Size() > span+1 {
+		t.Fatalf("window retained %d objects with 1/ms arrival and span %d", w.Size(), span)
+	}
+	if w.Inserted() != 20000 {
+		t.Fatalf("Inserted = %d", w.Inserted())
+	}
+}
+
+func BenchmarkWindowInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vocab := vocabN(100)
+	w := NewWindow(geo.UnitSquare, 100_000, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Insert(randomObject(rng, uint64(i), int64(i), vocab))
+	}
+}
+
+func BenchmarkWindowAnswerSpatial(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vocab := vocabN(100)
+	w := NewWindow(geo.UnitSquare, 1_000_000, 4096)
+	for i := 0; i < 100_000; i++ {
+		w.Insert(randomObject(rng, uint64(i), int64(i), vocab))
+	}
+	q := SpatialQ(geo.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.6, MaxY: 0.6}, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Answer(&q)
+	}
+}

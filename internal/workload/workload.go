@@ -1,0 +1,217 @@
+// Package workload generates the paper's query workloads (§VI-A): mixes of
+// pure-spatial, pure-keyword and hybrid RC-DVQ queries whose composition
+// changes over the stream lifetime according to a phase schedule. Query
+// focal points and keywords come from the dataset generator (search traffic
+// follows data density — the Bing-locations substitution), so workloads are
+// reproducible given the dataset seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// Source supplies the dataset-dependent ingredients of query generation:
+// the spatial domain, focal points that track the data distribution (the
+// Bing-locations substitution) and keywords correlated with the stream's
+// vocabulary. datagen.Generator implements it for the synthetic datasets;
+// replayed real streams implement it from a sample of their own objects.
+type Source interface {
+	World() geo.Rect
+	SampleQueryPoint() geo.Point
+	SampleQueryKeyword() string
+	QueryRand() *rand.Rand
+}
+
+// Mix is the probability of each query type; the three fields must sum to 1
+// (within rounding).
+type Mix struct {
+	Spatial float64
+	Keyword float64
+	Hybrid  float64
+}
+
+func (m Mix) sum() float64 { return m.Spatial + m.Keyword + m.Hybrid }
+
+// Phase is one segment of a workload: the mix in force until the given
+// fraction of the workload has been issued.
+type Phase struct {
+	// Until is the exclusive end of the phase as a fraction of the total
+	// query count, in (0, 1]. Phases must be ordered and end at 1.
+	Until float64
+	Mix   Mix
+}
+
+// Spec declares a named workload.
+type Spec struct {
+	Name    string
+	Dataset string // which dataset's figures use this workload
+	Phases  []Phase
+	// RangeSide is the mean side of spatial ranges as a fraction of the
+	// world's shorter side. The spatial-impact experiments sweep it.
+	RangeSide float64
+	// RangeJitter is the σ of the log-normal multiplier applied to
+	// RangeSide (0 = fixed size).
+	RangeJitter float64
+	// KwMin/KwMax bound the query keyword count.
+	KwMin, KwMax int
+	// SessionLocality is the probability a spatial query re-centers near
+	// the previous query instead of a fresh focal point — the temporal
+	// locality of the real UCR-Star request log.
+	SessionLocality float64
+}
+
+// validate panics on malformed specs; specs are code, not data.
+func (s *Spec) validate() {
+	if len(s.Phases) == 0 {
+		panic(fmt.Sprintf("workload %s: no phases", s.Name))
+	}
+	prev := 0.0
+	for i, p := range s.Phases {
+		if p.Until <= prev {
+			panic(fmt.Sprintf("workload %s: phase %d not increasing", s.Name, i))
+		}
+		if math.Abs(p.Mix.sum()-1) > 1e-9 {
+			panic(fmt.Sprintf("workload %s: phase %d mix sums to %v", s.Name, i, p.Mix.sum()))
+		}
+		prev = p.Until
+	}
+	if math.Abs(prev-1) > 1e-9 {
+		panic(fmt.Sprintf("workload %s: phases end at %v, want 1", s.Name, prev))
+	}
+	if s.RangeSide <= 0 || s.RangeSide > 1 {
+		panic(fmt.Sprintf("workload %s: RangeSide %v", s.Name, s.RangeSide))
+	}
+	if s.KwMin < 1 || s.KwMax < s.KwMin {
+		panic(fmt.Sprintf("workload %s: keyword bounds %d..%d", s.Name, s.KwMin, s.KwMax))
+	}
+}
+
+// MixAt returns the mix in force at progress ∈ [0,1].
+func (s *Spec) MixAt(progress float64) Mix {
+	for _, p := range s.Phases {
+		if progress < p.Until {
+			return p.Mix
+		}
+	}
+	return s.Phases[len(s.Phases)-1].Mix
+}
+
+// WithRangeSide returns a copy of the spec with a fixed range side (used by
+// the spatial-impact sweeps).
+func (s Spec) WithRangeSide(side float64) Spec {
+	s.RangeSide = side
+	s.RangeJitter = 0
+	return s
+}
+
+// WithKeywordCount returns a copy with an exact query keyword count (used
+// by the keyword-impact sweep).
+func (s Spec) WithKeywordCount(k int) Spec {
+	s.KwMin, s.KwMax = k, k
+	return s
+}
+
+// Generator issues the workload's queries in order.
+type Generator struct {
+	spec  Spec
+	src   Source
+	total int
+	i     int
+
+	lastFocus geo.Point
+	hasLast   bool
+}
+
+// NewGenerator binds a spec to a dataset source for a total query budget.
+func NewGenerator(spec Spec, src Source, total int) *Generator {
+	spec.validate()
+	if total <= 0 {
+		panic(fmt.Sprintf("workload %s: total %d", spec.Name, total))
+	}
+	return &Generator{spec: spec, src: src, total: total}
+}
+
+// Spec returns the bound spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Remaining returns how many queries are left.
+func (g *Generator) Remaining() int { return g.total - g.i }
+
+// Progress returns the fraction of the workload issued so far.
+func (g *Generator) Progress() float64 { return float64(g.i) / float64(g.total) }
+
+// Next issues the next query, timestamped ts. It panics when the budget is
+// exhausted; callers drive the loop off Remaining.
+func (g *Generator) Next(ts int64) stream.Query {
+	if g.i >= g.total {
+		panic(fmt.Sprintf("workload %s: budget of %d queries exhausted", g.spec.Name, g.total))
+	}
+	mix := g.spec.MixAt(g.Progress())
+	g.i++
+	rng := g.src.QueryRand()
+	r := rng.Float64() * mix.sum()
+	switch {
+	case r < mix.Spatial:
+		return stream.SpatialQ(g.makeRange(), ts)
+	case r < mix.Spatial+mix.Keyword:
+		return stream.KeywordQ(g.makeKeywords(), ts)
+	default:
+		return stream.HybridQ(g.makeRange(), g.makeKeywords(), ts)
+	}
+}
+
+// makeRange builds a spatial range around a focal point.
+func (g *Generator) makeRange() geo.Rect {
+	rng := g.src.QueryRand()
+	world := g.src.World()
+	var focus geo.Point
+	if g.hasLast && rng.Float64() < g.spec.SessionLocality {
+		// Stay near the previous query (session locality): jitter by one
+		// range side.
+		side := g.spec.RangeSide * math.Min(world.Width(), world.Height())
+		focus = world.Clamp(geo.Pt(
+			g.lastFocus.X+rng.NormFloat64()*side,
+			g.lastFocus.Y+rng.NormFloat64()*side,
+		))
+	} else {
+		focus = g.src.SampleQueryPoint()
+	}
+	g.lastFocus, g.hasLast = focus, true
+
+	side := g.spec.RangeSide
+	if g.spec.RangeJitter > 0 {
+		side *= math.Exp(rng.NormFloat64() * g.spec.RangeJitter)
+	}
+	w := side * world.Width()
+	h := side * world.Height()
+	return geo.CenteredRect(focus, w, h)
+}
+
+// makeKeywords draws the query keyword set.
+func (g *Generator) makeKeywords() []string {
+	rng := g.src.QueryRand()
+	n := g.spec.KwMin
+	if g.spec.KwMax > g.spec.KwMin {
+		n += rng.Intn(g.spec.KwMax - g.spec.KwMin + 1)
+	}
+	kws := make([]string, 0, n)
+	for len(kws) < n {
+		kw := g.src.SampleQueryKeyword()
+		dup := false
+		for _, k := range kws {
+			if k == kw {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kws = append(kws, kw)
+		}
+	}
+	return kws
+}

@@ -1,0 +1,260 @@
+// Package latest is a learning-assisted selectivity estimation module for
+// spatio-textual streams — a Go reproduction of "LATEST: Learning-Assisted
+// Selectivity Estimation Over Spatio-Textual Streams" (Patil & Magdy,
+// ICDE 2021).
+//
+// LATEST answers Range-Counting Distinct-Value Queries (RC-DVQ): "estimate
+// how many objects of the last T time units lie in spatial range R and
+// carry at least one keyword of W". Instead of committing to a single
+// estimation structure, it maintains a fleet (2-D histogram, reservoir
+// samplers, adaptive quadtree, learned models) and incrementally trains a
+// Hoeffding tree on system-log feedback to switch, at run time, to
+// whichever estimator best serves the current query workload.
+//
+// # Quick start
+//
+//	sys, err := latest.New(latest.Config{
+//		World: latest.Rect{MinX: -125, MinY: 24, MaxX: -66, MaxY: 50},
+//		Window: 10 * time.Minute,
+//	})
+//	...
+//	sys.Feed(latest.Object{ID: 1, Loc: latest.Pt(-118.24, 34.05),
+//		Keywords: []string{"fire"}, Timestamp: now})
+//	q := latest.HybridQuery(area, []string{"fire"}, now)
+//	estimate := sys.Estimate(&q)   // fast approximate count
+//	actual := sys.Execute(&q)      // exact count + feedback to the model
+//
+// Estimate is the query optimizer's cheap call; Execute plays the query
+// processor whose true result lands in the system logs and trains the
+// switching model. Applications that execute queries through their own
+// engine can call Estimate followed by ObserveActual instead.
+package latest
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/spatiotext/latest/internal/core"
+	"github.com/spatiotext/latest/internal/estimator"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// Geometry and stream types, aliased from the implementation packages so
+// user code never imports internal paths.
+type (
+	// Point is a location in 2-D (lon/lat-like) space.
+	Point = geo.Point
+	// Rect is an axis-aligned rectangle, min-closed and max-open.
+	Rect = geo.Rect
+	// Object is a geo-textual stream element (oid, loc, kw, timestamp).
+	Object = stream.Object
+	// Query is an RC-DVQ estimation query.
+	Query = stream.Query
+	// QueryType classifies queries as spatial, keyword or hybrid.
+	QueryType = stream.QueryType
+	// Estimator is the pluggable estimator interface; implement it and
+	// register with a Registry to extend the fleet.
+	Estimator = estimator.Estimator
+	// EstimatorParams parameterizes estimator construction.
+	EstimatorParams = estimator.Params
+	// Registry maps estimator names to factories.
+	Registry = estimator.Registry
+	// SwitchEvent records one estimator switch.
+	SwitchEvent = core.SwitchEvent
+	// Stats is a snapshot of the module internals.
+	Stats = core.Stats
+	// Phase is the lifecycle phase (warm-up, pre-training, incremental).
+	Phase = core.Phase
+)
+
+// Query type constants.
+const (
+	SpatialQueryType = stream.SpatialQuery
+	KeywordQueryType = stream.KeywordQuery
+	HybridQueryType  = stream.HybridQuery
+)
+
+// Lifecycle phases.
+const (
+	PhaseWarmup      = core.PhaseWarmup
+	PhasePretrain    = core.PhasePretrain
+	PhaseIncremental = core.PhaseIncremental
+)
+
+// Names of the built-in estimators.
+const (
+	EstimatorH4096 = estimator.NameH4096
+	EstimatorRSL   = estimator.NameRSL
+	EstimatorRSH   = estimator.NameRSH
+	EstimatorAASP  = estimator.NameAASP
+	EstimatorFFN   = estimator.NameFFN
+	EstimatorSPN   = estimator.NameSPN
+)
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// NewRect builds a Rect from two corners in any order.
+func NewRect(a, b Point) Rect { return geo.NewRect(a, b) }
+
+// CenteredRect builds a Rect centred on c.
+func CenteredRect(c Point, w, h float64) Rect { return geo.CenteredRect(c, w, h) }
+
+// SpatialQuery builds a pure range-counting query.
+func SpatialQuery(r Rect, ts int64) Query { return stream.SpatialQ(r, ts) }
+
+// KeywordQuery builds a pure distinct-value query.
+func KeywordQuery(kws []string, ts int64) Query { return stream.KeywordQ(kws, ts) }
+
+// HybridQuery builds a combined spatial-keyword query.
+func HybridQuery(r Rect, kws []string, ts int64) Query { return stream.HybridQ(r, kws, ts) }
+
+// NewRegistry returns an empty estimator registry for custom fleets.
+func NewRegistry() *Registry { return estimator.NewRegistry() }
+
+// DefaultRegistry returns a registry holding the paper's six estimators.
+func DefaultRegistry() *Registry { return estimator.DefaultRegistry() }
+
+// Config configures a System. The zero values of the tuning knobs take the
+// paper's defaults (α=0.5, τ=0.75, β=0.8, RSH as default estimator).
+type Config struct {
+	// World is the spatial domain all objects and ranges live in.
+	World Rect
+	// Window is the time window T: queries count objects of the last
+	// Window duration. Internally virtual-time milliseconds; any positive
+	// duration works.
+	Window time.Duration
+	// Registry supplies estimators (nil = the paper's six).
+	Registry *Registry
+	// Estimators names the fleet members (empty = all registered).
+	Estimators []string
+	// Default is the estimator active when the incremental phase starts.
+	Default string
+	// Alpha ∈ [0,1] weighs latency vs accuracy in switching decisions:
+	// 0 = accuracy only, 1 = latency only. Use AlphaSet to pass a literal 0.
+	Alpha    float64
+	AlphaSet bool
+	// Tau ∈ (0,1) is the accuracy threshold that triggers a switch.
+	Tau float64
+	// Beta ∈ (0,1) controls how early the replacement starts pre-filling.
+	Beta float64
+	// AccWindow is the number of recent queries in the monitored accuracy
+	// average.
+	AccWindow int
+	// PretrainQueries is the pre-training phase length.
+	PretrainQueries int
+	// MemoryScale multiplies every estimator's capacity defaults.
+	MemoryScale float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// OnSwitch, when non-nil, is called after every estimator switch.
+	OnSwitch func(SwitchEvent)
+	// OracleGridCells sizes the exact store's internal grid (speed only;
+	// zero = 4096).
+	OracleGridCells int
+}
+
+// System bundles a LATEST module with the exact window store that plays
+// the database: Feed maintains both, Execute answers exactly and feeds the
+// result back as training signal. Not safe for concurrent use; wrap with
+// your own synchronization if needed (the hot path is single-writer in
+// streaming systems).
+type System struct {
+	module *core.Module
+	window *stream.Window
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("latest: Window must be positive, got %v", cfg.Window)
+	}
+	if cfg.World.Empty() || !cfg.World.Valid() {
+		return nil, fmt.Errorf("latest: World must be a valid non-empty rectangle, got %v", cfg.World)
+	}
+	cells := cfg.OracleGridCells
+	if cells == 0 {
+		cells = 4096
+	}
+	w := stream.NewWindow(cfg.World, cfg.Window.Milliseconds(), cells)
+	m, err := core.New(core.Config{
+		World:           cfg.World,
+		Span:            cfg.Window.Milliseconds(),
+		Registry:        cfg.Registry,
+		Estimators:      cfg.Estimators,
+		Default:         cfg.Default,
+		Alpha:           cfg.Alpha,
+		AlphaSet:        cfg.AlphaSet,
+		Tau:             cfg.Tau,
+		Beta:            cfg.Beta,
+		AccWindow:       cfg.AccWindow,
+		PretrainQueries: cfg.PretrainQueries,
+		Scale:           cfg.MemoryScale,
+		Seed:            cfg.Seed,
+		OnSwitch:        cfg.OnSwitch,
+		Refill: func(e estimator.Estimator) {
+			w.Each(func(o *stream.Object) bool {
+				e.Insert(o)
+				return true
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{module: m, window: w}, nil
+}
+
+// Feed ingests one stream object. Timestamps must be non-decreasing.
+func (s *System) Feed(o Object) {
+	s.window.Insert(o)
+	s.module.Insert(&o)
+}
+
+// Estimate answers the query approximately through the active estimator.
+// Follow it with Execute or ObserveActual to close the feedback loop.
+func (s *System) Estimate(q *Query) float64 { return s.module.Estimate(q) }
+
+// Execute runs the query exactly against the window store, feeds the true
+// selectivity back to the learning model, and returns the exact count. Call
+// it after Estimate for the same query.
+func (s *System) Execute(q *Query) int {
+	actual := s.window.Answer(q)
+	s.module.Observe(float64(actual))
+	return actual
+}
+
+// ObserveActual closes the feedback loop with a truth value obtained from
+// an external execution engine.
+func (s *System) ObserveActual(actual float64) { s.module.Observe(actual) }
+
+// EstimateAndExecute is the common two-step as one call: approximate
+// answer, exact answer, feedback.
+func (s *System) EstimateAndExecute(q *Query) (estimate float64, actual int) {
+	estimate = s.Estimate(q)
+	actual = s.Execute(q)
+	return estimate, actual
+}
+
+// ActiveEstimator returns the currently employed estimator's name.
+func (s *System) ActiveEstimator() string { return s.module.ActiveName() }
+
+// Phase returns the lifecycle phase.
+func (s *System) Phase() Phase { return s.module.Phase() }
+
+// Switches returns the switch history.
+func (s *System) Switches() []SwitchEvent { return s.module.Switches() }
+
+// AccuracyAverage returns the monitored sliding accuracy average.
+func (s *System) AccuracyAverage() float64 { return s.module.AccuracyAverage() }
+
+// WindowSize returns the number of live objects in the exact store.
+func (s *System) WindowSize() int { return s.window.Size() }
+
+// Stats returns a snapshot of the module internals.
+func (s *System) Stats() Stats { return s.module.Snapshot() }
+
+// RecommendFor returns the model's current estimator recommendation for a
+// query, without changing any state.
+func (s *System) RecommendFor(q *Query) string { return s.module.RecommendFor(q) }

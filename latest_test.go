@@ -1,0 +1,184 @@
+package latest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/spatiotext/latest/internal/metrics"
+)
+
+func testSystem(t *testing.T, mut func(*Config)) *System {
+	t.Helper()
+	cfg := Config{
+		World:           Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		Window:          10 * time.Second,
+		PretrainQueries: 150,
+		AccWindow:       60,
+		Seed:            1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func feedSystem(sys *System, rng *rand.Rand, ts *int64, n int) {
+	for i := 0; i < n; i++ {
+		*ts++
+		sys.Feed(Object{
+			ID:        uint64(*ts),
+			Loc:       Pt(rng.Float64(), rng.Float64()),
+			Keywords:  []string{fmt.Sprintf("kw%d", rng.Intn(20))},
+			Timestamp: *ts,
+		})
+	}
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	sys := testSystem(t, nil)
+	rng := rand.New(rand.NewSource(2))
+	var ts int64
+	if sys.Phase() != PhaseWarmup {
+		t.Fatalf("phase = %v", sys.Phase())
+	}
+	feedSystem(sys, rng, &ts, 3000)
+	if sys.WindowSize() == 0 {
+		t.Fatal("window empty after feeding")
+	}
+	for i := 0; i < 150; i++ {
+		feedSystem(sys, rng, &ts, 10)
+		q := HybridQuery(CenteredRect(Pt(0.5, 0.5), 0.4, 0.4), []string{"kw1"}, ts)
+		est, actual := sys.EstimateAndExecute(&q)
+		if est < 0 {
+			t.Fatalf("negative estimate %v (actual %d)", est, actual)
+		}
+	}
+	if sys.Phase() != PhaseIncremental {
+		t.Fatalf("phase after pretraining = %v", sys.Phase())
+	}
+	if sys.ActiveEstimator() != EstimatorRSH {
+		t.Errorf("active = %q, want default RSH", sys.ActiveEstimator())
+	}
+	st := sys.Stats()
+	// TrainingRecords resets on a drift retrain, so assert the stable
+	// query counters plus a non-empty model.
+	if st.PretrainSeen != 150 {
+		t.Errorf("pretrain seen = %d", st.PretrainSeen)
+	}
+	if st.TrainingRecords == 0 {
+		t.Errorf("model saw no records")
+	}
+}
+
+func TestSystemAccuracyOnStableWorkload(t *testing.T) {
+	sys := testSystem(t, nil)
+	rng := rand.New(rand.NewSource(3))
+	var ts int64
+	feedSystem(sys, rng, &ts, 5000)
+	// Pre-training must see varied queries — a constant query would let
+	// even the workload-driven FFN memorize it perfectly and legitimately
+	// win the α-weighted score.
+	for i := 0; i < 150; i++ {
+		feedSystem(sys, rng, &ts, 10)
+		q := SpatialQuery(CenteredRect(Pt(rng.Float64(), rng.Float64()), 0.25, 0.25), ts)
+		sys.EstimateAndExecute(&q)
+	}
+	// Post-pretraining, estimates should track the oracle closely.
+	total := 0.0
+	const n = 100
+	for i := 0; i < n; i++ {
+		feedSystem(sys, rng, &ts, 10)
+		q := SpatialQuery(CenteredRect(Pt(rng.Float64(), rng.Float64()), 0.25, 0.25), ts)
+		est, actual := sys.EstimateAndExecute(&q)
+		total += metrics.Accuracy(est, float64(actual))
+	}
+	if avg := total / n; avg < 0.8 {
+		t.Errorf("mean accuracy %.3f", avg)
+	}
+	// A stable workload permits at most the opportunity trigger's single
+	// move to an equally-accurate faster estimator — never churn.
+	if sw := sys.Switches(); len(sw) > 1 {
+		t.Errorf("churn on stable workload: %v", sw)
+	}
+}
+
+func TestSystemObserveActualPath(t *testing.T) {
+	sys := testSystem(t, nil)
+	rng := rand.New(rand.NewSource(4))
+	var ts int64
+	feedSystem(sys, rng, &ts, 1000)
+	q := KeywordQuery([]string{"kw0"}, ts)
+	_ = sys.Estimate(&q)
+	sys.ObserveActual(42) // external engine supplied the truth
+	if sys.Stats().TrainingRecords == 0 {
+		t.Error("external feedback produced no training records")
+	}
+}
+
+func TestSystemRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{World: Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := New(Config{Window: time.Second}); err == nil {
+		t.Error("empty world accepted")
+	}
+	if _, err := New(Config{
+		World: Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Window: time.Second,
+		Default: "bogus",
+	}); err == nil {
+		t.Error("bogus default accepted")
+	}
+}
+
+// TestCustomEstimatorRegistration exercises the §IV extensibility claim:
+// a user-defined estimator participates in the fleet.
+func TestCustomEstimatorRegistration(t *testing.T) {
+	reg := DefaultRegistry()
+	reg.Register("Naive", func(p EstimatorParams) Estimator {
+		return &naiveEstimator{}
+	})
+	sys := testSystem(t, func(c *Config) {
+		c.Registry = reg
+		c.Estimators = []string{EstimatorH4096, EstimatorRSH, "Naive"}
+	})
+	rng := rand.New(rand.NewSource(5))
+	var ts int64
+	feedSystem(sys, rng, &ts, 2000)
+	for i := 0; i < 150; i++ {
+		feedSystem(sys, rng, &ts, 5)
+		q := SpatialQuery(CenteredRect(Pt(0.5, 0.5), 0.3, 0.3), ts)
+		sys.EstimateAndExecute(&q)
+	}
+	if sys.Phase() != PhaseIncremental {
+		t.Fatalf("phase = %v", sys.Phase())
+	}
+}
+
+// naiveEstimator always answers zero — the worst legal estimator.
+type naiveEstimator struct{ n int }
+
+func (e *naiveEstimator) Name() string                     { return "Naive" }
+func (e *naiveEstimator) Insert(o *Object)                 { e.n++ }
+func (e *naiveEstimator) Estimate(q *Query) float64        { return 0 }
+func (e *naiveEstimator) Observe(q *Query, actual float64) {}
+func (e *naiveEstimator) Reset()                           { e.n = 0 }
+func (e *naiveEstimator) MemoryBytes() int                 { return 8 }
+
+func TestQueryConstructors(t *testing.T) {
+	r := NewRect(Pt(1, 1), Pt(0, 0))
+	if r != (Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}) {
+		t.Errorf("NewRect = %v", r)
+	}
+	sq := SpatialQuery(r, 5)
+	kq := KeywordQuery([]string{"a"}, 5)
+	hq := HybridQuery(r, []string{"a"}, 5)
+	if sq.Type() != SpatialQueryType || kq.Type() != KeywordQueryType || hq.Type() != HybridQueryType {
+		t.Error("query constructors produced wrong types")
+	}
+}
