@@ -348,16 +348,13 @@ func BenchmarkAblationGracePeriod(b *testing.B) {
 
 // BenchmarkSystemFeed measures the public API's ingest hot path.
 func BenchmarkSystemFeed(b *testing.B) {
-	sys, err := New(Config{
-		World:  Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
-		Window: time.Minute,
-		Seed:   1,
-	})
+	sys, err := New(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, time.Minute, WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
 	kws := []string{"a", "b", "c", "d"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Feed(Object{
@@ -369,15 +366,72 @@ func BenchmarkSystemFeed(b *testing.B) {
 	}
 }
 
+// benchFill pre-generates n objects uniformly over the unit square.
+func benchFill(n int, seed int64) []Object {
+	rng := rand.New(rand.NewSource(seed))
+	kws := []string{"a", "b", "c", "d"}
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{
+			ID:        uint64(i),
+			Loc:       Pt(rng.Float64(), rng.Float64()),
+			Keywords:  kws[:1+i%3],
+			Timestamp: int64(i / 2),
+		}
+	}
+	return objs
+}
+
+// BenchmarkParallelFeed compares multi-producer ingest throughput of the
+// single-lock ConcurrentSystem against the spatially-partitioned
+// ShardedSystem. Run with -cpu to vary producer counts, e.g.
+//
+//	go test -bench ParallelFeed -cpu 1,2,4,8
+//
+// Producers feed pre-generated batches; on a multicore host the sharded
+// variant scales with producers while the single lock serializes them.
+func BenchmarkParallelFeed(b *testing.B) {
+	world := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	const batchLen = 256
+	objs := benchFill(1<<16, 1)
+
+	b.Run("concurrent", func(b *testing.B) {
+		cs, err := NewConcurrent(world, time.Minute, WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			off := 0
+			for pb.Next() {
+				cs.FeedBatch(objs[off : off+batchLen])
+				off = (off + batchLen) % (len(objs) - batchLen)
+			}
+		})
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		ss, err := NewSharded(world, time.Minute, WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ss.Close()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			off := 0
+			for pb.Next() {
+				ss.FeedBatch(objs[off : off+batchLen])
+				off = (off + batchLen) % (len(objs) - batchLen)
+			}
+		})
+	})
+}
+
 // BenchmarkSystemEstimate measures the public API's query hot path on the
 // default estimator.
 func BenchmarkSystemEstimate(b *testing.B) {
-	sys, err := New(Config{
-		World:           Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
-		Window:          time.Minute,
-		PretrainQueries: 50,
-		Seed:            1,
-	})
+	sys, err := New(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, time.Minute,
+		WithPretrainQueries(50), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}

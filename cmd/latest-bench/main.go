@@ -9,15 +9,24 @@
 //
 // The -queries/-pretrain/-scale/-seed flags rescale any experiment; zero
 // values take the defaults documented in DESIGN.md §2.
+//
+// Beyond the paper, -exp ingest measures parallel ingest throughput of
+// the single-lock ConcurrentSystem against the sharded engine:
+//
+//	latest-bench -exp ingest -shards 8 -producers 8 -objects 2000000
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
+	"github.com/spatiotext/latest"
 	"github.com/spatiotext/latest/internal/experiments"
 )
 
@@ -33,8 +42,18 @@ func main() {
 		seed     = flag.Int64("seed", 0, "random seed (0 = default 1)")
 		alpha    = flag.Float64("alpha", -1, "accuracy/latency weight override (-1 = experiment default)")
 		asJSON   = flag.Bool("json", false, "emit JSON instead of text")
+
+		shards    = flag.Int("shards", 0, "ingest: shard count (0 = GOMAXPROCS)")
+		producers = flag.Int("producers", 8, "ingest: concurrent producer goroutines")
+		objects   = flag.Int("objects", 1_000_000, "ingest: objects fed per engine")
+		batchLen  = flag.Int("batch", 256, "ingest: objects per FeedBatch call")
 	)
 	flag.Parse()
+
+	if *exp == "ingest" {
+		runIngest(*shards, *producers, *objects, *batchLen, *seed)
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -83,5 +102,95 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runIngest feeds the same synthetic stream through the single-lock
+// ConcurrentSystem and the spatially-sharded engine with the requested
+// producer parallelism, reporting objects/second for each.
+func runIngest(shards, producers, objects, batchLen int, seed int64) {
+	if seed == 0 {
+		seed = 1
+	}
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if producers < 1 {
+		producers = 1
+	}
+	if batchLen < 1 {
+		batchLen = 1
+	}
+	world := latest.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	rng := rand.New(rand.NewSource(seed))
+	kws := []string{"a", "b", "c", "d", "e"}
+	objs := make([]latest.Object, objects)
+	for i := range objs {
+		objs[i] = latest.Object{
+			ID:        uint64(i + 1),
+			Loc:       latest.Pt(rng.Float64(), rng.Float64()),
+			Keywords:  kws[i%len(kws) : i%len(kws)+1],
+			Timestamp: int64(i + 1),
+		}
+	}
+	fmt.Printf("ingest: %d objects, %d producers, batch %d, GOMAXPROCS %d\n\n",
+		objects, producers, batchLen, runtime.GOMAXPROCS(0))
+
+	// drive splits objs into producer-count interleaved shares and feeds
+	// them concurrently through fn.
+	drive := func(fn func(batch []latest.Object)) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		per := (len(objs) + producers - 1) / producers
+		for p := 0; p < producers; p++ {
+			lo := p * per
+			hi := lo + per
+			if hi > len(objs) {
+				hi = len(objs)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(share []latest.Object) {
+				defer wg.Done()
+				for off := 0; off < len(share); off += batchLen {
+					end := off + batchLen
+					if end > len(share) {
+						end = len(share)
+					}
+					fn(share[off:end])
+				}
+			}(objs[lo:hi])
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	report := func(name string, d time.Duration, windowSize int) float64 {
+		rate := float64(objects) / d.Seconds()
+		fmt.Printf("%-22s %10s  %12.0f obj/s  window=%d\n", name, d.Round(time.Millisecond), rate, windowSize)
+		return rate
+	}
+
+	cs, err := latest.NewConcurrent(world, time.Hour, latest.WithSeed(seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
+		os.Exit(1)
+	}
+	base := report("concurrent (1 lock)", drive(cs.FeedBatch), cs.WindowSize())
+
+	ss, err := latest.NewSharded(world, time.Hour, latest.WithSeed(seed), latest.WithShards(shards))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer ss.Close()
+	shardRate := report(fmt.Sprintf("sharded (%d shards)", shards), drive(ss.FeedBatch), ss.WindowSize())
+
+	fmt.Printf("\nspeedup: %.2fx\n", shardRate/base)
+	st := ss.Stats()
+	for _, sh := range st.Shards {
+		fmt.Printf("  shard %d: feeds=%-9d batches=%-7d reordered=%-7d occ=%d\n",
+			sh.Index, sh.Gauges.Feeds, sh.Gauges.Batches, sh.Gauges.Reordered, sh.Gauges.Occupancy)
 	}
 }

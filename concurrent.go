@@ -1,38 +1,83 @@
 package latest
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // ConcurrentSystem wraps a System with a mutex so multiple goroutines can
 // feed and query it. Every operation — including Estimate, which records
 // per-query measurement state — mutates the module, so a single exclusive
 // lock is the honest synchronization (streaming ingest paths are
 // single-writer in practice; this wrapper exists for applications that
-// fan queries out across request handlers).
+// fan queries out across request handlers). For parallel ingest across
+// CPU cores, see ShardedSystem, which partitions the lock spatially.
 //
 // Estimate and the feedback call must still pair up per query; under
 // concurrency that pairing is only maintainable atomically, so
 // ConcurrentSystem exposes the combined EstimateAndExecute/EstimateWith
 // operations instead of the split halves.
+//
+// Timestamps should be non-decreasing per producer. With multiple
+// producers, interleavings can present an older timestamp after a newer
+// one; those arrivals are clamped to the system's high-water mark rather
+// than panicking the window store.
 type ConcurrentSystem struct {
-	mu  sync.Mutex
-	sys *System
+	mu      sync.Mutex
+	sys     *System
+	lastTS  int64
+	scratch Object
 }
 
-// NewConcurrent builds a thread-safe LATEST system.
-func NewConcurrent(cfg Config) (*ConcurrentSystem, error) {
-	sys, err := New(cfg)
+// NewConcurrent builds a thread-safe LATEST system over the given world
+// and sliding-window span.
+func NewConcurrent(world Rect, window time.Duration, opts ...Option) (*ConcurrentSystem, error) {
+	return NewConcurrentFromConfig(buildConfig(world, window, opts))
+}
+
+// NewConcurrentFromConfig builds a thread-safe LATEST system from a
+// Config struct.
+//
+// Deprecated: use NewConcurrent with functional options.
+func NewConcurrentFromConfig(cfg Config) (*ConcurrentSystem, error) {
+	sys, err := NewFromConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &ConcurrentSystem{sys: sys}, nil
 }
 
-// Feed ingests one stream object. Timestamps must still be globally
-// non-decreasing; with multiple producers, order them before calling.
+// feedLocked ingests one object, clamping regressed timestamps to the
+// high-water mark. Caller holds c.mu.
+func (c *ConcurrentSystem) feedLocked(o *Object) {
+	if o.Timestamp < c.lastTS {
+		c.scratch = *o
+		c.scratch.Timestamp = c.lastTS
+		o = &c.scratch
+	} else {
+		c.lastTS = o.Timestamp
+	}
+	c.sys.feedPtr(o)
+}
+
+// Feed ingests one stream object.
 func (c *ConcurrentSystem) Feed(o Object) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.sys.Feed(o)
+	c.feedLocked(&o)
+}
+
+// FeedBatch ingests a batch of stream objects under a single lock
+// acquisition, amortizing the contention cost across the batch.
+func (c *ConcurrentSystem) FeedBatch(objs []Object) {
+	if len(objs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range objs {
+		c.feedLocked(&objs[i])
+	}
 }
 
 // EstimateAndExecute answers the query approximately, then exactly, and
@@ -41,6 +86,15 @@ func (c *ConcurrentSystem) EstimateAndExecute(q *Query) (estimate float64, actua
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.EstimateAndExecute(q)
+}
+
+// EstimateAndExecuteBatch runs EstimateAndExecute over a batch of queries
+// under a single lock acquisition, returning the parallel estimate and
+// exact-count slices.
+func (c *ConcurrentSystem) EstimateAndExecuteBatch(qs []Query) (estimates []float64, actuals []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.EstimateAndExecuteBatch(qs)
 }
 
 // EstimateWith answers the query approximately and immediately closes the

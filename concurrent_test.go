@@ -9,16 +9,12 @@ import (
 )
 
 func TestConcurrentSystemBasics(t *testing.T) {
-	cs, err := NewConcurrent(Config{
-		World:           Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
-		Window:          10 * time.Second,
-		PretrainQueries: 100,
-		Seed:            1,
-	})
+	cs, err := NewConcurrent(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+		WithPretrainQueries(100), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewConcurrent(Config{}); err == nil {
+	if _, err := NewConcurrentFromConfig(Config{}); err == nil {
 		t.Error("bad config accepted")
 	}
 	rng := rand.New(rand.NewSource(1))
@@ -62,13 +58,8 @@ func TestConcurrentSystemBasics(t *testing.T) {
 // stream contract requires non-decreasing timestamps); many consumers
 // query concurrently.
 func TestConcurrentSystemParallel(t *testing.T) {
-	cs, err := NewConcurrent(Config{
-		World:           Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
-		Window:          10 * time.Second,
-		PretrainQueries: 50,
-		AccWindow:       30,
-		Seed:            2,
-	})
+	cs, err := NewConcurrent(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+		WithPretrainQueries(50), WithAccWindow(30), WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,5 +122,60 @@ func TestConcurrentSystemParallel(t *testing.T) {
 	st := cs.Stats()
 	if st.PretrainSeen != 50 || st.IncrementalSeen != 800-50 {
 		t.Errorf("query accounting: pretrain=%d incremental=%d", st.PretrainSeen, st.IncrementalSeen)
+	}
+}
+
+// TestConcurrentSystemMultiProducer runs several batch producers at once.
+// Producer interleavings inevitably present regressed timestamps; the
+// wrapper clamps them to its high-water mark instead of letting the window
+// store panic. Run with -race.
+func TestConcurrentSystemMultiProducer(t *testing.T) {
+	cs, err := NewConcurrent(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, time.Minute,
+		WithPretrainQueries(50), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, batches, batchLen = 4, 25, 40
+	var clock int64
+	var mu sync.Mutex
+	nextTS := func() int64 { mu.Lock(); clock++; ts := clock; mu.Unlock(); return ts }
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(seed))
+			for b := 0; b < batches; b++ {
+				batch := make([]Object, batchLen)
+				for i := range batch {
+					ts := nextTS()
+					batch[i] = Object{ID: uint64(ts), Loc: Pt(prng.Float64(), prng.Float64()),
+						Keywords: []string{"kw"}, Timestamp: ts}
+				}
+				// Sleep-free jitter: interleave Feed and FeedBatch paths.
+				if b%5 == 0 {
+					for i := range batch {
+						cs.Feed(batch[i])
+					}
+				} else {
+					cs.FeedBatch(batch)
+				}
+			}
+		}(int64(40 + p))
+	}
+	wg.Wait()
+
+	want := producers * batches * batchLen
+	if got := cs.WindowSize(); got != want {
+		t.Fatalf("window holds %d objects, want %d", got, want)
+	}
+	qs := []Query{
+		KeywordQuery([]string{"kw"}, clock),
+		SpatialQuery(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, clock),
+	}
+	_, acts := cs.EstimateAndExecuteBatch(qs)
+	if acts[0] != want || acts[1] != want {
+		t.Errorf("exact counts %v, want %d", acts, want)
 	}
 }

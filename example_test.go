@@ -10,11 +10,11 @@ import (
 // ExampleSystem demonstrates the full feedback loop on a tiny deterministic
 // stream: ingest, estimate, execute, and inspect the adaptor.
 func ExampleSystem() {
-	sys, err := latest.New(latest.Config{
-		World:  latest.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
-		Window: time.Minute,
-		Seed:   1,
-	})
+	sys, err := latest.New(
+		latest.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+		time.Minute,
+		latest.WithSeed(1),
+	)
 	if err != nil {
 		panic(err)
 	}

@@ -39,14 +39,11 @@ var metros = []metro{
 var products = []string{"sneakers", "coffee", "phone", "pizza", "festival", "suv"}
 
 func main() {
-	sys, err := latest.New(latest.Config{
-		World:           world,
-		Window:          10 * time.Minute,
-		Alpha:           0.8, // throughput-first: latency dominates switching
-		AlphaSet:        true,
-		PretrainQueries: 400,
-		Seed:            11,
-	})
+	sys, err := latest.New(world, 10*time.Minute,
+		latest.WithAlpha(0.8), // throughput-first: latency dominates switching
+		latest.WithPretrainQueries(400),
+		latest.WithSeed(11),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -111,15 +111,13 @@ func main() {
 	})
 
 	world := latest.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
-	sys, err := latest.New(latest.Config{
-		World:           world,
-		Window:          time.Minute,
-		Registry:        reg,
-		Estimators:      []string{latest.EstimatorH4096, latest.EstimatorRSH, "Decay"},
-		Default:         latest.EstimatorRSH,
-		PretrainQueries: 300,
-		Seed:            3,
-	})
+	sys, err := latest.New(world, time.Minute,
+		latest.WithRegistry(reg),
+		latest.WithEstimators(latest.EstimatorH4096, latest.EstimatorRSH, "Decay"),
+		latest.WithDefaultEstimator(latest.EstimatorRSH),
+		latest.WithPretrainQueries(300),
+		latest.WithSeed(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -84,15 +84,13 @@ func (s *simulation) responderQuery() latest.Query {
 }
 
 func main() {
-	sys, err := latest.New(latest.Config{
-		World:           world,
-		Window:          3 * time.Minute,
-		PretrainQueries: 300,
-		Seed:            7,
-		OnSwitch: func(ev latest.SwitchEvent) {
+	sys, err := latest.New(world, 3*time.Minute,
+		latest.WithPretrainQueries(300),
+		latest.WithSeed(7),
+		latest.WithOnSwitch(func(ev latest.SwitchEvent) {
 			fmt.Printf("  ** LATEST switched %s -> %s (prefilled=%v)\n", ev.From, ev.To, ev.Prefilled)
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

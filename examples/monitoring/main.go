@@ -1,8 +1,10 @@
-// Monitoring service: a long-running deployment shape. One goroutine
-// ingests the stream, several serve estimation requests concurrently
-// through latest.ConcurrentSystem, and an operations loop polls Stats() to
-// watch the adaptor work (phase, active estimator, switch count, model
-// size) — the numbers an SRE would export to a metrics system.
+// Monitoring service: a long-running sharded deployment shape. Several
+// producer goroutines ingest the stream in batches through
+// latest.ShardedSystem (each shard has its own lock, window and estimator
+// fleet), request handlers serve estimation queries concurrently, and an
+// operations loop polls Stats() to watch the adaptor work per shard —
+// phase, active estimator, switch count, ingest/query gauges — the numbers
+// an SRE would export to a metrics system.
 //
 // Run with:
 //
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,57 +26,64 @@ import (
 var world = latest.Rect{MinX: -125, MinY: 24, MaxX: -66, MaxY: 50}
 
 func main() {
-	sys, err := latest.NewConcurrent(latest.Config{
-		World:           world,
-		Window:          2 * time.Minute,
-		PretrainQueries: 400,
-		AccWindow:       100,
-		Seed:            21,
-	})
+	sys, err := latest.NewSharded(world, 2*time.Minute,
+		latest.WithShards(4),
+		latest.WithPretrainQueries(400),
+		latest.WithAccWindow(100),
+		latest.WithSeed(21),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 
-	// Virtual clock shared by the single producer; queries read it
-	// atomically.
+	// Virtual clock shared by the producers; queries read it atomically.
 	var clock atomic.Int64
 
-	// Producer: ~simulated social stream with two topic clusters.
+	// Producers: simulated social streams with two topic clusters, each
+	// feeding batches so a shard's lock is taken once per batch.
+	const producers = 4
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		rng := rand.New(rand.NewSource(21))
-		topics := []string{"news", "traffic", "sports", "food", "music"}
-		id := uint64(0)
-		for {
-			select {
-			case <-stop:
-				return
-			default:
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			topics := []string{"news", "traffic", "sports", "food", "music"}
+			batch := make([]latest.Object, 0, 64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch = batch[:0]
+				for i := 0; i < 64; i++ {
+					ts := clock.Add(1)
+					var loc latest.Point
+					if rng.Float64() < 0.5 {
+						loc = world.Clamp(latest.Pt(-74+rng.NormFloat64(), 40.7+rng.NormFloat64()))
+					} else {
+						loc = latest.Pt(world.MinX+rng.Float64()*world.Width(), world.MinY+rng.Float64()*world.Height())
+					}
+					batch = append(batch, latest.Object{
+						ID: uint64(ts), Loc: loc,
+						Keywords:  []string{topics[rng.Intn(len(topics))]},
+						Timestamp: ts,
+					})
+				}
+				sys.FeedBatch(batch)
 			}
-			ts := clock.Add(1)
-			id++
-			var loc latest.Point
-			if rng.Float64() < 0.5 {
-				loc = world.Clamp(latest.Pt(-74+rng.NormFloat64(), 40.7+rng.NormFloat64()))
-			} else {
-				loc = latest.Pt(world.MinX+rng.Float64()*world.Width(), world.MinY+rng.Float64()*world.Height())
-			}
-			sys.Feed(latest.Object{
-				ID: id, Loc: loc,
-				Keywords:  []string{topics[rng.Intn(len(topics))]},
-				Timestamp: ts,
-			})
-		}
-	}()
+		}(int64(21 + p))
+	}
 
 	// Wait for one full window of data before serving.
 	for clock.Load() < (2 * time.Minute).Milliseconds() {
 		time.Sleep(10 * time.Millisecond)
 	}
-	fmt.Printf("window primed: %d objects live\n", sys.WindowSize())
+	fmt.Printf("window primed: %d objects live across %d shards\n",
+		sys.WindowSize(), sys.NumShards())
 
 	// Request handlers: each serves a mix of dashboard queries.
 	var served atomic.Int64
@@ -102,7 +112,8 @@ func main() {
 		}(int64(100 + h))
 	}
 
-	// Operations loop: the metrics an exporter would scrape.
+	// Operations loop: the metrics an exporter would scrape, merged and
+	// per shard.
 	opsDone := make(chan struct{})
 	go func() {
 		defer close(opsDone)
@@ -111,9 +122,14 @@ func main() {
 		for served.Load() < 3*700 {
 			<-ticker.C
 			st := sys.Stats()
-			fmt.Printf("[ops] served=%-5d phase=%-11s active=%-5s switches=%d accuracy=%.3f model{records=%d nodes=%d retrains=%d} mem=%dKB\n",
-				served.Load(), st.Phase, st.Active, st.Switches, st.AccuracyAvg,
-				st.TrainingRecords, st.TreeNodes, st.ModelRetrains, st.MemoryBytes/1024)
+			m := st.Merged
+			fmt.Printf("[ops] served=%-5d phase=%-11s active={%s} switches=%d accuracy=%.3f mem=%dKB\n",
+				served.Load(), m.Phase, m.Active, m.Switches, m.AccuracyAvg, m.MemoryBytes/1024)
+			for _, sh := range st.Shards {
+				fmt.Printf("      shard %d: occ=%-6d feeds=%-7d queries=%-5d qlat=%-10v active=%s\n",
+					sh.Index, sh.Gauges.Occupancy, sh.Gauges.Feeds, sh.Gauges.Queries,
+					sh.Gauges.AvgQueryLatency.Round(time.Microsecond), sh.Core.Active)
+			}
 		}
 	}()
 	<-opsDone
@@ -121,8 +137,8 @@ func main() {
 	wg.Wait()
 
 	st := sys.Stats()
-	fmt.Printf("\nshutdown: %d requests served, final active %s, %d switches\n",
-		served.Load(), st.Active, st.Switches)
+	fmt.Printf("\nshutdown: %d requests served, active per shard [%s], %d switches total\n",
+		served.Load(), strings.Join(sys.ActiveEstimators(), " "), st.Merged.Switches)
 	for _, ev := range sys.Switches() {
 		fmt.Printf("  %v\n", ev)
 	}

@@ -18,12 +18,10 @@ func main() {
 	// A LATEST system over a city-scale bounding box (Los Angeles county,
 	// roughly), keeping the last 5 minutes of stream data.
 	world := latest.Rect{MinX: -118.7, MinY: 33.7, MaxX: -117.6, MaxY: 34.4}
-	sys, err := latest.New(latest.Config{
-		World:           world,
-		Window:          5 * time.Minute,
-		PretrainQueries: 300, // short demo; production uses thousands
-		Seed:            42,
-	})
+	sys, err := latest.New(world, 5*time.Minute,
+		latest.WithPretrainQueries(300), // short demo; production uses thousands
+		latest.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,13 +20,8 @@ func TestSoakAdaptation(t *testing.T) {
 		t.Skip("soak test")
 	}
 	world := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
-	sys, err := New(Config{
-		World:           world,
-		Window:          20 * time.Second,
-		PretrainQueries: 400,
-		AccWindow:       80,
-		Seed:            5,
-	})
+	sys, err := New(world, 20*time.Second,
+		WithPretrainQueries(400), WithAccWindow(80), WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,13 +124,8 @@ func TestSoakAdaptation(t *testing.T) {
 // estimates, no matter how hostile the workload churn.
 func TestManyRegimesNoPanic(t *testing.T) {
 	world := Rect{MinX: -10, MinY: -10, MaxX: 10, MaxY: 10}
-	sys, err := New(Config{
-		World:           world,
-		Window:          5 * time.Second,
-		PretrainQueries: 100,
-		AccWindow:       30,
-		Seed:            99,
-	})
+	sys, err := New(world, 5*time.Second,
+		WithPretrainQueries(100), WithAccWindow(30), WithSeed(99))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,59 @@
+package core
+
+import "strings"
+
+// MergeStats folds per-shard module snapshots into one system-level Stats.
+// A sharded deployment runs one Module per spatial shard; operators want a
+// single dashboard row, so counters sum, the lifecycle phase is the
+// earliest any shard is in (the system is not incremental until every
+// shard is), and the accuracy average weighs each shard by the number of
+// queries it has actually monitored.
+func MergeStats(parts []Stats) Stats {
+	if len(parts) == 0 {
+		return Stats{}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	out := Stats{Phase: parts[0].Phase}
+	var accWeighted float64
+	var accWeight float64
+	actives := make([]string, 0, len(parts))
+	prefills := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p.Phase < out.Phase {
+			out.Phase = p.Phase
+		}
+		actives = appendUnique(actives, p.Active)
+		if p.Prefilling != "" {
+			prefills = appendUnique(prefills, p.Prefilling)
+		}
+		out.PretrainSeen += p.PretrainSeen
+		out.IncrementalSeen += p.IncrementalSeen
+		out.Switches += p.Switches
+		out.TrainingRecords += p.TrainingRecords
+		out.TreeNodes += p.TreeNodes
+		out.TreeSplits += p.TreeSplits
+		out.ModelRetrains += p.ModelRetrains
+		out.MemoryBytes += p.MemoryBytes
+		w := float64(p.PretrainSeen + p.IncrementalSeen)
+		accWeighted += p.AccuracyAvg * w
+		accWeight += w
+	}
+	out.Active = strings.Join(actives, ",")
+	out.Prefilling = strings.Join(prefills, ",")
+	if accWeight > 0 {
+		out.AccuracyAvg = accWeighted / accWeight
+	}
+	return out
+}
+
+// appendUnique appends s to list unless already present, preserving order.
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}

@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+func TestMergeStats(t *testing.T) {
+	a := Stats{
+		Phase: PhaseIncremental, Active: "RSH", Prefilling: "H4096",
+		PretrainSeen: 100, IncrementalSeen: 300, Switches: 2,
+		TrainingRecords: 400, TreeNodes: 5, TreeSplits: 2, ModelRetrains: 1,
+		AccuracyAvg: 0.9, MemoryBytes: 1000,
+	}
+	b := Stats{
+		Phase: PhasePretrain, Active: "RSH",
+		PretrainSeen: 100, IncrementalSeen: 0,
+		TrainingRecords: 100, TreeNodes: 1,
+		AccuracyAvg: 0.5, MemoryBytes: 500,
+	}
+	c := Stats{
+		Phase: PhaseIncremental, Active: "H4096",
+		PretrainSeen: 100, IncrementalSeen: 100, Switches: 1,
+		TrainingRecords: 200, TreeNodes: 3, TreeSplits: 1,
+		AccuracyAvg: 0.7, MemoryBytes: 700,
+	}
+	m := MergeStats([]Stats{a, b, c})
+
+	if m.Phase != PhasePretrain {
+		t.Errorf("phase = %v, want earliest (pretrain)", m.Phase)
+	}
+	if m.Active != "RSH,H4096" {
+		t.Errorf("active = %q", m.Active)
+	}
+	if m.Prefilling != "H4096" {
+		t.Errorf("prefilling = %q", m.Prefilling)
+	}
+	if m.PretrainSeen != 300 || m.IncrementalSeen != 400 || m.Switches != 3 {
+		t.Errorf("counters = %+v", m)
+	}
+	if m.TrainingRecords != 700 || m.TreeNodes != 9 || m.TreeSplits != 3 || m.ModelRetrains != 1 {
+		t.Errorf("model counters = %+v", m)
+	}
+	if m.MemoryBytes != 2200 {
+		t.Errorf("memory = %d", m.MemoryBytes)
+	}
+	// Weighted by monitored queries: (0.9*400 + 0.5*100 + 0.7*200) / 700.
+	want := (0.9*400 + 0.5*100 + 0.7*200) / 700
+	if diff := m.AccuracyAvg - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("accuracy = %v, want %v", m.AccuracyAvg, want)
+	}
+}
+
+func TestMergeStatsDegenerate(t *testing.T) {
+	if got := MergeStats(nil); got != (Stats{}) {
+		t.Errorf("empty merge = %+v", got)
+	}
+	one := Stats{Active: "RSL", AccuracyAvg: 0.3}
+	if got := MergeStats([]Stats{one}); got != one {
+		t.Errorf("single merge = %+v", got)
+	}
+}

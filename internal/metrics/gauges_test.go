@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShardGauges(t *testing.T) {
+	var g ShardGauges
+	g.RecordFeeds(3)
+	g.RecordBatch(7, 70*time.Millisecond)
+	g.RecordBatch(3, 30*time.Millisecond)
+	g.RecordQuery(10 * time.Millisecond)
+	g.RecordQuery(30 * time.Millisecond)
+	g.RecordReordered()
+	g.SetOccupancy(42)
+
+	s := g.Snapshot()
+	if s.Feeds != 13 || s.Batches != 2 || s.Queries != 2 || s.Reordered != 1 || s.Occupancy != 42 {
+		t.Errorf("snapshot counts = %+v", s)
+	}
+	if s.AvgBatchLatency != 50*time.Millisecond {
+		t.Errorf("avg batch latency = %v", s.AvgBatchLatency)
+	}
+	if s.AvgQueryLatency != 20*time.Millisecond {
+		t.Errorf("avg query latency = %v", s.AvgQueryLatency)
+	}
+}
+
+func TestShardGaugesZero(t *testing.T) {
+	var g ShardGauges
+	s := g.Snapshot()
+	if s != (GaugeSnapshot{}) {
+		t.Errorf("zero gauges snapshot = %+v", s)
+	}
+}
+
+// TestShardGaugesConcurrent hammers the gauges from many goroutines; the
+// assertions are exact because every update is atomic. Run with -race.
+func TestShardGaugesConcurrent(t *testing.T) {
+	var g ShardGauges
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				g.RecordFeeds(1)
+				g.RecordQuery(time.Microsecond)
+				g.SetOccupancy(i)
+			}
+		}()
+	}
+	wg.Wait()
+	s := g.Snapshot()
+	if s.Feeds != workers*each || s.Queries != workers*each {
+		t.Errorf("feeds=%d queries=%d, want %d each", s.Feeds, s.Queries, workers*each)
+	}
+}

@@ -288,6 +288,34 @@ func (w *Window) Each(fn func(o *Object) bool) {
 	}
 }
 
+// NextSeq returns the sequence number the next inserted object will
+// receive. Together with EachBefore it lets a caller snapshot "everything
+// in the window as of now" by value: record NextSeq at decision time,
+// replay EachBefore(seq) later, and objects inserted in between are
+// excluded no matter how long the replay is deferred. Deferred estimator
+// pre-filling uses exactly this to move the window replay off the query
+// path without double-inserting objects the estimator already saw live.
+func (w *Window) NextSeq() uint64 { return w.base + uint64(w.Size()) }
+
+// EachBefore iterates, in arrival order, over the live objects whose
+// sequence number is below maxSeq (i.e. those already present when
+// NextSeq returned maxSeq). Objects evicted since then are skipped
+// naturally — they are no longer live. fn returning false stops early.
+func (w *Window) EachBefore(maxSeq uint64, fn func(o *Object) bool) {
+	if maxSeq <= w.base {
+		return
+	}
+	end := w.head + int(maxSeq-w.base)
+	if end > len(w.objs) {
+		end = len(w.objs)
+	}
+	for i := w.head; i < end; i++ {
+		if !fn(&w.objs[i]) {
+			return
+		}
+	}
+}
+
 // dedupe returns kws with duplicates removed, preserving order. Keyword
 // lists are tiny (1-5 entries), so the quadratic scan beats a map.
 func dedupe(kws []string) []string {

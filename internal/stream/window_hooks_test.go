@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+)
+
+// TestWindowEachBefore covers the snapshot-iteration contract used by
+// deferred pre-filling: objects inserted after NextSeq are excluded, and
+// objects evicted since are skipped.
+func TestWindowEachBefore(t *testing.T) {
+	w := NewWindow(geo.UnitSquare, 100, 16)
+	for i := 0; i < 10; i++ {
+		w.Insert(Object{ID: uint64(i), Loc: geo.Pt(0.5, 0.5), Timestamp: int64(i)})
+	}
+	seq := w.NextSeq()
+
+	count := func(maxSeq uint64) (ids []uint64) {
+		w.EachBefore(maxSeq, func(o *Object) bool {
+			ids = append(ids, o.ID)
+			return true
+		})
+		return ids
+	}
+	if got := count(seq); len(got) != 10 || got[0] != 0 || got[9] != 9 {
+		t.Fatalf("snapshot = %v, want ids 0..9", got)
+	}
+
+	// Later inserts must stay invisible to the old snapshot.
+	for i := 10; i < 15; i++ {
+		w.Insert(Object{ID: uint64(i), Loc: geo.Pt(0.5, 0.5), Timestamp: int64(i)})
+	}
+	if got := count(seq); len(got) != 10 || got[9] != 9 {
+		t.Fatalf("snapshot after inserts = %v, want ids 0..9", got)
+	}
+
+	// Eviction shrinks the snapshot from the front.
+	w.EvictBefore(5) // drops ts 0..4
+	if got := count(seq); len(got) != 5 || got[0] != 5 || got[4] != 9 {
+		t.Fatalf("snapshot after evict = %v, want ids 5..9", got)
+	}
+
+	// A snapshot wholly evicted iterates nothing.
+	w.EvictBefore(12)
+	if got := count(seq); len(got) != 0 {
+		t.Fatalf("fully evicted snapshot = %v, want empty", got)
+	}
+
+	// Early stop.
+	n := 0
+	w.EachBefore(w.NextSeq(), func(o *Object) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop visited %d objects", n)
+	}
+}

@@ -13,10 +13,8 @@
 //
 // # Quick start
 //
-//	sys, err := latest.New(latest.Config{
-//		World: latest.Rect{MinX: -125, MinY: 24, MaxX: -66, MaxY: 50},
-//		Window: 10 * time.Minute,
-//	})
+//	world := latest.Rect{MinX: -125, MinY: 24, MaxX: -66, MaxY: 50}
+//	sys, err := latest.New(world, 10*time.Minute)
 //	...
 //	sys.Feed(latest.Object{ID: 1, Loc: latest.Pt(-118.24, 34.05),
 //		Keywords: []string{"fire"}, Timestamp: now})
@@ -24,10 +22,22 @@
 //	estimate := sys.Estimate(&q)   // fast approximate count
 //	actual := sys.Execute(&q)      // exact count + feedback to the model
 //
+// Tuning knobs are functional options: latest.New(world, window,
+// latest.WithAlpha(0), latest.WithTau(0.8), ...).
+//
 // Estimate is the query optimizer's cheap call; Execute plays the query
 // processor whose true result lands in the system logs and trains the
 // switching model. Applications that execute queries through their own
 // engine can call Estimate followed by ObserveActual instead.
+//
+// Three deployment shapes share one surface (Feed/FeedBatch,
+// EstimateAndExecute/EstimateAndExecuteBatch):
+//
+//   - System — single-goroutine, lowest overhead.
+//   - ConcurrentSystem — System behind one mutex, for request handlers.
+//   - ShardedSystem — the world spatially partitioned into N shards, each
+//     its own window + estimator fleet behind its own lock; ingest routes
+//     to one shard, queries fan out to intersecting shards.
 package latest
 
 import (
@@ -118,6 +128,11 @@ func DefaultRegistry() *Registry { return estimator.DefaultRegistry() }
 
 // Config configures a System. The zero values of the tuning knobs take the
 // paper's defaults (α=0.5, τ=0.75, β=0.8, RSH as default estimator).
+//
+// Deprecated: Config remains as an adapter for pre-options callers via
+// NewFromConfig, NewConcurrentFromConfig and NewShardedFromConfig. New code
+// should pass functional options to New/NewConcurrent/NewSharded instead —
+// in particular WithAlpha(0) replaces the Alpha/AlphaSet pair.
 type Config struct {
 	// World is the spatial domain all objects and ranges live in.
 	World Rect
@@ -153,6 +168,20 @@ type Config struct {
 	// OracleGridCells sizes the exact store's internal grid (speed only;
 	// zero = 4096).
 	OracleGridCells int
+	// CooldownQueries is the minimum number of queries between switches
+	// (zero = AccWindow/2).
+	CooldownQueries int
+	// OpportunityMargin is the proactive-switch margin (zero = 0.15,
+	// negative disables opportunity switches).
+	OpportunityMargin float64
+	// Shards is the spatial shard count used by NewSharded /
+	// NewShardedFromConfig (zero = runtime.GOMAXPROCS(0)). New and
+	// NewConcurrent ignore it.
+	Shards int
+	// SyncPrefill makes ShardedSystem warm switch candidates on the query
+	// path instead of the shard's background goroutine. New and
+	// NewConcurrent always prefill synchronously and ignore it.
+	SyncPrefill bool
 }
 
 // System bundles a LATEST module with the exact window store that plays
@@ -163,10 +192,44 @@ type Config struct {
 type System struct {
 	module *core.Module
 	window *stream.Window
+
+	// scratch keeps single-object Feed allocation-free: the object is
+	// staged here so the pointer handed to the module points into the
+	// (already heap-resident) System rather than forcing the argument to
+	// escape. Estimators copy what they keep, so the buffer is reusable.
+	scratch Object
 }
 
-// New builds a System.
-func New(cfg Config) (*System, error) {
+// New builds a System over the given world rectangle, keeping the last
+// window duration of stream data. Tuning knobs are functional options
+// (WithAlpha, WithTau, ...); zero options take the paper's defaults.
+func New(world Rect, window time.Duration, opts ...Option) (*System, error) {
+	return NewFromConfig(buildConfig(world, window, opts))
+}
+
+// NewFromConfig builds a System from a Config struct.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) (*System, error) {
+	return newSystem(cfg, nil)
+}
+
+// refillFunc seeds a freshly wiped estimator from the window store.
+// nil means the default synchronous full-window replay.
+type refillFunc func(w *stream.Window, e estimator.Estimator)
+
+// syncRefill replays every live window object into e.
+func syncRefill(w *stream.Window, e estimator.Estimator) {
+	w.Each(func(o *stream.Object) bool {
+		e.Insert(o)
+		return true
+	})
+}
+
+// newSystem is the shared constructor. refill overrides how switch
+// candidates are pre-filled from the window store (ShardedSystem hands the
+// replay to a background goroutine); nil keeps the synchronous replay.
+func newSystem(cfg Config, refill refillFunc) (*System, error) {
 	if cfg.Window <= 0 {
 		return nil, fmt.Errorf("latest: Window must be positive, got %v", cfg.Window)
 	}
@@ -177,27 +240,29 @@ func New(cfg Config) (*System, error) {
 	if cells == 0 {
 		cells = 4096
 	}
+	if refill == nil {
+		refill = syncRefill
+	}
 	w := stream.NewWindow(cfg.World, cfg.Window.Milliseconds(), cells)
 	m, err := core.New(core.Config{
-		World:           cfg.World,
-		Span:            cfg.Window.Milliseconds(),
-		Registry:        cfg.Registry,
-		Estimators:      cfg.Estimators,
-		Default:         cfg.Default,
-		Alpha:           cfg.Alpha,
-		AlphaSet:        cfg.AlphaSet,
-		Tau:             cfg.Tau,
-		Beta:            cfg.Beta,
-		AccWindow:       cfg.AccWindow,
-		PretrainQueries: cfg.PretrainQueries,
-		Scale:           cfg.MemoryScale,
-		Seed:            cfg.Seed,
-		OnSwitch:        cfg.OnSwitch,
+		World:             cfg.World,
+		Span:              cfg.Window.Milliseconds(),
+		Registry:          cfg.Registry,
+		Estimators:        cfg.Estimators,
+		Default:           cfg.Default,
+		Alpha:             cfg.Alpha,
+		AlphaSet:          cfg.AlphaSet,
+		Tau:               cfg.Tau,
+		Beta:              cfg.Beta,
+		AccWindow:         cfg.AccWindow,
+		PretrainQueries:   cfg.PretrainQueries,
+		CooldownQueries:   cfg.CooldownQueries,
+		OpportunityMargin: cfg.OpportunityMargin,
+		Scale:             cfg.MemoryScale,
+		Seed:              cfg.Seed,
+		OnSwitch:          cfg.OnSwitch,
 		Refill: func(e estimator.Estimator) {
-			w.Each(func(o *stream.Object) bool {
-				e.Insert(o)
-				return true
-			})
+			refill(w, e)
 		},
 	})
 	if err != nil {
@@ -206,10 +271,27 @@ func New(cfg Config) (*System, error) {
 	return &System{module: m, window: w}, nil
 }
 
+// feedPtr is the allocation-free ingest path shared by Feed, FeedBatch and
+// the concurrent wrappers. The pointee is only read during the call;
+// estimators copy what they keep.
+func (s *System) feedPtr(o *Object) {
+	s.window.Insert(*o)
+	s.module.Insert(o)
+}
+
 // Feed ingests one stream object. Timestamps must be non-decreasing.
 func (s *System) Feed(o Object) {
-	s.window.Insert(o)
-	s.module.Insert(&o)
+	s.scratch = o
+	s.feedPtr(&s.scratch)
+}
+
+// FeedBatch ingests a batch of stream objects in order. Timestamps must be
+// non-decreasing within the batch and across calls. Batching skips the
+// per-object staging copy of Feed.
+func (s *System) FeedBatch(objs []Object) {
+	for i := range objs {
+		s.feedPtr(&objs[i])
+	}
 }
 
 // Estimate answers the query approximately through the active estimator.
@@ -235,6 +317,18 @@ func (s *System) EstimateAndExecute(q *Query) (estimate float64, actual int) {
 	estimate = s.Estimate(q)
 	actual = s.Execute(q)
 	return estimate, actual
+}
+
+// EstimateAndExecuteBatch runs EstimateAndExecute over a batch of queries,
+// returning the parallel estimate and exact-count slices. Queries are
+// answered in order, each closing its own feedback loop.
+func (s *System) EstimateAndExecuteBatch(qs []Query) (estimates []float64, actuals []int) {
+	estimates = make([]float64, len(qs))
+	actuals = make([]int, len(qs))
+	for i := range qs {
+		estimates[i], actuals[i] = s.EstimateAndExecute(&qs[i])
+	}
+	return estimates, actuals
 }
 
 // ActiveEstimator returns the currently employed estimator's name.

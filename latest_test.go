@@ -21,7 +21,9 @@ func testSystem(t *testing.T, mut func(*Config)) *System {
 	if mut != nil {
 		mut(&cfg)
 	}
-	sys, err := New(cfg)
+	// Deliberately exercises the deprecated Config adapter; option-based
+	// construction is covered by TestOptionsMatchConfig and the examples.
+	sys, err := NewFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,17 +124,90 @@ func TestSystemObserveActualPath(t *testing.T) {
 }
 
 func TestSystemRejectsBadConfig(t *testing.T) {
-	if _, err := New(Config{World: Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}); err == nil {
+	if _, err := New(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 0); err == nil {
 		t.Error("zero window accepted")
 	}
-	if _, err := New(Config{Window: time.Second}); err == nil {
+	if _, err := New(Rect{}, time.Second); err == nil {
 		t.Error("empty world accepted")
 	}
-	if _, err := New(Config{
-		World: Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Window: time.Second,
-		Default: "bogus",
-	}); err == nil {
+	if _, err := New(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, time.Second,
+		WithDefaultEstimator("bogus")); err == nil {
 		t.Error("bogus default accepted")
+	}
+}
+
+// TestOptionsMatchConfig pins the functional-option surface to the Config
+// fields it writes, including the Alpha/AlphaSet pairing that options
+// exist to hide.
+func TestOptionsMatchConfig(t *testing.T) {
+	world := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	onSwitch := func(SwitchEvent) {}
+	got := buildConfig(world, time.Minute, []Option{
+		WithAlpha(0), // the literal zero the old API could not express
+		WithTau(0.6), WithBeta(0.7), WithAccWindow(90),
+		WithPretrainQueries(123), WithCooldown(17),
+		WithOpportunityMargin(-1), WithMemoryScale(2),
+		WithSeed(99), WithOnSwitch(onSwitch), WithOracleGridCells(256),
+		WithShards(3), WithSynchronousPrefill(),
+		nil, // nil options are tolerated
+	})
+	if !got.AlphaSet || got.Alpha != 0 {
+		t.Errorf("WithAlpha(0): alpha=%v set=%v", got.Alpha, got.AlphaSet)
+	}
+	if got.World != world || got.Window != time.Minute {
+		t.Errorf("world/window = %v/%v", got.World, got.Window)
+	}
+	if got.Tau != 0.6 || got.Beta != 0.7 || got.AccWindow != 90 ||
+		got.PretrainQueries != 123 || got.CooldownQueries != 17 ||
+		got.OpportunityMargin != -1 || got.MemoryScale != 2 ||
+		got.Seed != 99 || got.OracleGridCells != 256 ||
+		got.Shards != 3 || !got.SyncPrefill || got.OnSwitch == nil {
+		t.Errorf("options lost fields: %+v", got)
+	}
+	// A later option overrides an earlier one.
+	over := buildConfig(world, time.Minute, []Option{WithSeed(1), WithSeed(2)})
+	if over.Seed != 2 {
+		t.Errorf("later option did not win: seed = %d", over.Seed)
+	}
+}
+
+// TestFeedBatch pins the batch ingest and batch query paths to their
+// single-object equivalents on a deterministic system.
+func TestFeedBatch(t *testing.T) {
+	single := testSystem(t, nil)
+	batched := testSystem(t, nil)
+	rng := rand.New(rand.NewSource(6))
+	objs := make([]Object, 500)
+	for i := range objs {
+		objs[i] = Object{
+			ID:        uint64(i + 1),
+			Loc:       Pt(rng.Float64(), rng.Float64()),
+			Keywords:  []string{fmt.Sprintf("kw%d", rng.Intn(20))},
+			Timestamp: int64(i + 1),
+		}
+	}
+	for i := range objs {
+		single.Feed(objs[i])
+	}
+	batched.FeedBatch(append([]Object(nil), objs...))
+	if single.WindowSize() != batched.WindowSize() {
+		t.Fatalf("window sizes diverge: %d vs %d", single.WindowSize(), batched.WindowSize())
+	}
+	qs := []Query{
+		SpatialQuery(CenteredRect(Pt(0.5, 0.5), 0.4, 0.4), 500),
+		KeywordQuery([]string{"kw1"}, 500),
+		HybridQuery(CenteredRect(Pt(0.25, 0.25), 0.3, 0.3), []string{"kw2"}, 500),
+	}
+	ests, acts := batched.EstimateAndExecuteBatch(qs)
+	if len(ests) != len(qs) || len(acts) != len(qs) {
+		t.Fatalf("batch result lengths %d/%d", len(ests), len(acts))
+	}
+	for i := range qs {
+		wantEst, wantAct := single.EstimateAndExecute(&qs[i])
+		if ests[i] != wantEst || acts[i] != wantAct {
+			t.Errorf("query %d: batch (%v, %d) vs single (%v, %d)",
+				i, ests[i], acts[i], wantEst, wantAct)
+		}
 	}
 }
 

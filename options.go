@@ -1,0 +1,127 @@
+package latest
+
+import "time"
+
+// options.go defines the functional-option configuration surface shared by
+// New, NewConcurrent and NewSharded. Options replace the old
+// Alpha float64 / AlphaSet bool pattern: WithAlpha(0) unambiguously means
+// "accuracy only", no companion boolean required. The Config struct remains
+// as a deprecated adapter (NewFromConfig and friends) so existing callers
+// keep building.
+
+// Option customizes a System, ConcurrentSystem or ShardedSystem at
+// construction time. Options apply in order; later options win.
+type Option func(*Config)
+
+// WithRegistry supplies the estimator registry (nil keeps the paper's six).
+func WithRegistry(r *Registry) Option {
+	return func(c *Config) { c.Registry = r }
+}
+
+// WithEstimators names the fleet members (default: every registered
+// estimator, in registration order).
+func WithEstimators(names ...string) Option {
+	return func(c *Config) { c.Estimators = append([]string(nil), names...) }
+}
+
+// WithDefaultEstimator names the estimator active when the incremental
+// phase starts (default RSH, as in the paper).
+func WithDefaultEstimator(name string) Option {
+	return func(c *Config) { c.Default = name }
+}
+
+// WithAlpha sets α ∈ [0,1], the latency-vs-accuracy weight of switching
+// decisions: 0 = accuracy only, 1 = latency only. Unlike the Config field,
+// a literal 0 needs no companion flag.
+func WithAlpha(a float64) Option {
+	return func(c *Config) { c.Alpha, c.AlphaSet = a, true }
+}
+
+// WithTau sets τ ∈ (0,1), the accuracy threshold that triggers a switch
+// (default 0.75).
+func WithTau(t float64) Option {
+	return func(c *Config) { c.Tau = t }
+}
+
+// WithBeta sets β ∈ (0,1), controlling how early the replacement estimator
+// starts pre-filling (default 0.8).
+func WithBeta(b float64) Option {
+	return func(c *Config) { c.Beta = b }
+}
+
+// WithAccWindow sets how many recent queries the monitored accuracy
+// average covers (default 200).
+func WithAccWindow(n int) Option {
+	return func(c *Config) { c.AccWindow = n }
+}
+
+// WithPretrainQueries sets the pre-training phase length (default 2000).
+func WithPretrainQueries(n int) Option {
+	return func(c *Config) { c.PretrainQueries = n }
+}
+
+// WithCooldown sets the minimum number of queries between switches
+// (default AccWindow/2).
+func WithCooldown(n int) Option {
+	return func(c *Config) { c.CooldownQueries = n }
+}
+
+// WithOpportunityMargin sets the proactive-switch margin: the adaptor moves
+// to a strictly better estimator once its α-weighted score exceeds the
+// active one's by this margin for half an accuracy window (default 0.15).
+// Negative disables opportunity switches entirely, leaving only the τ
+// threshold — useful for bit-exact reproducible runs, since opportunity
+// decisions weigh measured wall-clock latency.
+func WithOpportunityMargin(m float64) Option {
+	return func(c *Config) { c.OpportunityMargin = m }
+}
+
+// WithMemoryScale multiplies every estimator's capacity defaults
+// (default 1).
+func WithMemoryScale(s float64) Option {
+	return func(c *Config) { c.MemoryScale = s }
+}
+
+// WithSeed makes runs reproducible.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithOnSwitch installs a callback invoked after every estimator switch.
+func WithOnSwitch(fn func(SwitchEvent)) Option {
+	return func(c *Config) { c.OnSwitch = fn }
+}
+
+// WithOracleGridCells sizes the exact window store's internal grid (speed
+// only, never correctness; default 4096).
+func WithOracleGridCells(n int) Option {
+	return func(c *Config) { c.OracleGridCells = n }
+}
+
+// WithShards sets the number of spatial shards a ShardedSystem partitions
+// the world into (default runtime.GOMAXPROCS(0)). New and NewConcurrent
+// ignore it.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
+// WithSynchronousPrefill makes a ShardedSystem warm switch candidates on
+// the query path (the single-threaded System behaviour) instead of handing
+// the window replay to the shard's background goroutine. Costs switch-time
+// latency, buys determinism: a 1-shard ShardedSystem with synchronous
+// prefill reproduces System bit-for-bit. New and NewConcurrent always
+// prefill synchronously and ignore it.
+func WithSynchronousPrefill() Option {
+	return func(c *Config) { c.SyncPrefill = true }
+}
+
+// buildConfig folds options into a Config carrying the world and window.
+func buildConfig(world Rect, window time.Duration, opts []Option) Config {
+	cfg := Config{World: world, Window: window}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return cfg
+}

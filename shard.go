@@ -1,0 +1,508 @@
+package latest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/spatiotext/latest/internal/core"
+	"github.com/spatiotext/latest/internal/estimator"
+	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// ShardedSystem partitions the world rectangle into a grid of spatial
+// shards, each owning its own exact window store and estimator fleet
+// behind its own lock. Ingest locks only the shard an object's location
+// routes to, so producers on different shards proceed in parallel; queries
+// fan out to the shards whose rectangles intersect the query range
+// (keyword-only queries to all shards) and merge the partial counts. The
+// RC-DVQ count over a rectangle decomposes exactly over a spatial
+// partition — every object lives in exactly one shard — so merged exact
+// counts equal a monolithic System's.
+//
+// Each shard runs its own LATEST module: its own learning model, its own
+// active estimator, its own switching decisions. Shards covering different
+// data densities may legitimately settle on different estimators.
+//
+// Estimator pre-filling is off the query path by default: when a shard's
+// adaptor wants a candidate warmed from the window store, the replay runs
+// on that shard's background goroutine (the query that triggered the
+// switch returns immediately). WithSynchronousPrefill restores the inline
+// replay, which a 1-shard system needs to reproduce System bit-for-bit.
+//
+// As with ConcurrentSystem, Estimate and the feedback call must pair up
+// per query, which under concurrency is only maintainable atomically — so
+// the combined EstimateAndExecute operations are exposed instead of the
+// split halves. Timestamps should be non-decreasing per producer; arrivals
+// that would run a shard's clock backwards are clamped to the shard's
+// high-water mark (counted in the shard's Reordered gauge).
+type ShardedSystem struct {
+	world  Rect
+	rows   int
+	cols   int
+	xs     []float64 // col edges, len cols+1
+	ys     []float64 // row edges, len rows+1
+	shards []*shard
+
+	syncPrefill bool
+
+	closeOnce sync.Once
+	workers   sync.WaitGroup
+}
+
+// shard is one spatial partition: a full System (module + window store)
+// behind a mutex, plus operational gauges and the deferred-prefill worker
+// state.
+type shard struct {
+	mu   sync.Mutex
+	rect Rect
+	sys  *System
+
+	// lastTS is the shard's timestamp high-water mark; arrivals below it
+	// are clamped so the window's queue invariant survives multi-producer
+	// interleaving. Guarded by mu.
+	lastTS  int64
+	scratch Object
+
+	gauges metrics.ShardGauges
+
+	// refillCh carries deferred pre-fill work to the shard's background
+	// goroutine. Senders hold mu; the worker acquires mu per task, so the
+	// channel must never be sent to while blocking — enqueue falls back to
+	// an inline replay when the buffer is full.
+	refillCh chan refillTask
+}
+
+// refillTask is one deferred pre-fill: replay the window objects that
+// existed at enqueue time (seq < boundary) into est. Objects inserted
+// after the boundary reach est live through the module, so the split is
+// exact — no object is double-inserted or missed.
+type refillTask struct {
+	est      estimator.Estimator
+	boundary uint64
+}
+
+// NewSharded builds a sharded LATEST system over the given world,
+// partitioned into WithShards(n) spatial shards (default
+// runtime.GOMAXPROCS(0)). Call Close when done to stop the background
+// prefill workers.
+func NewSharded(world Rect, window time.Duration, opts ...Option) (*ShardedSystem, error) {
+	return NewShardedFromConfig(buildConfig(world, window, opts))
+}
+
+// NewShardedFromConfig builds a ShardedSystem from a Config struct.
+//
+// Deprecated: use NewSharded with functional options.
+func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("latest: Shards must be positive, got %d", n)
+	}
+	if cfg.World.Empty() || !cfg.World.Valid() {
+		return nil, fmt.Errorf("latest: World must be a valid non-empty rectangle, got %v", cfg.World)
+	}
+	rows, cols := shardGridDims(n)
+	s := &ShardedSystem{
+		world:       cfg.World,
+		rows:        rows,
+		cols:        cols,
+		xs:          partitionEdges(cfg.World.MinX, cfg.World.MaxX, cols),
+		ys:          partitionEdges(cfg.World.MinY, cfg.World.MaxY, rows),
+		shards:      make([]*shard, n),
+		syncPrefill: cfg.SyncPrefill,
+	}
+	for i := range s.shards {
+		r, c := i/cols, i%cols
+		sh := &shard{
+			rect: Rect{MinX: s.xs[c], MinY: s.ys[r], MaxX: s.xs[c+1], MaxY: s.ys[r+1]},
+		}
+		shardCfg := cfg
+		shardCfg.World = sh.rect
+		// Shard 0 keeps the configured seed so a 1-shard system matches
+		// System exactly; the rest decorrelate their estimator randomness.
+		shardCfg.Seed = cfg.Seed + int64(i)*1_000_003
+		var refill refillFunc
+		if s.syncPrefill {
+			refill = syncRefill
+		} else {
+			sh.refillCh = make(chan refillTask, 4)
+			refill = func(w *stream.Window, e estimator.Estimator) {
+				select {
+				case sh.refillCh <- refillTask{est: e, boundary: w.NextSeq()}:
+				default:
+					// Worker backlog (switch storm): pay the replay inline
+					// rather than block while holding the shard lock.
+					syncRefill(w, e)
+				}
+			}
+		}
+		sys, err := newSystem(shardCfg, refill)
+		if err != nil {
+			return nil, err
+		}
+		sh.sys = sys
+		s.shards[i] = sh
+		if sh.refillCh != nil {
+			s.workers.Add(1)
+			// Hand the worker the channel value: Close nils sh.refillCh
+			// under the lock, and the worker must keep draining the real
+			// channel until it is closed.
+			go s.refillWorker(sh, sh.refillCh)
+		}
+	}
+	return s, nil
+}
+
+// refillWorker drains a shard's deferred pre-fill queue, replaying the
+// snapshotted window prefix into the candidate under the shard lock.
+func (s *ShardedSystem) refillWorker(sh *shard, ch <-chan refillTask) {
+	defer s.workers.Done()
+	for task := range ch {
+		sh.mu.Lock()
+		sh.sys.window.EachBefore(task.boundary, func(o *stream.Object) bool {
+			task.est.Insert(o)
+			return true
+		})
+		sh.mu.Unlock()
+	}
+}
+
+// Close stops the background prefill workers and waits for them to drain.
+// Pending pre-fills complete; using the system after Close may leave
+// switch candidates cold but is otherwise safe. Close is idempotent.
+func (s *ShardedSystem) Close() {
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			if sh.refillCh != nil {
+				sh.mu.Lock()
+				ch := sh.refillCh
+				sh.refillCh = nil // future refills fall back to inline replay
+				sh.mu.Unlock()
+				close(ch)
+			}
+		}
+		s.workers.Wait()
+	})
+}
+
+// shardGridDims factors n into the most-square rows×cols grid: rows is
+// the largest divisor of n that is ≤ √n (rows·cols == n exactly; primes
+// degrade to 1×n stripes).
+func shardGridDims(n int) (rows, cols int) {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best, n / best
+}
+
+// partitionEdges splits [lo, hi] into n spans, pinning the outer edges to
+// the exact world coordinates so the shards tile the world with no gaps.
+func partitionEdges(lo, hi float64, n int) []float64 {
+	edges := make([]float64, n+1)
+	for i := 1; i < n; i++ {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	edges[0], edges[n] = lo, hi
+	return edges
+}
+
+// shardOf routes a point to its shard index. The arithmetic guess is
+// corrected against the actual edge array so routing always agrees with
+// the shard rectangles — an object is counted by a range query iff the
+// query rectangle intersects its shard's rectangle, which holds only if
+// the object actually lies inside that rectangle. Points outside the
+// world clamp to the nearest shard.
+func (s *ShardedSystem) shardOf(p Point) int {
+	col := edgeIndex(s.xs, p.X)
+	row := edgeIndex(s.ys, p.Y)
+	return row*s.cols + col
+}
+
+// edgeIndex returns i such that edges[i] <= v < edges[i+1], clamped to the
+// valid span range.
+func edgeIndex(edges []float64, v float64) int {
+	n := len(edges) - 1
+	lo, hi := edges[0], edges[n]
+	i := 0
+	if hi > lo {
+		i = int(float64(n) * (v - lo) / (hi - lo))
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i > n-1 {
+		i = n - 1
+	}
+	// Float arithmetic can land the guess one span off the edge array;
+	// nudge until consistent.
+	for i > 0 && v < edges[i] {
+		i--
+	}
+	for i < n-1 && v >= edges[i+1] {
+		i++
+	}
+	return i
+}
+
+// feedLocked ingests one object into sh, clamping regressed timestamps.
+// Caller holds sh.mu.
+func (sh *shard) feedLocked(o *Object) {
+	if o.Timestamp < sh.lastTS {
+		sh.scratch = *o
+		sh.scratch.Timestamp = sh.lastTS
+		o = &sh.scratch
+		sh.gauges.RecordReordered()
+	} else {
+		sh.lastTS = o.Timestamp
+	}
+	sh.sys.feedPtr(o)
+}
+
+// Feed ingests one stream object, locking only the shard its location
+// routes to.
+func (s *ShardedSystem) Feed(o Object) {
+	sh := s.shards[s.shardOf(o.Loc)]
+	sh.mu.Lock()
+	sh.feedLocked(&o)
+	sh.gauges.RecordFeeds(1)
+	sh.gauges.SetOccupancy(sh.sys.window.Size())
+	sh.mu.Unlock()
+}
+
+// FeedBatch ingests a batch of stream objects, grouping them per shard so
+// each shard's lock is taken once per batch. Object order is preserved
+// within a shard; cross-shard ordering is irrelevant (shards hold disjoint
+// objects).
+func (s *ShardedSystem) FeedBatch(objs []Object) {
+	if len(objs) == 0 {
+		return
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		start := time.Now()
+		sh.mu.Lock()
+		for i := range objs {
+			sh.feedLocked(&objs[i])
+		}
+		occ := sh.sys.window.Size()
+		sh.mu.Unlock()
+		sh.gauges.RecordBatch(len(objs), time.Since(start))
+		sh.gauges.SetOccupancy(occ)
+		return
+	}
+	route := make([]int32, len(objs))
+	counts := make([]int, len(s.shards))
+	for i := range objs {
+		si := s.shardOf(objs[i].Loc)
+		route[i] = int32(si)
+		counts[si]++
+	}
+	for si, sh := range s.shards {
+		if counts[si] == 0 {
+			continue
+		}
+		start := time.Now()
+		sh.mu.Lock()
+		for i := range objs {
+			if int(route[i]) == si {
+				sh.feedLocked(&objs[i])
+			}
+		}
+		occ := sh.sys.window.Size()
+		sh.mu.Unlock()
+		sh.gauges.RecordBatch(counts[si], time.Since(start))
+		sh.gauges.SetOccupancy(occ)
+	}
+}
+
+// targets returns the shards a query must consult: every shard whose
+// rectangle intersects the range, or all shards for keyword-only queries.
+func (s *ShardedSystem) targets(q *Query) []*shard {
+	if !q.HasRange {
+		return s.shards
+	}
+	out := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if sh.rect.Intersects(q.Range) {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// EstimateAndExecute answers the query approximately, then exactly, and
+// feeds each shard its own partial truth — one atomic estimate/observe
+// cycle per intersecting shard, fanned out in parallel. Estimates and
+// exact counts are merged by summation, which is exact for the count
+// because shards hold disjoint objects. A range query that intersects no
+// shard (range outside the world) returns (0, 0) without consulting any
+// module.
+func (s *ShardedSystem) EstimateAndExecute(q *Query) (estimate float64, actual int) {
+	targets := s.targets(q)
+	switch len(targets) {
+	case 0:
+		return 0, 0
+	case 1:
+		sh := targets[0]
+		start := time.Now()
+		sh.mu.Lock()
+		estimate, actual = sh.sys.EstimateAndExecute(q)
+		sh.mu.Unlock()
+		sh.gauges.RecordQuery(time.Since(start))
+		return estimate, actual
+	}
+	type partial struct {
+		est float64
+		act int
+	}
+	parts := make([]partial, len(targets))
+	var wg sync.WaitGroup
+	for i, sh := range targets {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			start := time.Now()
+			sh.mu.Lock()
+			e, a := sh.sys.EstimateAndExecute(q)
+			sh.mu.Unlock()
+			sh.gauges.RecordQuery(time.Since(start))
+			parts[i] = partial{est: e, act: a}
+		}(i, sh)
+	}
+	wg.Wait()
+	// Sum in shard order so the merged estimate is deterministic for a
+	// deterministic per-shard run.
+	for _, p := range parts {
+		estimate += p.est
+		actual += p.act
+	}
+	return estimate, actual
+}
+
+// EstimateAndExecuteBatch runs EstimateAndExecute over a batch of queries
+// in order, returning the parallel estimate and exact-count slices.
+func (s *ShardedSystem) EstimateAndExecuteBatch(qs []Query) (estimates []float64, actuals []int) {
+	estimates = make([]float64, len(qs))
+	actuals = make([]int, len(qs))
+	for i := range qs {
+		estimates[i], actuals[i] = s.EstimateAndExecute(&qs[i])
+	}
+	return estimates, actuals
+}
+
+// NumShards returns the shard count.
+func (s *ShardedSystem) NumShards() int { return len(s.shards) }
+
+// ShardRects returns the shard rectangles in shard order.
+func (s *ShardedSystem) ShardRects() []Rect {
+	out := make([]Rect, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.rect
+	}
+	return out
+}
+
+// WindowSize returns the number of live objects across all shards.
+func (s *ShardedSystem) WindowSize() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.sys.WindowSize()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Phase returns the earliest lifecycle phase any shard is in: the system
+// as a whole has not finished pre-training until every shard has.
+func (s *ShardedSystem) Phase() Phase {
+	phase := PhaseIncremental
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		p := sh.sys.Phase()
+		sh.mu.Unlock()
+		if p < phase {
+			phase = p
+		}
+	}
+	return phase
+}
+
+// ActiveEstimators returns each shard's active estimator name, in shard
+// order. Shards adapt independently, so a mixed fleet is normal.
+func (s *ShardedSystem) ActiveEstimators() []string {
+	out := make([]string, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.sys.ActiveEstimator()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Switches returns every shard's switch history concatenated in shard
+// order, each event annotated with nothing extra — use Stats for per-shard
+// grouping.
+func (s *ShardedSystem) Switches() []SwitchEvent {
+	var out []SwitchEvent
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out = append(out, sh.sys.Switches()...)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStats is one shard's slice of a ShardedStats snapshot.
+type ShardStats struct {
+	// Index is the shard's position in row-major grid order.
+	Index int
+	// Rect is the shard's spatial partition.
+	Rect Rect
+	// Core is the shard module's internals snapshot.
+	Core Stats
+	// WindowSize is the shard's live exact-store size.
+	WindowSize int
+	// Gauges are the shard's operational counters (feeds, queries,
+	// reordered arrivals, latencies, occupancy).
+	Gauges metrics.GaugeSnapshot
+}
+
+// ShardedStats is a snapshot of the whole sharded system: the merged
+// module view plus per-shard detail.
+type ShardedStats struct {
+	// Merged folds every shard's module snapshot into one Stats (counters
+	// summed, phase = earliest, accuracy weighted by monitored queries).
+	Merged Stats
+	// Shards holds per-shard snapshots in shard order.
+	Shards []ShardStats
+}
+
+// Stats snapshots every shard and merges the module views.
+func (s *ShardedSystem) Stats() ShardedStats {
+	out := ShardedStats{Shards: make([]ShardStats, len(s.shards))}
+	parts := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		parts[i] = sh.sys.Stats()
+		ws := sh.sys.WindowSize()
+		sh.mu.Unlock()
+		out.Shards[i] = ShardStats{
+			Index:      i,
+			Rect:       sh.rect,
+			Core:       parts[i],
+			WindowSize: ws,
+			Gauges:     sh.gauges.Snapshot(),
+		}
+	}
+	out.Merged = core.MergeStats(parts)
+	return out
+}

@@ -1,0 +1,307 @@
+package latest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testWorld() Rect { return Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1} }
+
+func shardWorkload(seed int64, n int) []Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{
+			ID:        uint64(i + 1),
+			Loc:       Pt(rng.Float64(), rng.Float64()),
+			Keywords:  []string{fmt.Sprintf("kw%d", rng.Intn(20))},
+			Timestamp: int64(i + 1),
+		}
+	}
+	return objs
+}
+
+func shardQueries(seed int64, n int, ts int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Query, n)
+	for i := range qs {
+		area := CenteredRect(Pt(rng.Float64(), rng.Float64()), 0.3, 0.3)
+		switch i % 3 {
+		case 0:
+			qs[i] = SpatialQuery(area, ts)
+		case 1:
+			qs[i] = KeywordQuery([]string{fmt.Sprintf("kw%d", rng.Intn(20))}, ts)
+		default:
+			qs[i] = HybridQuery(area, []string{fmt.Sprintf("kw%d", rng.Intn(20))}, ts)
+		}
+	}
+	return qs
+}
+
+func TestShardedRejectsBadConfig(t *testing.T) {
+	if _, err := NewSharded(testWorld(), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewSharded(Rect{}, time.Second); err == nil {
+		t.Error("empty world accepted")
+	}
+	if _, err := NewSharded(testWorld(), time.Second, WithShards(-1)); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+// TestShardedPartition pins the grid construction: shards tile the world
+// with exact outer edges, and routing agrees with the shard rectangles.
+func TestShardedPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6, 7, 8, 12} {
+		s, err := NewSharded(testWorld(), time.Minute, WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rects := s.ShardRects()
+		if len(rects) != n || s.NumShards() != n {
+			t.Fatalf("shards=%d, want %d", len(rects), n)
+		}
+		var area float64
+		for _, r := range rects {
+			area += r.Area()
+		}
+		if diff := area - testWorld().Area(); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("n=%d: shard areas sum to %v, want %v", n, area, testWorld().Area())
+		}
+		if n == 1 && rects[0] != testWorld() {
+			t.Errorf("1-shard rect = %v, want world", rects[0])
+		}
+		// Routing must land every point inside its shard's rectangle —
+		// including boundary and out-of-world points.
+		rng := rand.New(rand.NewSource(int64(n)))
+		probe := func(p Point) {
+			si := s.shardOf(p)
+			r := rects[si]
+			in := testWorld().Contains(p)
+			if in && !r.Contains(p) {
+				t.Fatalf("n=%d: point %v routed to shard %d rect %v which excludes it", n, p, si, r)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			probe(Pt(rng.Float64(), rng.Float64()))
+		}
+		for _, r := range rects {
+			probe(Pt(r.MinX, r.MinY))
+			probe(r.Center())
+		}
+		probe(Pt(-5, -5))
+		probe(Pt(5, 5))
+		s.Close()
+	}
+}
+
+// TestShardedOneShardDeterminism is the sharded engine's ground truth: a
+// 1-shard ShardedSystem with synchronous prefill is the same machine as a
+// plain System, so a seeded workload must produce bit-identical estimates
+// and exact counts. Opportunity switches weigh measured wall-clock
+// latency, so they are disabled on both sides.
+func TestShardedOneShardDeterminism(t *testing.T) {
+	opts := []Option{
+		WithPretrainQueries(120), WithAccWindow(60), WithSeed(1),
+		WithOpportunityMargin(-1),
+	}
+	mono, err := New(testWorld(), time.Minute, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewSharded(testWorld(), time.Minute,
+		append(opts[:len(opts):len(opts)], WithShards(1), WithSynchronousPrefill())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	objs := shardWorkload(7, 6000)
+	for i := range objs {
+		mono.Feed(objs[i])
+		sharded.Feed(objs[i])
+	}
+	ts := objs[len(objs)-1].Timestamp
+	for i, q := range shardQueries(8, 400, ts) {
+		qm, qs := q, q
+		em, am := mono.EstimateAndExecute(&qm)
+		es, as := sharded.EstimateAndExecute(&qs)
+		if em != es || am != as {
+			t.Fatalf("query %d: mono (%v, %d) vs 1-shard (%v, %d)", i, em, am, es, as)
+		}
+	}
+	if a, b := mono.ActiveEstimator(), sharded.ActiveEstimators()[0]; a != b {
+		t.Errorf("active estimators diverge: %q vs %q", a, b)
+	}
+	if a, b := mono.WindowSize(), sharded.WindowSize(); a != b {
+		t.Errorf("window sizes diverge: %d vs %d", a, b)
+	}
+}
+
+// TestShardedExactCounts pins the count decomposition: objects are routed
+// disjointly, queries fan out unclipped, so merged exact counts equal a
+// monolithic System's for every query shape — on any shard count.
+func TestShardedExactCounts(t *testing.T) {
+	objs := shardWorkload(11, 8000)
+	ts := objs[len(objs)-1].Timestamp
+	mono, err := New(testWorld(), time.Minute, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono.FeedBatch(append([]Object(nil), objs...))
+
+	for _, n := range []int{2, 3, 4, 7} {
+		sharded, err := NewSharded(testWorld(), time.Minute, WithSeed(2), WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded.FeedBatch(append([]Object(nil), objs...))
+		if a, b := mono.WindowSize(), sharded.WindowSize(); a != b {
+			t.Fatalf("n=%d: window sizes diverge: %d vs %d", n, a, b)
+		}
+		qs := shardQueries(12, 300, ts)
+		// Include queries straddling shard boundaries and covering the world.
+		qs = append(qs,
+			SpatialQuery(testWorld(), ts),
+			SpatialQuery(CenteredRect(Pt(0.5, 0.5), 1e-6, 1e-6), ts),
+			SpatialQuery(Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}, ts),
+			SpatialQuery(Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3}, ts), // outside world
+		)
+		for i := range qs {
+			qm, qsh := qs[i], qs[i]
+			_, wantAct := mono.EstimateAndExecute(&qm)
+			_, gotAct := sharded.EstimateAndExecute(&qsh)
+			if gotAct != wantAct {
+				t.Fatalf("n=%d query %d (%v): sharded count %d, mono %d",
+					n, i, qs[i].Type(), gotAct, wantAct)
+			}
+		}
+		sharded.Close()
+	}
+}
+
+// TestShardedParallel hammers a ShardedSystem with concurrent batch
+// producers and queriers; run with -race. Covers the async prefill worker
+// (switches happen under the query load) and the timestamp clamp.
+func TestShardedParallel(t *testing.T) {
+	s, err := NewSharded(testWorld(), time.Minute,
+		WithShards(4), WithPretrainQueries(50), WithAccWindow(30), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Seed one window of data so queries observe live objects.
+	seedObjs := shardWorkload(13, 5000)
+	s.FeedBatch(seedObjs)
+	baseTS := seedObjs[len(seedObjs)-1].Timestamp
+
+	const producers, queriers = 4, 4
+	stop := make(chan struct{})
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(seed int64) {
+			defer prodWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ts := baseTS
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := make([]Object, 64)
+				for j := range batch {
+					ts++
+					batch[j] = Object{ID: uint64(ts), Loc: Pt(rng.Float64(), rng.Float64()),
+						Keywords: []string{fmt.Sprintf("kw%d", rng.Intn(10))}, Timestamp: ts}
+				}
+				s.FeedBatch(batch)
+			}
+		}(int64(20 + p))
+	}
+
+	var queryWG sync.WaitGroup
+	for g := 0; g < queriers; g++ {
+		queryWG.Add(1)
+		go func(seed int64) {
+			defer queryWG.Done()
+			for i, q := range shardQueries(seed, 150, baseTS) {
+				est, actual := s.EstimateAndExecute(&q)
+				if est < 0 || actual < 0 {
+					t.Errorf("query %d: est %v actual %d", i, est, actual)
+					return
+				}
+				if i%25 == 0 {
+					_ = s.Stats()
+					_ = s.Phase()
+				}
+			}
+		}(int64(30 + g))
+	}
+	queryWG.Wait()
+	close(stop)
+	prodWG.Wait()
+
+	st := s.Stats()
+	if got := st.Merged.PretrainSeen + st.Merged.IncrementalSeen; got == 0 {
+		t.Error("no queries accounted across shards")
+	}
+	var feeds uint64
+	for _, sh := range st.Shards {
+		feeds += sh.Gauges.Feeds
+	}
+	if feeds < uint64(len(seedObjs)) {
+		t.Errorf("gauges recorded %d feeds, want >= %d", feeds, len(seedObjs))
+	}
+	if len(st.Shards) != 4 {
+		t.Errorf("stats cover %d shards", len(st.Shards))
+	}
+}
+
+// TestShardedAsyncPrefillDrains forces estimator switches with a hostile
+// workload and verifies Close drains the deferred prefill queue without
+// deadlock or leak.
+func TestShardedAsyncPrefillDrains(t *testing.T) {
+	s, err := NewSharded(testWorld(), 5*time.Second,
+		WithShards(2), WithPretrainQueries(40), WithAccWindow(20), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	ts := int64(0)
+	for round := 0; round < 30; round++ {
+		batch := make([]Object, 80)
+		for j := range batch {
+			ts++
+			batch[j] = Object{ID: uint64(ts), Loc: Pt(rng.Float64(), rng.Float64()),
+				Keywords: []string{fmt.Sprintf("kw%d", round%7)}, Timestamp: ts}
+		}
+		s.FeedBatch(batch)
+		// Alternate query shapes every round to destabilize accuracy and
+		// provoke τ switches (and therefore prefills).
+		for i := 0; i < 20; i++ {
+			var q Query
+			if round%2 == 0 {
+				q = KeywordQuery([]string{fmt.Sprintf("kw%d", rng.Intn(7))}, ts)
+			} else {
+				q = SpatialQuery(CenteredRect(Pt(rng.Float64(), rng.Float64()), 0.05, 0.05), ts)
+			}
+			if est, _ := s.EstimateAndExecute(&q); est < 0 {
+				t.Fatalf("negative estimate %v", est)
+			}
+		}
+	}
+	s.Close()
+	s.Close() // idempotent
+	// Post-Close operation stays safe (prefills fall back inline).
+	q := KeywordQuery([]string{"kw1"}, ts)
+	if est, _ := s.EstimateAndExecute(&q); est < 0 {
+		t.Fatalf("post-close estimate %v", est)
+	}
+}
