@@ -42,6 +42,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "random seed (0 = default 1)")
 		alpha    = flag.Float64("alpha", -1, "accuracy/latency weight override (-1 = experiment default)")
 		asJSON   = flag.Bool("json", false, "emit JSON instead of text")
+		outFile  = flag.String("out", "", "also write JSON results to this file (e.g. BENCH_ingest.json)")
 
 		shards    = flag.Int("shards", 0, "ingest: shard count (0 = GOMAXPROCS)")
 		producers = flag.Int("producers", 8, "ingest: concurrent producer goroutines")
@@ -51,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *exp == "ingest" {
-		runIngest(*shards, *producers, *objects, *batchLen, *seed)
+		runIngest(*shards, *producers, *objects, *batchLen, *seed, *asJSON, *outFile)
 		return
 	}
 
@@ -81,12 +82,16 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	var collected []any
 	for _, id := range ids {
 		start := time.Now()
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
 			os.Exit(1)
+		}
+		if *outFile != "" {
+			collected = append(collected, res)
 		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
@@ -103,12 +108,68 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if *outFile != "" {
+		writeJSONFile(*outFile, collected)
+	}
+}
+
+// writeJSONFile writes v to path as indented JSON, exiting on failure (this
+// is a benchmark driver; a lost result file is a run wasted).
+func writeJSONFile(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latest-bench: encoding %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "latest-bench: wrote %s\n", path)
+}
+
+// ingestEngineResult is one engine's share of an ingest benchmark run.
+type ingestEngineResult struct {
+	Engine     string  `json:"engine"`
+	Shards     int     `json:"shards,omitempty"`
+	Seconds    float64 `json:"seconds"`
+	ObjectsSec float64 `json:"objects_per_sec"`
+	WindowSize int     `json:"window_size"`
+	// Batch latency distribution across all FeedBatch calls (merged over
+	// shards for the sharded engine), in milliseconds.
+	BatchP50Ms  float64 `json:"batch_p50_ms"`
+	BatchP95Ms  float64 `json:"batch_p95_ms"`
+	BatchP99Ms  float64 `json:"batch_p99_ms"`
+	BatchMaxMs  float64 `json:"batch_max_ms"`
+	BatchCount  uint64  `json:"batch_count"`
+	Reordered   uint64  `json:"reordered"`
+	SpeedupVs1L float64 `json:"speedup_vs_single_lock,omitempty"`
+}
+
+// ingestResult is the machine-readable output of -exp ingest.
+type ingestResult struct {
+	Experiment string               `json:"experiment"`
+	Objects    int                  `json:"objects"`
+	Producers  int                  `json:"producers"`
+	BatchLen   int                  `json:"batch_len"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Engines    []ingestEngineResult `json:"engines"`
+}
+
+// batchHistOf folds an engine's per-shard batch-latency histograms into one.
+func batchHistOf(gauges ...latest.GaugeSnapshot) latest.HistogramSnapshot {
+	var merged latest.HistogramSnapshot
+	for _, g := range gauges {
+		merged.Merge(g.BatchLatency)
+	}
+	return merged
 }
 
 // runIngest feeds the same synthetic stream through the single-lock
 // ConcurrentSystem and the spatially-sharded engine with the requested
-// producer parallelism, reporting objects/second for each.
-func runIngest(shards, producers, objects, batchLen int, seed int64) {
+// producer parallelism, reporting objects/second and the batch-latency
+// distribution for each.
+func runIngest(shards, producers, objects, batchLen int, seed int64, asJSON bool, outFile string) {
 	if seed == 0 {
 		seed = 1
 	}
@@ -133,8 +194,10 @@ func runIngest(shards, producers, objects, batchLen int, seed int64) {
 			Timestamp: int64(i + 1),
 		}
 	}
-	fmt.Printf("ingest: %d objects, %d producers, batch %d, GOMAXPROCS %d\n\n",
-		objects, producers, batchLen, runtime.GOMAXPROCS(0))
+	if !asJSON {
+		fmt.Printf("ingest: %d objects, %d producers, batch %d, GOMAXPROCS %d\n\n",
+			objects, producers, batchLen, runtime.GOMAXPROCS(0))
+	}
 
 	// drive splits objs into producer-count interleaved shares and feeds
 	// them concurrently through fn.
@@ -166,10 +229,23 @@ func runIngest(shards, producers, objects, batchLen int, seed int64) {
 		wg.Wait()
 		return time.Since(start)
 	}
-	report := func(name string, d time.Duration, windowSize int) float64 {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	report := func(name, engine string, engineShards int, d time.Duration, windowSize int,
+		hist latest.HistogramSnapshot, reordered uint64) ingestEngineResult {
 		rate := float64(objects) / d.Seconds()
-		fmt.Printf("%-22s %10s  %12.0f obj/s  window=%d\n", name, d.Round(time.Millisecond), rate, windowSize)
-		return rate
+		if !asJSON {
+			fmt.Printf("%-22s %10s  %12.0f obj/s  window=%d\n", name, d.Round(time.Millisecond), rate, windowSize)
+			fmt.Printf("%-22s batch latency p50=%s p95=%s p99=%s max=%s (%d batches)\n",
+				"", hist.P50().Round(time.Microsecond), hist.P95().Round(time.Microsecond),
+				hist.P99().Round(time.Microsecond), hist.Max.Round(time.Microsecond), hist.Count)
+		}
+		return ingestEngineResult{
+			Engine: engine, Shards: engineShards,
+			Seconds: d.Seconds(), ObjectsSec: rate, WindowSize: windowSize,
+			BatchP50Ms: ms(hist.P50()), BatchP95Ms: ms(hist.P95()),
+			BatchP99Ms: ms(hist.P99()), BatchMaxMs: ms(hist.Max),
+			BatchCount: hist.Count, Reordered: reordered,
+		}
 	}
 
 	cs, err := latest.NewConcurrent(world, time.Hour, latest.WithSeed(seed))
@@ -177,7 +253,10 @@ func runIngest(shards, producers, objects, batchLen int, seed int64) {
 		fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
 		os.Exit(1)
 	}
-	base := report("concurrent (1 lock)", drive(cs.FeedBatch), cs.WindowSize())
+	csDur := drive(cs.FeedBatch)
+	csGauges := cs.Gauges()
+	base := report("concurrent (1 lock)", "concurrent", 0, csDur, cs.WindowSize(),
+		batchHistOf(csGauges), csGauges.Reordered)
 
 	ss, err := latest.NewSharded(world, time.Hour, latest.WithSeed(seed), latest.WithShards(shards))
 	if err != nil {
@@ -185,12 +264,38 @@ func runIngest(shards, producers, objects, batchLen int, seed int64) {
 		os.Exit(1)
 	}
 	defer ss.Close()
-	shardRate := report(fmt.Sprintf("sharded (%d shards)", shards), drive(ss.FeedBatch), ss.WindowSize())
-
-	fmt.Printf("\nspeedup: %.2fx\n", shardRate/base)
+	ssDur := drive(ss.FeedBatch)
 	st := ss.Stats()
-	for _, sh := range st.Shards {
-		fmt.Printf("  shard %d: feeds=%-9d batches=%-7d reordered=%-7d occ=%d\n",
-			sh.Index, sh.Gauges.Feeds, sh.Gauges.Batches, sh.Gauges.Reordered, sh.Gauges.Occupancy)
+	shardGauges := make([]latest.GaugeSnapshot, len(st.Shards))
+	var ssReordered uint64
+	for i, sh := range st.Shards {
+		shardGauges[i] = sh.Gauges
+		ssReordered += sh.Gauges.Reordered
+	}
+	sharded := report(fmt.Sprintf("sharded (%d shards)", shards), "sharded", shards,
+		ssDur, ss.WindowSize(), batchHistOf(shardGauges...), ssReordered)
+	sharded.SpeedupVs1L = sharded.ObjectsSec / base.ObjectsSec
+
+	result := ingestResult{
+		Experiment: "ingest", Objects: objects, Producers: producers,
+		BatchLen: batchLen, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Engines: []ingestEngineResult{base, sharded},
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result); err != nil {
+			fmt.Fprintf(os.Stderr, "latest-bench: encoding ingest: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("\nspeedup: %.2fx\n", sharded.SpeedupVs1L)
+		for _, sh := range st.Shards {
+			fmt.Printf("  shard %d: feeds=%-9d batches=%-7d reordered=%-7d occ=%d\n",
+				sh.Index, sh.Gauges.Feeds, sh.Gauges.Batches, sh.Gauges.Reordered, sh.Gauges.Occupancy)
+		}
+	}
+	if outFile != "" {
+		writeJSONFile(outFile, result)
 	}
 }

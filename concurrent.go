@@ -3,6 +3,8 @@ package latest
 import (
 	"sync"
 	"time"
+
+	"github.com/spatiotext/latest/internal/telemetry"
 )
 
 // ConcurrentSystem wraps a System with a mutex so multiple goroutines can
@@ -27,6 +29,9 @@ type ConcurrentSystem struct {
 	sys     *System
 	lastTS  int64
 	scratch Object
+
+	telem     *telemetry.Server
+	closeOnce sync.Once
 }
 
 // NewConcurrent builds a thread-safe LATEST system over the given world
@@ -40,11 +45,39 @@ func NewConcurrent(world Rect, window time.Duration, opts ...Option) (*Concurren
 //
 // Deprecated: use NewConcurrent with functional options.
 func NewConcurrentFromConfig(cfg Config) (*ConcurrentSystem, error) {
-	sys, err := NewFromConfig(cfg)
+	sys, err := newSystem(cfg, nil, "inline", "concurrent")
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentSystem{sys: sys}, nil
+	c := &ConcurrentSystem{sys: sys}
+	if cfg.TelemetryAddr != "" {
+		srv, err := telemetry.Serve(cfg.TelemetryAddr, c.telemetrySnapshot, sys.log)
+		if err != nil {
+			return nil, err
+		}
+		c.telem = srv
+	}
+	return c, nil
+}
+
+// Close stops the telemetry server if one was started. Idempotent; the
+// system remains usable afterwards.
+func (c *ConcurrentSystem) Close() {
+	c.closeOnce.Do(func() {
+		if c.telem != nil {
+			c.telem.Close()
+		}
+	})
+}
+
+// TelemetryAddr returns the bound address of the telemetry server, or ""
+// when WithTelemetry was not used. With a ":0" listen address this is how
+// callers learn the kernel-assigned port.
+func (c *ConcurrentSystem) TelemetryAddr() string {
+	if c.telem == nil {
+		return ""
+	}
+	return c.telem.Addr()
 }
 
 // feedLocked ingests one object, clamping regressed timestamps to the
@@ -60,11 +93,22 @@ func (c *ConcurrentSystem) feedLocked(o *Object) {
 	c.sys.feedPtr(o)
 }
 
-// Feed ingests one stream object.
+// Feed ingests one stream object. One in metrics.FeedSampleInterval feeds
+// is timed (clock reads outside the lock) into the ingest histogram.
 func (c *ConcurrentSystem) Feed(o Object) {
+	sampled := c.sys.gauges.RecordFeed()
+	var start time.Time
+	if sampled {
+		start = time.Now()
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.feedLocked(&o)
+	occ := c.sys.window.Size()
+	c.mu.Unlock()
+	if sampled {
+		c.sys.gauges.RecordFeedLatency(time.Since(start))
+	}
+	c.sys.gauges.SetOccupancy(occ)
 }
 
 // FeedBatch ingests a batch of stream objects under a single lock
@@ -73,11 +117,15 @@ func (c *ConcurrentSystem) FeedBatch(objs []Object) {
 	if len(objs) == 0 {
 		return
 	}
+	start := time.Now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for i := range objs {
 		c.feedLocked(&objs[i])
 	}
+	occ := c.sys.window.Size()
+	c.mu.Unlock()
+	c.sys.gauges.RecordBatch(len(objs), time.Since(start))
+	c.sys.gauges.SetOccupancy(occ)
 }
 
 // EstimateAndExecute answers the query approximately, then exactly, and
@@ -102,8 +150,12 @@ func (c *ConcurrentSystem) EstimateAndExecuteBatch(qs []Query) (estimates []floa
 // the exact window count, letting callers substitute their own execution
 // result or accept the store's).
 func (c *ConcurrentSystem) EstimateWith(q *Query, fn func(windowExact int) (actual float64)) float64 {
+	start := time.Now()
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer func() {
+		c.mu.Unlock()
+		c.sys.gauges.RecordQuery(time.Since(start))
+	}()
 	est := c.sys.Estimate(q)
 	exact := c.sys.window.Answer(q)
 	c.sys.ObserveActual(fn(exact))
@@ -143,4 +195,15 @@ func (c *ConcurrentSystem) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.Stats()
+}
+
+// Gauges returns a point-in-time copy of the engine's operational counters
+// and latency histograms without taking the engine lock.
+func (c *ConcurrentSystem) Gauges() GaugeSnapshot { return c.sys.gauges.Snapshot() }
+
+// Decisions returns the recent switch-decision audit records, oldest first.
+func (c *ConcurrentSystem) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Decisions()
 }

@@ -1,10 +1,18 @@
 // Monitoring service: a long-running sharded deployment shape. Several
 // producer goroutines ingest the stream in batches through
 // latest.ShardedSystem (each shard has its own lock, window and estimator
-// fleet), request handlers serve estimation queries concurrently, and an
-// operations loop polls Stats() to watch the adaptor work per shard —
-// phase, active estimator, switch count, ingest/query gauges — the numbers
-// an SRE would export to a metrics system.
+// fleet), request handlers serve estimation queries concurrently, and the
+// engine's own telemetry server — enabled with latest.WithTelemetry —
+// exposes everything an SRE would wire into a metrics stack:
+//
+//	/metrics       Prometheus text (counters, gauges, latency histograms)
+//	/statusz       JSON snapshot (switch-decision trace, q-error, percentiles)
+//	/debug/vars    expvar
+//	/debug/pprof/  runtime profiling
+//
+// The operations loop below plays the scraper: it polls /metrics and
+// /statusz over plain HTTP, exactly as Prometheus or a curl-wielding
+// operator would.
 //
 // Run with:
 //
@@ -12,9 +20,13 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,11 +43,17 @@ func main() {
 		latest.WithPretrainQueries(400),
 		latest.WithAccWindow(100),
 		latest.WithSeed(21),
+		// Port 0: let the kernel pick, read it back with TelemetryAddr.
+		latest.WithTelemetry("127.0.0.1:0"),
+		// Switch decisions and prefill activity as logfmt lines on stderr.
+		latest.WithLogger(os.Stderr, latest.LogInfo),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sys.Close()
+	addr := sys.TelemetryAddr()
+	fmt.Printf("telemetry: http://%s/metrics and http://%s/statusz\n", addr, addr)
 
 	// Virtual clock shared by the producers; queries read it atomically.
 	var clock atomic.Int64
@@ -112,23 +130,21 @@ func main() {
 		}(int64(100 + h))
 	}
 
-	// Operations loop: the metrics an exporter would scrape, merged and
-	// per shard.
+	// Operations loop: scrape the engine's own HTTP endpoints, as a
+	// Prometheus server (or an operator with curl) would.
 	opsDone := make(chan struct{})
 	go func() {
 		defer close(opsDone)
-		ticker := time.NewTicker(300 * time.Millisecond)
+		ticker := time.NewTicker(500 * time.Millisecond)
 		defer ticker.Stop()
 		for served.Load() < 3*700 {
 			<-ticker.C
-			st := sys.Stats()
-			m := st.Merged
-			fmt.Printf("[ops] served=%-5d phase=%-11s active={%s} switches=%d accuracy=%.3f mem=%dKB\n",
-				served.Load(), m.Phase, m.Active, m.Switches, m.AccuracyAvg, m.MemoryBytes/1024)
-			for _, sh := range st.Shards {
-				fmt.Printf("      shard %d: occ=%-6d feeds=%-7d queries=%-5d qlat=%-10v active=%s\n",
-					sh.Index, sh.Gauges.Occupancy, sh.Gauges.Feeds, sh.Gauges.Queries,
-					sh.Gauges.AvgQueryLatency.Round(time.Microsecond), sh.Core.Active)
+			fmt.Printf("[scrape] served=%d\n", served.Load())
+			for _, line := range scrapeMetrics(addr) {
+				fmt.Printf("  %s\n", line)
+			}
+			if s := scrapeStatusz(addr); s != "" {
+				fmt.Printf("  statusz: %s\n", s)
 			}
 		}
 	}()
@@ -142,4 +158,65 @@ func main() {
 	for _, ev := range sys.Switches() {
 		fmt.Printf("  %v\n", ev)
 	}
+	// The merged decision trace says why each switch happened.
+	for _, d := range st.Merged.Decisions {
+		fmt.Printf("  shard %d: %s->%s reason=%s confidence=%.2f prefill=%s\n",
+			d.Shard, d.From, d.To, d.Reason, d.Confidence, d.PrefillMode)
+	}
+}
+
+// scrapeMetrics GETs /metrics and returns a few representative sample
+// lines (a real deployment points Prometheus at the endpoint instead).
+func scrapeMetrics(addr string) []string {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return []string{"scrape failed: " + err.Error()}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return []string{"scrape failed: " + err.Error()}
+	}
+	var out []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "latest_feeds_total") ||
+			strings.HasPrefix(line, "latest_active_estimator") ||
+			strings.HasPrefix(line, "latest_query_latency_seconds_count") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// scrapeStatusz GETs /statusz and summarizes the JSON snapshot.
+func scrapeStatusz(addr string) string {
+	resp, err := http.Get("http://" + addr + "/statusz")
+	if err != nil {
+		return "scrape failed: " + err.Error()
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Phase     string `json:"phase"`
+		Active    string `json:"active"`
+		Switches  int    `json:"switches"`
+		Decisions []struct {
+			From string `json:"from"`
+			To   string `json:"to"`
+		} `json:"decisions"`
+		QError []struct {
+			Estimator string  `json:"estimator"`
+			QError    float64 `json:"qerror"`
+		} `json:"qerror"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return "decode failed: " + err.Error()
+	}
+	qerr := make([]string, 0, len(snap.QError))
+	for _, qe := range snap.QError {
+		if qe.QError > 0 {
+			qerr = append(qerr, fmt.Sprintf("%s=%.2f", qe.Estimator, qe.QError))
+		}
+	}
+	return fmt.Sprintf("phase=%s active={%s} switches=%d decisions=%d qerror[%s]",
+		snap.Phase, snap.Active, snap.Switches, len(snap.Decisions), strings.Join(qerr, " "))
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/spatiotext/latest/internal/geo"
 	"github.com/spatiotext/latest/internal/hoeffding"
 	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/telemetry"
 )
 
 // Config parameterizes a LATEST module. Zero values take the paper's
@@ -96,6 +97,16 @@ type Config struct {
 	LatencyOf func(name string, q *stream.Query, measured time.Duration) time.Duration
 	// OnSwitch, when non-nil, is invoked after every estimator switch.
 	OnSwitch func(ev SwitchEvent)
+	// Logger receives switch-path and pre-fill lifecycle lines; nil is
+	// silent (logging never touches the per-object or per-query hot path).
+	Logger *telemetry.Logger
+	// TraceDepth sizes the switch-decision audit ring (zero =
+	// telemetry.DefaultTraceDepth).
+	TraceDepth int
+	// PrefillMode annotates trace decisions with how this deployment warms
+	// switch candidates: "inline" (on the query path) or "async" (a
+	// background worker). Informational only; empty means "inline".
+	PrefillMode string
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +139,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpportunityMargin == 0 {
 		c.OpportunityMargin = 0.15
+	}
+	if c.PrefillMode == "" {
+		c.PrefillMode = "inline"
 	}
 	if c.Hoeffding == (hoeffding.Config{}) {
 		// The paper's model reference [44] is the Extremely Fast Decision

@@ -284,6 +284,36 @@ func TestSwitchOnWorkloadChange(t *testing.T) {
 	if got := d.m.Switches(); len(got) != len(events) {
 		t.Errorf("Switches() = %d, events %d", len(got), len(events))
 	}
+	// Every switch leaves an audit record carrying the model consultation
+	// and the q-error ledger.
+	decs := d.m.Decisions()
+	if len(decs) != len(events) {
+		t.Fatalf("Decisions() = %d, want %d", len(decs), len(events))
+	}
+	dec := decs[0]
+	if dec.From != ev.From || dec.To != ev.To || dec.QueryIndex != ev.QueryIndex {
+		t.Errorf("decision %+v does not match event %+v", dec, ev)
+	}
+	if dec.Reason != "tau-breach" && dec.Reason != "opportunity" {
+		t.Errorf("decision reason = %q", dec.Reason)
+	}
+	if dec.QueryType != "keyword" {
+		t.Errorf("decision query type = %q, want keyword", dec.QueryType)
+	}
+	if dec.Recommended == "" || dec.Confidence <= 0 || len(dec.Features) == 0 {
+		t.Errorf("decision missing consultation: %+v", dec)
+	}
+	if len(dec.QError) != 3 {
+		t.Errorf("decision q-error ledger = %+v, want 3 estimators", dec.QError)
+	}
+	for _, qe := range dec.QError {
+		if qe.Samples == 0 || qe.QError < 1 {
+			t.Errorf("q-error sample %+v, want samples>0 and qerror>=1", qe)
+		}
+	}
+	if dec.WallTime == 0 {
+		t.Error("decision wall time not stamped")
+	}
 }
 
 func TestPrefillAndRecovery(t *testing.T) {

@@ -324,6 +324,40 @@ func (b *brain) recommend(q *stream.Query, active int) int {
 	return b.bestByProfileExcluding(qt, active)
 }
 
+// consult is the read-only version of recommend for the decision audit
+// trail: it returns the consultation feature vector and the tree's top two
+// classes with their probabilities (the margin between them is the tie
+// info an operator reads to judge how close the call was). best is -1 when
+// the active estimator has no profile yet.
+func (b *brain) consult(q *stream.Query, active int) (x []float64, best int, bestP float64, second int, secondP float64) {
+	qt := q.Type()
+	acc := b.profAcc[active][qt]
+	if !acc.Seen() {
+		return nil, -1, 0, -1, 0
+	}
+	x = b.features(q, active, acc.Value(),
+		time.Duration(b.profLat[active][qt].Value())*time.Microsecond,
+		1-acc.Value())
+	proba := b.tree.PredictProba(x)
+	best, second = -1, -1
+	for i, p := range proba {
+		switch {
+		case best < 0 || p > proba[best]:
+			second = best
+			best = i
+		case second < 0 || p > proba[second]:
+			second = i
+		}
+	}
+	if best >= 0 {
+		bestP = proba[best]
+	}
+	if second >= 0 {
+		secondP = proba[second]
+	}
+	return x, best, bestP, second, secondP
+}
+
 // recommendAny is recommend without excluding the active estimator — the
 // model's unconstrained choice for a query (Table II's read-out).
 func (b *brain) recommendAny(q *stream.Query) int {

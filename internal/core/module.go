@@ -7,6 +7,7 @@ import (
 	"github.com/spatiotext/latest/internal/estimator"
 	"github.com/spatiotext/latest/internal/metrics"
 	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/telemetry"
 )
 
 // Module is a LATEST instance. It is single-goroutine like the estimators
@@ -38,6 +39,17 @@ type Module struct {
 	pending  *pendingQuery
 
 	prefillThreshold float64
+
+	// Observability: the switch-decision audit ring, the active
+	// estimator's estimation-latency histogram, per-estimator rolling
+	// q-error (EWMA over ground-truth observations) and the structured
+	// logger for the switch path. All cold-path except estLat.Record,
+	// which is a few atomic adds per query.
+	trace  *telemetry.DecisionTrace
+	estLat telemetry.Histogram
+	qerr   []*metrics.EWMA
+	qerrN  []uint64
+	log    *telemetry.Logger
 
 	// Opportunity-switch state: a sliding window of per-query score gaps
 	// (best alternative minus active, for that query's type) and of which
@@ -77,7 +89,13 @@ func New(cfg Config) (*Module, error) {
 		oppQt:     make([]stream.QueryType, maxInt(cfg.AccWindow/2, 8)),
 		prefill:   -1,
 		phase:     PhaseWarmup,
+		trace:     telemetry.NewDecisionTrace(cfg.TraceDepth),
+		log:       cfg.Logger,
 	}
+	for range cfg.Estimators {
+		m.qerr = append(m.qerr, metrics.NewEWMA(profileAlpha))
+	}
+	m.qerrN = make([]uint64, len(cfg.Estimators))
 	// The paper's text places pre-filling at β·τ and switching at τ, but
 	// with 0<β<1 a falling average crosses τ first; the mechanism is only
 	// coherent with the pre-fill threshold above the switch threshold. We
@@ -181,6 +199,9 @@ func (m *Module) Estimate(q *stream.Query) float64 {
 		p.estimates[i] = est
 		p.latencies[i] = lat
 		p.measured[i] = true
+		if i == m.active {
+			m.estLat.Record(lat)
+		}
 	}
 	if m.phase == PhasePretrain {
 		for i := range m.ests {
@@ -219,6 +240,8 @@ func (m *Module) Observe(actual float64) {
 		}
 		acc := metrics.Accuracy(p.estimates[i], actual)
 		relErr := metrics.RelativeError(p.estimates[i], actual)
+		m.qerr[i].Update(metrics.QError(p.estimates[i], actual))
+		m.qerrN[i]++
 		m.brain.observe(i, qt, acc, p.latencies[i])
 		m.brain.learn(&p.q, i, acc, p.latencies[i], relErr)
 		// Workload-driven estimators get the raw feedback as well.
@@ -265,6 +288,8 @@ func (m *Module) adapt(q *stream.Query) {
 			// The candidate has been warming for two full monitoring
 			// windows without a switch materializing: the degradation that
 			// motivated it has stalled. Stop paying double maintenance.
+			m.log.Debug("prefill discarded", "candidate", m.names[m.prefill],
+				"reason", "stalled", "age", m.prefillAge)
 			m.ests[m.prefill].Reset()
 			m.prefill = -1
 		}
@@ -289,6 +314,8 @@ func (m *Module) adapt(q *stream.Query) {
 	}
 	if m.prefill < 0 && mean < m.prefillThreshold {
 		if rec := m.brain.recommend(q, m.active); rec >= 0 && rec != m.active {
+			m.log.Debug("prefill start", "candidate", m.names[rec],
+				"active", m.names[m.active], "accuracy", mean)
 			m.freshen(rec)
 			m.prefill = rec
 			m.prefillAge = 0
@@ -297,6 +324,8 @@ func (m *Module) adapt(q *stream.Query) {
 	}
 	if m.prefill >= 0 && mean >= m.prefillThreshold {
 		// Accuracy recovered: discard the warming candidate (§V-D).
+		m.log.Debug("prefill discarded", "candidate", m.names[m.prefill],
+			"reason", "recovered", "accuracy", mean)
 		m.ests[m.prefill].Reset()
 		m.prefill = -1
 	}
@@ -365,7 +394,7 @@ func (m *Module) opportunity(q *stream.Query) bool {
 			}
 			m.freshen(target)
 		}
-		m.switchTo(target, q, prefilled)
+		m.switchTo(target, q, prefilled, "opportunity")
 		return true
 	}
 	if m.prefill < 0 {
@@ -464,12 +493,13 @@ func (m *Module) performSwitch(q *stream.Query) {
 	if !prefilled {
 		m.freshen(target)
 	}
-	m.switchTo(target, q, prefilled)
+	m.switchTo(target, q, prefilled, "tau-breach")
 }
 
 // switchTo performs the actual estimator swap and bookkeeping. The target
-// must already be filled (pre-filled or freshened by the caller).
-func (m *Module) switchTo(target int, q *stream.Query, prefilled bool) {
+// must already be filled (pre-filled or freshened by the caller); reason
+// names the trigger ("tau-breach" or "opportunity") for the audit trace.
+func (m *Module) switchTo(target int, q *stream.Query, prefilled bool, reason string) {
 	ev := SwitchEvent{
 		QueryIndex: m.incrementalSeen - 1,
 		Timestamp:  q.Timestamp,
@@ -477,6 +507,7 @@ func (m *Module) switchTo(target int, q *stream.Query, prefilled bool) {
 		To:         m.names[target],
 		Prefilled:  prefilled,
 	}
+	m.traceDecision(ev, q, reason)
 	// The displaced estimator is wiped: only one summary (plus at most one
 	// warming candidate) is ever maintained.
 	m.ests[m.active].Reset()
@@ -494,6 +525,58 @@ func (m *Module) switchTo(target int, q *stream.Query, prefilled bool) {
 		m.cfg.OnSwitch(ev)
 	}
 }
+
+// traceDecision records the audit-trail entry for a switch: what the
+// sliding average looked like, what the Hoeffding tree would have said for
+// the trigger query (features, top class and the runner-up's probability —
+// the tie info), and every estimator's rolling q-error at that moment.
+// Runs only on the switch path, so the allocations are irrelevant.
+func (m *Module) traceDecision(ev SwitchEvent, q *stream.Query, reason string) {
+	d := telemetry.Decision{
+		QueryIndex:  ev.QueryIndex,
+		Timestamp:   ev.Timestamp,
+		From:        ev.From,
+		To:          ev.To,
+		Reason:      reason,
+		AccuracyAvg: m.accWindow.Mean(),
+		QueryType:   q.Type().String(),
+		Prefilled:   ev.Prefilled,
+		PrefillMode: m.cfg.PrefillMode,
+		QError:      m.qerrSamples(),
+	}
+	if x, best, bestP, second, secondP := m.brain.consult(q, m.active); best >= 0 {
+		d.Features = x
+		d.Recommended = m.names[best]
+		d.Confidence = bestP
+		if second >= 0 {
+			d.RunnerUp = m.names[second]
+			d.RunnerUpConf = secondP
+		}
+	}
+	m.trace.Record(d)
+	m.log.Info("estimator switch",
+		"from", ev.From, "to", ev.To, "reason", reason,
+		"query", ev.QueryIndex, "accuracy", d.AccuracyAvg,
+		"prefilled", ev.Prefilled, "recommended", d.Recommended,
+		"confidence", d.Confidence)
+}
+
+// qerrSamples snapshots every estimator's rolling q-error.
+func (m *Module) qerrSamples() []telemetry.QErrorSample {
+	out := make([]telemetry.QErrorSample, len(m.names))
+	for i, name := range m.names {
+		out[i] = telemetry.QErrorSample{
+			Estimator: name,
+			QError:    m.qerr[i].Value(),
+			Samples:   m.qerrN[i],
+		}
+	}
+	return out
+}
+
+// Decisions returns the retained switch-decision audit records,
+// oldest-first.
+func (m *Module) Decisions() []telemetry.Decision { return m.trace.Snapshot() }
 
 // maxInt returns the larger of two ints.
 func maxInt(a, b int) int {
@@ -517,6 +600,14 @@ type Stats struct {
 	ModelRetrains   int
 	AccuracyAvg     float64
 	MemoryBytes     int
+	// EstimateLatency is the distribution of the active estimator's
+	// approximate-answer latencies (every query, not sampled).
+	EstimateLatency telemetry.HistSnapshot
+	// QError is each estimator's rolling q-error over ground-truth
+	// observations, in fleet order.
+	QError []telemetry.QErrorSample
+	// Decisions is the retained switch-decision audit trail, oldest-first.
+	Decisions []telemetry.Decision
 }
 
 // Snapshot returns current Stats.
@@ -540,6 +631,9 @@ func (m *Module) Snapshot() Stats {
 		ModelRetrains:   m.brain.Retrains(),
 		AccuracyAvg:     m.accWindow.Mean(),
 		MemoryBytes:     mem,
+		EstimateLatency: m.estLat.Snapshot(),
+		QError:          m.qerrSamples(),
+		Decisions:       m.trace.Snapshot(),
 	}
 }
 

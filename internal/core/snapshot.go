@@ -1,13 +1,22 @@
 package core
 
-import "strings"
+import (
+	"sort"
+	"strings"
+
+	"github.com/spatiotext/latest/internal/telemetry"
+)
 
 // MergeStats folds per-shard module snapshots into one system-level Stats.
 // A sharded deployment runs one Module per spatial shard; operators want a
 // single dashboard row, so counters sum, the lifecycle phase is the
 // earliest any shard is in (the system is not incremental until every
 // shard is), and the accuracy average weighs each shard by the number of
-// queries it has actually monitored.
+// queries it has actually monitored. Estimation-latency histograms merge
+// bucket-wise (log bucketing commutes with summation, so the merged
+// percentiles describe the whole system's distribution), per-estimator
+// q-error merges weighted by observation count, and the decision traces
+// interleave by wall time keeping the most recent telemetry.DefaultTraceDepth.
 func MergeStats(parts []Stats) Stats {
 	if len(parts) == 0 {
 		return Stats{}
@@ -20,6 +29,8 @@ func MergeStats(parts []Stats) Stats {
 	var accWeight float64
 	actives := make([]string, 0, len(parts))
 	prefills := make([]string, 0, len(parts))
+	qerrIdx := make(map[string]int)
+	qerrWeighted := make([]float64, 0, 8)
 	for _, p := range parts {
 		if p.Phase < out.Phase {
 			out.Phase = p.Phase
@@ -39,11 +50,35 @@ func MergeStats(parts []Stats) Stats {
 		w := float64(p.PretrainSeen + p.IncrementalSeen)
 		accWeighted += p.AccuracyAvg * w
 		accWeight += w
+		out.EstimateLatency.Merge(p.EstimateLatency)
+		for _, qe := range p.QError {
+			i, ok := qerrIdx[qe.Estimator]
+			if !ok {
+				i = len(out.QError)
+				qerrIdx[qe.Estimator] = i
+				out.QError = append(out.QError, telemetry.QErrorSample{Estimator: qe.Estimator})
+				qerrWeighted = append(qerrWeighted, 0)
+			}
+			out.QError[i].Samples += qe.Samples
+			qerrWeighted[i] += qe.QError * float64(qe.Samples)
+		}
+		out.Decisions = append(out.Decisions, p.Decisions...)
 	}
 	out.Active = strings.Join(actives, ",")
 	out.Prefilling = strings.Join(prefills, ",")
 	if accWeight > 0 {
 		out.AccuracyAvg = accWeighted / accWeight
+	}
+	for i := range out.QError {
+		if out.QError[i].Samples > 0 {
+			out.QError[i].QError = qerrWeighted[i] / float64(out.QError[i].Samples)
+		}
+	}
+	sort.SliceStable(out.Decisions, func(i, j int) bool {
+		return out.Decisions[i].WallTime < out.Decisions[j].WallTime
+	})
+	if n := len(out.Decisions); n > telemetry.DefaultTraceDepth {
+		out.Decisions = out.Decisions[n-telemetry.DefaultTraceDepth:]
 	}
 	return out
 }

@@ -1,6 +1,12 @@
 package core
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/spatiotext/latest/internal/telemetry"
+)
 
 func TestMergeStats(t *testing.T) {
 	a := Stats{
@@ -49,11 +55,96 @@ func TestMergeStats(t *testing.T) {
 }
 
 func TestMergeStatsDegenerate(t *testing.T) {
-	if got := MergeStats(nil); got != (Stats{}) {
+	if got := MergeStats(nil); !reflect.DeepEqual(got, Stats{}) {
 		t.Errorf("empty merge = %+v", got)
 	}
 	one := Stats{Active: "RSL", AccuracyAvg: 0.3}
-	if got := MergeStats([]Stats{one}); got != one {
+	if got := MergeStats([]Stats{one}); !reflect.DeepEqual(got, one) {
 		t.Errorf("single merge = %+v", got)
+	}
+}
+
+// TestMergeStatsHistograms verifies the telemetry fields merge: latency
+// histograms bucket-wise, q-error weighted by samples, decision traces
+// interleaved by wall time.
+func TestMergeStatsHistograms(t *testing.T) {
+	var ha, hb telemetry.Histogram
+	for i := 0; i < 10; i++ {
+		ha.Record(time.Microsecond)
+	}
+	for i := 0; i < 30; i++ {
+		hb.Record(time.Millisecond)
+	}
+	a := Stats{
+		EstimateLatency: ha.Snapshot(),
+		QError: []telemetry.QErrorSample{
+			{Estimator: "RSH", QError: 2.0, Samples: 10},
+			{Estimator: "H4096", QError: 4.0, Samples: 5},
+		},
+		Decisions: []telemetry.Decision{
+			{From: "RSH", To: "H4096", WallTime: 100},
+			{From: "H4096", To: "RSH", WallTime: 300},
+		},
+	}
+	b := Stats{
+		EstimateLatency: hb.Snapshot(),
+		QError: []telemetry.QErrorSample{
+			{Estimator: "RSH", QError: 6.0, Samples: 30},
+		},
+		Decisions: []telemetry.Decision{
+			{From: "RSH", To: "AASP", WallTime: 200},
+		},
+	}
+	m := MergeStats([]Stats{a, b})
+
+	if m.EstimateLatency.Count != 40 {
+		t.Errorf("merged histogram count = %d, want 40", m.EstimateLatency.Count)
+	}
+	if m.EstimateLatency.Sum != 10*time.Microsecond+30*time.Millisecond {
+		t.Errorf("merged histogram sum = %v", m.EstimateLatency.Sum)
+	}
+	if m.EstimateLatency.Max != time.Millisecond {
+		t.Errorf("merged histogram max = %v", m.EstimateLatency.Max)
+	}
+	var bucketTotal uint64
+	for _, n := range m.EstimateLatency.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != 40 {
+		t.Errorf("merged bucket total = %d", bucketTotal)
+	}
+	// The merged p99 must land in the millisecond bucket: the 30 slow
+	// samples dominate the upper tail.
+	if p99 := m.EstimateLatency.P99(); p99 < 100*time.Microsecond {
+		t.Errorf("merged p99 = %v, want ≥100µs", p99)
+	}
+
+	want := map[string]struct {
+		q float64
+		n uint64
+	}{
+		"RSH":   {(2.0*10 + 6.0*30) / 40, 40},
+		"H4096": {4.0, 5},
+	}
+	if len(m.QError) != 2 {
+		t.Fatalf("merged qerror = %+v", m.QError)
+	}
+	for _, qe := range m.QError {
+		w, ok := want[qe.Estimator]
+		if !ok {
+			t.Fatalf("unexpected estimator %q", qe.Estimator)
+		}
+		if qe.Samples != w.n || qe.QError < w.q-1e-12 || qe.QError > w.q+1e-12 {
+			t.Errorf("%s merged = %+v, want q=%v n=%d", qe.Estimator, qe, w.q, w.n)
+		}
+	}
+
+	if len(m.Decisions) != 3 {
+		t.Fatalf("merged decisions = %d", len(m.Decisions))
+	}
+	for i, wantTo := range []string{"H4096", "AASP", "RSH"} {
+		if m.Decisions[i].To != wantTo {
+			t.Errorf("decision %d = %+v, want To=%s (wall-time order)", i, m.Decisions[i], wantTo)
+		}
 	}
 }

@@ -3,39 +3,69 @@ package metrics
 import (
 	"sync/atomic"
 	"time"
+
+	"github.com/spatiotext/latest/internal/telemetry"
 )
 
-// ShardGauges is a set of lock-free per-shard operational counters. A
-// sharded deployment keeps one per shard; the ingest and query paths
-// update them with atomic adds (never taking the shard lock longer than
-// needed), and Stats() readers take a consistent-enough Snapshot without
-// stopping traffic.
+// FeedSampleInterval is the single-object ingest sampling rate: one Feed
+// in every FeedSampleInterval is wrapped in clock reads and recorded into
+// the feed-latency histogram. Power of two so the sampling test is a mask,
+// not a division, on the hot path.
+const FeedSampleInterval = 64
+
+// ShardGauges is a set of lock-free per-shard operational counters and
+// latency histograms. A sharded deployment keeps one per shard; the ingest
+// and query paths update them with atomic adds (never taking the shard
+// lock longer than needed), and Stats() readers take a consistent-enough
+// Snapshot without stopping traffic.
+//
+// Latencies are kept as log-bucketed histograms (telemetry.Histogram), so
+// snapshots carry p50/p95/p99/max — not just lifetime means.
 type ShardGauges struct {
-	feeds      atomic.Uint64
-	batches    atomic.Uint64
-	queries    atomic.Uint64
-	reordered  atomic.Uint64
-	batchNanos atomic.Int64
-	queryNanos atomic.Int64
-	occupancy  atomic.Int64
+	feeds         atomic.Uint64
+	reordered     atomic.Uint64
+	occupancy     atomic.Int64
+	prefillAsync  atomic.Uint64
+	prefillInline atomic.Uint64
+
+	feedHist  telemetry.Histogram // sampled single-object ingests
+	batchHist telemetry.Histogram // whole FeedBatch calls
+	queryHist telemetry.Histogram // estimate/execute cycles
 }
 
-// RecordFeeds counts n single-object ingests.
+// RecordFeeds counts n single-object ingests without sampling.
 func (g *ShardGauges) RecordFeeds(n int) { g.feeds.Add(uint64(n)) }
 
+// RecordFeed counts one single-object ingest and reports whether the
+// caller should time this one (1 in FeedSampleInterval) and hand the
+// duration to RecordFeedLatency. The sampling decision rides on the feed
+// counter itself, so the unsampled hot path pays exactly one atomic add.
+func (g *ShardGauges) RecordFeed() (sample bool) {
+	return g.feeds.Add(1)&(FeedSampleInterval-1) == 0
+}
+
+// RecordFeedLatency records one sampled single-object ingest duration.
+func (g *ShardGauges) RecordFeedLatency(d time.Duration) { g.feedHist.Record(d) }
+
 // RecordBatch counts one ingested batch of n objects and its duration.
-// Only batches are timed: wrapping every single-object Feed in two clock
-// reads would tax the hot path the gauges exist to observe.
 func (g *ShardGauges) RecordBatch(n int, d time.Duration) {
 	g.feeds.Add(uint64(n))
-	g.batches.Add(1)
-	g.batchNanos.Add(int64(d))
+	g.batchHist.Record(d)
 }
 
 // RecordQuery counts one estimate/execute cycle and its duration.
-func (g *ShardGauges) RecordQuery(d time.Duration) {
-	g.queries.Add(1)
-	g.queryNanos.Add(int64(d))
+func (g *ShardGauges) RecordQuery(d time.Duration) { g.queryHist.Record(d) }
+
+// RecordPrefill counts one estimator pre-fill replay by execution mode:
+// async (the shard's background worker ran it) or inline (on the query
+// path — either by configuration or as the fallback when the worker's
+// queue was full).
+func (g *ShardGauges) RecordPrefill(async bool) {
+	if async {
+		g.prefillAsync.Add(1)
+	} else {
+		g.prefillInline.Add(1)
+	}
 }
 
 // RecordReordered counts an object whose timestamp had to be clamped to
@@ -45,7 +75,8 @@ func (g *ShardGauges) RecordReordered() { g.reordered.Add(1) }
 // SetOccupancy publishes the shard's live window size.
 func (g *ShardGauges) SetOccupancy(n int) { g.occupancy.Store(int64(n)) }
 
-// GaugeSnapshot is a point-in-time copy of a shard's gauges.
+// GaugeSnapshot is a point-in-time copy of a shard's gauges. It is a plain
+// comparable value (the histograms use fixed-size bucket arrays).
 type GaugeSnapshot struct {
 	// Feeds is the lifetime ingested-object count (singles and batches).
 	Feeds uint64
@@ -55,12 +86,24 @@ type GaugeSnapshot struct {
 	Queries uint64
 	// Reordered counts objects whose timestamps were clamped forward.
 	Reordered uint64
-	// AvgBatchLatency is the mean wall-clock duration per ingested batch.
+	// PrefillsAsync and PrefillsInline count estimator pre-fill replays by
+	// where they ran.
+	PrefillsAsync  uint64
+	PrefillsInline uint64
+	// AvgBatchLatency is the mean wall-clock duration per ingested batch,
+	// kept for dashboards that want a single number (derived from the
+	// histogram).
 	AvgBatchLatency time.Duration
 	// AvgQueryLatency is the mean wall-clock duration per query.
 	AvgQueryLatency time.Duration
 	// Occupancy is the last published live window size.
 	Occupancy int
+	// FeedLatency holds sampled single-object ingest latencies (one in
+	// FeedSampleInterval), BatchLatency per-batch ingest latencies, and
+	// QueryLatency full estimate/execute cycles.
+	FeedLatency  telemetry.HistSnapshot
+	BatchLatency telemetry.HistSnapshot
+	QueryLatency telemetry.HistSnapshot
 }
 
 // Snapshot reads the gauges. Each field is read atomically; fields are not
@@ -68,17 +111,18 @@ type GaugeSnapshot struct {
 // monitoring.
 func (g *ShardGauges) Snapshot() GaugeSnapshot {
 	s := GaugeSnapshot{
-		Feeds:     g.feeds.Load(),
-		Batches:   g.batches.Load(),
-		Queries:   g.queries.Load(),
-		Reordered: g.reordered.Load(),
-		Occupancy: int(g.occupancy.Load()),
+		Feeds:          g.feeds.Load(),
+		Reordered:      g.reordered.Load(),
+		PrefillsAsync:  g.prefillAsync.Load(),
+		PrefillsInline: g.prefillInline.Load(),
+		Occupancy:      int(g.occupancy.Load()),
+		FeedLatency:    g.feedHist.Snapshot(),
+		BatchLatency:   g.batchHist.Snapshot(),
+		QueryLatency:   g.queryHist.Snapshot(),
 	}
-	if s.Batches > 0 {
-		s.AvgBatchLatency = time.Duration(g.batchNanos.Load() / int64(s.Batches))
-	}
-	if s.Queries > 0 {
-		s.AvgQueryLatency = time.Duration(g.queryNanos.Load() / int64(s.Queries))
-	}
+	s.Batches = s.BatchLatency.Count
+	s.Queries = s.QueryLatency.Count
+	s.AvgBatchLatency = s.BatchLatency.Mean()
+	s.AvgQueryLatency = s.QueryLatency.Mean()
 	return s
 }

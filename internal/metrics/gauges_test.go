@@ -36,6 +36,69 @@ func TestShardGaugesZero(t *testing.T) {
 	}
 }
 
+// TestShardGaugesFeedSampling verifies the 1-in-N single-feed sampling
+// cadence rides the feed counter exactly.
+func TestShardGaugesFeedSampling(t *testing.T) {
+	var g ShardGauges
+	sampled := 0
+	const n = 4 * FeedSampleInterval
+	for i := 0; i < n; i++ {
+		if g.RecordFeed() {
+			sampled++
+			g.RecordFeedLatency(time.Microsecond)
+		}
+	}
+	if sampled != n/FeedSampleInterval {
+		t.Errorf("sampled %d of %d feeds, want %d", sampled, n, n/FeedSampleInterval)
+	}
+	s := g.Snapshot()
+	if s.Feeds != n {
+		t.Errorf("feeds = %d, want %d", s.Feeds, n)
+	}
+	if s.FeedLatency.Count != uint64(sampled) {
+		t.Errorf("feed histogram count = %d, want %d", s.FeedLatency.Count, sampled)
+	}
+	// Mixing RecordFeeds batch-style counting keeps the total coherent.
+	g.RecordFeeds(5)
+	if got := g.Snapshot().Feeds; got != n+5 {
+		t.Errorf("feeds after RecordFeeds = %d, want %d", got, n+5)
+	}
+}
+
+// TestShardGaugesHistograms verifies the latency histograms behind the
+// derived averages expose percentiles and maxima.
+func TestShardGaugesHistograms(t *testing.T) {
+	var g ShardGauges
+	for i := 0; i < 99; i++ {
+		g.RecordQuery(100 * time.Microsecond)
+	}
+	g.RecordQuery(10 * time.Millisecond)
+	s := g.Snapshot()
+	if s.Queries != 100 {
+		t.Fatalf("queries = %d", s.Queries)
+	}
+	if s.QueryLatency.Max != 10*time.Millisecond {
+		t.Errorf("max = %v", s.QueryLatency.Max)
+	}
+	if p50 := s.QueryLatency.P50(); p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want ~100µs", p50)
+	}
+	if p99 := s.QueryLatency.P99(); p99 < s.QueryLatency.P50() {
+		t.Errorf("p99 %v below p50", p99)
+	}
+}
+
+func TestShardGaugesPrefills(t *testing.T) {
+	var g ShardGauges
+	g.RecordPrefill(true)
+	g.RecordPrefill(true)
+	g.RecordPrefill(false)
+	s := g.Snapshot()
+	if s.PrefillsAsync != 2 || s.PrefillsInline != 1 {
+		t.Errorf("prefills = async %d inline %d", s.PrefillsAsync, s.PrefillsInline)
+	}
+}
+
 // TestShardGaugesConcurrent hammers the gauges from many goroutines; the
 // assertions are exact because every update is atomic. Run with -race.
 func TestShardGaugesConcurrent(t *testing.T) {

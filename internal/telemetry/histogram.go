@@ -1,0 +1,186 @@
+// Package telemetry is the observability layer of the reproduction: a
+// lock-free log-bucketed latency histogram for the ingest and query hot
+// paths, a fixed-size ring buffer tracing every estimator-switch decision,
+// a minimal leveled structured logger, and a stdlib-only exposition server
+// publishing Prometheus text format at /metrics, JSON snapshots at
+// /statusz, and the expvar + pprof debug endpoints.
+//
+// The package sits below internal/metrics and internal/core in the
+// dependency order and imports nothing but the standard library, so every
+// layer — gauges, module, engines — can feed it. Everything touched on a
+// hot path (Histogram.Record) is a handful of atomic adds: no locks, no
+// allocation, safe under arbitrary writer concurrency.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the histogram resolution. Bucket i counts durations in
+// [2^(i-1), 2^i) nanoseconds (bucket 0 holds sub-nanosecond readings, the
+// last bucket is a catch-all), so 40 buckets span one nanosecond to about
+// eighteen minutes — wider than any latency this system can produce.
+const NumBuckets = 40
+
+// Histogram is a lock-free log-bucketed latency histogram. Writers pay
+// three atomic adds and one CAS-free max update attempt; there is no
+// allocation and no lock on either the write or the snapshot path, so the
+// ingest and query hot paths can record unconditionally.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Int64 // nanoseconds
+	max   atomic.Int64 // nanoseconds, monotone under CAS
+	bkt   [NumBuckets]atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index: the bit length of the
+// nanosecond count, clamped to the catch-all bucket.
+func bucketOf(d time.Duration) int {
+	n := uint64(d)
+	if d < 0 {
+		n = 0
+	}
+	i := bits.Len64(n)
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the exclusive upper bound of bucket i. The last
+// bucket is unbounded (+Inf in the Prometheus exposition) and reports the
+// largest representable duration here.
+func BucketBound(i int) time.Duration {
+	if i >= NumBuckets-1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+// Record folds one duration into the histogram. Lock-free and
+// allocation-free; safe for any number of concurrent writers.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.bkt[bucketOf(d)].Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Snapshot reads the histogram. Fields are individually atomic but not
+// mutually consistent under concurrent writes, which is fine for
+// monitoring; a quiesced histogram snapshots exactly.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	for i := range h.bkt {
+		s.Buckets[i] = h.bkt[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. It is a plain
+// comparable value (fixed-size bucket array) so snapshot structs that embed
+// it stay comparable.
+type HistSnapshot struct {
+	// Count is the number of recorded samples.
+	Count uint64
+	// Sum is the total of all recorded durations.
+	Sum time.Duration
+	// Max is the largest recorded duration.
+	Max time.Duration
+	// Buckets holds per-bucket sample counts; bucket i spans
+	// [2^(i-1), 2^i) ns.
+	Buckets [NumBuckets]uint64
+}
+
+// Mean returns the average recorded duration (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns the q-quantile (q ∈ [0,1]) estimated by linear
+// interpolation within the containing log bucket; 0 when empty. The result
+// is exact to within the bucket's factor-of-two width.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			hi := float64(BucketBound(i))
+			if i == NumBuckets-1 {
+				hi = math.Max(lo, float64(s.Max)) // catch-all: cap at observed max
+			}
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - cum) / float64(n)
+			}
+			v := lo + frac*(hi-lo)
+			if mx := float64(s.Max); mx > 0 && v > mx {
+				v = mx
+			}
+			return time.Duration(v)
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// P50 returns the estimated median latency.
+func (s HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P95 returns the estimated 95th-percentile latency.
+func (s HistSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+
+// P99 returns the estimated 99th-percentile latency.
+func (s HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// Merge folds another snapshot into s: counts and sums add, buckets add
+// element-wise, max takes the larger. Merging per-shard snapshots yields
+// the system-wide distribution exactly (log bucketing commutes with
+// summation).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}

@@ -1,0 +1,327 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardSample is one shard's slice of a telemetry Snapshot — the
+// operational counters plus the latency histograms for each instrumented
+// path. A monolithic System reports itself as a single shard 0.
+type ShardSample struct {
+	Index  int    `json:"index"`
+	Active string `json:"active"`
+	Phase  string `json:"phase"`
+
+	Feeds          uint64 `json:"feeds"`
+	Batches        uint64 `json:"batches"`
+	Queries        uint64 `json:"queries"`
+	Reordered      uint64 `json:"reordered"`
+	PrefillsAsync  uint64 `json:"prefills_async"`
+	PrefillsInline uint64 `json:"prefills_inline"`
+	Occupancy      int    `json:"occupancy"`
+	Switches       int    `json:"switches"`
+
+	AccuracyAvg float64 `json:"accuracy_avg"`
+	MemoryBytes int     `json:"memory_bytes"`
+
+	// Feed holds sampled single-object ingest latencies, Batch per-batch
+	// ingest latencies, Query full estimate+execute+observe cycles, and
+	// Estimate the active estimator's approximate-answer latencies alone.
+	Feed     HistSnapshot `json:"feed_latency"`
+	Batch    HistSnapshot `json:"batch_latency"`
+	Query    HistSnapshot `json:"query_latency"`
+	Estimate HistSnapshot `json:"estimate_latency"`
+}
+
+// Snapshot is the full telemetry state an exposition server publishes:
+// per-shard samples, the merged view, the recent switch-decision trace and
+// the per-estimator rolling q-error.
+type Snapshot struct {
+	// Engine names the deployment shape ("system", "concurrent",
+	// "sharded").
+	Engine string `json:"engine"`
+	// Phase and Active describe the merged module view.
+	Phase       string  `json:"phase"`
+	Active      string  `json:"active"`
+	Switches    int     `json:"switches"`
+	AccuracyAvg float64 `json:"accuracy_avg"`
+	MemoryBytes int     `json:"memory_bytes"`
+	WindowSize  int     `json:"window_size"`
+
+	Shards    []ShardSample  `json:"shards"`
+	Decisions []Decision     `json:"decisions"`
+	QError    []QErrorSample `json:"qerror"`
+}
+
+// Server publishes telemetry over HTTP using only the standard library:
+//
+//	/metrics      Prometheus text exposition (gauges, counters, histograms)
+//	/statusz      the full Snapshot as JSON (histogram percentiles computed,
+//	              last-N switch decisions, per-shard gauges)
+//	/debug/vars   expvar
+//	/debug/pprof  runtime profiling
+type Server struct {
+	ln        net.Listener
+	srv       *http.Server
+	src       func() Snapshot
+	log       *Logger
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// expvar publication: one process-wide "latest" Func variable pointing at
+// the most recently started server's source (expvar.Publish panics on
+// duplicate names, so registration happens once and the source is swapped
+// atomically).
+var (
+	expvarOnce sync.Once
+	expvarSrc  atomic.Value // of func() Snapshot
+)
+
+func publishExpvar(src func() Snapshot) {
+	expvarSrc.Store(src)
+	expvarOnce.Do(func() {
+		expvar.Publish("latest", expvar.Func(func() any {
+			if f, ok := expvarSrc.Load().(func() Snapshot); ok && f != nil {
+				return f()
+			}
+			return nil
+		}))
+	})
+}
+
+// Serve starts a telemetry server on addr (e.g. "127.0.0.1:9090"; use port
+// 0 to let the kernel pick) reading state through src on every scrape. The
+// server runs until Close.
+func Serve(addr string, src func() Snapshot, log *Logger) (*Server, error) {
+	if src == nil {
+		return nil, fmt.Errorf("telemetry: nil snapshot source")
+	}
+	publishExpvar(src)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, src: src, log: log.Named("telemetry"), done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.log.Error("serve failed", "err", err)
+		}
+	}()
+	s.log.Info("telemetry listening", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. Idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.srv.Close()
+		<-s.done
+		s.log.Info("telemetry stopped", "addr", s.ln.Addr().String())
+	})
+	return err
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(statuszView(s.src())); err != nil {
+		s.log.Error("statusz encode failed", "err", err)
+	}
+}
+
+// statuszPercentiles decorates a histogram with computed percentiles for
+// the JSON view, where the raw bucket array alone would make operators do
+// arithmetic.
+type statuszPercentiles struct {
+	Count uint64 `json:"count"`
+	Mean  string `json:"mean"`
+	P50   string `json:"p50"`
+	P95   string `json:"p95"`
+	P99   string `json:"p99"`
+	Max   string `json:"max"`
+}
+
+type statuszShard struct {
+	ShardSample
+	FeedP     statuszPercentiles `json:"feed_percentiles"`
+	BatchP    statuszPercentiles `json:"batch_percentiles"`
+	QueryP    statuszPercentiles `json:"query_percentiles"`
+	EstimateP statuszPercentiles `json:"estimate_percentiles"`
+}
+
+type statuszBody struct {
+	Snapshot
+	ShardsView []statuszShard `json:"shards_view"`
+}
+
+func percentilesOf(h HistSnapshot) statuszPercentiles {
+	return statuszPercentiles{
+		Count: h.Count,
+		Mean:  h.Mean().String(),
+		P50:   h.P50().String(),
+		P95:   h.P95().String(),
+		P99:   h.P99().String(),
+		Max:   h.Max.String(),
+	}
+}
+
+func statuszView(snap Snapshot) statuszBody {
+	body := statuszBody{Snapshot: snap, ShardsView: make([]statuszShard, len(snap.Shards))}
+	for i, sh := range snap.Shards {
+		body.ShardsView[i] = statuszShard{
+			ShardSample: sh,
+			FeedP:       percentilesOf(sh.Feed),
+			BatchP:      percentilesOf(sh.Batch),
+			QueryP:      percentilesOf(sh.Query),
+			EstimateP:   percentilesOf(sh.Estimate),
+		}
+	}
+	return body
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteProm(w, s.src())
+}
+
+// WriteProm renders a Snapshot in the Prometheus text exposition format.
+// Exported separately from the server so tests and offline tooling can
+// render without a listener.
+func WriteProm(w interface{ Write([]byte) (int, error) }, snap Snapshot) {
+	var b strings.Builder
+
+	counter := func(name, help string) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " counter\n")
+	}
+	gauge := func(name, help string) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " gauge\n")
+	}
+	sample := func(name, labels string, v float64) {
+		b.WriteString(name)
+		if labels != "" {
+			b.WriteString("{" + labels + "}")
+		}
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	shardLabel := func(i int) string { return `shard="` + strconv.Itoa(i) + `"` }
+
+	counter("latest_feeds_total", "Lifetime ingested objects per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_feeds_total", shardLabel(sh.Index), float64(sh.Feeds))
+	}
+	counter("latest_batches_total", "Lifetime ingested batches per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_batches_total", shardLabel(sh.Index), float64(sh.Batches))
+	}
+	counter("latest_queries_total", "Lifetime estimate/execute cycles per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_queries_total", shardLabel(sh.Index), float64(sh.Queries))
+	}
+	counter("latest_reordered_total", "Objects whose timestamps were clamped forward per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_reordered_total", shardLabel(sh.Index), float64(sh.Reordered))
+	}
+	counter("latest_prefills_total", "Estimator pre-fill replays per shard by execution mode.")
+	for _, sh := range snap.Shards {
+		sample("latest_prefills_total", shardLabel(sh.Index)+`,mode="async"`, float64(sh.PrefillsAsync))
+		sample("latest_prefills_total", shardLabel(sh.Index)+`,mode="inline"`, float64(sh.PrefillsInline))
+	}
+	counter("latest_switches_total", "Estimator switches per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_switches_total", shardLabel(sh.Index), float64(sh.Switches))
+	}
+	gauge("latest_window_occupancy", "Live objects in the shard's exact window store.")
+	for _, sh := range snap.Shards {
+		sample("latest_window_occupancy", shardLabel(sh.Index), float64(sh.Occupancy))
+	}
+	gauge("latest_accuracy_avg", "Sliding accuracy average the adaptor monitors, per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_accuracy_avg", shardLabel(sh.Index), sh.AccuracyAvg)
+	}
+	gauge("latest_memory_bytes", "Estimator memory footprint per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_memory_bytes", shardLabel(sh.Index), float64(sh.MemoryBytes))
+	}
+	gauge("latest_active_estimator", "1 for the estimator currently serving each shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_active_estimator",
+			shardLabel(sh.Index)+`,estimator="`+sh.Active+`"`, 1)
+	}
+	gauge("latest_qerror", "Rolling q-error per estimator (1 is perfect), merged across shards.")
+	for _, qe := range snap.QError {
+		if qe.Samples > 0 {
+			sample("latest_qerror", `estimator="`+qe.Estimator+`"`, qe.QError)
+		}
+	}
+
+	promHistogram(&b, "latest_feed_latency_seconds",
+		"Sampled single-object ingest latency.", snap.Shards,
+		func(sh ShardSample) HistSnapshot { return sh.Feed })
+	promHistogram(&b, "latest_batch_latency_seconds",
+		"Per-batch ingest latency.", snap.Shards,
+		func(sh ShardSample) HistSnapshot { return sh.Batch })
+	promHistogram(&b, "latest_query_latency_seconds",
+		"Full estimate+execute+observe cycle latency.", snap.Shards,
+		func(sh ShardSample) HistSnapshot { return sh.Query })
+	promHistogram(&b, "latest_estimate_latency_seconds",
+		"Active estimator's approximate-answer latency.", snap.Shards,
+		func(sh ShardSample) HistSnapshot { return sh.Estimate })
+
+	w.Write([]byte(b.String()))
+}
+
+// promHistogram renders one histogram family with per-shard label sets.
+// Buckets are cumulative as the exposition format requires; empty trailing
+// buckets are folded into +Inf to keep scrapes small.
+func promHistogram(b *strings.Builder, name, help string, shards []ShardSample, get func(ShardSample) HistSnapshot) {
+	b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " histogram\n")
+	for _, sh := range shards {
+		h := get(sh)
+		label := `shard="` + strconv.Itoa(sh.Index) + `"`
+		hi := -1
+		for i, n := range h.Buckets {
+			if n > 0 {
+				hi = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= hi && i < NumBuckets-1; i++ {
+			cum += h.Buckets[i]
+			le := strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
+			fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, label, le, cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, h.Count)
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, label,
+			strconv.FormatFloat(h.Sum.Seconds(), 'g', -1, 64))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, label, h.Count)
+	}
+}

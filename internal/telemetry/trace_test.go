@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDecisionTraceRing(t *testing.T) {
+	tr := NewDecisionTrace(4)
+	if tr.Depth() != 4 {
+		t.Fatalf("depth = %d", tr.Depth())
+	}
+	for i := 0; i < 6; i++ {
+		tr.Record(Decision{QueryIndex: i, WallTime: int64(i) + 1})
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	// Oldest-first, keeping the last 4 of 6.
+	for i, d := range got {
+		if d.QueryIndex != i+2 {
+			t.Errorf("slot %d = q%d, want q%d", i, d.QueryIndex, i+2)
+		}
+	}
+	if tr.Total() != 6 {
+		t.Errorf("total = %d, want 6", tr.Total())
+	}
+}
+
+func TestDecisionTracePartial(t *testing.T) {
+	tr := NewDecisionTrace(0) // default depth
+	if tr.Depth() != DefaultTraceDepth {
+		t.Fatalf("default depth = %d", tr.Depth())
+	}
+	if DefaultTraceDepth < 32 {
+		t.Fatalf("default depth %d below the /statusz last-32 contract", DefaultTraceDepth)
+	}
+	tr.Record(Decision{From: "RSH", To: "H4096"})
+	got := tr.Snapshot()
+	if len(got) != 1 || got[0].To != "H4096" {
+		t.Errorf("snapshot = %+v", got)
+	}
+	if got[0].WallTime == 0 {
+		t.Errorf("wall time not stamped")
+	}
+}
+
+// TestDecisionTraceConcurrent has many writers and a continuous snapshot
+// reader. Run with -race.
+func TestDecisionTraceConcurrent(t *testing.T) {
+	tr := NewDecisionTrace(32)
+	const workers, each = 8, 500
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if got := tr.Snapshot(); len(got) > 32 {
+					t.Error("snapshot exceeds capacity")
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Record(Decision{Shard: w, QueryIndex: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if tr.Total() != workers*each {
+		t.Errorf("total = %d, want %d", tr.Total(), workers*each)
+	}
+	if got := tr.Snapshot(); len(got) != 32 {
+		t.Errorf("final snapshot len = %d, want 32", len(got))
+	}
+}

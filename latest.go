@@ -42,12 +42,15 @@ package latest
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/spatiotext/latest/internal/core"
 	"github.com/spatiotext/latest/internal/estimator"
 	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/metrics"
 	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/telemetry"
 )
 
 // Geometry and stream types, aliased from the implementation packages so
@@ -76,6 +79,29 @@ type (
 	Stats = core.Stats
 	// Phase is the lifecycle phase (warm-up, pre-training, incremental).
 	Phase = core.Phase
+	// GaugeSnapshot is a point-in-time copy of an engine's operational
+	// counters and latency histograms.
+	GaugeSnapshot = metrics.GaugeSnapshot
+	// HistogramSnapshot is a point-in-time copy of a latency histogram
+	// (count, sum, max, log buckets, percentile accessors).
+	HistogramSnapshot = telemetry.HistSnapshot
+	// Decision is one switch-decision audit record: what the adaptor saw,
+	// what the model recommended and with what confidence, and every
+	// estimator's rolling q-error at that moment.
+	Decision = telemetry.Decision
+	// QErrorSample is one estimator's rolling q-error.
+	QErrorSample = telemetry.QErrorSample
+	// LogLevel is a severity for the structured logger enabled by
+	// WithLogger.
+	LogLevel = telemetry.Level
+)
+
+// Log severities for WithLogger.
+const (
+	LogDebug = telemetry.LevelDebug
+	LogInfo  = telemetry.LevelInfo
+	LogWarn  = telemetry.LevelWarn
+	LogError = telemetry.LevelError
 )
 
 // Query type constants.
@@ -182,6 +208,20 @@ type Config struct {
 	// path instead of the shard's background goroutine. New and
 	// NewConcurrent always prefill synchronously and ignore it.
 	SyncPrefill bool
+	// TelemetryAddr, when non-empty, starts the stdlib exposition server
+	// ("host:port"; port 0 picks a free one) publishing /metrics, /statusz,
+	// expvar and pprof. Supported by NewConcurrent and NewSharded; New
+	// rejects it because a single-goroutine System cannot be scraped
+	// concurrently with traffic.
+	TelemetryAddr string
+	// LogOutput, when non-nil, receives structured logfmt lines from the
+	// switch path and the shard prefill workers at LogLevel or above.
+	LogOutput io.Writer
+	// LogLevel is the minimum severity emitted to LogOutput.
+	LogLevel LogLevel
+	// TraceDepth sizes the per-module switch-decision audit ring (zero
+	// keeps the default of 64).
+	TraceDepth int
 }
 
 // System bundles a LATEST module with the exact window store that plays
@@ -198,6 +238,12 @@ type System struct {
 	// (already heap-resident) System rather than forcing the argument to
 	// escape. Estimators copy what they keep, so the buffer is reusable.
 	scratch Object
+
+	// gauges are the engine's operational counters and latency histograms:
+	// atomic, allocation-free, safe to snapshot while traffic flows.
+	// Single-object feeds are timed one in metrics.FeedSampleInterval.
+	gauges metrics.ShardGauges
+	log    *telemetry.Logger
 }
 
 // New builds a System over the given world rectangle, keeping the last
@@ -211,7 +257,10 @@ func New(world Rect, window time.Duration, opts ...Option) (*System, error) {
 //
 // Deprecated: use New with functional options.
 func NewFromConfig(cfg Config) (*System, error) {
-	return newSystem(cfg, nil)
+	if cfg.TelemetryAddr != "" {
+		return nil, fmt.Errorf("latest: WithTelemetry requires a concurrency-safe engine (System is single-goroutine, so a scrape would race with traffic); use NewConcurrent or NewSharded")
+	}
+	return newSystem(cfg, nil, "inline", "system")
 }
 
 // refillFunc seeds a freshly wiped estimator from the window store.
@@ -229,7 +278,9 @@ func syncRefill(w *stream.Window, e estimator.Estimator) {
 // newSystem is the shared constructor. refill overrides how switch
 // candidates are pre-filled from the window store (ShardedSystem hands the
 // replay to a background goroutine); nil keeps the synchronous replay.
-func newSystem(cfg Config, refill refillFunc) (*System, error) {
+// prefillMode annotates switch-decision traces ("inline" or "async") and
+// component names the logger ("system", "concurrent", "shard-3", ...).
+func newSystem(cfg Config, refill refillFunc, prefillMode, component string) (*System, error) {
 	if cfg.Window <= 0 {
 		return nil, fmt.Errorf("latest: Window must be positive, got %v", cfg.Window)
 	}
@@ -243,6 +294,7 @@ func newSystem(cfg Config, refill refillFunc) (*System, error) {
 	if refill == nil {
 		refill = syncRefill
 	}
+	log := telemetry.NewLogger(cfg.LogOutput, cfg.LogLevel).Named(component)
 	w := stream.NewWindow(cfg.World, cfg.Window.Milliseconds(), cells)
 	m, err := core.New(core.Config{
 		World:             cfg.World,
@@ -261,6 +313,9 @@ func newSystem(cfg Config, refill refillFunc) (*System, error) {
 		Scale:             cfg.MemoryScale,
 		Seed:              cfg.Seed,
 		OnSwitch:          cfg.OnSwitch,
+		Logger:            log,
+		TraceDepth:        cfg.TraceDepth,
+		PrefillMode:       prefillMode,
 		Refill: func(e estimator.Estimator) {
 			refill(w, e)
 		},
@@ -268,7 +323,7 @@ func newSystem(cfg Config, refill refillFunc) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{module: m, window: w}, nil
+	return &System{module: m, window: w, log: log}, nil
 }
 
 // feedPtr is the allocation-free ingest path shared by Feed, FeedBatch and
@@ -280,7 +335,17 @@ func (s *System) feedPtr(o *Object) {
 }
 
 // Feed ingests one stream object. Timestamps must be non-decreasing.
+// One in metrics.FeedSampleInterval calls is timed into the ingest latency
+// histogram; the rest pay a single atomic increment.
 func (s *System) Feed(o Object) {
+	if s.gauges.RecordFeed() {
+		start := time.Now()
+		s.scratch = o
+		s.feedPtr(&s.scratch)
+		s.gauges.RecordFeedLatency(time.Since(start))
+		s.gauges.SetOccupancy(s.window.Size())
+		return
+	}
 	s.scratch = o
 	s.feedPtr(&s.scratch)
 }
@@ -289,9 +354,15 @@ func (s *System) Feed(o Object) {
 // non-decreasing within the batch and across calls. Batching skips the
 // per-object staging copy of Feed.
 func (s *System) FeedBatch(objs []Object) {
+	if len(objs) == 0 {
+		return
+	}
+	start := time.Now()
 	for i := range objs {
 		s.feedPtr(&objs[i])
 	}
+	s.gauges.RecordBatch(len(objs), time.Since(start))
+	s.gauges.SetOccupancy(s.window.Size())
 }
 
 // Estimate answers the query approximately through the active estimator.
@@ -311,11 +382,21 @@ func (s *System) Execute(q *Query) int {
 // an external execution engine.
 func (s *System) ObserveActual(actual float64) { s.module.Observe(actual) }
 
-// EstimateAndExecute is the common two-step as one call: approximate
-// answer, exact answer, feedback.
-func (s *System) EstimateAndExecute(q *Query) (estimate float64, actual int) {
+// estimateAndExecute is the untimed estimate+execute cycle. ShardedSystem
+// calls it so shard queries are timed once, into the shard's own gauges.
+func (s *System) estimateAndExecute(q *Query) (estimate float64, actual int) {
 	estimate = s.Estimate(q)
 	actual = s.Execute(q)
+	return estimate, actual
+}
+
+// EstimateAndExecute is the common two-step as one call: approximate
+// answer, exact answer, feedback. The full cycle is timed into the query
+// latency histogram.
+func (s *System) EstimateAndExecute(q *Query) (estimate float64, actual int) {
+	start := time.Now()
+	estimate, actual = s.estimateAndExecute(q)
+	s.gauges.RecordQuery(time.Since(start))
 	return estimate, actual
 }
 
@@ -352,3 +433,11 @@ func (s *System) Stats() Stats { return s.module.Snapshot() }
 // RecommendFor returns the model's current estimator recommendation for a
 // query, without changing any state.
 func (s *System) RecommendFor(q *Query) string { return s.module.RecommendFor(q) }
+
+// Gauges returns a point-in-time copy of the engine's operational counters
+// and latency histograms. The counters are atomic, so this is safe even
+// while another goroutine drives traffic.
+func (s *System) Gauges() GaugeSnapshot { return s.gauges.Snapshot() }
+
+// Decisions returns the recent switch-decision audit records, oldest first.
+func (s *System) Decisions() []Decision { return s.module.Decisions() }

@@ -1,6 +1,9 @@
 package latest
 
-import "time"
+import (
+	"io"
+	"time"
+)
 
 // options.go defines the functional-option configuration surface shared by
 // New, NewConcurrent and NewSharded. Options replace the old
@@ -113,6 +116,32 @@ func WithShards(n int) Option {
 // prefill synchronously and ignore it.
 func WithSynchronousPrefill() Option {
 	return func(c *Config) { c.SyncPrefill = true }
+}
+
+// WithTelemetry starts a stdlib-only HTTP exposition server on addr
+// ("host:port"; port 0 lets the kernel pick — read the bound address back
+// with TelemetryAddr). It publishes Prometheus text at /metrics, a JSON
+// status snapshot (switch-decision trace, per-estimator q-error, latency
+// percentiles) at /statusz, expvar at /debug/vars and pprof under
+// /debug/pprof/. Supported by NewConcurrent and NewSharded, whose engines
+// are safe to scrape while traffic flows; New returns an error because a
+// single-goroutine System is not. Stop the server with Close.
+func WithTelemetry(addr string) Option {
+	return func(c *Config) { c.TelemetryAddr = addr }
+}
+
+// WithLogger directs structured logfmt lines (estimator switches, prefill
+// lifecycle, telemetry-server lifecycle) at or above min to w. Logging
+// stays off the per-object and per-query hot paths.
+func WithLogger(w io.Writer, min LogLevel) Option {
+	return func(c *Config) { c.LogOutput, c.LogLevel = w, min }
+}
+
+// WithTraceDepth sizes the switch-decision audit ring each module retains
+// (default 64). Deeper rings remember more history at a few hundred bytes
+// per record.
+func WithTraceDepth(n int) Option {
+	return func(c *Config) { c.TraceDepth = n }
 }
 
 // buildConfig folds options into a Config carrying the world and window.

@@ -10,6 +10,7 @@ import (
 	"github.com/spatiotext/latest/internal/estimator"
 	"github.com/spatiotext/latest/internal/metrics"
 	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/telemetry"
 )
 
 // ShardedSystem partitions the world rectangle into a grid of spatial
@@ -48,6 +49,8 @@ type ShardedSystem struct {
 
 	syncPrefill bool
 
+	telem *telemetry.Server
+
 	closeOnce sync.Once
 	workers   sync.WaitGroup
 }
@@ -67,6 +70,7 @@ type shard struct {
 	scratch Object
 
 	gauges metrics.ShardGauges
+	log    *telemetry.Logger
 
 	// refillCh carries deferred pre-fill work to the shard's background
 	// goroutine. Senders hold mu; the worker acquires mu per task, so the
@@ -116,19 +120,27 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 		shards:      make([]*shard, n),
 		syncPrefill: cfg.SyncPrefill,
 	}
+	baseLog := telemetry.NewLogger(cfg.LogOutput, cfg.LogLevel)
 	for i := range s.shards {
 		r, c := i/cols, i%cols
+		component := fmt.Sprintf("shard-%d", i)
 		sh := &shard{
 			rect: Rect{MinX: s.xs[c], MinY: s.ys[r], MaxX: s.xs[c+1], MaxY: s.ys[r+1]},
+			log:  baseLog.Named(component),
 		}
 		shardCfg := cfg
 		shardCfg.World = sh.rect
 		// Shard 0 keeps the configured seed so a 1-shard system matches
 		// System exactly; the rest decorrelate their estimator randomness.
 		shardCfg.Seed = cfg.Seed + int64(i)*1_000_003
+		prefillMode := "async"
 		var refill refillFunc
 		if s.syncPrefill {
-			refill = syncRefill
+			prefillMode = "inline"
+			refill = func(w *stream.Window, e estimator.Estimator) {
+				syncRefill(w, e)
+				sh.gauges.RecordPrefill(false)
+			}
 		} else {
 			sh.refillCh = make(chan refillTask, 4)
 			refill = func(w *stream.Window, e estimator.Estimator) {
@@ -137,11 +149,14 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 				default:
 					// Worker backlog (switch storm): pay the replay inline
 					// rather than block while holding the shard lock.
+					sh.log.Warn("prefill queue full, replaying inline",
+						"estimator", e.Name(), "window", w.Size())
 					syncRefill(w, e)
+					sh.gauges.RecordPrefill(false)
 				}
 			}
 		}
-		sys, err := newSystem(shardCfg, refill)
+		sys, err := newSystem(shardCfg, refill, prefillMode, component)
 		if err != nil {
 			return nil, err
 		}
@@ -155,6 +170,14 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 			go s.refillWorker(sh, sh.refillCh)
 		}
 	}
+	if cfg.TelemetryAddr != "" {
+		srv, err := telemetry.Serve(cfg.TelemetryAddr, s.telemetrySnapshot, baseLog)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.telem = srv
+	}
 	return s, nil
 }
 
@@ -163,20 +186,28 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 func (s *ShardedSystem) refillWorker(sh *shard, ch <-chan refillTask) {
 	defer s.workers.Done()
 	for task := range ch {
+		start := time.Now()
 		sh.mu.Lock()
 		sh.sys.window.EachBefore(task.boundary, func(o *stream.Object) bool {
 			task.est.Insert(o)
 			return true
 		})
 		sh.mu.Unlock()
+		sh.gauges.RecordPrefill(true)
+		sh.log.Debug("async prefill replayed",
+			"estimator", task.est.Name(), "took", time.Since(start))
 	}
 }
 
-// Close stops the background prefill workers and waits for them to drain.
-// Pending pre-fills complete; using the system after Close may leave
-// switch candidates cold but is otherwise safe. Close is idempotent.
+// Close stops the telemetry server (if one was started) and the background
+// prefill workers, waiting for them to drain. Pending pre-fills complete;
+// using the system after Close may leave switch candidates cold but is
+// otherwise safe. Close is idempotent.
 func (s *ShardedSystem) Close() {
 	s.closeOnce.Do(func() {
+		if s.telem != nil {
+			s.telem.Close()
+		}
 		for _, sh := range s.shards {
 			if sh.refillCh != nil {
 				sh.mu.Lock()
@@ -267,14 +298,23 @@ func (sh *shard) feedLocked(o *Object) {
 }
 
 // Feed ingests one stream object, locking only the shard its location
-// routes to.
+// routes to. One in metrics.FeedSampleInterval feeds per shard is timed
+// (clock reads outside the lock) into the shard's ingest histogram.
 func (s *ShardedSystem) Feed(o Object) {
 	sh := s.shards[s.shardOf(o.Loc)]
+	sampled := sh.gauges.RecordFeed()
+	var start time.Time
+	if sampled {
+		start = time.Now()
+	}
 	sh.mu.Lock()
 	sh.feedLocked(&o)
-	sh.gauges.RecordFeeds(1)
-	sh.gauges.SetOccupancy(sh.sys.window.Size())
+	occ := sh.sys.window.Size()
 	sh.mu.Unlock()
+	if sampled {
+		sh.gauges.RecordFeedLatency(time.Since(start))
+	}
+	sh.gauges.SetOccupancy(occ)
 }
 
 // FeedBatch ingests a batch of stream objects, grouping them per shard so
@@ -354,7 +394,7 @@ func (s *ShardedSystem) EstimateAndExecute(q *Query) (estimate float64, actual i
 		sh := targets[0]
 		start := time.Now()
 		sh.mu.Lock()
-		estimate, actual = sh.sys.EstimateAndExecute(q)
+		estimate, actual = sh.sys.estimateAndExecute(q)
 		sh.mu.Unlock()
 		sh.gauges.RecordQuery(time.Since(start))
 		return estimate, actual
@@ -371,7 +411,7 @@ func (s *ShardedSystem) EstimateAndExecute(q *Query) (estimate float64, actual i
 			defer wg.Done()
 			start := time.Now()
 			sh.mu.Lock()
-			e, a := sh.sys.EstimateAndExecute(q)
+			e, a := sh.sys.estimateAndExecute(q)
 			sh.mu.Unlock()
 			sh.gauges.RecordQuery(time.Since(start))
 			parts[i] = partial{est: e, act: a}
@@ -400,6 +440,16 @@ func (s *ShardedSystem) EstimateAndExecuteBatch(qs []Query) (estimates []float64
 
 // NumShards returns the shard count.
 func (s *ShardedSystem) NumShards() int { return len(s.shards) }
+
+// TelemetryAddr returns the bound address of the telemetry server, or ""
+// when WithTelemetry was not used. With a ":0" listen address this is how
+// callers learn the kernel-assigned port.
+func (s *ShardedSystem) TelemetryAddr() string {
+	if s.telem == nil {
+		return ""
+	}
+	return s.telem.Addr()
+}
 
 // ShardRects returns the shard rectangles in shard order.
 func (s *ShardedSystem) ShardRects() []Rect {
@@ -495,6 +545,11 @@ func (s *ShardedSystem) Stats() ShardedStats {
 		parts[i] = sh.sys.Stats()
 		ws := sh.sys.WindowSize()
 		sh.mu.Unlock()
+		// Core snapshots don't know their shard index; stamp it so merged
+		// decision traces say where each switch happened.
+		for j := range parts[i].Decisions {
+			parts[i].Decisions[j].Shard = i
+		}
 		out.Shards[i] = ShardStats{
 			Index:      i,
 			Rect:       sh.rect,

@@ -1,0 +1,79 @@
+package latest
+
+import (
+	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+// This file adapts engine snapshots into the telemetry exposition types.
+// The telemetry server itself lives in internal/telemetry; the builders
+// here are what a WithTelemetry-enabled engine hands it as the scrape
+// source.
+
+// shardSample flattens one module's stats plus its operational gauges into
+// a telemetry.ShardSample. A monolithic engine reports itself as shard 0.
+func shardSample(index int, st Stats, g metrics.GaugeSnapshot) telemetry.ShardSample {
+	return telemetry.ShardSample{
+		Index:          index,
+		Active:         st.Active,
+		Phase:          st.Phase.String(),
+		Feeds:          g.Feeds,
+		Batches:        g.Batches,
+		Queries:        g.Queries,
+		Reordered:      g.Reordered,
+		PrefillsAsync:  g.PrefillsAsync,
+		PrefillsInline: g.PrefillsInline,
+		Occupancy:      g.Occupancy,
+		Switches:       st.Switches,
+		AccuracyAvg:    st.AccuracyAvg,
+		MemoryBytes:    st.MemoryBytes,
+		Feed:           g.FeedLatency,
+		Batch:          g.BatchLatency,
+		Query:          g.QueryLatency,
+		Estimate:       st.EstimateLatency,
+	}
+}
+
+// telemetrySnapshot is the ConcurrentSystem scrape source: the wrapped
+// System as a single shard 0. Stats takes the engine lock briefly; the
+// gauges are read atomically.
+func (c *ConcurrentSystem) telemetrySnapshot() telemetry.Snapshot {
+	c.mu.Lock()
+	st := c.sys.Stats()
+	ws := c.sys.WindowSize()
+	c.mu.Unlock()
+	return telemetry.Snapshot{
+		Engine:      "concurrent",
+		Phase:       st.Phase.String(),
+		Active:      st.Active,
+		Switches:    st.Switches,
+		AccuracyAvg: st.AccuracyAvg,
+		MemoryBytes: st.MemoryBytes,
+		WindowSize:  ws,
+		Shards:      []telemetry.ShardSample{shardSample(0, st, c.sys.gauges.Snapshot())},
+		Decisions:   st.Decisions,
+		QError:      st.QError,
+	}
+}
+
+// telemetrySnapshot is the ShardedSystem scrape source: per-shard samples
+// plus the merged module view. Each shard's lock is taken briefly in turn.
+func (s *ShardedSystem) telemetrySnapshot() telemetry.Snapshot {
+	st := s.Stats()
+	snap := telemetry.Snapshot{
+		Engine:      "sharded",
+		Phase:       st.Merged.Phase.String(),
+		Active:      st.Merged.Active,
+		Switches:    st.Merged.Switches,
+		AccuracyAvg: st.Merged.AccuracyAvg,
+		MemoryBytes: st.Merged.MemoryBytes,
+		Shards:      make([]telemetry.ShardSample, len(st.Shards)),
+		Decisions:   st.Merged.Decisions,
+		QError:      st.Merged.QError,
+	}
+	for i, sh := range st.Shards {
+		snap.Shards[i] = shardSample(sh.Index, sh.Core, sh.Gauges)
+		snap.WindowSize += sh.WindowSize
+	}
+	return snap
+}
