@@ -40,6 +40,16 @@ func NewConcurrent(world Rect, window time.Duration, opts ...Option) (*Concurren
 	return NewConcurrentFromConfig(buildConfig(world, window, opts))
 }
 
+// MustNewConcurrent is NewConcurrent but panics on error — for tests,
+// examples and programs whose configuration is static.
+func MustNewConcurrent(world Rect, window time.Duration, opts ...Option) *ConcurrentSystem {
+	c, err := NewConcurrent(world, window, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // NewConcurrentFromConfig builds a thread-safe LATEST system from a
 // Config struct.
 //
@@ -81,13 +91,16 @@ func (c *ConcurrentSystem) TelemetryAddr() string {
 }
 
 // feedLocked ingests one object, clamping regressed timestamps to the
-// high-water mark. Caller holds c.mu.
+// high-water mark under the default ValidationClamp policy (counted in the
+// Reordered gauge; under stricter policies the System-level validation
+// rejects the arrival instead). Caller holds c.mu.
 func (c *ConcurrentSystem) feedLocked(o *Object) {
-	if o.Timestamp < c.lastTS {
+	if o.Timestamp < c.lastTS && c.sys.policy == ValidationClamp {
 		c.scratch = *o
 		c.scratch.Timestamp = c.lastTS
 		o = &c.scratch
-	} else {
+		c.sys.gauges.RecordReordered()
+	} else if o.Timestamp > c.lastTS {
 		c.lastTS = o.Timestamp
 	}
 	c.sys.feedPtr(o)
@@ -157,6 +170,12 @@ func (c *ConcurrentSystem) EstimateWith(q *Query, fn func(windowExact int) (actu
 		c.sys.gauges.RecordQuery(time.Since(start))
 	}()
 	est := c.sys.Estimate(q)
+	if c.sys.pendingRejected {
+		// The validation policy refused the query: no estimate was made,
+		// so there is no feedback loop to close and no store to consult.
+		c.sys.pendingRejected = false
+		return est
+	}
 	exact := c.sys.window.Answer(q)
 	c.sys.ObserveActual(fn(exact))
 	return est

@@ -1,0 +1,94 @@
+package latest
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fuzz_test.go drives the public ingest and query paths with arbitrary
+// float64 coordinates, rectangle corners and timestamps. The contract under
+// every validation policy is the same: no input may panic the engine, and
+// every estimate the engine does emit is finite and non-negative.
+
+// fuzzWorlds builds one small engine per validation policy. Engines are
+// deliberately shared across iterations of a fuzz target: accumulated state
+// (clamped clocks, evicted windows, phase transitions) is part of the
+// surface being fuzzed.
+func fuzzWorlds(f *testing.F) []*System {
+	f.Helper()
+	policies := []ValidationPolicy{ValidationClamp, ValidationStrict, ValidationDrop}
+	systems := make([]*System, 0, len(policies))
+	for _, p := range policies {
+		sys, err := New(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+			WithSeed(7), WithPretrainQueries(20), WithAccWindow(10),
+			WithValidation(p))
+		if err != nil {
+			f.Fatal(err)
+		}
+		systems = append(systems, sys)
+	}
+	return systems
+}
+
+func FuzzFeed(f *testing.F) {
+	f.Add(0.5, 0.5, int64(10))
+	f.Add(math.NaN(), 0.5, int64(20))
+	f.Add(0.5, math.Inf(1), int64(30))
+	f.Add(math.Inf(-1), math.Inf(1), int64(-40))
+	f.Add(1e308, -1e308, int64(math.MaxInt64))
+	f.Add(0.25, 0.75, int64(math.MinInt64))
+	f.Add(math.SmallestNonzeroFloat64, -0.0, int64(0))
+
+	systems := fuzzWorlds(f)
+	var id uint64
+	f.Fuzz(func(t *testing.T, x, y float64, ts int64) {
+		id++
+		for _, sys := range systems {
+			sys.Feed(Object{ID: id, Loc: Pt(x, y), Keywords: []string{"fz"}, Timestamp: ts})
+			// A benign probe query after every ingest: whatever the feed
+			// did to internal state, the query path must stay finite.
+			probe := SpatialQuery(Rect{MinX: 0.25, MinY: 0.25, MaxX: 0.75, MaxY: 0.75}, ts)
+			est, actual := sys.EstimateAndExecute(&probe)
+			if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+				t.Fatalf("%v: estimate %v after feeding (%v,%v,%d)", sys.policy, est, x, y, ts)
+			}
+			if actual < 0 {
+				t.Fatalf("%v: exact count %d", sys.policy, actual)
+			}
+		}
+	})
+}
+
+func FuzzEstimate(f *testing.F) {
+	f.Add(0.2, 0.2, 0.8, 0.8, int64(10))
+	f.Add(0.8, 0.8, 0.2, 0.2, int64(20)) // inverted
+	f.Add(math.NaN(), 0.0, 1.0, 1.0, int64(30))
+	f.Add(0.0, 0.0, math.Inf(1), 1.0, int64(40))
+	f.Add(-5.0, -5.0, 5.0, 5.0, int64(50)) // world-swallowing
+	f.Add(0.5, 0.5, 0.5, 0.5, int64(60))   // empty
+	f.Add(1e308, 1e308, -1e308, -1e308, int64(math.MaxInt64))
+	f.Add(0.1, 0.9, 0.2, math.Inf(-1), int64(math.MinInt64))
+
+	systems := fuzzWorlds(f)
+	for _, sys := range systems {
+		for i := int64(1); i <= 64; i++ {
+			sys.Feed(Object{ID: uint64(i), Loc: Pt(float64(i%8)/8, float64(i%5)/5),
+				Keywords: []string{"fz"}, Timestamp: i})
+		}
+	}
+	f.Fuzz(func(t *testing.T, minX, minY, maxX, maxY float64, ts int64) {
+		for _, sys := range systems {
+			q := Query{Range: Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY},
+				HasRange: true, Timestamp: ts}
+			est, actual := sys.EstimateAndExecute(&q)
+			if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+				t.Fatalf("%v: estimate %v for rect (%v,%v,%v,%v,%d)",
+					sys.policy, est, minX, minY, maxX, maxY, ts)
+			}
+			if actual < 0 {
+				t.Fatalf("%v: exact count %d", sys.policy, actual)
+			}
+		}
+	})
+}

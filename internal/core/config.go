@@ -24,6 +24,7 @@ import (
 	"github.com/spatiotext/latest/internal/estimator"
 	"github.com/spatiotext/latest/internal/geo"
 	"github.com/spatiotext/latest/internal/hoeffding"
+	"github.com/spatiotext/latest/internal/resilience"
 	"github.com/spatiotext/latest/internal/stream"
 	"github.com/spatiotext/latest/internal/telemetry"
 )
@@ -107,6 +108,19 @@ type Config struct {
 	// switch candidates: "inline" (on the query path) or "async" (a
 	// background worker). Informational only; empty means "inline".
 	PrefillMode string
+	// Resilience parameterizes the per-estimator guard and circuit breaker
+	// (fault window, quarantine threshold, cooldown, probe count, latency
+	// deadline). The zero value takes the resilience package defaults —
+	// fault isolation is always on.
+	Resilience resilience.Config
+	// Injector, when non-nil, deterministically injects faults into guarded
+	// estimator calls. Chaos testing only; nil in production.
+	Injector *resilience.Injector
+	// Oracle, when non-nil, answers a query exactly from the live window
+	// store. The module uses it as the terminal fallback when the active
+	// estimator faults and no runner-up is warm — the answer is then exact
+	// rather than approximate, trading latency for availability.
+	Oracle func(q *stream.Query) float64
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +195,9 @@ func (c Config) validate() error {
 	}
 	if !found {
 		return fmt.Errorf("core: default estimator %q not in fleet %v", c.Default, c.Estimators)
+	}
+	if err := c.Resilience.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

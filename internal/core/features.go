@@ -33,6 +33,12 @@ type brain struct {
 	// gate goes to zero there: gate = τ·min(1, 2(1−α)).
 	accGate float64
 
+	// masked is shared with the owning module's quarantine bookkeeping:
+	// masked[i] means estimator i is quarantined by its circuit breaker and
+	// must appear in no switch recommendation and no training label until
+	// it is re-admitted.
+	masked []bool
+
 	accNorm metrics.MinMax
 	latNorm metrics.MinMax
 
@@ -98,6 +104,11 @@ func newBrain(names []string, cfg Config) *brain {
 		b.profLat = append(b.profLat, latRow)
 	}
 	return b
+}
+
+// excluded reports whether an estimator is quarantine-masked.
+func (b *brain) excluded(est int) bool {
+	return b.masked != nil && est >= 0 && est < len(b.masked) && b.masked[est]
 }
 
 // observe folds one measurement into the normalizers and profile.
@@ -210,7 +221,7 @@ func (b *brain) bestOpportunity(qt stream.QueryType, active int) int {
 	floor := b.profAcc[active][qt].Value() - tol
 	best := -1
 	for est := range b.names {
-		if est == active || !ok[est] || !b.passesGate(est, qt) {
+		if est == active || b.excluded(est) || !ok[est] || !b.passesGate(est, qt) {
 			continue
 		}
 		if b.profAcc[est][qt].Value() < floor {
@@ -315,10 +326,10 @@ func (b *brain) recommend(q *stream.Query, active int) int {
 			second = i
 		}
 	}
-	if best >= 0 && best != active && proba[best] > 0 && b.passesGate(best, qt) {
+	if best >= 0 && best != active && !b.excluded(best) && proba[best] > 0 && b.passesGate(best, qt) {
 		return best
 	}
-	if second >= 0 && second != active && proba[second] > 0 && b.passesGate(second, qt) {
+	if second >= 0 && second != active && !b.excluded(second) && proba[second] > 0 && b.passesGate(second, qt) {
 		return second
 	}
 	return b.bestByProfileExcluding(qt, active)
@@ -378,7 +389,7 @@ func (b *brain) recommendAny(q *stream.Query) int {
 			treeBest, bestP = i, p
 		}
 	}
-	if treeBest >= 0 && bestP > 0 {
+	if treeBest >= 0 && bestP > 0 && !b.excluded(treeBest) {
 		return treeBest
 	}
 	return best
@@ -390,7 +401,7 @@ func (b *brain) bestByProfileExcluding(qt stream.QueryType, skip int) int {
 	s, ok := b.scores(qt)
 	best, bestUngated := -1, -1
 	for est := range b.names {
-		if est == skip || !ok[est] {
+		if est == skip || b.excluded(est) || !ok[est] {
 			continue
 		}
 		if bestUngated < 0 || s[est] > s[bestUngated] {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/spatiotext/latest/internal/estimator"
 	"github.com/spatiotext/latest/internal/metrics"
+	"github.com/spatiotext/latest/internal/resilience"
 	"github.com/spatiotext/latest/internal/stream"
 	"github.com/spatiotext/latest/internal/telemetry"
 )
@@ -22,6 +23,20 @@ type Module struct {
 	names []string
 	index map[string]int
 	ests  []estimator.Estimator
+
+	// Fault isolation (the resilience layer): every estimator call goes
+	// through its guard; every outcome feeds its breaker; masked[i] mirrors
+	// breaker quarantine and is shared with the brain so quarantined
+	// estimators drop out of switch candidates and training labels. The
+	// fallback counters record how faulted active-estimator queries were
+	// served instead.
+	guards   []*resilience.Guard
+	breakers []*resilience.Breaker
+	masked   []bool
+
+	fallbackRunnerUp uint64
+	fallbackOracle   uint64
+	fallbackZero     uint64
 
 	active     int
 	prefill    int // -1 when no candidate is warming
@@ -114,10 +129,14 @@ func New(cfg Config) (*Module, error) {
 			return nil, err
 		}
 		m.ests = append(m.ests, e)
+		m.guards = append(m.guards, resilience.NewGuard(e, cfg.Resilience, cfg.Injector))
+		m.breakers = append(m.breakers, resilience.NewBreaker(cfg.Resilience))
 		m.index[name] = i
 	}
+	m.masked = make([]bool, len(m.ests))
 	m.active = m.index[cfg.Default]
 	m.brain = newBrain(m.names, cfg)
+	m.brain.masked = m.masked
 	return m, nil
 }
 
@@ -158,13 +177,18 @@ func (m *Module) TrainingRecords() int { return m.brain.tree.Instances() }
 func (m *Module) Insert(o *stream.Object) {
 	switch m.phase {
 	case PhaseWarmup, PhasePretrain:
-		for _, e := range m.ests {
-			e.Insert(o)
+		for i := range m.guards {
+			if m.masked[i] {
+				continue
+			}
+			m.noteCall(i, m.guards[i].Insert(o))
 		}
 	default:
-		m.ests[m.active].Insert(o)
+		if !m.masked[m.active] {
+			m.noteCall(m.active, m.guards[m.active].Insert(o))
+		}
 		if m.prefill >= 0 {
-			m.ests[m.prefill].Insert(o)
+			m.noteCall(m.prefill, m.guards[m.prefill].Insert(o))
 		}
 	}
 }
@@ -183,6 +207,12 @@ func (m *Module) Estimate(q *stream.Query) float64 {
 	if m.phase == PhaseWarmup {
 		m.phase = PhasePretrain
 	}
+	m.tickBreakers()
+	if m.masked[m.active] {
+		// The active estimator tripped during Insert/Observe (or the module
+		// is running degraded): install a replacement before serving.
+		m.rescueActive(q)
+	}
 	p := &pendingQuery{
 		q:         *q,
 		estimates: make([]float64, len(m.ests)),
@@ -190,9 +220,11 @@ func (m *Module) Estimate(q *stream.Query) float64 {
 		measured:  make([]bool, len(m.ests)),
 	}
 	measure := func(i int) {
-		start := time.Now()
-		est := m.ests[i].Estimate(q)
-		lat := time.Since(start)
+		est, lat, k := m.guards[i].Estimate(q)
+		m.noteCall(i, k)
+		if k != resilience.FaultNone {
+			return // faulted measurement: never trains, never answers
+		}
 		if m.cfg.LatencyOf != nil {
 			lat = m.cfg.LatencyOf(m.names[i], q, lat)
 		}
@@ -205,10 +237,15 @@ func (m *Module) Estimate(q *stream.Query) float64 {
 	}
 	if m.phase == PhasePretrain {
 		for i := range m.ests {
+			if m.masked[i] {
+				continue
+			}
 			measure(i)
 		}
 	} else {
-		measure(m.active)
+		if !m.masked[m.active] {
+			measure(m.active)
+		}
 		if m.prefill >= 0 {
 			// The warming candidate is measured too: its feedback seeds the
 			// profile so a recovery-discard or the eventual switch is an
@@ -216,7 +253,19 @@ func (m *Module) Estimate(q *stream.Query) float64 {
 			measure(m.prefill)
 		}
 	}
-	p.answer = p.estimates[m.active]
+	if p.measured[m.active] {
+		p.answer = p.estimates[m.active]
+	} else {
+		// The active estimator faulted on this query (or is quarantined with
+		// no replacement installed): serve the fallback chain.
+		p.answer = m.fallbackAnswer(p, q)
+	}
+	if m.masked[m.active] {
+		// The fault above tripped the breaker: re-route future queries now
+		// rather than waiting for the next Estimate.
+		m.rescueActive(q)
+	}
+	m.probeQuarantined(q)
 	m.pending = p
 	return p.answer
 }
@@ -245,9 +294,13 @@ func (m *Module) Observe(actual float64) {
 		m.brain.observe(i, qt, acc, p.latencies[i])
 		m.brain.learn(&p.q, i, acc, p.latencies[i], relErr)
 		// Workload-driven estimators get the raw feedback as well.
-		m.ests[i].Observe(&p.q, actual)
+		m.noteCall(i, m.guards[i].Observe(&p.q, actual))
 	}
-	m.accWindow.Add(metrics.Accuracy(p.estimates[m.active], actual))
+	// The monitored accuracy is that of the *served* answer — identical to
+	// the active estimate on the healthy path, the fallback's accuracy when
+	// the active estimator faulted (a faulted raw estimate must not poison
+	// the switching statistics).
+	m.accWindow.Add(metrics.Accuracy(p.answer, actual))
 
 	switch m.phase {
 	case PhasePretrain:
@@ -265,9 +318,23 @@ func (m *Module) Observe(actual float64) {
 // the incremental phase (§V-C's overhead reduction).
 func (m *Module) concludePretraining() {
 	m.active = m.index[m.cfg.Default]
-	for i, e := range m.ests {
+	if m.masked[m.active] {
+		// The configured default is quarantined: start the incremental phase
+		// on the best live candidate instead (first unmasked as last resort).
+		if rec := m.brain.bestByProfileExcluding(stream.SpatialQuery, m.active); rec >= 0 {
+			m.active = rec
+		} else {
+			for i := range m.masked {
+				if !m.masked[i] {
+					m.active = i
+					break
+				}
+			}
+		}
+	}
+	for i := range m.ests {
 		if i != m.active {
-			e.Reset()
+			m.noteCall(i, m.guards[i].Reset())
 		}
 	}
 	m.phase = PhaseIncremental
@@ -290,7 +357,7 @@ func (m *Module) adapt(q *stream.Query) {
 			// motivated it has stalled. Stop paying double maintenance.
 			m.log.Debug("prefill discarded", "candidate", m.names[m.prefill],
 				"reason", "stalled", "age", m.prefillAge)
-			m.ests[m.prefill].Reset()
+			m.noteCall(m.prefill, m.guards[m.prefill].Reset())
 			m.prefill = -1
 		}
 	}
@@ -326,7 +393,7 @@ func (m *Module) adapt(q *stream.Query) {
 		// Accuracy recovered: discard the warming candidate (§V-D).
 		m.log.Debug("prefill discarded", "candidate", m.names[m.prefill],
 			"reason", "recovered", "accuracy", mean)
-		m.ests[m.prefill].Reset()
+		m.noteCall(m.prefill, m.guards[m.prefill].Reset())
 		m.prefill = -1
 	}
 }
@@ -374,7 +441,7 @@ func (m *Module) opportunity(q *stream.Query) bool {
 			target, targetN = est, n
 		}
 	}
-	if target < 0 || target == m.active {
+	if target < 0 || target == m.active || m.masked[target] {
 		return false
 	}
 	// The target will serve the *whole* mix, not just the type it wins on:
@@ -389,7 +456,7 @@ func (m *Module) opportunity(q *stream.Query) bool {
 		prefilled := m.prefill == target
 		if !prefilled {
 			if m.prefill >= 0 {
-				m.ests[m.prefill].Reset()
+				m.noteCall(m.prefill, m.guards[m.prefill].Reset())
 				m.prefill = -1
 			}
 			m.freshen(target)
@@ -426,7 +493,7 @@ func (m *Module) passesPrevalentGates(est int) bool {
 
 // freshen wipes an estimator and seeds it from the live window store.
 func (m *Module) freshen(i int) {
-	m.ests[i].Reset()
+	m.noteCall(i, m.guards[i].Reset())
 	if m.cfg.Refill != nil {
 		m.cfg.Refill(m.ests[i])
 	}
@@ -456,7 +523,7 @@ func (m *Module) performSwitch(q *stream.Query) {
 			target = alt
 			prefilled = false
 			if m.prefill >= 0 {
-				m.ests[m.prefill].Reset()
+				m.noteCall(m.prefill, m.guards[m.prefill].Reset())
 				m.prefill = -1
 			}
 		} else {
@@ -483,7 +550,7 @@ func (m *Module) performSwitch(q *stream.Query) {
 			// any warming candidate and hold position until the profile
 			// changes.
 			if m.prefill >= 0 {
-				m.ests[m.prefill].Reset()
+				m.noteCall(m.prefill, m.guards[m.prefill].Reset())
 				m.prefill = -1
 			}
 			m.cooldown = m.cfg.CooldownQueries / 2
@@ -510,7 +577,7 @@ func (m *Module) switchTo(target int, q *stream.Query, prefilled bool, reason st
 	m.traceDecision(ev, q, reason)
 	// The displaced estimator is wiped: only one summary (plus at most one
 	// warming candidate) is ever maintained.
-	m.ests[m.active].Reset()
+	m.noteCall(m.active, m.guards[m.active].Reset())
 	m.active = target
 	m.prefill = -1
 	m.oppGap.Reset()
@@ -608,14 +675,18 @@ type Stats struct {
 	QError []telemetry.QErrorSample
 	// Decisions is the retained switch-decision audit trail, oldest-first.
 	Decisions []telemetry.Decision
+	// Resilience is the fault-isolation layer's health: per-estimator
+	// breaker states and fault counters, plus how faulted queries were
+	// answered.
+	Resilience telemetry.ResilienceStats
 }
 
 // Snapshot returns current Stats.
 func (m *Module) Snapshot() Stats {
 	mem := 0
-	for i, e := range m.ests {
+	for i := range m.ests {
 		if m.phase != PhaseIncremental || i == m.active || i == m.prefill {
-			mem += e.MemoryBytes()
+			mem += m.guards[i].MemoryBytes()
 		}
 	}
 	return Stats{
@@ -634,6 +705,7 @@ func (m *Module) Snapshot() Stats {
 		EstimateLatency: m.estLat.Snapshot(),
 		QError:          m.qerrSamples(),
 		Decisions:       m.trace.Snapshot(),
+		Resilience:      m.resilienceStats(),
 	}
 }
 

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+
+	"github.com/spatiotext/latest/internal/resilience"
+	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+// This file is the module side of the resilience layer: outcome recording,
+// quarantine bookkeeping, active-estimator rescue and the fallback answer
+// chain. The guard/breaker mechanics themselves live in
+// internal/resilience; the policy — who replaces a quarantined active
+// estimator, what answers a query when nobody can — lives here, because it
+// needs the brain and the phase machine.
+
+// noteCall folds one guarded call's outcome into the estimator's breaker
+// and handles the quarantine transition when this call trips it.
+func (m *Module) noteCall(i int, k resilience.FaultKind) {
+	if m.breakers[i].RecordCall(k) {
+		m.onTrip(i)
+	}
+}
+
+// onTrip runs the quarantine transition for estimator i: mask it out of
+// switch candidates and training labels, discard it as a warming candidate.
+// A tripped *active* estimator is not replaced here — trips can surface
+// mid-Insert or mid-Observe where no query is at hand; the Estimate path
+// checks the mask at its safe points and runs rescueActive there.
+func (m *Module) onTrip(i int) {
+	m.masked[i] = true
+	snap := m.breakers[i].Snapshot()
+	m.log.Warn("estimator quarantined",
+		"estimator", m.names[i],
+		"panics", snap.Panics, "valueFaults", snap.ValueFaults,
+		"deadlines", snap.Deadlines, "quarantines", snap.Quarantines,
+		"active", i == m.active)
+	if i == m.prefill {
+		// The warming candidate is poisoned: best-effort wipe, stop paying
+		// double maintenance. The outcome is not re-recorded — the breaker
+		// is already open.
+		m.guards[i].Reset()
+		m.prefill = -1
+	}
+}
+
+// rescueActive installs a replacement for a quarantined active estimator:
+// the warming runner-up if one is live, else the brain's recommendation
+// (quarantine-masked, so it never proposes another tripped estimator).
+// When nobody is available the module stays degraded — the mask keeps the
+// broken estimator out of the serving path and fallbackAnswer carries the
+// queries until a breaker re-admits somebody.
+func (m *Module) rescueActive(q *stream.Query) {
+	if m.prefill >= 0 && !m.masked[m.prefill] {
+		m.switchTo(m.prefill, q, true, "quarantine")
+		return
+	}
+	if rec := m.brain.recommend(q, m.active); rec >= 0 && rec != m.active && !m.masked[rec] {
+		m.freshen(rec)
+		m.switchTo(rec, q, false, "quarantine")
+		return
+	}
+	m.log.Warn("no live replacement for quarantined estimator; serving degraded",
+		"quarantined", m.names[m.active])
+}
+
+// fallbackAnswer serves a query whose active estimate faulted (or whose
+// active estimator is quarantined with no replacement): the runner-up's
+// clean measurement if one exists, else the exact window oracle, else zero.
+// The returned value is always finite and non-negative.
+func (m *Module) fallbackAnswer(p *pendingQuery, q *stream.Query) float64 {
+	if m.prefill >= 0 && p.measured[m.prefill] {
+		m.fallbackRunnerUp++
+		return p.estimates[m.prefill]
+	}
+	if m.phase == PhasePretrain {
+		// Every healthy estimator was measured: prefer the profile-best.
+		if rec := m.brain.bestByProfileExcluding(q.Type(), m.active); rec >= 0 && p.measured[rec] {
+			m.fallbackRunnerUp++
+			return p.estimates[rec]
+		}
+		for i := range p.measured {
+			if i != m.active && p.measured[i] {
+				m.fallbackRunnerUp++
+				return p.estimates[i]
+			}
+		}
+	}
+	if m.cfg.Oracle != nil {
+		if v := m.cfg.Oracle(q); v >= 0 && !math.IsInf(v, 0) { // v>=0 is false for NaN
+			m.fallbackOracle++
+			return v
+		}
+	}
+	m.fallbackZero++
+	return 0
+}
+
+// tickBreakers advances quarantine time by one query: open breakers count
+// down their cooldown and move to half-open when it elapses.
+func (m *Module) tickBreakers() {
+	for _, b := range m.breakers {
+		b.Tick()
+	}
+}
+
+// probeQuarantined sends the current query through every half-open
+// estimator as a probe (the result is discarded, never served, never
+// trained on). Enough consecutive clean probes re-admit the estimator:
+// unmask it and reset+prefill it from the window store so it re-enters the
+// candidate pool with clean state.
+func (m *Module) probeQuarantined(q *stream.Query) {
+	for i, b := range m.breakers {
+		if !b.ReadyToProbe() {
+			continue
+		}
+		_, _, k := m.guards[i].Estimate(q)
+		if b.RecordProbe(k) {
+			m.masked[i] = false
+			m.freshen(i)
+			m.log.Info("estimator re-admitted",
+				"estimator", m.names[i],
+				"readmissions", m.breakers[i].Snapshot().Readmissions)
+		}
+	}
+}
+
+// resilienceStats snapshots the fault-isolation layer for Stats.
+func (m *Module) resilienceStats() telemetry.ResilienceStats {
+	out := telemetry.ResilienceStats{
+		Estimators:       make([]telemetry.EstimatorHealth, len(m.names)),
+		FallbackRunnerUp: m.fallbackRunnerUp,
+		FallbackOracle:   m.fallbackOracle,
+		FallbackZero:     m.fallbackZero,
+	}
+	for i, name := range m.names {
+		s := m.breakers[i].Snapshot()
+		out.Estimators[i] = telemetry.EstimatorHealth{
+			Estimator:    name,
+			State:        s.State.String(),
+			Panics:       s.Panics,
+			ValueFaults:  s.ValueFaults,
+			Deadlines:    s.Deadlines,
+			Quarantines:  s.Quarantines,
+			Readmissions: s.Readmissions,
+			Sanitized:    m.guards[i].Sanitized(),
+		}
+	}
+	return out
+}
+
+// QuarantinedNames returns the currently quarantined estimators, in fleet
+// order. Test and operator hook.
+func (m *Module) QuarantinedNames() []string {
+	var out []string
+	for i, masked := range m.masked {
+		if masked {
+			out = append(out, m.names[i])
+		}
+	}
+	return out
+}

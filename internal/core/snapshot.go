@@ -80,6 +80,11 @@ func MergeStats(parts []Stats) Stats {
 	if n := len(out.Decisions); n > telemetry.DefaultTraceDepth {
 		out.Decisions = out.Decisions[n-telemetry.DefaultTraceDepth:]
 	}
+	res := make([]telemetry.ResilienceStats, len(parts))
+	for i, p := range parts {
+		res[i] = p.Resilience
+	}
+	out.Resilience = telemetry.MergeResilience(res)
 	return out
 }
 

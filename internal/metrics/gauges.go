@@ -28,6 +28,10 @@ type ShardGauges struct {
 	prefillAsync  atomic.Uint64
 	prefillInline atomic.Uint64
 
+	validationRejected atomic.Uint64
+	validationClamped  atomic.Uint64
+	prefillQueueFull   atomic.Uint64
+
 	feedHist  telemetry.Histogram // sampled single-object ingests
 	batchHist telemetry.Histogram // whole FeedBatch calls
 	queryHist telemetry.Histogram // estimate/execute cycles
@@ -72,6 +76,21 @@ func (g *ShardGauges) RecordPrefill(async bool) {
 // the shard's high-water mark (out-of-order arrival across producers).
 func (g *ShardGauges) RecordReordered() { g.reordered.Add(1) }
 
+// RecordValidationRejected counts one object or query refused by the input
+// validation policy (NaN/Inf coordinates, unrepairable geometry, or any
+// non-conforming input under the strict policy).
+func (g *ShardGauges) RecordValidationRejected() { g.validationRejected.Add(1) }
+
+// RecordValidationClamped counts one object or query the clamp policy
+// repaired in place (coordinates pulled into the world, inverted rectangle
+// corners swapped, regressed timestamp clamped forward).
+func (g *ShardGauges) RecordValidationClamped() { g.validationClamped.Add(1) }
+
+// RecordPrefillQueueFull counts one deferred pre-fill that found the
+// shard's queue full and fell back to an inline replay — the backpressure
+// signal that the queue depth is undersized for the switch rate.
+func (g *ShardGauges) RecordPrefillQueueFull() { g.prefillQueueFull.Add(1) }
+
 // SetOccupancy publishes the shard's live window size.
 func (g *ShardGauges) SetOccupancy(n int) { g.occupancy.Store(int64(n)) }
 
@@ -90,6 +109,13 @@ type GaugeSnapshot struct {
 	// where they ran.
 	PrefillsAsync  uint64
 	PrefillsInline uint64
+	// ValidationRejected counts inputs refused by the validation policy and
+	// ValidationClamped inputs it repaired in place.
+	ValidationRejected uint64
+	ValidationClamped  uint64
+	// PrefillQueueFull counts deferred pre-fills that hit a full queue and
+	// fell back to an inline replay (backpressure events).
+	PrefillQueueFull uint64
 	// AvgBatchLatency is the mean wall-clock duration per ingested batch,
 	// kept for dashboards that want a single number (derived from the
 	// histogram).
@@ -111,11 +137,14 @@ type GaugeSnapshot struct {
 // monitoring.
 func (g *ShardGauges) Snapshot() GaugeSnapshot {
 	s := GaugeSnapshot{
-		Feeds:          g.feeds.Load(),
-		Reordered:      g.reordered.Load(),
-		PrefillsAsync:  g.prefillAsync.Load(),
-		PrefillsInline: g.prefillInline.Load(),
-		Occupancy:      int(g.occupancy.Load()),
+		Feeds:              g.feeds.Load(),
+		Reordered:          g.reordered.Load(),
+		PrefillsAsync:      g.prefillAsync.Load(),
+		PrefillsInline:     g.prefillInline.Load(),
+		ValidationRejected: g.validationRejected.Load(),
+		ValidationClamped:  g.validationClamped.Load(),
+		PrefillQueueFull:   g.prefillQueueFull.Load(),
+		Occupancy:          int(g.occupancy.Load()),
 		FeedLatency:    g.feedHist.Snapshot(),
 		BatchLatency:   g.batchHist.Snapshot(),
 		QueryLatency:   g.queryHist.Snapshot(),

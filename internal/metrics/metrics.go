@@ -246,11 +246,19 @@ func (s *Series) MeanV() float64 {
 	return sum / float64(len(s.Points))
 }
 
-// At returns the value at the point whose T is nearest to t. It panics on
-// an empty series, which is a harness bug.
+// At returns the value at the point whose T is nearest to t, or 0 on an
+// empty series. Use AtOK when the caller needs to distinguish an empty
+// series from a genuine zero sample.
 func (s *Series) At(t float64) float64 {
+	v, _ := s.AtOK(t)
+	return v
+}
+
+// AtOK returns the value at the point whose T is nearest to t, and whether
+// the series holds any points at all.
+func (s *Series) AtOK(t float64) (float64, bool) {
 	if len(s.Points) == 0 {
-		panic(fmt.Sprintf("metrics: At(%v) on empty series %q", t, s.Name))
+		return 0, false
 	}
 	best, bestD := 0, math.Inf(1)
 	for i, p := range s.Points {
@@ -258,7 +266,7 @@ func (s *Series) At(t float64) float64 {
 			best, bestD = i, d
 		}
 	}
-	return s.Points[best].V
+	return s.Points[best].V, true
 }
 
 // Welford tracks running mean and variance without storing samples.

@@ -205,12 +205,17 @@ func TestSeries(t *testing.T) {
 	if empty.MeanV() != 0 {
 		t.Error("empty MeanV should be 0")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("At on empty series should panic")
-		}
-	}()
-	empty.At(0)
+	// Regression: At on an empty series used to panic mid-experiment; it
+	// must degrade to zero, with AtOK carrying the emptiness signal.
+	if got := empty.At(0); got != 0 {
+		t.Errorf("empty At(0) = %v, want 0", got)
+	}
+	if v, ok := empty.AtOK(0); ok || v != 0 {
+		t.Errorf("empty AtOK(0) = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := s.AtOK(49); !ok || v != 0.7 {
+		t.Errorf("AtOK(49) = (%v, %v), want (0.7, true)", v, ok)
+	}
 }
 
 func TestWelford(t *testing.T) {

@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"math"
+	"time"
+
+	"github.com/spatiotext/latest/internal/estimator"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// Guard wraps one estimator with fault containment: panics from Insert,
+// Estimate, Observe and Reset are recovered and reported as FaultPanic;
+// Estimate results are sanitized (NaN/±Inf/garbage magnitudes become
+// value faults, small negatives are clamped to zero) and timed against
+// the configured deadline. The guard never decides what to do about a
+// fault — it reports the FaultKind and the caller (the module) feeds the
+// breaker and routes around the failure.
+//
+// The wrapper is allocation-free on the hot path: panic recovery is one
+// open-coded defer, sanitization a few float comparisons, and only
+// Estimate reads the clock (which the unguarded module did anyway to
+// measure estimator latency).
+type Guard struct {
+	name string
+	est  estimator.Estimator
+	inj  *Injector
+
+	deadline    time.Duration
+	maxEstimate float64
+
+	sanitized uint64 // small negative estimates clamped to zero (not faults)
+}
+
+// NewGuard wraps est. inj may be nil (no fault injection).
+func NewGuard(est estimator.Estimator, cfg Config, inj *Injector) *Guard {
+	cfg = cfg.WithDefaults()
+	return &Guard{
+		name:        est.Name(),
+		est:         est,
+		inj:         inj,
+		deadline:    cfg.Deadline,
+		maxEstimate: cfg.MaxEstimate,
+	}
+}
+
+// Name returns the wrapped estimator's name.
+func (g *Guard) Name() string { return g.name }
+
+// Estimator returns the wrapped estimator.
+func (g *Guard) Estimator() estimator.Estimator { return g.est }
+
+// Sanitized returns how many estimates were silently clamped from small
+// negative values to zero (distinct from value faults).
+func (g *Guard) Sanitized() uint64 { return g.sanitized }
+
+// Insert feeds one object through the wrapped estimator, containing any
+// panic. Insert is the highest-volume call, so it deliberately does not
+// read the clock; the deadline applies to Estimate only.
+func (g *Guard) Insert(o *stream.Object) (k FaultKind) {
+	defer func() {
+		if recover() != nil {
+			k = FaultPanic
+		}
+	}()
+	if g.inj != nil {
+		switch g.inj.decide(g.name, OpInsert) {
+		case InjectPanic:
+			panic("resilience: injected insert panic")
+		}
+	}
+	g.est.Insert(o)
+	return FaultNone
+}
+
+// Estimate answers the query through the wrapped estimator, measuring the
+// call and sanitizing the result. On any fault the returned value is 0
+// and k names the fault; val is always finite and non-negative.
+func (g *Guard) Estimate(q *stream.Query) (val float64, elapsed time.Duration, k FaultKind) {
+	var inject InjectKind
+	if g.inj != nil {
+		inject = g.inj.decide(g.name, OpEstimate)
+	}
+	val, elapsed, k = g.rawEstimate(q, inject)
+	if k != FaultNone {
+		return 0, elapsed, k
+	}
+	switch inject {
+	case InjectNaN:
+		val = math.NaN()
+	case InjectGarbage:
+		// Large-magnitude negative: exercises both the sign and the
+		// magnitude arm of the sanitizer.
+		val = -4 * g.maxEstimate
+	case InjectLatency:
+		elapsed += g.deadline + time.Millisecond
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) || val > g.maxEstimate || val < -g.maxEstimate {
+		return 0, elapsed, FaultValue
+	}
+	if elapsed > g.deadline {
+		return 0, elapsed, FaultDeadline
+	}
+	if val < 0 {
+		// Small negative: a numeric wobble, not a fault — clamp.
+		g.sanitized++
+		val = 0
+	}
+	return val, elapsed, FaultNone
+}
+
+// rawEstimate is the recover boundary for Estimate: the wrapped call and
+// the injected panic both happen under this function's defer.
+func (g *Guard) rawEstimate(q *stream.Query, inject InjectKind) (val float64, elapsed time.Duration, k FaultKind) {
+	start := time.Now()
+	defer func() {
+		if recover() != nil {
+			val, elapsed, k = 0, time.Since(start), FaultPanic
+		}
+	}()
+	if inject == InjectPanic {
+		panic("resilience: injected estimate panic")
+	}
+	val = g.est.Estimate(q)
+	return val, time.Since(start), FaultNone
+}
+
+// Observe feeds ground truth through the wrapped estimator, containing
+// any panic.
+func (g *Guard) Observe(q *stream.Query, actual float64) (k FaultKind) {
+	defer func() {
+		if recover() != nil {
+			k = FaultPanic
+		}
+	}()
+	if g.inj != nil {
+		switch g.inj.decide(g.name, OpObserve) {
+		case InjectPanic:
+			panic("resilience: injected observe panic")
+		}
+	}
+	g.est.Observe(q, actual)
+	return FaultNone
+}
+
+// Reset wipes the wrapped estimator, containing any panic. A Reset panic
+// is reported so the breaker hears about it, but the caller should treat
+// the estimator as wiped either way.
+func (g *Guard) Reset() (k FaultKind) {
+	defer func() {
+		if recover() != nil {
+			k = FaultPanic
+		}
+	}()
+	g.est.Reset()
+	return FaultNone
+}
+
+// MemoryBytes reports the wrapped estimator's footprint, containing any
+// panic (0 on fault).
+func (g *Guard) MemoryBytes() (n int) {
+	defer func() {
+		if recover() != nil {
+			n = 0
+		}
+	}()
+	return g.est.MemoryBytes()
+}

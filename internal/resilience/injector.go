@@ -1,0 +1,105 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Op names a guarded estimator operation for fault-rule matching.
+type Op uint8
+
+const (
+	// OpAny matches every operation.
+	OpAny Op = iota
+	// OpInsert matches Insert calls.
+	OpInsert
+	// OpEstimate matches Estimate calls.
+	OpEstimate
+	// OpObserve matches Observe calls.
+	OpObserve
+)
+
+// InjectKind is the fault a rule injects into a guarded call.
+type InjectKind uint8
+
+const (
+	// InjectNone injects nothing.
+	InjectNone InjectKind = iota
+	// InjectPanic panics inside the guarded region.
+	InjectPanic
+	// InjectNaN replaces the estimate with NaN (Estimate only).
+	InjectNaN
+	// InjectGarbage replaces the estimate with a huge-magnitude garbage
+	// value (Estimate only).
+	InjectGarbage
+	// InjectLatency inflates the measured call duration past the
+	// configured deadline (Estimate only) without actually sleeping, so
+	// chaos tests stay fast and deterministic.
+	InjectLatency
+)
+
+// Rule matches guarded calls and injects a fault with a probability.
+type Rule struct {
+	// Estimator names the target fleet member; empty matches all.
+	Estimator string
+	// Op restricts the rule to one operation; OpAny matches all.
+	Op Op
+	// Kind is the fault to inject.
+	Kind InjectKind
+	// Probability ∈ [0,1] is the per-call injection chance; values >= 1
+	// always fire (and draw nothing from the RNG, keeping 100%-fault
+	// chaos runs bit-deterministic even across goroutine interleavings).
+	Probability float64
+}
+
+// Injector is a deterministic, seed-driven fault source shared by every
+// guard of an engine (all shards of a sharded deployment included, hence
+// the locking). It starts enabled; SetEnabled(false) turns it into a
+// no-op at runtime — the chaos suite uses exactly that to let a poisoned
+// estimator recover and prove re-admission.
+type Injector struct {
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []Rule
+}
+
+// NewInjector builds an injector from seed-driven rules.
+func NewInjector(seed int64, rules ...Rule) *Injector {
+	inj := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: append([]Rule(nil), rules...),
+	}
+	inj.enabled.Store(true)
+	return inj
+}
+
+// SetEnabled flips the injector at runtime. Safe for concurrent use.
+func (i *Injector) SetEnabled(on bool) { i.enabled.Store(on) }
+
+// Enabled reports whether the injector is live.
+func (i *Injector) Enabled() bool { return i.enabled.Load() }
+
+// decide returns the fault to inject into one guarded call, or
+// InjectNone. First matching rule wins.
+func (i *Injector) decide(estimator string, op Op) InjectKind {
+	if i == nil || !i.enabled.Load() {
+		return InjectNone
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for _, r := range i.rules {
+		if r.Estimator != "" && r.Estimator != estimator {
+			continue
+		}
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Probability >= 1 || i.rng.Float64() < r.Probability {
+			return r.Kind
+		}
+	}
+	return InjectNone
+}

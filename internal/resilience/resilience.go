@@ -1,0 +1,317 @@
+// Package resilience provides the fault-isolation layer between LATEST's
+// switching logic and its estimator fleet: a guarded estimator wrapper
+// that contains panics, sanitizes non-finite estimates and enforces a
+// per-call latency deadline; a per-estimator circuit breaker that
+// quarantines a misbehaving estimator after repeated faults and re-admits
+// it through half-open probing; and a deterministic, seed-driven fault
+// injector powering the chaos test suite.
+//
+// The premise of the paper (§V-D) is that the module can always hand a
+// query to *some* live estimator. Online learned estimators are known to
+// misbehave under drift — a panic, NaN or pathological estimate inside
+// one fleet member must never take down the engine or silently poison the
+// accuracy statistics that drive switching. This package is where that
+// containment lives; internal/core consumes it to mask quarantined
+// estimators out of switch candidates and route around a tripped active
+// estimator.
+//
+// Everything here is single-goroutine like the estimators themselves
+// (the module that owns the fleet owns the guards and breakers); only the
+// Injector is safe for concurrent use, because one injector is typically
+// shared across every shard of a sharded deployment.
+package resilience
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultKind classifies what a guarded call did wrong.
+type FaultKind uint8
+
+const (
+	// FaultNone means the call completed cleanly.
+	FaultNone FaultKind = iota
+	// FaultPanic means the call panicked and the guard recovered it.
+	FaultPanic
+	// FaultValue means the call returned NaN, ±Inf, or a garbage
+	// magnitude beyond Config.MaxEstimate.
+	FaultValue
+	// FaultDeadline means the call exceeded Config.Deadline.
+	FaultDeadline
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultValue:
+		return "value"
+	case FaultDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// Config parameterizes the guard and breaker. The zero value takes the
+// defaults below, so an un-configured module still gets fault isolation.
+type Config struct {
+	// Window is the sliding window of recent guarded calls over which
+	// faults are counted (default 64 calls).
+	Window int
+	// Threshold is the number of faults within Window that trips the
+	// breaker open (default 5).
+	Threshold int
+	// Cooldown is how many breaker ticks (one per query the owning module
+	// serves) an open breaker waits before moving to half-open and
+	// accepting probes (default 256).
+	Cooldown int
+	// ProbeSuccesses is how many consecutive clean half-open probes
+	// close the breaker again (default 3).
+	ProbeSuccesses int
+	// Deadline is the per-call latency budget for Estimate; calls that
+	// run longer count as deadline faults (default 250ms — estimators
+	// answer in microseconds, so a quarter second is pathological).
+	Deadline time.Duration
+	// MaxEstimate is the garbage cutoff: estimates whose magnitude
+	// exceeds it are value faults even though they are finite
+	// (default 1e12 — no window of stream objects approaches it).
+	MaxEstimate float64
+}
+
+const (
+	defaultWindow         = 64
+	defaultThreshold      = 5
+	defaultCooldown       = 256
+	defaultProbeSuccesses = 3
+	defaultDeadline       = 250 * time.Millisecond
+	defaultMaxEstimate    = 1e12
+)
+
+// WithDefaults fills zero fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = defaultWindow
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = defaultThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = defaultCooldown
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = defaultProbeSuccesses
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = defaultDeadline
+	}
+	if c.MaxEstimate <= 0 {
+		c.MaxEstimate = defaultMaxEstimate
+	}
+	return c
+}
+
+// Validate rejects nonsensical explicit settings (negative values that
+// WithDefaults would otherwise paper over).
+func (c Config) Validate() error {
+	if c.Window < 0 || c.Threshold < 0 || c.Cooldown < 0 || c.ProbeSuccesses < 0 {
+		return fmt.Errorf("resilience: breaker window/threshold/cooldown/probes must be non-negative, got %d/%d/%d/%d",
+			c.Window, c.Threshold, c.Cooldown, c.ProbeSuccesses)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("resilience: deadline must be non-negative, got %v", c.Deadline)
+	}
+	if c.MaxEstimate != c.MaxEstimate || c.MaxEstimate < 0 { // NaN or negative
+		return fmt.Errorf("resilience: max estimate must be a non-negative number, got %v", c.MaxEstimate)
+	}
+	return nil
+}
+
+// State is a breaker's position in the quarantine state machine.
+type State uint8
+
+const (
+	// StateClosed: the estimator is healthy and serves normally.
+	StateClosed State = iota
+	// StateOpen: the estimator is quarantined — masked out of switch
+	// candidates and never called — until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen: the cooldown elapsed; the estimator accepts probe
+	// calls but stays masked until enough probes succeed.
+	StateHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Breaker is a per-estimator circuit breaker. It is single-goroutine,
+// owned by the module that owns the estimator.
+//
+// State machine: Closed —(Threshold faults within Window calls)→ Open
+// —(Cooldown ticks)→ HalfOpen —(ProbeSuccesses clean probes)→ Closed,
+// or —(any faulty probe)→ Open again.
+type Breaker struct {
+	cfg Config
+
+	state        State
+	ring         []bool // recent call outcomes, true = fault
+	next         int
+	n            int
+	faults       int // faults among the ring's live entries
+	cooldownLeft int
+	probeOK      int
+
+	// Lifetime counters for telemetry.
+	panics       uint64
+	valueFaults  uint64
+	deadlines    uint64
+	quarantines  uint64
+	readmissions uint64
+}
+
+// NewBreaker builds a breaker with cfg (zero fields take defaults).
+func NewBreaker(cfg Config) *Breaker {
+	cfg = cfg.WithDefaults()
+	return &Breaker{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() State { return b.state }
+
+// Quarantined reports whether the estimator must be masked out of switch
+// candidates and regular serving (open or half-open).
+func (b *Breaker) Quarantined() bool { return b.state != StateClosed }
+
+// ReadyToProbe reports whether the breaker wants a probe call.
+func (b *Breaker) ReadyToProbe() bool { return b.state == StateHalfOpen }
+
+// countFault folds one lifetime fault counter.
+func (b *Breaker) countFault(k FaultKind) {
+	switch k {
+	case FaultPanic:
+		b.panics++
+	case FaultValue:
+		b.valueFaults++
+	case FaultDeadline:
+		b.deadlines++
+	}
+}
+
+// RecordCall folds one regular guarded call's outcome into the sliding
+// window. It returns true exactly when this call trips the breaker open
+// (the quarantine event), so the caller can log, trace and re-route.
+// Calls recorded while not closed are counted but cannot re-trip.
+func (b *Breaker) RecordCall(k FaultKind) (quarantined bool) {
+	fault := k != FaultNone
+	if fault {
+		b.countFault(k)
+	}
+	if b.state != StateClosed {
+		return false
+	}
+	if b.n == len(b.ring) {
+		if b.ring[b.next] {
+			b.faults--
+		}
+	} else {
+		b.n++
+	}
+	b.ring[b.next] = fault
+	if fault {
+		b.faults++
+	}
+	b.next = (b.next + 1) % len(b.ring)
+	if b.faults >= b.cfg.Threshold {
+		b.open()
+		return true
+	}
+	return false
+}
+
+// open trips the breaker and clears the fault window for the next life.
+func (b *Breaker) open() {
+	b.state = StateOpen
+	b.cooldownLeft = b.cfg.Cooldown
+	b.quarantines++
+	b.probeOK = 0
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.n, b.next, b.faults = 0, 0, 0
+}
+
+// Tick advances quarantine time by one query served by the owning module.
+// After Cooldown ticks an open breaker moves to half-open.
+func (b *Breaker) Tick() {
+	if b.state == StateOpen {
+		if b.cooldownLeft > 0 {
+			b.cooldownLeft--
+		}
+		if b.cooldownLeft == 0 {
+			b.state = StateHalfOpen
+			b.probeOK = 0
+		}
+	}
+}
+
+// RecordProbe folds one half-open probe outcome. A faulty probe re-opens
+// the breaker for another full cooldown; ProbeSuccesses consecutive clean
+// probes close it. Returns true exactly on the closing (re-admission)
+// transition, so the caller can reset+prefill and unmask the estimator.
+func (b *Breaker) RecordProbe(k FaultKind) (readmitted bool) {
+	if b.state != StateHalfOpen {
+		return false
+	}
+	if k != FaultNone {
+		b.countFault(k)
+		b.open()
+		return false
+	}
+	b.probeOK++
+	if b.probeOK >= b.cfg.ProbeSuccesses {
+		b.state = StateClosed
+		b.readmissions++
+		return true
+	}
+	return false
+}
+
+// Snapshot is a point-in-time copy of a breaker's counters for telemetry.
+type Snapshot struct {
+	State        State
+	Panics       uint64
+	ValueFaults  uint64
+	Deadlines    uint64
+	Quarantines  uint64
+	Readmissions uint64
+}
+
+// Faults returns the lifetime fault total across kinds.
+func (s Snapshot) Faults() uint64 { return s.Panics + s.ValueFaults + s.Deadlines }
+
+// Snapshot reads the breaker's counters.
+func (b *Breaker) Snapshot() Snapshot {
+	return Snapshot{
+		State:        b.state,
+		Panics:       b.panics,
+		ValueFaults:  b.valueFaults,
+		Deadlines:    b.deadlines,
+		Quarantines:  b.quarantines,
+		Readmissions: b.readmissions,
+	}
+}

@@ -1,0 +1,306 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/spatiotext/latest/internal/estimator"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// faultyEstimator is a scriptable estimator for guard tests.
+type faultyEstimator struct {
+	name        string
+	panicInsert bool
+	panicEst    bool
+	panicObs    bool
+	panicReset  bool
+	ret         float64
+	inserts     int
+	resets      int
+}
+
+func (f *faultyEstimator) Name() string { return f.name }
+func (f *faultyEstimator) Insert(o *stream.Object) {
+	if f.panicInsert {
+		panic("insert boom")
+	}
+	f.inserts++
+}
+func (f *faultyEstimator) Estimate(q *stream.Query) float64 {
+	if f.panicEst {
+		panic("estimate boom")
+	}
+	return f.ret
+}
+func (f *faultyEstimator) Observe(q *stream.Query, actual float64) {
+	if f.panicObs {
+		panic("observe boom")
+	}
+}
+func (f *faultyEstimator) Reset() {
+	if f.panicReset {
+		panic("reset boom")
+	}
+	f.resets++
+}
+func (f *faultyEstimator) MemoryBytes() int { return 42 }
+
+var _ estimator.Estimator = (*faultyEstimator)(nil)
+
+func testQuery() *stream.Query {
+	q := stream.SpatialQ(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 100)
+	return &q
+}
+
+func TestGuardRecoversPanics(t *testing.T) {
+	f := &faultyEstimator{name: "X", panicInsert: true, panicEst: true, panicObs: true, panicReset: true}
+	g := NewGuard(f, Config{}, nil)
+	if k := g.Insert(&stream.Object{}); k != FaultPanic {
+		t.Fatalf("Insert fault = %v, want panic", k)
+	}
+	val, _, k := g.Estimate(testQuery())
+	if k != FaultPanic || val != 0 {
+		t.Fatalf("Estimate = (%v, %v), want (0, panic)", val, k)
+	}
+	if k := g.Observe(testQuery(), 1); k != FaultPanic {
+		t.Fatalf("Observe fault = %v, want panic", k)
+	}
+	if k := g.Reset(); k != FaultPanic {
+		t.Fatalf("Reset fault = %v, want panic", k)
+	}
+}
+
+func TestGuardSanitizesValues(t *testing.T) {
+	f := &faultyEstimator{name: "X"}
+	g := NewGuard(f, Config{}, nil)
+
+	cases := []struct {
+		ret     float64
+		wantVal float64
+		want    FaultKind
+	}{
+		{ret: 5, wantVal: 5, want: FaultNone},
+		{ret: math.NaN(), wantVal: 0, want: FaultValue},
+		{ret: math.Inf(1), wantVal: 0, want: FaultValue},
+		{ret: math.Inf(-1), wantVal: 0, want: FaultValue},
+		{ret: 5e12, wantVal: 0, want: FaultValue},  // beyond MaxEstimate
+		{ret: -5e12, wantVal: 0, want: FaultValue}, // garbage-magnitude negative
+		{ret: -0.25, wantVal: 0, want: FaultNone},  // numeric wobble: clamped, not a fault
+	}
+	for _, tc := range cases {
+		f.ret = tc.ret
+		val, _, k := g.Estimate(testQuery())
+		if k != tc.want || val != tc.wantVal {
+			t.Errorf("Estimate with ret=%v = (%v, %v), want (%v, %v)", tc.ret, val, k, tc.wantVal, tc.want)
+		}
+	}
+	if g.Sanitized() != 1 {
+		t.Fatalf("Sanitized = %d, want 1", g.Sanitized())
+	}
+}
+
+func TestGuardPassesThroughCleanCalls(t *testing.T) {
+	f := &faultyEstimator{name: "X", ret: 7}
+	g := NewGuard(f, Config{}, nil)
+	if k := g.Insert(&stream.Object{}); k != FaultNone || f.inserts != 1 {
+		t.Fatalf("Insert = %v (inserts %d), want clean pass-through", k, f.inserts)
+	}
+	val, elapsed, k := g.Estimate(testQuery())
+	if k != FaultNone || val != 7 || elapsed < 0 {
+		t.Fatalf("Estimate = (%v, %v, %v), want (7, >=0, none)", val, elapsed, k)
+	}
+	if g.MemoryBytes() != 42 {
+		t.Fatalf("MemoryBytes = %d, want 42", g.MemoryBytes())
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := Config{Window: 8, Threshold: 3, Cooldown: 5, ProbeSuccesses: 2}
+	b := NewBreaker(cfg)
+
+	if b.State() != StateClosed || b.Quarantined() {
+		t.Fatal("new breaker should be closed")
+	}
+	// Two faults: still closed.
+	b.RecordCall(FaultPanic)
+	if q := b.RecordCall(FaultValue); q || b.State() != StateClosed {
+		t.Fatal("below threshold must stay closed")
+	}
+	// Third fault within window trips it, exactly once.
+	if q := b.RecordCall(FaultPanic); !q {
+		t.Fatal("threshold fault must report the quarantine transition")
+	}
+	if b.State() != StateOpen || !b.Quarantined() {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// Further faults while open never re-report.
+	if q := b.RecordCall(FaultPanic); q {
+		t.Fatal("open breaker must not re-report quarantine")
+	}
+	// Cooldown: 5 ticks to half-open.
+	for i := 0; i < 4; i++ {
+		b.Tick()
+		if b.State() != StateOpen {
+			t.Fatalf("tick %d: state = %v, want open", i, b.State())
+		}
+	}
+	b.Tick()
+	if b.State() != StateHalfOpen || !b.ReadyToProbe() {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	// A faulty probe re-opens.
+	if r := b.RecordProbe(FaultPanic); r || b.State() != StateOpen {
+		t.Fatal("faulty probe must re-open")
+	}
+	for i := 0; i < 5; i++ {
+		b.Tick()
+	}
+	if !b.ReadyToProbe() {
+		t.Fatal("breaker should be probing again after second cooldown")
+	}
+	// Two clean probes close it.
+	if r := b.RecordProbe(FaultNone); r {
+		t.Fatal("first clean probe must not yet re-admit")
+	}
+	if r := b.RecordProbe(FaultNone); !r || b.State() != StateClosed {
+		t.Fatal("second clean probe must re-admit")
+	}
+
+	snap := b.Snapshot()
+	if snap.Quarantines != 2 || snap.Readmissions != 1 {
+		t.Fatalf("snapshot = %+v, want 2 quarantines, 1 readmission", snap)
+	}
+	if snap.Panics != 4 || snap.ValueFaults != 1 {
+		t.Fatalf("snapshot = %+v, want 4 panics, 1 value fault", snap)
+	}
+	if snap.Faults() != 5 {
+		t.Fatalf("Faults() = %d, want 5", snap.Faults())
+	}
+}
+
+func TestBreakerSlidingWindowForgetsOldFaults(t *testing.T) {
+	b := NewBreaker(Config{Window: 4, Threshold: 3, Cooldown: 1, ProbeSuccesses: 1})
+	// Two faults, then enough clean calls to push them out of the window.
+	b.RecordCall(FaultPanic)
+	b.RecordCall(FaultPanic)
+	for i := 0; i < 4; i++ {
+		b.RecordCall(FaultNone)
+	}
+	// Two more faults: total lifetime 4, but only 2 within the window.
+	b.RecordCall(FaultPanic)
+	if q := b.RecordCall(FaultPanic); q {
+		t.Fatal("old faults outside the window must not count toward the threshold")
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestGuardDeadlineFault(t *testing.T) {
+	f := &faultyEstimator{name: "X", ret: 3}
+	g := NewGuard(f, Config{Deadline: time.Nanosecond}, nil)
+	// Any real call takes longer than 1ns.
+	val, _, k := g.Estimate(testQuery())
+	if k != FaultDeadline || val != 0 {
+		t.Fatalf("Estimate = (%v, %v), want (0, deadline)", val, k)
+	}
+}
+
+func TestInjectorRules(t *testing.T) {
+	inj := NewInjector(1,
+		Rule{Estimator: "A", Op: OpEstimate, Kind: InjectPanic, Probability: 1},
+		Rule{Estimator: "B", Op: OpAny, Kind: InjectNaN, Probability: 1},
+	)
+	if k := inj.decide("A", OpEstimate); k != InjectPanic {
+		t.Fatalf("A/Estimate = %v, want panic", k)
+	}
+	if k := inj.decide("A", OpInsert); k != InjectNone {
+		t.Fatalf("A/Insert = %v, want none (op-scoped rule)", k)
+	}
+	if k := inj.decide("B", OpObserve); k != InjectNaN {
+		t.Fatalf("B/Observe = %v, want NaN (OpAny rule)", k)
+	}
+	if k := inj.decide("C", OpEstimate); k != InjectNone {
+		t.Fatalf("C = %v, want none (no matching rule)", k)
+	}
+	inj.SetEnabled(false)
+	if k := inj.decide("A", OpEstimate); k != InjectNone {
+		t.Fatalf("disabled injector = %v, want none", k)
+	}
+	inj.SetEnabled(true)
+	if k := inj.decide("A", OpEstimate); k != InjectPanic {
+		t.Fatalf("re-enabled injector = %v, want panic", k)
+	}
+	var nilInj *Injector
+	if k := nilInj.decide("A", OpEstimate); k != InjectNone {
+		t.Fatalf("nil injector = %v, want none", k)
+	}
+}
+
+func TestInjectorProbabilityDeterministic(t *testing.T) {
+	count := func(seed int64) int {
+		inj := NewInjector(seed, Rule{Kind: InjectPanic, Probability: 0.3})
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if inj.decide("X", OpEstimate) == InjectPanic {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(7), count(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("p=0.3 fired %d/1000 times, far off expectation", a)
+	}
+}
+
+func TestGuardInjection(t *testing.T) {
+	f := &faultyEstimator{name: "X", ret: 9}
+	cases := []struct {
+		kind InjectKind
+		want FaultKind
+	}{
+		{InjectPanic, FaultPanic},
+		{InjectNaN, FaultValue},
+		{InjectGarbage, FaultValue},
+		{InjectLatency, FaultDeadline},
+	}
+	for _, tc := range cases {
+		inj := NewInjector(1, Rule{Kind: tc.kind, Probability: 1})
+		g := NewGuard(f, Config{}, inj)
+		val, _, k := g.Estimate(testQuery())
+		if k != tc.want || val != 0 {
+			t.Errorf("inject %v: Estimate = (%v, %v), want (0, %v)", tc.kind, val, k, tc.want)
+		}
+		inj.SetEnabled(false)
+		val, _, k = g.Estimate(testQuery())
+		if k != FaultNone || val != 9 {
+			t.Errorf("inject %v disabled: Estimate = (%v, %v), want (9, none)", tc.kind, val, k)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate, got %v", err)
+	}
+	bad := []Config{
+		{Window: -1},
+		{Threshold: -2},
+		{Cooldown: -1},
+		{ProbeSuccesses: -1},
+		{Deadline: -time.Second},
+		{MaxEstimate: math.NaN()},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+// EstimatorHealth is one fleet member's fault-isolation status as exposed
+// by /statusz and /metrics. The resilience layer produces it (via core);
+// this package only carries and renders it, keeping telemetry free of a
+// resilience dependency.
+type EstimatorHealth struct {
+	Estimator    string `json:"estimator"`
+	State        string `json:"state"` // closed | open | half-open
+	Panics       uint64 `json:"panics,omitempty"`
+	ValueFaults  uint64 `json:"value_faults,omitempty"`
+	Deadlines    uint64 `json:"deadlines,omitempty"`
+	Quarantines  uint64 `json:"quarantines,omitempty"`
+	Readmissions uint64 `json:"readmissions,omitempty"`
+	Sanitized    uint64 `json:"sanitized,omitempty"`
+}
+
+// Faults is the lifetime fault total across kinds.
+func (h EstimatorHealth) Faults() uint64 { return h.Panics + h.ValueFaults + h.Deadlines }
+
+// ResilienceStats aggregates the fault-isolation layer's counters for one
+// module (or, after merging, one whole sharded engine).
+type ResilienceStats struct {
+	// Estimators holds per-estimator breaker/guard health in fleet order.
+	Estimators []EstimatorHealth `json:"estimators,omitempty"`
+	// FallbackRunnerUp counts queries answered by the warming runner-up
+	// because the active estimator faulted.
+	FallbackRunnerUp uint64 `json:"fallback_runner_up,omitempty"`
+	// FallbackOracle counts queries answered exactly from the window store.
+	FallbackOracle uint64 `json:"fallback_oracle,omitempty"`
+	// FallbackZero counts queries where no fallback was available and zero
+	// was served (still finite, never NaN).
+	FallbackZero uint64 `json:"fallback_zero,omitempty"`
+}
+
+// Faults sums lifetime faults across the fleet.
+func (r ResilienceStats) Faults() uint64 {
+	var n uint64
+	for _, h := range r.Estimators {
+		n += h.Faults()
+	}
+	return n
+}
+
+// Quarantined counts estimators currently not closed (open or half-open).
+func (r ResilienceStats) Quarantined() int {
+	n := 0
+	for _, h := range r.Estimators {
+		if h.State != "closed" && h.State != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Fallbacks sums the fallback counters across modes.
+func (r ResilienceStats) Fallbacks() uint64 {
+	return r.FallbackRunnerUp + r.FallbackOracle + r.FallbackZero
+}
+
+// stateRank orders breaker states by severity for cross-shard merging.
+func stateRank(s string) int {
+	switch s {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MergeResilience folds per-shard resilience stats into one fleet view:
+// counters sum; a merged estimator's state is the worst across shards, so a
+// single quarantined shard surfaces on the engine-level status page.
+func MergeResilience(parts []ResilienceStats) ResilienceStats {
+	var out ResilienceStats
+	index := map[string]int{}
+	for _, p := range parts {
+		out.FallbackRunnerUp += p.FallbackRunnerUp
+		out.FallbackOracle += p.FallbackOracle
+		out.FallbackZero += p.FallbackZero
+		for _, h := range p.Estimators {
+			i, seen := index[h.Estimator]
+			if !seen {
+				index[h.Estimator] = len(out.Estimators)
+				out.Estimators = append(out.Estimators, h)
+				continue
+			}
+			m := &out.Estimators[i]
+			m.Panics += h.Panics
+			m.ValueFaults += h.ValueFaults
+			m.Deadlines += h.Deadlines
+			m.Quarantines += h.Quarantines
+			m.Readmissions += h.Readmissions
+			m.Sanitized += h.Sanitized
+			if stateRank(h.State) > stateRank(m.State) {
+				m.State = h.State
+			}
+		}
+	}
+	return out
+}

@@ -31,6 +31,17 @@ type ShardSample struct {
 	Occupancy      int    `json:"occupancy"`
 	Switches       int    `json:"switches"`
 
+	// ValidationRejected counts inputs the validation policy refused,
+	// ValidationClamped inputs it repaired in place, and PrefillQueueFull
+	// deferred pre-fills that hit a full queue (backpressure events).
+	ValidationRejected uint64 `json:"validation_rejected,omitempty"`
+	ValidationClamped  uint64 `json:"validation_clamped,omitempty"`
+	PrefillQueueFull   uint64 `json:"prefill_queue_full,omitempty"`
+
+	// Resilience is the shard's fault-isolation health: per-estimator
+	// breaker states and fault counters plus fallback-answer counts.
+	Resilience ResilienceStats `json:"resilience,omitempty"`
+
 	AccuracyAvg float64 `json:"accuracy_avg"`
 	MemoryBytes int     `json:"memory_bytes"`
 
@@ -61,6 +72,10 @@ type Snapshot struct {
 	Shards    []ShardSample  `json:"shards"`
 	Decisions []Decision     `json:"decisions"`
 	QError    []QErrorSample `json:"qerror"`
+
+	// Resilience is the engine-level fault-isolation view: per-shard stats
+	// merged (counters summed, estimator state = worst across shards).
+	Resilience ResilienceStats `json:"resilience,omitempty"`
 }
 
 // Server publishes telemetry over HTTP using only the standard library:
@@ -281,6 +296,60 @@ func WriteProm(w interface{ Write([]byte) (int, error) }, snap Snapshot) {
 		if qe.Samples > 0 {
 			sample("latest_qerror", `estimator="`+qe.Estimator+`"`, qe.QError)
 		}
+	}
+
+	counter("latest_validation_total", "Inputs handled by the validation policy per shard, by outcome.")
+	for _, sh := range snap.Shards {
+		sample("latest_validation_total", shardLabel(sh.Index)+`,outcome="rejected"`, float64(sh.ValidationRejected))
+		sample("latest_validation_total", shardLabel(sh.Index)+`,outcome="clamped"`, float64(sh.ValidationClamped))
+	}
+	counter("latest_prefill_queue_full_total", "Deferred pre-fills that found the queue full and replayed inline, per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_prefill_queue_full_total", shardLabel(sh.Index), float64(sh.PrefillQueueFull))
+	}
+	counter("latest_faults_total", "Estimator faults contained by the guard, per shard, estimator and kind.")
+	for _, sh := range snap.Shards {
+		for _, h := range sh.Resilience.Estimators {
+			est := `,estimator="` + h.Estimator + `"`
+			sample("latest_faults_total", shardLabel(sh.Index)+est+`,kind="panic"`, float64(h.Panics))
+			sample("latest_faults_total", shardLabel(sh.Index)+est+`,kind="value"`, float64(h.ValueFaults))
+			sample("latest_faults_total", shardLabel(sh.Index)+est+`,kind="deadline"`, float64(h.Deadlines))
+		}
+	}
+	gauge("latest_quarantine_state", "Circuit-breaker state per shard and estimator: 0 closed, 1 half-open, 2 open.")
+	for _, sh := range snap.Shards {
+		for _, h := range sh.Resilience.Estimators {
+			sample("latest_quarantine_state",
+				shardLabel(sh.Index)+`,estimator="`+h.Estimator+`"`, float64(stateRank(h.State)))
+		}
+	}
+	counter("latest_quarantines_total", "Breaker trips per shard and estimator.")
+	for _, sh := range snap.Shards {
+		for _, h := range sh.Resilience.Estimators {
+			sample("latest_quarantines_total",
+				shardLabel(sh.Index)+`,estimator="`+h.Estimator+`"`, float64(h.Quarantines))
+		}
+	}
+	counter("latest_readmissions_total", "Probation re-admissions per shard and estimator.")
+	for _, sh := range snap.Shards {
+		for _, h := range sh.Resilience.Estimators {
+			sample("latest_readmissions_total",
+				shardLabel(sh.Index)+`,estimator="`+h.Estimator+`"`, float64(h.Readmissions))
+		}
+	}
+	counter("latest_sanitized_total", "Estimates repaired in place by the guard (small negatives clamped), per shard and estimator.")
+	for _, sh := range snap.Shards {
+		for _, h := range sh.Resilience.Estimators {
+			sample("latest_sanitized_total",
+				shardLabel(sh.Index)+`,estimator="`+h.Estimator+`"`, float64(h.Sanitized))
+		}
+	}
+	counter("latest_fallbacks_total", "Queries served by a fallback because the active estimate faulted, per shard and mode.")
+	for _, sh := range snap.Shards {
+		r := sh.Resilience
+		sample("latest_fallbacks_total", shardLabel(sh.Index)+`,mode="runner_up"`, float64(r.FallbackRunnerUp))
+		sample("latest_fallbacks_total", shardLabel(sh.Index)+`,mode="oracle"`, float64(r.FallbackOracle))
+		sample("latest_fallbacks_total", shardLabel(sh.Index)+`,mode="zero"`, float64(r.FallbackZero))
 	}
 
 	promHistogram(&b, "latest_feed_latency_seconds",

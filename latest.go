@@ -43,6 +43,7 @@ package latest
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"github.com/spatiotext/latest/internal/core"
@@ -222,6 +223,19 @@ type Config struct {
 	// TraceDepth sizes the per-module switch-decision audit ring (zero
 	// keeps the default of 64).
 	TraceDepth int
+	// Validation selects the input-hardening policy applied to inbound
+	// objects and queries (default ValidationClamp).
+	Validation ValidationPolicy
+	// Breaker tunes the per-estimator quarantine circuit breaker; zero
+	// fields keep the package defaults.
+	Breaker BreakerConfig
+	// FaultInjector, when non-nil, deterministically injects estimator
+	// faults for chaos testing. Nil (the default) injects nothing.
+	FaultInjector *FaultInjector
+	// PrefillQueueDepth bounds each shard's deferred pre-fill queue
+	// (zero = 4). A full queue falls back to an inline replay, counted in
+	// the PrefillQueueFull gauge. New and NewConcurrent ignore it.
+	PrefillQueueDepth int
 }
 
 // System bundles a LATEST module with the exact window store that plays
@@ -232,6 +246,18 @@ type Config struct {
 type System struct {
 	module *core.Module
 	window *stream.Window
+	world  Rect
+	policy ValidationPolicy
+
+	// lastTS is the stream's timestamp high-water mark; under
+	// ValidationClamp a regressed arrival is clamped to it instead of
+	// violating the window store's ordering invariant.
+	lastTS int64
+
+	// pendingRejected marks that the last Estimate refused its query, so
+	// the paired Execute/ObserveActual must not feed the module a truth
+	// value it never produced an estimate for.
+	pendingRejected bool
 
 	// scratch keeps single-object Feed allocation-free: the object is
 	// staged here so the pointer handed to the module points into the
@@ -242,7 +268,10 @@ type System struct {
 	// gauges are the engine's operational counters and latency histograms:
 	// atomic, allocation-free, safe to snapshot while traffic flows.
 	// Single-object feeds are timed one in metrics.FeedSampleInterval.
-	gauges metrics.ShardGauges
+	// A pointer so a ShardedSystem can point every shard's System at the
+	// shard's own gauge set — validation events detected inside feedPtr
+	// then land in the gauges the sharded Stats actually reads.
+	gauges *metrics.ShardGauges
 	log    *telemetry.Logger
 }
 
@@ -251,6 +280,16 @@ type System struct {
 // (WithAlpha, WithTau, ...); zero options take the paper's defaults.
 func New(world Rect, window time.Duration, opts ...Option) (*System, error) {
 	return NewFromConfig(buildConfig(world, window, opts))
+}
+
+// MustNew is New but panics on error — for tests, examples and programs
+// whose configuration is static.
+func MustNew(world Rect, window time.Duration, opts ...Option) *System {
+	s, err := New(world, window, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // NewFromConfig builds a System from a Config struct.
@@ -281,11 +320,8 @@ func syncRefill(w *stream.Window, e estimator.Estimator) {
 // prefillMode annotates switch-decision traces ("inline" or "async") and
 // component names the logger ("system", "concurrent", "shard-3", ...).
 func newSystem(cfg Config, refill refillFunc, prefillMode, component string) (*System, error) {
-	if cfg.Window <= 0 {
-		return nil, fmt.Errorf("latest: Window must be positive, got %v", cfg.Window)
-	}
-	if cfg.World.Empty() || !cfg.World.Valid() {
-		return nil, fmt.Errorf("latest: World must be a valid non-empty rectangle, got %v", cfg.World)
+	if err := validateOptions(&cfg); err != nil {
+		return nil, err
 	}
 	cells := cfg.OracleGridCells
 	if cells == 0 {
@@ -316,6 +352,14 @@ func newSystem(cfg Config, refill refillFunc, prefillMode, component string) (*S
 		Logger:            log,
 		TraceDepth:        cfg.TraceDepth,
 		PrefillMode:       prefillMode,
+		Resilience:        cfg.Breaker,
+		Injector:          cfg.FaultInjector,
+		// The exact window store doubles as the last-resort fallback when
+		// every estimator is quarantined: slower than any summary, but
+		// always correct and always available.
+		Oracle: func(q *stream.Query) float64 {
+			return float64(w.Answer(q))
+		},
 		Refill: func(e estimator.Estimator) {
 			refill(w, e)
 		},
@@ -323,18 +367,95 @@ func newSystem(cfg Config, refill refillFunc, prefillMode, component string) (*S
 	if err != nil {
 		return nil, err
 	}
-	return &System{module: m, window: w, log: log}, nil
+	return &System{
+		module: m,
+		window: w,
+		world:  cfg.World,
+		policy: cfg.Validation,
+		gauges: new(metrics.ShardGauges),
+		log:    log,
+	}, nil
+}
+
+// validateOptions rejects option values that would previously surface as a
+// panic inside an internal constructor (grid sizing, slicer spans, EWMA
+// alphas, trace rings), turning each into a descriptive error at the API
+// boundary. Bounds the core layer already enforces with errors (Tau, Beta,
+// Alpha ranges, fleet membership) are left to it.
+func validateOptions(cfg *Config) error {
+	if cfg.Window <= 0 {
+		return fmt.Errorf("latest: Window must be positive, got %v", cfg.Window)
+	}
+	if cfg.Window.Milliseconds() <= 0 {
+		return fmt.Errorf("latest: Window must be at least 1ms, got %v (the window store and estimator slicers run on millisecond virtual time)", cfg.Window)
+	}
+	if cfg.World.Empty() || !cfg.World.Valid() {
+		return fmt.Errorf("latest: World must be a valid non-empty rectangle, got %v", cfg.World)
+	}
+	if !cfg.Validation.valid() {
+		return fmt.Errorf("latest: unknown validation policy %d (use ValidationClamp, ValidationStrict or ValidationDrop)", int(cfg.Validation))
+	}
+	if cfg.OracleGridCells < 0 {
+		return fmt.Errorf("latest: OracleGridCells must be non-negative, got %d", cfg.OracleGridCells)
+	}
+	if cfg.OracleGridCells > 0 {
+		side := int(math.Sqrt(float64(cfg.OracleGridCells)))
+		if side*side != cfg.OracleGridCells {
+			return fmt.Errorf("latest: OracleGridCells must be a perfect square (the exact store uses a square grid), got %d", cfg.OracleGridCells)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"AccWindow", cfg.AccWindow},
+		{"PretrainQueries", cfg.PretrainQueries},
+		{"CooldownQueries", cfg.CooldownQueries},
+		{"TraceDepth", cfg.TraceDepth},
+		{"PrefillQueueDepth", cfg.PrefillQueueDepth},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("latest: %s must be non-negative, got %d", f.name, f.v)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Alpha", cfg.Alpha},
+		{"Tau", cfg.Tau},
+		{"Beta", cfg.Beta},
+		{"MemoryScale", cfg.MemoryScale},
+		{"OpportunityMargin", cfg.OpportunityMargin},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("latest: %s must be finite, got %v", f.name, f.v)
+		}
+	}
+	if cfg.MemoryScale < 0 {
+		return fmt.Errorf("latest: MemoryScale must be non-negative, got %v", cfg.MemoryScale)
+	}
+	return nil
 }
 
 // feedPtr is the allocation-free ingest path shared by Feed, FeedBatch and
-// the concurrent wrappers. The pointee is only read during the call;
+// the concurrent wrappers. The object is validated under the configured
+// policy first — non-finite coordinates are rejected, regressed timestamps
+// clamped (ValidationClamp) or rejected — and a ValidationClamp repair
+// mutates the pointee. Otherwise the pointee is only read during the call;
 // estimators copy what they keep.
 func (s *System) feedPtr(o *Object) {
+	if !checkObject(o, s.lastTS, s.policy, s.gauges, s.log) {
+		return
+	}
+	s.lastTS = o.Timestamp
 	s.window.Insert(*o)
 	s.module.Insert(o)
 }
 
-// Feed ingests one stream object. Timestamps must be non-decreasing.
+// Feed ingests one stream object. Timestamps should be non-decreasing; a
+// regressed arrival is clamped to the high-water mark under the default
+// ValidationClamp policy (see WithValidation for the alternatives).
 // One in metrics.FeedSampleInterval calls is timed into the ingest latency
 // histogram; the rest pay a single atomic increment.
 func (s *System) Feed(o Object) {
@@ -367,20 +488,45 @@ func (s *System) FeedBatch(objs []Object) {
 
 // Estimate answers the query approximately through the active estimator.
 // Follow it with Execute or ObserveActual to close the feedback loop.
-func (s *System) Estimate(q *Query) float64 { return s.module.Estimate(q) }
+//
+// The query is validated first: under the default ValidationClamp policy an
+// inverted rectangle is repaired in place (so the paired Execute sees the
+// repaired query); a query the policy rejects returns 0 and the paired
+// Execute/ObserveActual becomes a no-op rather than feeding the model a
+// truth value it never estimated.
+func (s *System) Estimate(q *Query) float64 {
+	if !checkQuery(q, s.policy, s.world, s.gauges, s.log) {
+		s.pendingRejected = true
+		return 0
+	}
+	s.pendingRejected = false
+	return s.module.Estimate(q)
+}
 
 // Execute runs the query exactly against the window store, feeds the true
 // selectivity back to the learning model, and returns the exact count. Call
-// it after Estimate for the same query.
+// it after Estimate for the same query. When that Estimate rejected the
+// query, Execute returns 0 without touching the store or the model.
 func (s *System) Execute(q *Query) int {
+	if s.pendingRejected {
+		s.pendingRejected = false
+		return 0
+	}
 	actual := s.window.Answer(q)
 	s.module.Observe(float64(actual))
 	return actual
 }
 
 // ObserveActual closes the feedback loop with a truth value obtained from
-// an external execution engine.
-func (s *System) ObserveActual(actual float64) { s.module.Observe(actual) }
+// an external execution engine. A no-op when the paired Estimate rejected
+// its query.
+func (s *System) ObserveActual(actual float64) {
+	if s.pendingRejected {
+		s.pendingRejected = false
+		return
+	}
+	s.module.Observe(actual)
+}
 
 // estimateAndExecute is the untimed estimate+execute cycle. ShardedSystem
 // calls it so shard queries are timed once, into the shard's own gauges.
@@ -441,3 +587,8 @@ func (s *System) Gauges() GaugeSnapshot { return s.gauges.Snapshot() }
 
 // Decisions returns the recent switch-decision audit records, oldest first.
 func (s *System) Decisions() []Decision { return s.module.Decisions() }
+
+// QuarantinedEstimators returns the names of estimators currently held in
+// quarantine by their circuit breakers, in fleet order (empty when the
+// whole fleet is healthy).
+func (s *System) QuarantinedEstimators() []string { return s.module.QuarantinedNames() }

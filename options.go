@@ -144,6 +144,38 @@ func WithTraceDepth(n int) Option {
 	return func(c *Config) { c.TraceDepth = n }
 }
 
+// WithValidation selects the input-hardening policy applied to inbound
+// objects (Feed/FeedBatch) and queries (the estimate entry points):
+// ValidationClamp (the default) repairs what is repairable and rejects the
+// rest, ValidationStrict rejects every non-conforming input, ValidationDrop
+// rejects silently. Rejections and repairs are counted in the
+// ValidationRejected / ValidationClamped gauges.
+func WithValidation(p ValidationPolicy) Option {
+	return func(c *Config) { c.Validation = p }
+}
+
+// WithBreaker tunes the per-estimator quarantine circuit breaker (fault
+// window, trip threshold, cooldown, probe count, per-call deadline,
+// estimate sanity ceiling). Zero fields keep the package defaults.
+func WithBreaker(b BreakerConfig) Option {
+	return func(c *Config) { c.Breaker = b }
+}
+
+// WithFaultInjector installs a deterministic fault injector on every
+// estimator guard — the chaos-testing hook. Injected faults flow through
+// the same recovery, sanitization and quarantine machinery as real ones.
+func WithFaultInjector(inj *FaultInjector) Option {
+	return func(c *Config) { c.FaultInjector = inj }
+}
+
+// WithPrefillQueueDepth bounds each shard's deferred pre-fill queue
+// (default 4). When a switch storm fills the queue, the replay runs inline
+// on the query path instead — counted in the PrefillQueueFull gauge. New
+// and NewConcurrent ignore it.
+func WithPrefillQueueDepth(n int) Option {
+	return func(c *Config) { c.PrefillQueueDepth = n }
+}
+
 // buildConfig folds options into a Config carrying the world and window.
 func buildConfig(world Rect, window time.Duration, opts []Option) Config {
 	cfg := Config{World: world, Window: window}

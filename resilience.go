@@ -1,0 +1,72 @@
+package latest
+
+import (
+	"github.com/spatiotext/latest/internal/resilience"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+// resilience.go re-exports the fault-isolation surface: the circuit-breaker
+// tuning knobs, the deterministic fault injector that powers chaos tests,
+// and the health snapshot types Stats carries.
+//
+// Every estimator call (Insert, Estimate, Observe, Reset) runs behind a
+// guard that recovers panics, sanitizes non-finite or absurd estimates and
+// enforces a per-call deadline. Faults feed a per-estimator circuit
+// breaker: enough faults in a sliding window of calls quarantines the
+// estimator — it is masked out of switch candidates and training labels,
+// and if it was the active estimator, the engine promotes the warming
+// runner-up (or the model's next recommendation), falling back to the
+// exact window store while nobody is available. After a cooldown the
+// breaker goes half-open and probes the estimator with live queries (the
+// probe results are never served); enough consecutive clean probes
+// re-admit it with a fresh reset-and-prefill.
+
+type (
+	// BreakerConfig tunes the per-estimator quarantine circuit breaker
+	// (sliding fault window, trip threshold, cooldown, probe count,
+	// per-call deadline, estimate sanity ceiling). The zero value takes
+	// the package defaults; pass it to WithBreaker.
+	BreakerConfig = resilience.Config
+	// FaultInjector deterministically injects estimator faults for chaos
+	// testing; build one with NewFaultInjector and pass it to
+	// WithFaultInjector. SetEnabled(false) stops all injection at runtime.
+	FaultInjector = resilience.Injector
+	// FaultRule is one injection rule: which estimator, which operation,
+	// what fault, with what probability.
+	FaultRule = resilience.Rule
+	// FaultOp scopes a FaultRule to an estimator operation.
+	FaultOp = resilience.Op
+	// InjectKind is the fault a FaultRule injects.
+	InjectKind = resilience.InjectKind
+	// ResilienceStats is the fault-isolation layer's health snapshot,
+	// carried by Stats.Resilience: per-estimator health plus fallback
+	// counters.
+	ResilienceStats = telemetry.ResilienceStats
+	// EstimatorHealth is one estimator's breaker state and fault counters.
+	EstimatorHealth = telemetry.EstimatorHealth
+)
+
+// Operations a FaultRule can scope to.
+const (
+	OpAny      = resilience.OpAny
+	OpInsert   = resilience.OpInsert
+	OpEstimate = resilience.OpEstimate
+	OpObserve  = resilience.OpObserve
+)
+
+// Faults a FaultRule can inject: a panic inside the estimator call, a NaN
+// estimate, a garbage (absurdly out-of-range) estimate, or added latency
+// past the guard deadline.
+const (
+	InjectPanic   = resilience.InjectPanic
+	InjectNaN     = resilience.InjectNaN
+	InjectGarbage = resilience.InjectGarbage
+	InjectLatency = resilience.InjectLatency
+)
+
+// NewFaultInjector builds a deterministic fault injector: rules are matched
+// first-match-wins, probabilistic rules draw from a private RNG seeded with
+// seed. The injector starts enabled.
+func NewFaultInjector(seed int64, rules ...FaultRule) *FaultInjector {
+	return resilience.NewInjector(seed, rules...)
+}

@@ -48,6 +48,7 @@ type ShardedSystem struct {
 	shards []*shard
 
 	syncPrefill bool
+	policy      ValidationPolicy
 
 	telem *telemetry.Server
 
@@ -96,6 +97,16 @@ func NewSharded(world Rect, window time.Duration, opts ...Option) (*ShardedSyste
 	return NewShardedFromConfig(buildConfig(world, window, opts))
 }
 
+// MustNewSharded is NewSharded but panics on error — for tests, examples
+// and programs whose configuration is static.
+func MustNewSharded(world Rect, window time.Duration, opts ...Option) *ShardedSystem {
+	s, err := NewSharded(world, window, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // NewShardedFromConfig builds a ShardedSystem from a Config struct.
 //
 // Deprecated: use NewSharded with functional options.
@@ -119,6 +130,11 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 		ys:          partitionEdges(cfg.World.MinY, cfg.World.MaxY, rows),
 		shards:      make([]*shard, n),
 		syncPrefill: cfg.SyncPrefill,
+		policy:      cfg.Validation,
+	}
+	queueDepth := cfg.PrefillQueueDepth
+	if queueDepth == 0 {
+		queueDepth = 4
 	}
 	baseLog := telemetry.NewLogger(cfg.LogOutput, cfg.LogLevel)
 	for i := range s.shards {
@@ -142,13 +158,14 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 				sh.gauges.RecordPrefill(false)
 			}
 		} else {
-			sh.refillCh = make(chan refillTask, 4)
+			sh.refillCh = make(chan refillTask, queueDepth)
 			refill = func(w *stream.Window, e estimator.Estimator) {
 				select {
 				case sh.refillCh <- refillTask{est: e, boundary: w.NextSeq()}:
 				default:
 					// Worker backlog (switch storm): pay the replay inline
 					// rather than block while holding the shard lock.
+					sh.gauges.RecordPrefillQueueFull()
 					sh.log.Warn("prefill queue full, replaying inline",
 						"estimator", e.Name(), "window", w.Size())
 					syncRefill(w, e)
@@ -160,6 +177,10 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Point the shard's System at the shard's gauge set, so validation
+		// events detected inside the shared ingest/query paths land in the
+		// gauges the sharded Stats reads.
+		sys.gauges = &sh.gauges
 		sh.sys = sys
 		s.shards[i] = sh
 		if sh.refillCh != nil {
@@ -283,15 +304,17 @@ func edgeIndex(edges []float64, v float64) int {
 	return i
 }
 
-// feedLocked ingests one object into sh, clamping regressed timestamps.
-// Caller holds sh.mu.
+// feedLocked ingests one object into sh, clamping regressed timestamps
+// under the default ValidationClamp policy (counted in the Reordered
+// gauge; under stricter policies the System-level validation rejects the
+// arrival instead). Caller holds sh.mu.
 func (sh *shard) feedLocked(o *Object) {
-	if o.Timestamp < sh.lastTS {
+	if o.Timestamp < sh.lastTS && sh.sys.policy == ValidationClamp {
 		sh.scratch = *o
 		sh.scratch.Timestamp = sh.lastTS
 		o = &sh.scratch
 		sh.gauges.RecordReordered()
-	} else {
+	} else if o.Timestamp > sh.lastTS {
 		sh.lastTS = o.Timestamp
 	}
 	sh.sys.feedPtr(o)
@@ -386,6 +409,12 @@ func (s *ShardedSystem) targets(q *Query) []*shard {
 // shard (range outside the world) returns (0, 0) without consulting any
 // module.
 func (s *ShardedSystem) EstimateAndExecute(q *Query) (estimate float64, actual int) {
+	// Validate (and under ValidationClamp, repair) the query before shard
+	// routing: a NaN or inverted rectangle would otherwise silently match
+	// no shard. Engine-level rejects are counted in shard 0's gauges.
+	if !checkQuery(q, s.policy, s.world, &s.shards[0].gauges, s.shards[0].log) {
+		return 0, 0
+	}
 	targets := s.targets(q)
 	switch len(targets) {
 	case 0:

@@ -14,23 +14,27 @@ import (
 // a telemetry.ShardSample. A monolithic engine reports itself as shard 0.
 func shardSample(index int, st Stats, g metrics.GaugeSnapshot) telemetry.ShardSample {
 	return telemetry.ShardSample{
-		Index:          index,
-		Active:         st.Active,
-		Phase:          st.Phase.String(),
-		Feeds:          g.Feeds,
-		Batches:        g.Batches,
-		Queries:        g.Queries,
-		Reordered:      g.Reordered,
-		PrefillsAsync:  g.PrefillsAsync,
-		PrefillsInline: g.PrefillsInline,
-		Occupancy:      g.Occupancy,
-		Switches:       st.Switches,
-		AccuracyAvg:    st.AccuracyAvg,
-		MemoryBytes:    st.MemoryBytes,
-		Feed:           g.FeedLatency,
-		Batch:          g.BatchLatency,
-		Query:          g.QueryLatency,
-		Estimate:       st.EstimateLatency,
+		Index:              index,
+		Active:             st.Active,
+		Phase:              st.Phase.String(),
+		Feeds:              g.Feeds,
+		Batches:            g.Batches,
+		Queries:            g.Queries,
+		Reordered:          g.Reordered,
+		PrefillsAsync:      g.PrefillsAsync,
+		PrefillsInline:     g.PrefillsInline,
+		Occupancy:          g.Occupancy,
+		Switches:           st.Switches,
+		ValidationRejected: g.ValidationRejected,
+		ValidationClamped:  g.ValidationClamped,
+		PrefillQueueFull:   g.PrefillQueueFull,
+		Resilience:         st.Resilience,
+		AccuracyAvg:        st.AccuracyAvg,
+		MemoryBytes:        st.MemoryBytes,
+		Feed:               g.FeedLatency,
+		Batch:              g.BatchLatency,
+		Query:              g.QueryLatency,
+		Estimate:           st.EstimateLatency,
 	}
 }
 
@@ -53,6 +57,7 @@ func (c *ConcurrentSystem) telemetrySnapshot() telemetry.Snapshot {
 		Shards:      []telemetry.ShardSample{shardSample(0, st, c.sys.gauges.Snapshot())},
 		Decisions:   st.Decisions,
 		QError:      st.QError,
+		Resilience:  st.Resilience,
 	}
 }
 
@@ -70,6 +75,7 @@ func (s *ShardedSystem) telemetrySnapshot() telemetry.Snapshot {
 		Shards:      make([]telemetry.ShardSample, len(st.Shards)),
 		Decisions:   st.Merged.Decisions,
 		QError:      st.Merged.QError,
+		Resilience:  st.Merged.Resilience,
 	}
 	for i, sh := range st.Shards {
 		snap.Shards[i] = shardSample(sh.Index, sh.Core, sh.Gauges)

@@ -1,0 +1,276 @@
+package latest
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validation_test.go pins the input-hardening layer: NaN/Inf coordinates,
+// inverted and out-of-world rectangles, and timestamp regressions must
+// never panic an engine, and each policy's repair/reject split must be
+// visible in the validation gauges.
+
+func validationSystem(t *testing.T, policy ValidationPolicy) *System {
+	t.Helper()
+	sys, err := New(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+		WithSeed(1), WithPretrainQueries(50), WithAccWindow(40),
+		WithValidation(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestValidationRejectsNonFiniteObjects(t *testing.T) {
+	for _, policy := range []ValidationPolicy{ValidationClamp, ValidationStrict, ValidationDrop} {
+		t.Run(policy.String(), func(t *testing.T) {
+			sys := validationSystem(t, policy)
+			for _, loc := range []Point{
+				Pt(math.NaN(), 0.5),
+				Pt(0.5, math.NaN()),
+				Pt(math.Inf(1), 0.5),
+				Pt(0.5, math.Inf(-1)),
+			} {
+				sys.Feed(Object{ID: 1, Loc: loc, Keywords: []string{"a"}, Timestamp: 10})
+			}
+			if n := sys.WindowSize(); n != 0 {
+				t.Errorf("%d non-finite objects ingested", n)
+			}
+			if got := sys.Gauges().ValidationRejected; got != 4 {
+				t.Errorf("ValidationRejected = %d, want 4", got)
+			}
+		})
+	}
+}
+
+func TestValidationTimestampRegression(t *testing.T) {
+	// Clamp: the regressed arrival is pulled forward and kept.
+	sys := validationSystem(t, ValidationClamp)
+	sys.Feed(Object{ID: 1, Loc: Pt(0.5, 0.5), Keywords: []string{"a"}, Timestamp: 100})
+	sys.Feed(Object{ID: 2, Loc: Pt(0.4, 0.4), Keywords: []string{"a"}, Timestamp: 50})
+	if n := sys.WindowSize(); n != 2 {
+		t.Errorf("clamp kept %d objects, want 2", n)
+	}
+	if g := sys.Gauges(); g.ValidationClamped != 1 {
+		t.Errorf("ValidationClamped = %d, want 1", g.ValidationClamped)
+	}
+
+	// Strict: the regressed arrival is refused.
+	strict := validationSystem(t, ValidationStrict)
+	strict.Feed(Object{ID: 1, Loc: Pt(0.5, 0.5), Keywords: []string{"a"}, Timestamp: 100})
+	strict.Feed(Object{ID: 2, Loc: Pt(0.4, 0.4), Keywords: []string{"a"}, Timestamp: 50})
+	if n := strict.WindowSize(); n != 1 {
+		t.Errorf("strict kept %d objects, want 1", n)
+	}
+	if g := strict.Gauges(); g.ValidationRejected != 1 {
+		t.Errorf("ValidationRejected = %d, want 1", g.ValidationRejected)
+	}
+}
+
+func TestValidationQueryPolicies(t *testing.T) {
+	feedSome := func(sys *System) int64 {
+		rng := rand.New(rand.NewSource(2))
+		var ts int64
+		for i := 0; i < 500; i++ {
+			ts++
+			sys.Feed(Object{ID: uint64(ts), Loc: Pt(rng.Float64(), rng.Float64()),
+				Keywords: []string{"kw"}, Timestamp: ts})
+		}
+		return ts
+	}
+
+	t.Run("clamp repairs inverted rect in place", func(t *testing.T) {
+		sys := validationSystem(t, ValidationClamp)
+		ts := feedSome(sys)
+		inverted := Query{Range: Rect{MinX: 0.8, MinY: 0.7, MaxX: 0.2, MaxY: 0.1}, HasRange: true, Timestamp: ts}
+		est := sys.Estimate(&inverted)
+		if math.IsNaN(est) || est < 0 {
+			t.Fatalf("estimate on repaired query = %v", est)
+		}
+		if inverted.Range.MinX > inverted.Range.MaxX || inverted.Range.MinY > inverted.Range.MaxY {
+			t.Errorf("rect not repaired in place: %v", inverted.Range)
+		}
+		actual := sys.Execute(&inverted)
+		canonical := SpatialQuery(Rect{MinX: 0.2, MinY: 0.1, MaxX: 0.8, MaxY: 0.7}, ts)
+		if want := sys.window.Answer(&canonical); actual != want {
+			t.Errorf("repaired exact count %d != canonical %d", actual, want)
+		}
+		if g := sys.Gauges(); g.ValidationClamped != 1 {
+			t.Errorf("ValidationClamped = %d, want 1", g.ValidationClamped)
+		}
+	})
+
+	t.Run("strict rejects inverted and out-of-world rects", func(t *testing.T) {
+		sys := validationSystem(t, ValidationStrict)
+		ts := feedSome(sys)
+		before := sys.Stats().PretrainSeen
+		inverted := Query{Range: Rect{MinX: 0.8, MinY: 0.7, MaxX: 0.2, MaxY: 0.1}, HasRange: true, Timestamp: ts}
+		if est, actual := sys.EstimateAndExecute(&inverted); est != 0 || actual != 0 {
+			t.Errorf("rejected query answered (%v, %d)", est, actual)
+		}
+		outside := SpatialQuery(Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}, ts)
+		if est, actual := sys.EstimateAndExecute(&outside); est != 0 || actual != 0 {
+			t.Errorf("out-of-world query answered (%v, %d)", est, actual)
+		}
+		if after := sys.Stats().PretrainSeen; after != before {
+			t.Errorf("rejected queries reached the module (%d -> %d)", before, after)
+		}
+		if g := sys.Gauges(); g.ValidationRejected != 2 {
+			t.Errorf("ValidationRejected = %d, want 2", g.ValidationRejected)
+		}
+	})
+
+	t.Run("all policies reject NaN rects and predicate-less queries", func(t *testing.T) {
+		for _, policy := range []ValidationPolicy{ValidationClamp, ValidationStrict, ValidationDrop} {
+			sys := validationSystem(t, policy)
+			ts := feedSome(sys)
+			bad := []Query{
+				{Range: Rect{MinX: math.NaN(), MinY: 0, MaxX: 1, MaxY: 1}, HasRange: true, Timestamp: ts},
+				{Range: Rect{MinX: 0, MinY: 0, MaxX: math.Inf(1), MaxY: 1}, HasRange: true, Timestamp: ts},
+				{Timestamp: ts}, // no range, no keywords
+				{Range: Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5}, HasRange: true, Timestamp: ts}, // empty
+			}
+			for i := range bad {
+				if est, actual := sys.EstimateAndExecute(&bad[i]); est != 0 || actual != 0 {
+					t.Errorf("%v: bad query %d answered (%v, %d)", policy, i, est, actual)
+				}
+			}
+			if g := sys.Gauges(); g.ValidationRejected != uint64(len(bad)) {
+				t.Errorf("%v: ValidationRejected = %d, want %d", policy, g.ValidationRejected, len(bad))
+			}
+		}
+	})
+
+	t.Run("rejected estimate skips the feedback loop", func(t *testing.T) {
+		sys := validationSystem(t, ValidationDrop)
+		ts := feedSome(sys)
+		before := sys.Stats().PretrainSeen
+		nan := Query{Range: Rect{MinX: math.NaN(), MinY: 0, MaxX: 1, MaxY: 1}, HasRange: true, Timestamp: ts}
+		if est := sys.Estimate(&nan); est != 0 {
+			t.Errorf("rejected estimate = %v", est)
+		}
+		sys.ObserveActual(42) // must be dropped, not trained on
+		if after := sys.Stats().PretrainSeen; after != before {
+			t.Error("feedback for a rejected query reached the module")
+		}
+		// The rejection flag must not leak onto the next, valid query.
+		good := SpatialQuery(CenteredRect(Pt(0.5, 0.5), 0.4, 0.4), ts)
+		sys.Estimate(&good)
+		sys.ObserveActual(7)
+		if after := sys.Stats().PretrainSeen; after != before+1 {
+			t.Error("valid query after a rejected one did not train")
+		}
+	})
+}
+
+func TestValidationShardedRouting(t *testing.T) {
+	sys, err := NewSharded(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+		WithShards(4), WithSeed(3), WithPretrainQueries(30), WithAccWindow(20),
+		WithSynchronousPrefill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// NaN locations must not break shard routing; they are rejected by the
+	// shard they route to and the reject shows up in the merged gauges.
+	sys.Feed(Object{ID: 1, Loc: Pt(math.NaN(), math.NaN()), Keywords: []string{"a"}, Timestamp: 1})
+	sys.Feed(Object{ID: 2, Loc: Pt(0.5, 0.5), Keywords: []string{"a"}, Timestamp: 2})
+	if n := sys.WindowSize(); n != 1 {
+		t.Errorf("window holds %d objects, want 1", n)
+	}
+	var rejected uint64
+	for _, sh := range sys.Stats().Shards {
+		rejected += sh.Gauges.ValidationRejected
+	}
+	if rejected != 1 {
+		t.Errorf("merged ValidationRejected = %d, want 1", rejected)
+	}
+
+	// An inverted rect is repaired before routing, so it reaches the shards
+	// it actually covers instead of silently matching none.
+	inverted := Query{Range: Rect{MinX: 0.9, MinY: 0.9, MaxX: 0.1, MaxY: 0.1}, HasRange: true, Timestamp: 3}
+	if est, actual := sys.EstimateAndExecute(&inverted); actual != 1 {
+		t.Errorf("inverted rect over the whole world found (%v, %d), want actual 1", est, actual)
+	}
+
+	// A NaN rect is rejected before routing.
+	nan := Query{Range: Rect{MinX: math.NaN(), MinY: 0, MaxX: 1, MaxY: 1}, HasRange: true, Timestamp: 4}
+	if est, actual := sys.EstimateAndExecute(&nan); est != 0 || actual != 0 {
+		t.Errorf("NaN rect answered (%v, %d)", est, actual)
+	}
+}
+
+func TestValidationStrictLogsRejects(t *testing.T) {
+	var buf strings.Builder
+	sys, err := New(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+		WithSeed(1), WithValidation(ValidationStrict), WithLogger(&buf, LogWarn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Feed(Object{ID: 1, Loc: Pt(math.NaN(), 0.5), Keywords: []string{"a"}, Timestamp: 1})
+	if !strings.Contains(buf.String(), "non-finite coordinates") {
+		t.Errorf("strict reject not logged: %q", buf.String())
+	}
+}
+
+func TestOptionValidationErrors(t *testing.T) {
+	world := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	cases := []struct {
+		name string
+		opts []Option
+		win  time.Duration
+		want string
+	}{
+		{"sub-millisecond window", nil, 500 * time.Microsecond, "at least 1ms"},
+		{"non-square oracle grid", []Option{WithOracleGridCells(1000)}, time.Second, "perfect square"},
+		{"negative oracle grid", []Option{WithOracleGridCells(-4)}, time.Second, "non-negative"},
+		{"negative trace depth", []Option{WithTraceDepth(-1)}, time.Second, "TraceDepth"},
+		{"negative acc window", []Option{WithAccWindow(-5)}, time.Second, "AccWindow"},
+		{"negative prefill queue", []Option{WithPrefillQueueDepth(-1)}, time.Second, "PrefillQueueDepth"},
+		{"NaN tau", []Option{WithTau(math.NaN())}, time.Second, "Tau"},
+		{"Inf alpha", []Option{WithAlpha(math.Inf(1))}, time.Second, "Alpha"},
+		{"negative memory scale", []Option{WithMemoryScale(-2)}, time.Second, "MemoryScale"},
+		{"unknown validation policy", []Option{WithValidation(ValidationPolicy(9))}, time.Second, "validation policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(world, tc.win, tc.opts...); err == nil {
+				t.Fatalf("accepted")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The same guardrails cover the concurrent and sharded constructors.
+	if _, err := NewConcurrent(world, 500*time.Microsecond); err == nil {
+		t.Error("concurrent accepted sub-millisecond window")
+	}
+	if _, err := NewSharded(world, 500*time.Microsecond, WithShards(2)); err == nil {
+		t.Error("sharded accepted sub-millisecond window")
+	}
+}
+
+func TestMustConstructors(t *testing.T) {
+	world := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	MustNew(world, time.Second)
+	MustNewConcurrent(world, time.Second).Close()
+	MustNewSharded(world, time.Second, WithShards(2)).Close()
+	for _, build := range []func(){
+		func() { MustNew(world, 0) },
+		func() { MustNewConcurrent(world, 0) },
+		func() { MustNewSharded(world, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Must constructor did not panic on invalid config")
+				}
+			}()
+			build()
+		}()
+	}
+}
