@@ -27,7 +27,6 @@ import (
 type ConcurrentSystem struct {
 	mu      sync.Mutex
 	sys     *System
-	lastTS  int64
 	scratch Object
 
 	telem     *telemetry.Server
@@ -93,15 +92,16 @@ func (c *ConcurrentSystem) TelemetryAddr() string {
 // feedLocked ingests one object, clamping regressed timestamps to the
 // high-water mark under the default ValidationClamp policy (counted in the
 // Reordered gauge; under stricter policies the System-level validation
-// rejects the arrival instead). Caller holds c.mu.
+// rejects the arrival instead). The high-water mark is the wrapped
+// System's lastTS, which advances only when validation accepts an object,
+// so a rejected arrival (e.g. NaN coordinates) carrying a garbage
+// timestamp cannot poison the stream clock. Caller holds c.mu.
 func (c *ConcurrentSystem) feedLocked(o *Object) {
-	if o.Timestamp < c.lastTS && c.sys.policy == ValidationClamp {
+	if o.Timestamp < c.sys.lastTS && c.sys.policy == ValidationClamp {
 		c.scratch = *o
-		c.scratch.Timestamp = c.lastTS
+		c.scratch.Timestamp = c.sys.lastTS
 		o = &c.scratch
 		c.sys.gauges.RecordReordered()
-	} else if o.Timestamp > c.lastTS {
-		c.lastTS = o.Timestamp
 	}
 	c.sys.feedPtr(o)
 }

@@ -128,6 +128,16 @@ func (c Config) Validate() error {
 	if c.MaxEstimate != c.MaxEstimate || c.MaxEstimate < 0 { // NaN or negative
 		return fmt.Errorf("resilience: max estimate must be a non-negative number, got %v", c.MaxEstimate)
 	}
+	// A threshold larger than the effective window can never accumulate in
+	// the fault ring: the breaker would silently never trip.
+	if w := c.Window; c.Threshold > 0 {
+		if w == 0 {
+			w = defaultWindow
+		}
+		if c.Threshold > w {
+			return fmt.Errorf("resilience: threshold %d exceeds fault window %d; the breaker could never trip", c.Threshold, w)
+		}
+	}
 	return nil
 }
 

@@ -297,10 +297,18 @@ func TestConfigValidate(t *testing.T) {
 		{ProbeSuccesses: -1},
 		{Deadline: -time.Second},
 		{MaxEstimate: math.NaN()},
+		// Untippable breakers: the threshold can never accumulate inside
+		// the fault ring (explicit window, and the default window of 64).
+		{Window: 8, Threshold: 9},
+		{Threshold: defaultWindow + 1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
 			t.Errorf("bad config %d validated", i)
 		}
+	}
+	// Threshold equal to the window is tight but reachable.
+	if err := (Config{Window: 8, Threshold: 8}).Validate(); err != nil {
+		t.Errorf("threshold == window rejected: %v", err)
 	}
 }

@@ -64,10 +64,6 @@ type shard struct {
 	rect Rect
 	sys  *System
 
-	// lastTS is the shard's timestamp high-water mark; arrivals below it
-	// are clamped so the window's queue invariant survives multi-producer
-	// interleaving. Guarded by mu.
-	lastTS  int64
 	scratch Object
 
 	gauges metrics.ShardGauges
@@ -307,15 +303,16 @@ func edgeIndex(edges []float64, v float64) int {
 // feedLocked ingests one object into sh, clamping regressed timestamps
 // under the default ValidationClamp policy (counted in the Reordered
 // gauge; under stricter policies the System-level validation rejects the
-// arrival instead). Caller holds sh.mu.
+// arrival instead). The high-water mark is the shard System's lastTS,
+// which advances only when validation accepts an object, so a rejected
+// arrival (e.g. NaN coordinates) carrying a garbage timestamp cannot
+// poison the shard's stream clock. Caller holds sh.mu.
 func (sh *shard) feedLocked(o *Object) {
-	if o.Timestamp < sh.lastTS && sh.sys.policy == ValidationClamp {
+	if o.Timestamp < sh.sys.lastTS && sh.sys.policy == ValidationClamp {
 		sh.scratch = *o
-		sh.scratch.Timestamp = sh.lastTS
+		sh.scratch.Timestamp = sh.sys.lastTS
 		o = &sh.scratch
 		sh.gauges.RecordReordered()
-	} else if o.Timestamp > sh.lastTS {
-		sh.lastTS = o.Timestamp
 	}
 	sh.sys.feedPtr(o)
 }

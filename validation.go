@@ -19,9 +19,12 @@ const (
 	// ValidationClamp (the default) repairs what is repairable and rejects
 	// the rest: regressed object timestamps are clamped to the stream's
 	// high-water mark, inverted query rectangles have their corners
-	// swapped; NaN/±Inf coordinates and predicate-less queries are
-	// rejected. Repairs mutate the caller's value in place so a subsequent
-	// Execute sees the same repaired query.
+	// swapped; NaN/±Inf coordinates, predicate-less queries and
+	// degenerate (zero-area) query rectangles are rejected. A zero-area
+	// rectangle cannot match any object under the engine's open-interval
+	// intersection semantics, so the reject's answer of 0 is also the
+	// query's exact answer. Repairs mutate the caller's value in place so
+	// a subsequent Execute sees the same repaired query.
 	ValidationClamp ValidationPolicy = iota
 	// ValidationStrict rejects every non-conforming input instead of
 	// repairing it, and additionally rejects query rectangles that do not
@@ -125,6 +128,14 @@ func checkQuery(q *Query, policy ValidationPolicy, world Rect, g *metrics.ShardG
 			q.Range = r
 			g.RecordValidationClamped()
 		}
+		// Degenerate (zero-area) rectangles are rejected under every
+		// policy, not just Strict: the engine's intersection semantics are
+		// open intervals (geo.Rect.Intersects returns false for any empty
+		// rect), so a point or line query can never match an object, and
+		// core.Module.Estimate panics on queries stream.Query.Valid deems
+		// invalid — which includes empty ranges. Rejecting here turns that
+		// panic into a counted, logged reject with the exact answer (0)
+		// the query would have received anyway.
 		if q.Range.Empty() {
 			return reject("empty range")
 		}

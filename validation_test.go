@@ -144,6 +144,33 @@ func TestValidationQueryPolicies(t *testing.T) {
 		}
 	})
 
+	t.Run("degenerate rects reject with their exact answer", func(t *testing.T) {
+		// A zero-area (point or line) rectangle cannot match any object
+		// under the open-interval intersection semantics, and
+		// core.Module.Estimate panics on queries Query.Valid deems invalid.
+		// Every policy therefore rejects them — the reject's 0 is also the
+		// exact answer — and the engine must not panic.
+		for _, policy := range []ValidationPolicy{ValidationClamp, ValidationStrict, ValidationDrop} {
+			sys := validationSystem(t, policy)
+			ts := feedSome(sys)
+			for _, r := range []Rect{
+				{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5}, // point
+				{MinX: 0.2, MinY: 0.5, MaxX: 0.8, MaxY: 0.5}, // horizontal line
+			} {
+				q := Query{Range: r, HasRange: true, Timestamp: ts}
+				if est, actual := sys.EstimateAndExecute(&q); est != 0 || actual != 0 {
+					t.Errorf("%v: degenerate rect %v answered (%v, %d)", policy, r, est, actual)
+				}
+				if want := sys.window.Answer(&q); want != 0 {
+					t.Fatalf("degenerate rect %v matches %d objects; reject is no longer exact", r, want)
+				}
+			}
+			if g := sys.Gauges(); g.ValidationRejected != 2 {
+				t.Errorf("%v: ValidationRejected = %d, want 2", policy, g.ValidationRejected)
+			}
+		}
+	})
+
 	t.Run("rejected estimate skips the feedback loop", func(t *testing.T) {
 		sys := validationSystem(t, ValidationDrop)
 		ts := feedSome(sys)
@@ -202,6 +229,66 @@ func TestValidationShardedRouting(t *testing.T) {
 	if est, actual := sys.EstimateAndExecute(&nan); est != 0 || actual != 0 {
 		t.Errorf("NaN rect answered (%v, %d)", est, actual)
 	}
+}
+
+func TestValidationRejectedObjectDoesNotPoisonClock(t *testing.T) {
+	// Regression: the concurrent and sharded wrappers used to advance their
+	// timestamp high-water mark before validation ran, so a rejected object
+	// (NaN coordinates) carrying a garbage timestamp permanently poisoned
+	// the stream clock and every subsequent valid object was clamped
+	// forward to it. The high-water mark must advance only on acceptance.
+	world := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	poison := Object{ID: 1, Loc: Pt(math.NaN(), 0.5), Keywords: []string{"a"}, Timestamp: 1 << 50}
+	valid := Object{ID: 2, Loc: Pt(0.5, 0.5), Keywords: []string{"a"}, Timestamp: 2000}
+	check := func(t *testing.T, name string, g GaugeSnapshot, size int) {
+		t.Helper()
+		if size != 1 {
+			t.Errorf("%s: window holds %d objects, want 1", name, size)
+		}
+		if g.ValidationRejected != 1 {
+			t.Errorf("%s: ValidationRejected = %d, want 1", name, g.ValidationRejected)
+		}
+		if g.Reordered != 0 || g.ValidationClamped != 0 {
+			t.Errorf("%s: valid object clamped to poisoned clock (reordered %d, clamped %d)",
+				name, g.Reordered, g.ValidationClamped)
+		}
+	}
+
+	t.Run("inline", func(t *testing.T) {
+		sys := validationSystem(t, ValidationClamp)
+		sys.Feed(poison)
+		sys.Feed(valid)
+		check(t, "inline", sys.Gauges(), sys.WindowSize())
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		sys, err := NewConcurrent(world, 10*time.Second, WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		sys.Feed(poison)
+		sys.Feed(valid)
+		check(t, "concurrent", sys.Gauges(), sys.WindowSize())
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		sys, err := NewSharded(world, 10*time.Second, WithShards(1), WithSeed(1),
+			WithSynchronousPrefill())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		sys.Feed(poison)
+		sys.Feed(valid)
+		var g GaugeSnapshot
+		for _, sh := range sys.Stats().Shards {
+			g.ValidationRejected += sh.Gauges.ValidationRejected
+			g.ValidationClamped += sh.Gauges.ValidationClamped
+			g.Reordered += sh.Gauges.Reordered
+		}
+		check(t, "sharded", g, sys.WindowSize())
+	})
 }
 
 func TestValidationStrictLogsRejects(t *testing.T) {
