@@ -14,12 +14,18 @@
 // the single-lock ConcurrentSystem against the sharded engine:
 //
 //	latest-bench -exp ingest -shards 8 -producers 8 -objects 2000000
+//
+// and -exp query measures the estimate-path latency distribution of all
+// three engines on one deterministic workload:
+//
+//	latest-bench -exp query -out BENCH_query.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -27,45 +33,61 @@ import (
 	"time"
 
 	"github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/datagen"
 	"github.com/spatiotext/latest/internal/experiments"
+	"github.com/spatiotext/latest/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, so tests can drive every flag
+// path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("latest-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig3..fig13, table1, table2) or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		queries  = flag.Int("queries", 0, "incremental-phase query count (0 = default 3000)")
-		pretrain = flag.Int("pretrain", 0, "pre-training query count (0 = default 600)")
-		windowMS = flag.Int64("window", 0, "time window T in virtual ms (0 = default 30000)")
-		rate     = flag.Float64("rate", 0, "stream rate in objects per virtual ms (0 = default 2)")
-		scale    = flag.Float64("scale", 0, "estimator memory scale (0 = default 1)")
-		seed     = flag.Int64("seed", 0, "random seed (0 = default 1)")
-		alpha    = flag.Float64("alpha", -1, "accuracy/latency weight override (-1 = experiment default)")
-		asJSON   = flag.Bool("json", false, "emit JSON instead of text")
-		outFile  = flag.String("out", "", "also write JSON results to this file (e.g. BENCH_ingest.json)")
+		exp      = fs.String("exp", "", "experiment id (fig3..fig13, table1, table2), 'ingest', 'query' or 'all'")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		queries  = fs.Int("queries", 0, "incremental-phase query count (0 = default 3000)")
+		pretrain = fs.Int("pretrain", 0, "pre-training query count (0 = default 600)")
+		windowMS = fs.Int64("window", 0, "time window T in virtual ms (0 = default 30000)")
+		rate     = fs.Float64("rate", 0, "stream rate in objects per virtual ms (0 = default 2)")
+		scale    = fs.Float64("scale", 0, "estimator memory scale (0 = default 1)")
+		seed     = fs.Int64("seed", 0, "random seed (0 = default 1)")
+		alpha    = fs.Float64("alpha", -1, "accuracy/latency weight override (-1 = experiment default)")
+		asJSON   = fs.Bool("json", false, "emit JSON instead of text")
+		outFile  = fs.String("out", "", "also write JSON results to this file (e.g. BENCH_ingest.json)")
 
-		shards    = flag.Int("shards", 0, "ingest: shard count (0 = GOMAXPROCS)")
-		producers = flag.Int("producers", 8, "ingest: concurrent producer goroutines")
-		objects   = flag.Int("objects", 1_000_000, "ingest: objects fed per engine")
-		batchLen  = flag.Int("batch", 256, "ingest: objects per FeedBatch call")
+		shards    = fs.Int("shards", 0, "ingest/query: shard count (0 = GOMAXPROCS)")
+		producers = fs.Int("producers", 8, "ingest: concurrent producer goroutines")
+		objects   = fs.Int("objects", 1_000_000, "ingest: objects fed per engine")
+		batchLen  = fs.Int("batch", 256, "ingest: objects per FeedBatch call")
 	)
-	flag.Parse()
-
-	if *exp == "ingest" {
-		runIngest(*shards, *producers, *objects, *batchLen, *seed, *asJSON, *outFile)
-		return
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	if *list {
+	switch {
+	case *exp == "ingest":
+		return runIngest(stdout, stderr, *shards, *producers, *objects, *batchLen, *seed, *asJSON, *outFile)
+	case *exp == "query":
+		return runQueryBench(stdout, stderr, queryBenchConfig{
+			Shards:  *shards,
+			Seed:    *seed,
+			Queries: *queries,
+		}, *asJSON, *outFile)
+	case *list:
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+			fmt.Fprintf(stdout, "%-8s %s\n", id, experiments.Describe(id))
 		}
-		return
+		return 0
+	case *exp == "":
+		fmt.Fprintln(stderr, "latest-bench: -exp required (use -list to see ids)")
+		return 2
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "latest-bench: -exp required (use -list to see ids)")
-		os.Exit(2)
-	}
+
 	cfg := experiments.RunConfig{
 		Queries:         *queries,
 		PretrainQueries: *pretrain,
@@ -87,45 +109,190 @@ func main() {
 		start := time.Now()
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+			return 1
 		}
 		if *outFile != "" {
 			collected = append(collected, res)
 		}
 		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(res); err != nil {
-				fmt.Fprintf(os.Stderr, "latest-bench: encoding %s: %v\n", id, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "latest-bench: encoding %s: %v\n", id, err)
+				return 1
 			}
 			continue
 		}
-		if _, err := res.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "latest-bench: writing %s: %v\n", id, err)
-			os.Exit(1)
+		if _, err := res.WriteTo(stdout); err != nil {
+			fmt.Fprintf(stderr, "latest-bench: writing %s: %v\n", id, err)
+			return 1
 		}
-		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	if *outFile != "" {
-		writeJSONFile(*outFile, collected)
+		if err := writeJSONFile(stderr, *outFile, collected); err != nil {
+			fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+			return 1
+		}
 	}
+	return 0
 }
 
-// writeJSONFile writes v to path as indented JSON, exiting on failure (this
-// is a benchmark driver; a lost result file is a run wasted).
-func writeJSONFile(path string, v any) {
+// writeJSONFile writes v to path as indented JSON (a lost result file is a
+// benchmark run wasted, so failures propagate to the exit code).
+func writeJSONFile(stderr io.Writer, path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "latest-bench: encoding %s: %v\n", path, err)
-		os.Exit(1)
+		return fmt.Errorf("encoding %s: %w", path, err)
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "latest-bench: wrote %s\n", path)
+	fmt.Fprintf(stderr, "latest-bench: wrote %s\n", path)
+	return nil
+}
+
+// queryEngineResult is one engine's estimate-path latency distribution.
+type queryEngineResult struct {
+	Engine  string  `json:"engine"`
+	Shards  int     `json:"shards,omitempty"`
+	Queries uint64  `json:"queries"`
+	P50Us   float64 `json:"estimate_p50_us"`
+	P95Us   float64 `json:"estimate_p95_us"`
+	P99Us   float64 `json:"estimate_p99_us"`
+	MeanUs  float64 `json:"estimate_mean_us"`
+}
+
+// queryResult is the machine-readable output of -exp query.
+type queryResult struct {
+	Experiment string              `json:"experiment"`
+	Dataset    string              `json:"dataset"`
+	Workload   string              `json:"workload"`
+	Queries    int                 `json:"queries"`
+	Seed       int64               `json:"seed"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Engines    []queryEngineResult `json:"engines"`
+}
+
+// queryBenchConfig shapes the -exp query run.
+type queryBenchConfig struct {
+	Shards  int
+	Seed    int64
+	Queries int
+}
+
+// runQueryBench drives an identical deterministic workload through all
+// three engines and reports each one's estimate-path latency distribution
+// from Stats().EstimateLatency. Unlike the correctness harness this keeps
+// real wall-clock timing — the histogram is the measurement.
+func runQueryBench(stdout, stderr io.Writer, cfg queryBenchConfig, asJSON bool, outFile string) int {
+	const (
+		dataset         = "Twitter"
+		wlName          = "TwQW1"
+		objectsPerQuery = 20
+		window          = 10 * time.Second
+		rate            = 2.0
+	)
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 2000
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+
+	type engine struct {
+		name   string
+		shards int
+		feed   func(latest.Object)
+		query  func(*latest.Query) (float64, int)
+		stats  func() latest.Stats
+		close  func()
+	}
+	world := datagen.ByName(dataset, cfg.Seed, rate).World()
+	opts := func() []latest.Option {
+		return []latest.Option{latest.WithSeed(cfg.Seed)}
+	}
+	var engines []engine
+
+	sys, err := latest.New(world, window, opts()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+		return 1
+	}
+	engines = append(engines, engine{
+		name: "single", feed: sys.Feed, query: sys.EstimateAndExecute,
+		stats: sys.Stats, close: func() {},
+	})
+
+	cs, err := latest.NewConcurrent(world, window, opts()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+		return 1
+	}
+	engines = append(engines, engine{
+		name: "concurrent", feed: cs.Feed, query: cs.EstimateAndExecute,
+		stats: cs.Stats, close: cs.Close,
+	})
+
+	ss, err := latest.NewSharded(world, window, append(opts(), latest.WithShards(cfg.Shards))...)
+	if err != nil {
+		fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+		return 1
+	}
+	engines = append(engines, engine{
+		name: "sharded", shards: cfg.Shards, feed: ss.Feed, query: ss.EstimateAndExecute,
+		stats: func() latest.Stats { return ss.Stats().Merged }, close: ss.Close,
+	})
+
+	result := queryResult{
+		Experiment: "query", Dataset: dataset, Workload: wlName,
+		Queries: cfg.Queries, Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	for _, e := range engines {
+		// Each engine gets its own generator so all three see the identical
+		// object and query sequence.
+		gen := datagen.ByName(dataset, cfg.Seed, rate)
+		queries := workload.NewGenerator(workload.ByName(wlName), gen, cfg.Queries)
+		for qi := 0; qi < cfg.Queries; qi++ {
+			for j := 0; j < objectsPerQuery; j++ {
+				e.feed(gen.Next())
+			}
+			q := queries.Next(gen.Now())
+			e.query(&q)
+		}
+		hist := e.stats().EstimateLatency
+		e.close()
+		r := queryEngineResult{
+			Engine: e.name, Shards: e.shards, Queries: hist.Count,
+			P50Us: us(hist.P50()), P95Us: us(hist.P95()),
+			P99Us: us(hist.P99()), MeanUs: us(hist.Mean()),
+		}
+		result.Engines = append(result.Engines, r)
+		if !asJSON {
+			fmt.Fprintf(stdout, "%-12s estimate latency p50=%.1fµs p95=%.1fµs p99=%.1fµs mean=%.1fµs (%d queries)\n",
+				e.name, r.P50Us, r.P95Us, r.P99Us, r.MeanUs, r.Queries)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result); err != nil {
+			fmt.Fprintf(stderr, "latest-bench: encoding query: %v\n", err)
+			return 1
+		}
+	}
+	if outFile != "" {
+		if err := writeJSONFile(stderr, outFile, result); err != nil {
+			fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // ingestEngineResult is one engine's share of an ingest benchmark run.
@@ -169,7 +336,7 @@ func batchHistOf(gauges ...latest.GaugeSnapshot) latest.HistogramSnapshot {
 // ConcurrentSystem and the spatially-sharded engine with the requested
 // producer parallelism, reporting objects/second and the batch-latency
 // distribution for each.
-func runIngest(shards, producers, objects, batchLen int, seed int64, asJSON bool, outFile string) {
+func runIngest(stdout, stderr io.Writer, shards, producers, objects, batchLen int, seed int64, asJSON bool, outFile string) int {
 	if seed == 0 {
 		seed = 1
 	}
@@ -195,7 +362,7 @@ func runIngest(shards, producers, objects, batchLen int, seed int64, asJSON bool
 		}
 	}
 	if !asJSON {
-		fmt.Printf("ingest: %d objects, %d producers, batch %d, GOMAXPROCS %d\n\n",
+		fmt.Fprintf(stdout, "ingest: %d objects, %d producers, batch %d, GOMAXPROCS %d\n\n",
 			objects, producers, batchLen, runtime.GOMAXPROCS(0))
 	}
 
@@ -234,8 +401,8 @@ func runIngest(shards, producers, objects, batchLen int, seed int64, asJSON bool
 		hist latest.HistogramSnapshot, reordered uint64) ingestEngineResult {
 		rate := float64(objects) / d.Seconds()
 		if !asJSON {
-			fmt.Printf("%-22s %10s  %12.0f obj/s  window=%d\n", name, d.Round(time.Millisecond), rate, windowSize)
-			fmt.Printf("%-22s batch latency p50=%s p95=%s p99=%s max=%s (%d batches)\n",
+			fmt.Fprintf(stdout, "%-22s %10s  %12.0f obj/s  window=%d\n", name, d.Round(time.Millisecond), rate, windowSize)
+			fmt.Fprintf(stdout, "%-22s batch latency p50=%s p95=%s p99=%s max=%s (%d batches)\n",
 				"", hist.P50().Round(time.Microsecond), hist.P95().Round(time.Microsecond),
 				hist.P99().Round(time.Microsecond), hist.Max.Round(time.Microsecond), hist.Count)
 		}
@@ -250,8 +417,8 @@ func runIngest(shards, producers, objects, batchLen int, seed int64, asJSON bool
 
 	cs, err := latest.NewConcurrent(world, time.Hour, latest.WithSeed(seed))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+		return 1
 	}
 	csDur := drive(cs.FeedBatch)
 	csGauges := cs.Gauges()
@@ -260,8 +427,8 @@ func runIngest(shards, producers, objects, batchLen int, seed int64, asJSON bool
 
 	ss, err := latest.NewSharded(world, time.Hour, latest.WithSeed(seed), latest.WithShards(shards))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "latest-bench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+		return 1
 	}
 	defer ss.Close()
 	ssDur := drive(ss.FeedBatch)
@@ -282,20 +449,24 @@ func runIngest(shards, producers, objects, batchLen int, seed int64, asJSON bool
 		Engines: []ingestEngineResult{base, sharded},
 	}
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(result); err != nil {
-			fmt.Fprintf(os.Stderr, "latest-bench: encoding ingest: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "latest-bench: encoding ingest: %v\n", err)
+			return 1
 		}
 	} else {
-		fmt.Printf("\nspeedup: %.2fx\n", sharded.SpeedupVs1L)
+		fmt.Fprintf(stdout, "\nspeedup: %.2fx\n", sharded.SpeedupVs1L)
 		for _, sh := range st.Shards {
-			fmt.Printf("  shard %d: feeds=%-9d batches=%-7d reordered=%-7d occ=%d\n",
+			fmt.Fprintf(stdout, "  shard %d: feeds=%-9d batches=%-7d reordered=%-7d occ=%d\n",
 				sh.Index, sh.Gauges.Feeds, sh.Gauges.Batches, sh.Gauges.Reordered, sh.Gauges.Occupancy)
 		}
 	}
 	if outFile != "" {
-		writeJSONFile(outFile, result)
+		if err := writeJSONFile(stderr, outFile, result); err != nil {
+			fmt.Fprintf(stderr, "latest-bench: %v\n", err)
+			return 1
+		}
 	}
+	return 0
 }

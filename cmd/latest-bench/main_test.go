@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListFlag(t *testing.T) {
+	code, stdout, stderr := runBench(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, id := range []string{"fig3", "table1"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("-list output missing %s:\n%s", id, stdout)
+		}
+	}
+}
+
+func TestMissingExpIsUsageError(t *testing.T) {
+	code, _, stderr := runBench(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-exp required") {
+		t.Errorf("stderr missing usage hint:\n%s", stderr)
+	}
+}
+
+func TestUnknownExp(t *testing.T) {
+	code, _, stderr := runBench(t, "-exp", "nonsense")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Error("no error reported for unknown experiment")
+	}
+}
+
+// TestExperimentJSONAndOut runs the smallest real experiment through the
+// -json and -out paths and checks both emit parseable JSON.
+func TestExperimentJSONAndOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips real experiment run")
+	}
+	outPath := filepath.Join(t.TempDir(), "res.json")
+	code, stdout, stderr := runBench(t,
+		"-exp", "fig3", "-queries", "60", "-pretrain", "30",
+		"-window", "2000", "-rate", "0.5", "-json", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var viaStdout map[string]any
+	if err := json.Unmarshal([]byte(stdout), &viaStdout); err != nil {
+		t.Fatalf("-json stdout is not JSON: %v\n%s", err, stdout)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaFile []map[string]any
+	if err := json.Unmarshal(raw, &viaFile); err != nil {
+		t.Fatalf("-out file is not a JSON array: %v", err)
+	}
+	if len(viaFile) != 1 {
+		t.Fatalf("-out collected %d results, want 1", len(viaFile))
+	}
+}
+
+func TestQueryBenchJSONOut(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_query.json")
+	code, stdout, stderr := runBench(t,
+		"-exp", "query", "-queries", "60", "-shards", "2", "-json", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var res queryResult
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("query -json stdout is not JSON: %v\n%s", err, stdout)
+	}
+	if len(res.Engines) != 3 {
+		t.Fatalf("query result has %d engines, want 3", len(res.Engines))
+	}
+	for _, e := range res.Engines {
+		// The sharded engine fans a query out to every overlapping shard, so
+		// its merged histogram legitimately records more samples.
+		if e.Engine == "sharded" {
+			if e.Queries < 60 {
+				t.Errorf("sharded recorded %d samples, want >= 60", e.Queries)
+			}
+		} else if e.Queries != 60 {
+			t.Errorf("%s recorded %d queries, want 60", e.Engine, e.Queries)
+		}
+		if e.P99Us < e.P50Us {
+			t.Errorf("%s p99 %.1fµs below p50 %.1fµs", e.Engine, e.P99Us, e.P50Us)
+		}
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Errorf("-out file not written: %v", err)
+	}
+}
+
+func TestIngestSmoke(t *testing.T) {
+	code, stdout, stderr := runBench(t,
+		"-exp", "ingest", "-objects", "5000", "-producers", "2", "-shards", "2", "-batch", "64", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var res ingestResult
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("ingest -json stdout is not JSON: %v\n%s", err, stdout)
+	}
+	if len(res.Engines) != 2 || res.Objects != 5000 {
+		t.Errorf("unexpected ingest result: %+v", res)
+	}
+}

@@ -1,0 +1,187 @@
+// latest-check is the CI entry point of the correctness-verification
+// subsystem (internal/check). It runs the differential harness, the
+// metamorphic property families, the estimator error envelopes and the
+// golden-trace replay, and exits non-zero on the first divergence.
+//
+// Usage:
+//
+//	latest-check                       # everything, short-mode budgets
+//	latest-check -mode diff -seed 7    # differential only, custom seed
+//	latest-check -mode golden -update  # refresh goldens after an intentional change
+//	latest-check -mode write-trace     # regenerate the trace (generator changes only)
+//
+// The golden directory defaults to testdata/check relative to the working
+// directory, i.e. run it from the repo root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/spatiotext/latest/internal/check"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, so tests can drive every mode.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("latest-check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		mode    = fs.String("mode", "all", "diff | meta | envelope | golden | write-trace | all")
+		update  = fs.Bool("update", false, "golden mode: rewrite golden files instead of comparing")
+		dir     = fs.String("testdata", filepath.Join("testdata", "check"), "golden file directory")
+		seed    = fs.Int64("seed", 0, "differential seed override (0 = default)")
+		queries = fs.Int("queries", 0, "differential query count override (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ok := true
+	runs := map[string]func(io.Writer, io.Writer) bool{
+		"diff":     func(out, errw io.Writer) bool { return runDiff(out, errw, *seed, *queries) },
+		"meta":     runMeta,
+		"envelope": runEnvelope,
+		"golden": func(out, errw io.Writer) bool {
+			return runGolden(out, errw, *dir, *update)
+		},
+	}
+	order := []string{"diff", "meta", "envelope", "golden"}
+	switch *mode {
+	case "all":
+		for _, m := range order {
+			ok = runs[m](stdout, stderr) && ok
+		}
+	case "write-trace":
+		ok = writeTrace(stdout, stderr, *dir)
+	default:
+		fn, known := runs[*mode]
+		if !known {
+			fmt.Fprintf(stderr, "latest-check: unknown -mode %q\n", *mode)
+			return 2
+		}
+		ok = fn(stdout, stderr)
+	}
+	if !ok {
+		fmt.Fprintln(stderr, "latest-check: FAIL")
+		return 1
+	}
+	fmt.Fprintln(stdout, "latest-check: ok")
+	return 0
+}
+
+func runDiff(stdout, stderr io.Writer, seed int64, queries int) bool {
+	cfg := check.DefaultDiffConfig()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	report, err := check.RunDifferential(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "latest-check: differential: %v\n", err)
+		return false
+	}
+	fmt.Fprintln(stdout, report.Summary())
+	for _, d := range report.Details {
+		fmt.Fprintf(stderr, "  divergence: %s\n", d)
+	}
+	return report.Ok()
+}
+
+func runMeta(stdout, stderr io.Writer) bool {
+	report, err := check.RunMetamorphic(check.DefaultMetaConfig())
+	if err != nil {
+		fmt.Fprintf(stderr, "latest-check: metamorphic: %v\n", err)
+		return false
+	}
+	fmt.Fprintln(stdout, report.Summary())
+	for _, d := range report.Details {
+		fmt.Fprintf(stderr, "  violation: %s\n", d)
+	}
+	return report.Ok()
+}
+
+func runEnvelope(stdout, stderr io.Writer) bool {
+	results, err := check.RunEnvelopes(check.DefaultEnvelopeConfig(), check.DefaultEnvelopes())
+	if err != nil {
+		fmt.Fprintf(stderr, "latest-check: envelopes: %v\n", err)
+		return false
+	}
+	ok := true
+	for i := range results {
+		fmt.Fprintln(stdout, results[i].Summary())
+		for _, v := range results[i].Violations {
+			fmt.Fprintf(stderr, "  violation: %s\n", v)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func writeTrace(stdout, stderr io.Writer, dir string) bool {
+	path := filepath.Join(dir, "trace_twitter.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "latest-check: %v\n", err)
+		return false
+	}
+	if err := check.WriteTrace(f); err != nil {
+		f.Close()
+		fmt.Fprintf(stderr, "latest-check: write trace: %v\n", err)
+		return false
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(stderr, "latest-check: %v\n", err)
+		return false
+	}
+	fmt.Fprintf(stdout, "wrote %s (%+v)\n", path, check.TraceSpec)
+	return true
+}
+
+func runGolden(stdout, stderr io.Writer, dir string, update bool) bool {
+	trace := filepath.Join(dir, "trace_twitter.jsonl")
+	counts, decisions, err := check.RunGoldenFile(trace, check.DefaultGoldenConfig())
+	if err != nil {
+		fmt.Fprintf(stderr, "latest-check: golden replay: %v\n", err)
+		return false
+	}
+	ok := true
+	for _, g := range []struct{ name, got string }{
+		{"golden_counts.txt", counts},
+		{"golden_decisions.txt", decisions},
+	} {
+		path := filepath.Join(dir, g.name)
+		if update {
+			if err := os.WriteFile(path, []byte(g.got), 0o644); err != nil {
+				fmt.Fprintf(stderr, "latest-check: %v\n", err)
+				return false
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "latest-check: %v (run -mode golden -update to create)\n", err)
+			ok = false
+			continue
+		}
+		if string(want) == g.got {
+			fmt.Fprintf(stdout, "golden %s: match\n", g.name)
+			continue
+		}
+		ok = false
+		fmt.Fprintf(stderr, "golden %s: DIVERGED (refresh with -update only for intentional semantics changes)\n", g.name)
+		for _, line := range check.DiffLines(string(want), g.got, 10) {
+			fmt.Fprintf(stderr, "  %s\n", line)
+		}
+	}
+	return ok
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoTestdata points at the checked-in golden directory from this package.
+const repoTestdata = "../../testdata/check"
+
+func runCheck(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunDiffMode(t *testing.T) {
+	code, stdout, stderr := runCheck(t, "-mode", "diff", "-queries", "120")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "0 mismatches") {
+		t.Errorf("stdout missing mismatch summary:\n%s", stdout)
+	}
+}
+
+func TestRunMetaMode(t *testing.T) {
+	code, stdout, stderr := runCheck(t, "-mode", "meta")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "0 violations") {
+		t.Errorf("stdout missing violation summary:\n%s", stdout)
+	}
+}
+
+func TestRunGoldenModeAgainstCheckedIn(t *testing.T) {
+	code, stdout, stderr := runCheck(t, "-mode", "golden", "-testdata", repoTestdata)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "golden_counts.txt: match") ||
+		!strings.Contains(stdout, "golden_decisions.txt: match") {
+		t.Errorf("stdout missing match lines:\n%s", stdout)
+	}
+}
+
+// TestGoldenUpdateRoundTrip regenerates the trace and goldens into a temp
+// dir and verifies a follow-up comparison run passes — the refresh flow
+// documented in golden.go, end to end.
+func TestGoldenUpdateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, stderr := runCheck(t, "-mode", "write-trace", "-testdata", dir); code != 0 {
+		t.Fatalf("write-trace exit %d, stderr:\n%s", code, stderr)
+	}
+	if code, _, stderr := runCheck(t, "-mode", "golden", "-update", "-testdata", dir); code != 0 {
+		t.Fatalf("golden -update exit %d, stderr:\n%s", code, stderr)
+	}
+	if code, _, stderr := runCheck(t, "-mode", "golden", "-testdata", dir); code != 0 {
+		t.Fatalf("golden compare exit %d, stderr:\n%s", code, stderr)
+	}
+	// The regenerated trace must be byte-identical to the checked-in one.
+	fresh, err := os.ReadFile(filepath.Join(dir, "trace_twitter.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile(filepath.Join(repoTestdata, "trace_twitter.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, committed) {
+		t.Error("regenerated trace differs from checked-in trace_twitter.jsonl")
+	}
+}
+
+func TestGoldenModeDetectsDivergence(t *testing.T) {
+	dir := t.TempDir()
+	if code, _, stderr := runCheck(t, "-mode", "write-trace", "-testdata", dir); code != 0 {
+		t.Fatalf("write-trace exit %d, stderr:\n%s", code, stderr)
+	}
+	if code, _, stderr := runCheck(t, "-mode", "golden", "-update", "-testdata", dir); code != 0 {
+		t.Fatalf("golden -update exit %d, stderr:\n%s", code, stderr)
+	}
+	// Corrupt one golden line; the comparison must fail with a line diff.
+	path := filepath.Join(dir, "golden_counts.txt")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append([]byte("tampered\n"), raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCheck(t, "-mode", "golden", "-testdata", dir)
+	if code == 0 {
+		t.Fatal("tampered golden accepted")
+	}
+	if !strings.Contains(stderr, "DIVERGED") || !strings.Contains(stderr, "line 1") {
+		t.Errorf("stderr missing divergence diff:\n%s", stderr)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	code, _, stderr := runCheck(t, "-mode", "bogus")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown -mode") {
+		t.Errorf("stderr missing mode error:\n%s", stderr)
+	}
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -115,145 +116,187 @@ func parseWorld(spec string) (geo.Rect, error) {
 	return r, nil
 }
 
-func main() {
-	var (
-		dataset  = flag.String("dataset", "Twitter", "dataset: Twitter, eBird or CheckIn")
-		wlName   = flag.String("workload", "TwQW1", "workload preset (TwQW1..6, EbRQW1..6, CiQW1..3)")
-		queries  = flag.Int("queries", 3000, "incremental-phase query count")
-		pretrain = flag.Int("pretrain", 600, "pre-training query count")
-		windowMS = flag.Int64("window", 30_000, "time window T in virtual ms")
-		rate     = flag.Float64("rate", 2, "stream rate (objects per virtual ms)")
-		alpha    = flag.Float64("alpha", 0.5, "accuracy/latency weight α")
-		tau      = flag.Float64("tau", 0.75, "switch threshold τ")
-		beta     = flag.Float64("beta", 0.8, "pre-fill fraction β")
-		seed     = flag.Int64("seed", 1, "random seed")
-		every    = flag.Int("report", 200, "progress report interval (queries)")
-		input    = flag.String("input", "", "replay a JSONL object stream instead of generating one")
-		worldStr = flag.String("world", "-125,24,-66,50", "world rect for -input mode: minx,miny,maxx,maxy")
-	)
-	flag.Parse()
+// runOptions is the parsed flag set of one invocation.
+type runOptions struct {
+	dataset  string
+	wlName   string
+	queries  int
+	pretrain int
+	windowMS int64
+	rate     float64
+	alpha    float64
+	tau      float64
+	beta     float64
+	seed     int64
+	every    int
+	input    string
+	worldStr string
+}
 
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, so tests can drive both the
+// synthetic and the replay path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("latest-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o runOptions
+	fs.StringVar(&o.dataset, "dataset", "Twitter", "dataset: Twitter, eBird or CheckIn")
+	fs.StringVar(&o.wlName, "workload", "TwQW1", "workload preset (TwQW1..6, EbRQW1..6, CiQW1..3)")
+	fs.IntVar(&o.queries, "queries", 3000, "incremental-phase query count")
+	fs.IntVar(&o.pretrain, "pretrain", 600, "pre-training query count")
+	fs.Int64Var(&o.windowMS, "window", 30_000, "time window T in virtual ms")
+	fs.Float64Var(&o.rate, "rate", 2, "stream rate (objects per virtual ms)")
+	fs.Float64Var(&o.alpha, "alpha", 0.5, "accuracy/latency weight α")
+	fs.Float64Var(&o.tau, "tau", 0.75, "switch threshold τ")
+	fs.Float64Var(&o.beta, "beta", 0.8, "pre-fill fraction β")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed")
+	fs.IntVar(&o.every, "report", 200, "progress report interval (queries)")
+	fs.StringVar(&o.input, "input", "", "replay a JSONL object stream instead of generating one")
+	fs.StringVar(&o.worldStr, "world", "-125,24,-66,50", "world rect for -input mode: minx,miny,maxx,maxy")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := drive(o, stdout); err != nil {
+		fmt.Fprintf(stderr, "latest-run: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// drive executes one narrated run, writing the report to out.
+func drive(o runOptions, out io.Writer) error {
 	// nextObject abstracts over synthetic generation and file replay.
-	var nextObject func() (stream.Object, bool)
+	var nextObject func() (stream.Object, bool, error)
 	var world geo.Rect
 	var src workload.Source
-	if *input != "" {
-		w, err := parseWorld(*worldStr)
+	if o.input != "" {
+		w, err := parseWorld(o.worldStr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "latest-run: -world: %v\n", err)
-			os.Exit(2)
+			return fmt.Errorf("-world: %w", err)
 		}
 		world = w
-		f, err := os.Open(*input)
+		f, err := os.Open(o.input)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "latest-run: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		rd := replay.NewReader(f)
 		rd.SetWorld(world)
-		rs := newReplaySource(world, *seed)
+		rs := newReplaySource(world, o.seed)
 		src = rs
-		nextObject = func() (stream.Object, bool) {
-			o, err := rd.Next()
+		nextObject = func() (stream.Object, bool, error) {
+			obj, err := rd.Next()
 			if err == io.EOF {
-				return stream.Object{}, false
+				return stream.Object{}, false, nil
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "latest-run: %v\n", err)
-				os.Exit(1)
+				return stream.Object{}, false, err
 			}
-			rs.observe(&o)
-			return o, true
+			rs.observe(&obj)
+			return obj, true, nil
 		}
 	} else {
-		data := datagen.ByName(*dataset, *seed, *rate)
+		data := datagen.ByName(o.dataset, o.seed, o.rate)
 		world = data.World()
 		src = data
-		nextObject = func() (stream.Object, bool) { return data.Next(), true }
+		nextObject = func() (stream.Object, bool, error) { return data.Next(), true, nil }
 	}
-	spec := workload.ByName(*wlName)
-	gen := workload.NewGenerator(spec, src, *pretrain+*queries)
-	oracle := stream.NewWindow(world, *windowMS, 4096)
+	spec := workload.ByName(o.wlName)
+	gen := workload.NewGenerator(spec, src, o.pretrain+o.queries)
+	oracle := stream.NewWindow(world, o.windowMS, 4096)
 
 	// Scale the monitored accuracy window to 5% of the run, matching the
 	// experiments harness.
-	accWindow := *queries / 20
+	accWindow := o.queries / 20
 	if accWindow < 60 {
 		accWindow = 60
 	}
 	module, err := core.New(core.Config{
 		World:           world,
-		Span:            *windowMS,
-		Alpha:           *alpha,
+		Span:            o.windowMS,
+		Alpha:           o.alpha,
 		AlphaSet:        true,
-		Tau:             *tau,
-		Beta:            *beta,
+		Tau:             o.tau,
+		Beta:            o.beta,
 		AccWindow:       accWindow,
-		PretrainQueries: *pretrain,
-		Seed:            *seed,
+		PretrainQueries: o.pretrain,
+		Seed:            o.seed,
 		Refill: func(e estimator.Estimator) {
-			oracle.Each(func(o *stream.Object) bool {
-				e.Insert(o)
+			oracle.Each(func(obj *stream.Object) bool {
+				e.Insert(obj)
 				return true
 			})
 		},
 		OnSwitch: func(ev core.SwitchEvent) {
-			fmt.Printf("  >> %s\n", ev)
+			fmt.Fprintf(out, "  >> %s\n", ev)
 		},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "latest-run: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	var exhausted bool
 	var lastTS int64
-	feed := func(n int) {
+	feed := func(n int) error {
 		for i := 0; i < n && !exhausted; i++ {
-			o, ok := nextObject()
+			obj, ok, err := nextObject()
+			if err != nil {
+				return err
+			}
 			if !ok {
 				exhausted = true
-				return
+				return nil
 			}
-			lastTS = o.Timestamp
-			oracle.Insert(o)
-			module.Insert(&o)
+			lastTS = obj.Timestamp
+			oracle.Insert(obj)
+			module.Insert(&obj)
 		}
+		return nil
 	}
 
-	sourceName := *dataset
-	if *input != "" {
-		sourceName = *input
+	sourceName := o.dataset
+	if o.input != "" {
+		sourceName = o.input
 	}
-	fmt.Printf("warm-up: filling one %.0fs window of %s data...\n",
-		float64(*windowMS)/1000, sourceName)
-	if *input != "" {
+	fmt.Fprintf(out, "warm-up: filling one %.0fs window of %s data...\n",
+		float64(o.windowMS)/1000, sourceName)
+	if o.input != "" {
 		// Replayed time is whatever the file says: fill until one window
 		// has elapsed.
-		o, ok := nextObject()
-		if !ok {
-			fmt.Fprintln(os.Stderr, "latest-run: input is empty")
-			os.Exit(1)
+		obj, ok, err := nextObject()
+		if err != nil {
+			return err
 		}
-		start := o.Timestamp
-		lastTS = o.Timestamp
-		oracle.Insert(o)
-		module.Insert(&o)
-		for lastTS-start < *windowMS && !exhausted {
-			feed(1024)
+		if !ok {
+			return errors.New("input is empty")
+		}
+		start := obj.Timestamp
+		lastTS = obj.Timestamp
+		oracle.Insert(obj)
+		module.Insert(&obj)
+		for lastTS-start < o.windowMS && !exhausted {
+			if err := feed(1024); err != nil {
+				return err
+			}
 		}
 	} else {
-		feed(int(float64(*windowMS) * *rate))
+		if err := feed(int(float64(o.windowMS) * o.rate)); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("window holds %d objects; starting %s (%d pre-training + %d queries)\n",
-		oracle.Size(), *wlName, *pretrain, *queries)
+	fmt.Fprintf(out, "window holds %d objects; starting %s (%d pre-training + %d queries)\n",
+		oracle.Size(), o.wlName, o.pretrain, o.queries)
 
 	var lat metrics.LatencyTracker
 	accSum, n := 0.0, 0
 	lastPhase := module.Phase()
 	for gen.Remaining() > 0 && !exhausted {
-		feed(40)
+		if err := feed(40); err != nil {
+			return err
+		}
 		q := gen.Next(lastTS)
 		start := time.Now()
 		est := module.Estimate(&q)
@@ -263,27 +306,28 @@ func main() {
 		accSum += metrics.Accuracy(est, float64(actual))
 		n++
 		if module.Phase() != lastPhase {
-			fmt.Printf("  -- phase: %s -> %s (after %d queries)\n", lastPhase, module.Phase(), n)
+			fmt.Fprintf(out, "  -- phase: %s -> %s (after %d queries)\n", lastPhase, module.Phase(), n)
 			lastPhase = module.Phase()
 		}
-		if n%*every == 0 {
+		if n%o.every == 0 {
 			s := module.Snapshot()
-			fmt.Printf("q=%-6d phase=%-11s active=%-5s prefill=%-5s acc(avg)=%.3f lat(p50)=%s tree{rec=%d nodes=%d}\n",
+			fmt.Fprintf(out, "q=%-6d phase=%-11s active=%-5s prefill=%-5s acc(avg)=%.3f lat(p50)=%s tree{rec=%d nodes=%d}\n",
 				n, s.Phase, s.Active, orDash(s.Prefilling), accSum/float64(n),
 				lat.Percentile(0.5).Round(time.Microsecond), s.TrainingRecords, s.TreeNodes)
 		}
 	}
 
 	s := module.Snapshot()
-	fmt.Printf("\nfinished: %d queries, overall accuracy %.3f, mean latency %s\n",
+	fmt.Fprintf(out, "\nfinished: %d queries, overall accuracy %.3f, mean latency %s\n",
 		n, accSum/float64(n), lat.Mean().Round(time.Microsecond))
-	fmt.Printf("switches (%d):\n", s.Switches)
+	fmt.Fprintf(out, "switches (%d):\n", s.Switches)
 	for _, ev := range module.Switches() {
-		fmt.Printf("  %s\n", ev)
+		fmt.Fprintf(out, "  %s\n", ev)
 	}
 	if s.Switches == 0 {
-		fmt.Println("  none — the workload never degraded the active estimator")
+		fmt.Fprintln(out, "  none — the workload never degraded the active estimator")
 	}
+	return nil
 }
 
 func orDash(s string) string {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runRun(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestSyntheticRun(t *testing.T) {
+	code, stdout, stderr := runRun(t,
+		"-queries", "120", "-pretrain", "40", "-window", "2000", "-rate", "0.5", "-report", "60")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	// The finished count includes the 40 pre-training queries.
+	for _, want := range []string{"warm-up", "window holds", "finished: 160 queries", "switches ("} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestReplayRun replays the golden trace (a real JSONL stream with known
+// provenance) through the -input path.
+func TestReplayRun(t *testing.T) {
+	trace := filepath.Join("..", "..", "testdata", "check", "trace_twitter.jsonl")
+	code, stdout, stderr := runRun(t,
+		"-input", trace, "-world", "-125,24,-66,50",
+		"-queries", "80", "-pretrain", "20", "-window", "1000", "-report", "40")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "finished:") {
+		t.Errorf("stdout missing completion line:\n%s", stdout)
+	}
+}
+
+func TestReplayRunEmptyInput(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runRun(t, "-input", empty)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "input is empty") {
+		t.Errorf("stderr missing empty-input error:\n%s", stderr)
+	}
+}
+
+func TestBadWorldFlag(t *testing.T) {
+	code, _, stderr := runRun(t, "-input", "whatever.jsonl", "-world", "1,2,3")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-world") {
+		t.Errorf("stderr missing world parse error:\n%s", stderr)
+	}
+}

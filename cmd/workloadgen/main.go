@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -33,32 +34,33 @@ type jsonQuery struct {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, so tests can drive every flag
+// path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wlName = flag.String("workload", "TwQW1", "workload preset name")
-		n      = flag.Int("n", 100_000, "number of queries (the paper uses 100K)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		emit   = flag.Bool("emit", false, "emit queries as JSON lines instead of a summary")
-		list   = flag.Bool("list", false, "list workload presets and exit")
-		export = flag.String("exportstream", "", "emit n *objects* of the named dataset (Twitter/eBird/CheckIn) as JSONL")
-		rate   = flag.Float64("rate", 2, "stream rate for -exportstream (objects per virtual ms)")
+		wlName = fs.String("workload", "TwQW1", "workload preset name")
+		n      = fs.Int("n", 100_000, "number of queries (the paper uses 100K)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		emit   = fs.Bool("emit", false, "emit queries as JSON lines instead of a summary")
+		list   = fs.Bool("list", false, "list workload presets and exit")
+		export = fs.String("exportstream", "", "emit n *objects* of the named dataset (Twitter/eBird/CheckIn) as JSONL")
+		rate   = fs.Float64("rate", 2, "stream rate for -exportstream (objects per virtual ms)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *export != "" {
-		data := datagen.ByName(*export, *seed, *rate)
-		w := replay.NewWriter(os.Stdout)
-		for i := 0; i < *n; i++ {
-			o := data.Next()
-			if err := w.Write(&o); err != nil {
-				fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
-				os.Exit(1)
-			}
+		if err := exportStream(stdout, *export, *n, *seed, *rate); err != nil {
+			fmt.Fprintf(stderr, "workloadgen: %v\n", err)
+			return 1
 		}
-		if err := w.Flush(); err != nil {
-			fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
-			os.Exit(1)
-		}
-		return
+		return 0
 	}
 
 	if *list {
@@ -66,10 +68,10 @@ func main() {
 		sort.Strings(names)
 		for _, name := range names {
 			spec := workload.ByName(name)
-			fmt.Printf("%-8s dataset=%-8s phases=%d rangeSide=%.3f kw=%d..%d\n",
+			fmt.Fprintf(stdout, "%-8s dataset=%-8s phases=%d rangeSide=%.3f kw=%d..%d\n",
 				name, spec.Dataset, len(spec.Phases), spec.RangeSide, spec.KwMin, spec.KwMax)
 		}
-		return
+		return 0
 	}
 
 	spec := workload.ByName(*wlName)
@@ -77,24 +79,48 @@ func main() {
 	gen := workload.NewGenerator(spec, data, *n)
 
 	if *emit {
-		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
-		enc := json.NewEncoder(w)
-		for gen.Remaining() > 0 {
-			q := gen.Next(0)
-			jq := jsonQuery{Type: q.Type().String(), Keywords: q.Keywords}
-			if q.HasRange {
-				jq.Range = []float64{q.Range.MinX, q.Range.MinY, q.Range.MaxX, q.Range.MaxY}
-			}
-			if err := enc.Encode(jq); err != nil {
-				fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
-				os.Exit(1)
-			}
+		if err := emitQueries(stdout, gen); err != nil {
+			fmt.Fprintf(stderr, "workloadgen: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
+	summarize(stdout, spec, gen, *n)
+	return 0
+}
 
-	// Composition summary: query-type counts per timeline decile.
+// exportStream writes n dataset objects as replay JSONL.
+func exportStream(w io.Writer, dataset string, n int, seed int64, rate float64) error {
+	data := datagen.ByName(dataset, seed, rate)
+	out := replay.NewWriter(w)
+	for i := 0; i < n; i++ {
+		o := data.Next()
+		if err := out.Write(&o); err != nil {
+			return err
+		}
+	}
+	return out.Flush()
+}
+
+// emitQueries drains gen as JSON lines.
+func emitQueries(w io.Writer, gen *workload.Generator) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for gen.Remaining() > 0 {
+		q := gen.Next(0)
+		jq := jsonQuery{Type: q.Type().String(), Keywords: q.Keywords}
+		if q.HasRange {
+			jq.Range = []float64{q.Range.MinX, q.Range.MinY, q.Range.MaxX, q.Range.MaxY}
+		}
+		if err := enc.Encode(jq); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// summarize prints query-type counts per timeline decile.
+func summarize(w io.Writer, spec workload.Spec, gen *workload.Generator, n int) {
 	const deciles = 10
 	var counts [deciles][3]int
 	kwTotal, kwQueries := 0, 0
@@ -110,18 +136,18 @@ func main() {
 			kwQueries++
 		}
 	}
-	fmt.Printf("# %s on %s — %d queries\n", spec.Name, spec.Dataset, *n)
-	fmt.Printf("%-8s %10s %10s %10s\n", "decile", "spatial", "keyword", "hybrid")
+	fmt.Fprintf(w, "# %s on %s — %d queries\n", spec.Name, spec.Dataset, n)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "decile", "spatial", "keyword", "hybrid")
 	var totals [3]int
 	for d := 0; d < deciles; d++ {
-		fmt.Printf("%d0-%d0%%   %10d %10d %10d\n", d, d+1,
+		fmt.Fprintf(w, "%d0-%d0%%   %10d %10d %10d\n", d, d+1,
 			counts[d][stream.SpatialQuery], counts[d][stream.KeywordQuery], counts[d][stream.HybridQuery])
 		for t := 0; t < 3; t++ {
 			totals[t] += counts[d][t]
 		}
 	}
-	fmt.Printf("%-8s %10d %10d %10d\n", "total", totals[0], totals[1], totals[2])
+	fmt.Fprintf(w, "%-8s %10d %10d %10d\n", "total", totals[0], totals[1], totals[2])
 	if kwQueries > 0 {
-		fmt.Printf("mean keywords per keyword-bearing query: %.2f\n", float64(kwTotal)/float64(kwQueries))
+		fmt.Fprintf(w, "mean keywords per keyword-bearing query: %.2f\n", float64(kwTotal)/float64(kwQueries))
 	}
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runGen(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListPresets(t *testing.T) {
+	code, stdout, stderr := runGen(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"TwQW1", "EbRQW1", "CiQW1"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-list missing preset %s:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	code, stdout, stderr := runGen(t, "-workload", "TwQW1", "-n", "500")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "# TwQW1 on Twitter — 500 queries") {
+		t.Errorf("summary header missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "total") {
+		t.Errorf("summary totals missing:\n%s", stdout)
+	}
+}
+
+func TestEmitQueriesJSONL(t *testing.T) {
+	code, stdout, stderr := runGen(t, "-workload", "TwQW1", "-n", "200", "-emit")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	sc := bufio.NewScanner(strings.NewReader(stdout))
+	lines := 0
+	for sc.Scan() {
+		var q jsonQuery
+		if err := json.Unmarshal(sc.Bytes(), &q); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines+1, err)
+		}
+		if q.Type == "" {
+			t.Fatalf("line %d missing type: %s", lines+1, sc.Text())
+		}
+		lines++
+	}
+	if lines != 200 {
+		t.Errorf("emitted %d lines, want 200", lines)
+	}
+}
+
+// TestExportStreamRoundTrip checks the exported object JSONL is readable by
+// the replay package contract latest-run -input relies on (non-decreasing
+// timestamps, required fields).
+func TestExportStreamRoundTrip(t *testing.T) {
+	code, stdout, stderr := runGen(t, "-exportstream", "Twitter", "-n", "300", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	sc := bufio.NewScanner(strings.NewReader(stdout))
+	var lastTS int64
+	lines := 0
+	for sc.Scan() {
+		var o struct {
+			ID  uint64 `json:"id"`
+			TS  int64  `json:"ts"`
+			Lon float64
+			Lat float64
+		}
+		if err := json.Unmarshal(sc.Bytes(), &o); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines+1, err)
+		}
+		if o.TS < lastTS {
+			t.Fatalf("line %d timestamp regressed: %d < %d", lines+1, o.TS, lastTS)
+		}
+		lastTS = o.TS
+		lines++
+	}
+	if lines != 300 {
+		t.Errorf("exported %d lines, want 300", lines)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	_, first, _ := runGen(t, "-workload", "CiQW1", "-n", "100", "-emit", "-seed", "9")
+	_, second, _ := runGen(t, "-workload", "CiQW1", "-n", "100", "-emit", "-seed", "9")
+	if first != second {
+		t.Error("same seed produced different workloads")
+	}
+}

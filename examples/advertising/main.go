@@ -12,8 +12,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 
@@ -38,14 +40,49 @@ var metros = []metro{
 
 var products = []string{"sneakers", "coffee", "phone", "pizza", "festival", "suv"}
 
+// params sizes the demo; fastParams shrinks it for the smoke test.
+type params struct {
+	window       time.Duration
+	warmObjects  int
+	pretrainCfg  int
+	pretrainLoop int
+	feedPerQ     int
+}
+
+func defaultParams() params {
+	return params{
+		window:       10 * time.Minute,
+		warmObjects:  600_000,
+		pretrainCfg:  400,
+		pretrainLoop: 400,
+		feedPerQ:     100,
+	}
+}
+
+func fastParams() params {
+	return params{
+		window:       15 * time.Second,
+		warmObjects:  15_000,
+		pretrainCfg:  40,
+		pretrainLoop: 40,
+		feedPerQ:     20,
+	}
+}
+
 func main() {
-	sys, err := latest.New(world, 10*time.Minute,
+	if err := run(os.Stdout, defaultParams()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, p params) error {
+	sys, err := latest.New(world, p.window,
 		latest.WithAlpha(0.8), // throughput-first: latency dominates switching
-		latest.WithPretrainQueries(400),
+		latest.WithPretrainQueries(p.pretrainCfg),
 		latest.WithSeed(11),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rng := rand.New(rand.NewSource(11))
@@ -67,17 +104,17 @@ func main() {
 		}
 	}
 
-	fmt.Println("warming up with 10 minutes of purchase-intent chatter...")
-	feed(600_000)
+	fmt.Fprintf(out, "warming up with %.0fs of purchase-intent chatter...\n", p.window.Seconds())
+	feed(p.warmObjects)
 
 	// Pre-train with the kind of hybrid queries the ad scorer issues.
-	for i := 0; i < 400; i++ {
-		feed(100)
+	for i := 0; i < p.pretrainLoop; i++ {
+		feed(p.feedPerQ)
 		m := metros[rng.Intn(len(metros))]
 		q := latest.HybridQuery(latest.CenteredRect(m.loc, 3, 2.4), []string{products[rng.Intn(len(products))]}, now)
 		sys.EstimateAndExecute(&q)
 	}
-	fmt.Printf("pre-training done; active estimator: %s (α=0.8 favors fast structures)\n\n", sys.ActiveEstimator())
+	fmt.Fprintf(out, "pre-training done; active estimator: %s (α=0.8 favors fast structures)\n\n", sys.ActiveEstimator())
 
 	// Score every (metro, product) placement using cheap estimates; verify
 	// a sample against exact counts to keep the model learning.
@@ -90,25 +127,26 @@ func main() {
 	scored := 0
 	for _, m := range metros {
 		area := latest.CenteredRect(m.loc, 3, 2.4)
-		for _, p := range products {
-			feed(50)
-			q := latest.HybridQuery(area, []string{p}, now)
+		for _, prod := range products {
+			feed(p.feedPerQ / 2)
+			q := latest.HybridQuery(area, []string{prod}, now)
 			// Estimate scores the placement; Execute closes the feedback
 			// loop with the true count from the window store (in a real ad
 			// platform the executed campaign query plays this role).
 			est, _ := sys.EstimateAndExecute(&q)
 			scored++
-			board = append(board, placement{m.name, p, est})
+			board = append(board, placement{m.name, prod, est})
 		}
 	}
 	elapsed := time.Since(start)
 
 	sort.Slice(board, func(i, j int) bool { return board[i].score > board[j].score })
-	fmt.Println("top ad placements by estimated keyword volume (last 10 min):")
-	for i, p := range board[:8] {
-		fmt.Printf("  %d. %-8s × %-9s ≈ %6.0f mentions\n", i+1, p.metro, p.product, p.score)
+	fmt.Fprintln(out, "top ad placements by estimated keyword volume (last window):")
+	for i, pl := range board[:8] {
+		fmt.Fprintf(out, "  %d. %-8s × %-9s ≈ %6.0f mentions\n", i+1, pl.metro, pl.product, pl.score)
 	}
-	fmt.Printf("\nscored %d placements in %s (%.0f estimates/sec) using %s\n",
+	fmt.Fprintf(out, "\nscored %d placements in %s (%.0f estimates/sec) using %s\n",
 		scored, elapsed.Round(time.Millisecond),
 		float64(scored)/elapsed.Seconds(), sys.ActiveEstimator())
+	return nil
 }

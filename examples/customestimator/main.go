@@ -11,8 +11,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"github.com/spatiotext/latest"
@@ -102,24 +104,62 @@ func (d *DecayCount) Reset() {
 // MemoryBytes implements latest.Estimator.
 func (d *DecayCount) MemoryBytes() int { return 64 + 48*len(d.kwCounts) }
 
+// params sizes the demo; fastParams shrinks it for the smoke test.
+type params struct {
+	window      time.Duration
+	warmObjects int
+	pretrain    int
+	queries     int
+	feedPerQ    int
+	report      int
+}
+
+func defaultParams() params {
+	return params{
+		window:      time.Minute,
+		warmObjects: 30_000,
+		pretrain:    300,
+		queries:     800,
+		feedPerQ:    30,
+		report:      200,
+	}
+}
+
+func fastParams() params {
+	return params{
+		window:      5 * time.Second,
+		warmObjects: 2_500,
+		pretrain:    40,
+		queries:     100,
+		feedPerQ:    10,
+		report:      50,
+	}
+}
+
 func main() {
+	if err := run(os.Stdout, defaultParams()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, p params) error {
 	// Register the custom estimator next to two built-ins and make it the
 	// fleet: LATEST will profile all three and keep whichever wins.
 	reg := latest.DefaultRegistry()
-	reg.Register("Decay", func(p latest.EstimatorParams) latest.Estimator {
-		return NewDecayCount(p)
+	reg.Register("Decay", func(ep latest.EstimatorParams) latest.Estimator {
+		return NewDecayCount(ep)
 	})
 
 	world := latest.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
-	sys, err := latest.New(world, time.Minute,
+	sys, err := latest.New(world, p.window,
 		latest.WithRegistry(reg),
 		latest.WithEstimators(latest.EstimatorH4096, latest.EstimatorRSH, "Decay"),
 		latest.WithDefaultEstimator(latest.EstimatorRSH),
-		latest.WithPretrainQueries(300),
+		latest.WithPretrainQueries(p.pretrain),
 		latest.WithSeed(3),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	rng := rand.New(rand.NewSource(3))
@@ -135,25 +175,26 @@ func main() {
 			})
 		}
 	}
-	fmt.Println("warming up...")
-	feed(30_000)
+	fmt.Fprintln(out, "warming up...")
+	feed(p.warmObjects)
 
 	// A pure keyword workload: the custom sketch answers these well (its
 	// keyword counts are exact up to decay) at near-zero latency, so LATEST
 	// should discover it as a contender.
-	for i := 0; i < 800; i++ {
-		feed(30)
+	for i := 0; i < p.queries; i++ {
+		feed(p.feedPerQ)
 		q := latest.KeywordQuery([]string{fmt.Sprintf("tag%d", rng.Intn(40))}, now)
 		sys.EstimateAndExecute(&q)
-		if i%200 == 0 {
-			fmt.Printf("q%-4d phase=%-11s active=%s\n", i, sys.Phase(), sys.ActiveEstimator())
+		if i%p.report == 0 {
+			fmt.Fprintf(out, "q%-4d phase=%-11s active=%s\n", i, sys.Phase(), sys.ActiveEstimator())
 		}
 	}
 
-	fmt.Printf("\nfinal active estimator: %s\n", sys.ActiveEstimator())
+	fmt.Fprintf(out, "\nfinal active estimator: %s\n", sys.ActiveEstimator())
 	for _, ev := range sys.Switches() {
-		fmt.Printf("  %v\n", ev)
+		fmt.Fprintf(out, "  %v\n", ev)
 	}
 	q := latest.KeywordQuery([]string{"tag1"}, now)
-	fmt.Printf("model recommendation for a keyword query: %s\n", sys.RecommendFor(&q))
+	fmt.Fprintf(out, "model recommendation for a keyword query: %s\n", sys.RecommendFor(&q))
+	return nil
 }

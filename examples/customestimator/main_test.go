@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/spatiotext/latest"
+)
+
+func TestSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, fastParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"warming up", "final active estimator:", "model recommendation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDecayCountContract holds the example estimator to the package's
+// universal contract: finite, non-negative estimates.
+func TestDecayCountContract(t *testing.T) {
+	d := NewDecayCount(latest.EstimatorParams{Span: 1000})
+	for i := 0; i < 100; i++ {
+		d.Insert(&latest.Object{
+			ID: uint64(i + 1), Loc: latest.Pt(1, 1),
+			Keywords: []string{"a"}, Timestamp: int64(i * 10),
+		})
+	}
+	for _, q := range []latest.Query{
+		latest.KeywordQuery([]string{"a"}, 1000),
+		latest.KeywordQuery([]string{"missing"}, 2000),
+		latest.SpatialQuery(latest.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}, 50_000),
+	} {
+		q := q
+		got := d.Estimate(&q)
+		if got < 0 || got != got {
+			t.Errorf("estimate for %v = %v, want finite non-negative", q, got)
+		}
+	}
+	d.Reset()
+	q := latest.KeywordQuery([]string{"a"}, 60_000)
+	if got := d.Estimate(&q); got != 0 {
+		t.Errorf("estimate after Reset = %v, want 0", got)
+	}
+}

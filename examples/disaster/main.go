@@ -18,8 +18,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"github.com/spatiotext/latest"
@@ -83,27 +85,62 @@ func (s *simulation) responderQuery() latest.Query {
 	return latest.HybridQuery(fireZone, []string{"fire", "rescue", "evacuation"}, s.now)
 }
 
+// params sizes the simulation; fastParams shrinks it for the smoke test.
+type params struct {
+	window      time.Duration
+	warmObjects int
+	pretrain    int
+	actQueries  [3]int
+	feedPerQ    int
+}
+
+func defaultParams() params {
+	return params{
+		window:      3 * time.Minute,
+		warmObjects: 90_000,
+		pretrain:    300,
+		actQueries:  [3]int{500, 700, 500},
+		feedPerQ:    40,
+	}
+}
+
+func fastParams() params {
+	return params{
+		window:      8 * time.Second,
+		warmObjects: 4_000,
+		pretrain:    40,
+		actQueries:  [3]int{60, 90, 60},
+		feedPerQ:    10,
+	}
+}
+
 func main() {
-	sys, err := latest.New(world, 3*time.Minute,
-		latest.WithPretrainQueries(300),
+	if err := run(os.Stdout, defaultParams()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, p params) error {
+	sys, err := latest.New(world, p.window,
+		latest.WithPretrainQueries(p.pretrain),
 		latest.WithSeed(7),
 		latest.WithOnSwitch(func(ev latest.SwitchEvent) {
-			fmt.Printf("  ** LATEST switched %s -> %s (prefilled=%v)\n", ev.From, ev.To, ev.Prefilled)
+			fmt.Fprintf(out, "  ** LATEST switched %s -> %s (prefilled=%v)\n", ev.From, ev.To, ev.Prefilled)
 		}),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sim := &simulation{sys: sys, rng: rand.New(rand.NewSource(7))}
 
-	fmt.Println("act 0: warming up (normal city chatter)...")
-	sim.feed(90_000)
+	fmt.Fprintln(out, "act 0: warming up (normal city chatter)...")
+	sim.feed(p.warmObjects)
 
 	runQueries := func(n int, incident bool, label string) {
-		fmt.Printf("\n%s (active estimator: %s)\n", label, sys.ActiveEstimator())
+		fmt.Fprintf(out, "\n%s (active estimator: %s)\n", label, sys.ActiveEstimator())
 		accSum, cnt := 0.0, 0
 		for i := 0; i < n; i++ {
-			sim.feed(40)
+			sim.feed(p.feedPerQ)
 			var q latest.Query
 			if incident {
 				q = sim.responderQuery()
@@ -120,28 +157,29 @@ func main() {
 			}
 		}
 		if cnt > 0 {
-			fmt.Printf("  %d queries, mean accuracy %.2f, active now: %s\n", n, accSum/float64(cnt), sys.ActiveEstimator())
+			fmt.Fprintf(out, "  %d queries, mean accuracy %.2f, active now: %s\n", n, accSum/float64(cnt), sys.ActiveEstimator())
 		}
 	}
 
-	runQueries(500, false, "act 1: normal operations — mixed workload")
+	runQueries(p.actQueries[0], false, "act 1: normal operations — mixed workload")
 
-	fmt.Println("\n!! fire breaks out: chatter spikes, responders issue keyword-heavy estimation queries")
+	fmt.Fprintln(out, "\n!! fire breaks out: chatter spikes, responders issue keyword-heavy estimation queries")
 	sim.intensity = 0.5
-	runQueries(700, true, "act 2: incident response — keyword-dominated workload")
+	runQueries(p.actQueries[1], true, "act 2: incident response — keyword-dominated workload")
 
 	// A concrete responder question, answered both ways.
 	q := latest.HybridQuery(fireZone, []string{"fire"}, sim.now)
 	est, actual := sys.EstimateAndExecute(&q)
-	fmt.Printf("  'how many posts mention fire inside the zone?': estimate %.0f, actual %d\n", est, actual)
+	fmt.Fprintf(out, "  'how many posts mention fire inside the zone?': estimate %.0f, actual %d\n", est, actual)
 
-	fmt.Println("\n-- containment: traffic normalizes")
+	fmt.Fprintln(out, "\n-- containment: traffic normalizes")
 	sim.intensity = 0.02
-	runQueries(500, false, "act 3: back to normal")
+	runQueries(p.actQueries[2], false, "act 3: back to normal")
 
 	st := sys.Stats()
-	fmt.Printf("\nsummary: %d switches over the incident lifecycle, %d model records, final active %s\n",
+	fmt.Fprintf(out, "\nsummary: %d switches over the incident lifecycle, %d model records, final active %s\n",
 		st.Switches, st.TrainingRecords, st.Active)
+	return nil
 }
 
 func abs(v float64) float64 {

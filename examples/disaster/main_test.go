@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, fastParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"act 0: warming up",
+		"act 1: normal operations",
+		"act 2: incident response",
+		"act 3: back to normal",
+		"how many posts mention fire",
+		"summary:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -37,33 +37,77 @@ import (
 
 var world = latest.Rect{MinX: -125, MinY: 24, MaxX: -66, MaxY: 50}
 
+// params sizes the deployment simulation; fastParams shrinks it for the
+// smoke test.
+type params struct {
+	window       time.Duration
+	shards       int
+	producers    int
+	handlers     int
+	queriesPerH  int
+	pretrain     int
+	scrapeEvery  time.Duration
+	logterminals io.Writer // switch/prefill logfmt destination
+}
+
+func defaultParams() params {
+	return params{
+		window:       2 * time.Minute,
+		shards:       4,
+		producers:    4,
+		handlers:     3,
+		queriesPerH:  700,
+		pretrain:     400,
+		scrapeEvery:  500 * time.Millisecond,
+		logterminals: os.Stderr,
+	}
+}
+
+func fastParams() params {
+	return params{
+		window:       2 * time.Second,
+		shards:       2,
+		producers:    2,
+		handlers:     2,
+		queriesPerH:  40,
+		pretrain:     30,
+		scrapeEvery:  50 * time.Millisecond,
+		logterminals: io.Discard,
+	}
+}
+
 func main() {
-	sys, err := latest.NewSharded(world, 2*time.Minute,
-		latest.WithShards(4),
-		latest.WithPretrainQueries(400),
+	if err := run(os.Stdout, defaultParams()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, p params) error {
+	sys, err := latest.NewSharded(world, p.window,
+		latest.WithShards(p.shards),
+		latest.WithPretrainQueries(p.pretrain),
 		latest.WithAccWindow(100),
 		latest.WithSeed(21),
 		// Port 0: let the kernel pick, read it back with TelemetryAddr.
 		latest.WithTelemetry("127.0.0.1:0"),
-		// Switch decisions and prefill activity as logfmt lines on stderr.
-		latest.WithLogger(os.Stderr, latest.LogInfo),
+		// Switch decisions and prefill activity as logfmt lines.
+		latest.WithLogger(p.logterminals, latest.LogInfo),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer sys.Close()
 	addr := sys.TelemetryAddr()
-	fmt.Printf("telemetry: http://%s/metrics and http://%s/statusz\n", addr, addr)
+	fmt.Fprintf(out, "telemetry: http://%s/metrics and http://%s/statusz\n", addr, addr)
 
 	// Virtual clock shared by the producers; queries read it atomically.
 	var clock atomic.Int64
 
 	// Producers: simulated social streams with two topic clusters, each
 	// feeding batches so a shard's lock is taken once per batch.
-	const producers = 4
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	for p := 0; p < producers; p++ {
+	for prod := 0; prod < p.producers; prod++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
@@ -93,25 +137,26 @@ func main() {
 				}
 				sys.FeedBatch(batch)
 			}
-		}(int64(21 + p))
+		}(int64(21 + prod))
 	}
 
 	// Wait for one full window of data before serving.
-	for clock.Load() < (2 * time.Minute).Milliseconds() {
+	for clock.Load() < p.window.Milliseconds() {
 		time.Sleep(10 * time.Millisecond)
 	}
-	fmt.Printf("window primed: %d objects live across %d shards\n",
+	fmt.Fprintf(out, "window primed: %d objects live across %d shards\n",
 		sys.WindowSize(), sys.NumShards())
 
 	// Request handlers: each serves a mix of dashboard queries.
 	var served atomic.Int64
-	for h := 0; h < 3; h++ {
+	total := int64(p.handlers * p.queriesPerH)
+	for h := 0; h < p.handlers; h++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			topics := []string{"news", "traffic", "sports", "food", "music"}
-			for i := 0; i < 700; i++ {
+			for i := 0; i < p.queriesPerH; i++ {
 				area := latest.CenteredRect(
 					latest.Pt(world.MinX+rng.Float64()*world.Width(), world.MinY+rng.Float64()*world.Height()),
 					4, 3)
@@ -135,16 +180,16 @@ func main() {
 	opsDone := make(chan struct{})
 	go func() {
 		defer close(opsDone)
-		ticker := time.NewTicker(500 * time.Millisecond)
+		ticker := time.NewTicker(p.scrapeEvery)
 		defer ticker.Stop()
-		for served.Load() < 3*700 {
+		for served.Load() < total {
 			<-ticker.C
-			fmt.Printf("[scrape] served=%d\n", served.Load())
+			fmt.Fprintf(out, "[scrape] served=%d\n", served.Load())
 			for _, line := range scrapeMetrics(addr) {
-				fmt.Printf("  %s\n", line)
+				fmt.Fprintf(out, "  %s\n", line)
 			}
 			if s := scrapeStatusz(addr); s != "" {
-				fmt.Printf("  statusz: %s\n", s)
+				fmt.Fprintf(out, "  statusz: %s\n", s)
 			}
 		}
 	}()
@@ -153,16 +198,17 @@ func main() {
 	wg.Wait()
 
 	st := sys.Stats()
-	fmt.Printf("\nshutdown: %d requests served, active per shard [%s], %d switches total\n",
+	fmt.Fprintf(out, "\nshutdown: %d requests served, active per shard [%s], %d switches total\n",
 		served.Load(), strings.Join(sys.ActiveEstimators(), " "), st.Merged.Switches)
 	for _, ev := range sys.Switches() {
-		fmt.Printf("  %v\n", ev)
+		fmt.Fprintf(out, "  %v\n", ev)
 	}
 	// The merged decision trace says why each switch happened.
 	for _, d := range st.Merged.Decisions {
-		fmt.Printf("  shard %d: %s->%s reason=%s confidence=%.2f prefill=%s\n",
+		fmt.Fprintf(out, "  shard %d: %s->%s reason=%s confidence=%.2f prefill=%s\n",
 			d.Shard, d.From, d.To, d.Reason, d.Confidence, d.PrefillMode)
 	}
+	return nil
 }
 
 // scrapeMetrics GETs /metrics and returns a few representative sample

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, fastParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"telemetry: http://",
+		"window primed",
+		"shutdown: 80 requests served",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The scraper must have reached the live /metrics endpoint at least once.
+	if !strings.Contains(out, "latest_feeds_total") && !strings.Contains(out, "[scrape]") {
+		t.Errorf("no scrape output captured:\n%s", out)
+	}
+}

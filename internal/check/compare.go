@@ -1,0 +1,31 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffLines renders the first maxShown differing lines of two texts, for
+// golden-file mismatch reports in both the test suite and cmd/latest-check.
+func DiffLines(want, got string, maxShown int) []string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	var out []string
+	for i := 0; i < n && len(out) < maxShown; i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			out = append(out, fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, wl, gl))
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package check
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update refreshes the golden files after an intentional semantics change:
+//
+//	go test ./internal/check -run Golden -update
+//
+// Review the diff before committing — every changed line is a behaviour
+// change.
+var update = flag.Bool("update", false, "rewrite golden files from the current implementation")
+
+const (
+	goldenDir      = "../../testdata/check"
+	traceFile      = "trace_twitter.jsonl"
+	countsGolden   = "golden_counts.txt"
+	decisionGolden = "golden_decisions.txt"
+)
+
+// TestTraceMatchesSpec regenerates the checked-in object trace from its
+// recorded provenance (TraceSpec) and requires byte equality — the trace is
+// an artifact of the generator, never hand-edited.
+func TestTraceMatchesSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(goldenDir, traceFile)
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("checked-in trace %s no longer matches TraceSpec %+v; regenerate with -update and review why the generator changed", path, TraceSpec)
+	}
+}
+
+// TestGoldenReplay replays the checked-in trace through a deterministic
+// System and diffs the count report and decision trace against the golden
+// files.
+func TestGoldenReplay(t *testing.T) {
+	counts, decisions, err := RunGoldenFile(filepath.Join(goldenDir, traceFile), DefaultGoldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join(goldenDir, countsGolden), counts)
+	compareGolden(t, filepath.Join(goldenDir, decisionGolden), decisions)
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	want := string(raw)
+	if got == want {
+		return
+	}
+	t.Errorf("%s: output diverged from golden (refresh with -update only for intentional semantics changes)", path)
+	for _, line := range DiffLines(want, got, 10) {
+		t.Error(line)
+	}
+}

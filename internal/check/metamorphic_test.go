@@ -1,0 +1,43 @@
+package check
+
+import "testing"
+
+// TestMetamorphicShort runs the property families in short mode — this is
+// the "at least one property test in short mode" gate.
+func TestMetamorphicShort(t *testing.T) {
+	report, err := RunMetamorphic(DefaultMetaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(report.Summary())
+	for _, d := range report.Details {
+		t.Errorf("violation: %s", d)
+	}
+	if !report.Ok() {
+		t.Fatalf("metamorphic suite failed: %s", report.Summary())
+	}
+	if report.Checks < 1000 {
+		t.Errorf("only %d checks ran; property families lost coverage", report.Checks)
+	}
+}
+
+func TestMetamorphicDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: Twitter only")
+	}
+	for _, ds := range []string{"eBird", "CheckIn"} {
+		cfg := DefaultMetaConfig()
+		cfg.Dataset = ds
+		cfg.Seed = 21
+		report, err := RunMetamorphic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range report.Details {
+			t.Errorf("%s violation: %s", ds, d)
+		}
+		if !report.Ok() {
+			t.Fatalf("%s: %s", ds, report.Summary())
+		}
+	}
+}

@@ -236,6 +236,12 @@ type Config struct {
 	// (zero = 4). A full queue falls back to an inline replay, counted in
 	// the PrefillQueueFull gauge. New and NewConcurrent ignore it.
 	PrefillQueueDepth int
+	// LatencyModel, when non-nil, replaces wall-clock estimator latency
+	// measurement in the switching model's training signal. Correctness
+	// harnesses use it to make latency-sensitive switching decisions
+	// (α > 0, opportunity switches) bit-reproducible across engines and
+	// runs; production deployments leave it nil.
+	LatencyModel func(estimator string, q *Query, measured time.Duration) time.Duration
 }
 
 // System bundles a LATEST module with the exact window store that plays
@@ -349,6 +355,7 @@ func newSystem(cfg Config, refill refillFunc, prefillMode, component string) (*S
 		Scale:             cfg.MemoryScale,
 		Seed:              cfg.Seed,
 		OnSwitch:          cfg.OnSwitch,
+		LatencyOf:         cfg.LatencyModel,
 		Logger:            log,
 		TraceDepth:        cfg.TraceDepth,
 		PrefillMode:       prefillMode,

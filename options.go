@@ -168,6 +168,17 @@ func WithFaultInjector(inj *FaultInjector) Option {
 	return func(c *Config) { c.FaultInjector = inj }
 }
 
+// WithLatencyModel replaces wall-clock estimator latency measurement with
+// fn in the switching model's training signal: fn receives the estimator
+// name, the query, and the measured latency, and returns the latency to
+// record. Combined with WithSeed this makes latency-sensitive switching
+// decisions (α > 0, opportunity switches) bit-reproducible across engines
+// and runs — the correctness harness in internal/check depends on it.
+// Production deployments leave it unset.
+func WithLatencyModel(fn func(estimator string, q *Query, measured time.Duration) time.Duration) Option {
+	return func(c *Config) { c.LatencyModel = fn }
+}
+
 // WithPrefillQueueDepth bounds each shard's deferred pre-fill queue
 // (default 4). When a switch storm fills the queue, the replay runs inline
 // on the query path instead — counted in the PrefillQueueFull gauge. New
