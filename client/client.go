@@ -1,0 +1,433 @@
+// Package client is the Go client for latestd's binary wire protocol. A
+// Client owns one TCP connection (redialed on demand with exponential
+// backoff and jitter), multiplexes concurrent callers over it by request
+// id — so callers pipeline naturally — and converts the server's typed
+// error frames into *ServerError values whose Temporary method tells the
+// caller whether a retry is safe.
+//
+// Refusals the server makes before touching the engine (backpressure,
+// draining) are retried automatically, honoring the server's retry-after
+// hint, up to the configured attempt budget. Connection failures before a
+// request is written are retried the same way; failures after the write
+// are returned to the caller, because the server may already have applied
+// the request.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/wire"
+)
+
+// ErrClosed is returned for requests issued after Close.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError is a typed refusal or failure frame from the server.
+type ServerError struct {
+	// Code is the wire error code; Name is its string form
+	// ("backpressure", "draining", "malformed", ...).
+	Code uint16
+	Name string
+	// RetryAfter is the server's hint for when a retryable refusal is
+	// worth reissuing; zero when the server offered none.
+	RetryAfter time.Duration
+	Msg        string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("server: %s (retry after %s): %s", e.Name, e.RetryAfter, e.Msg)
+	}
+	return fmt.Sprintf("server: %s: %s", e.Name, e.Msg)
+}
+
+// Temporary reports whether the server refused the request before any
+// engine state changed, making a retry safe.
+func (e *ServerError) Temporary() bool {
+	return wire.Code(e.Code).Retryable()
+}
+
+// IsDraining reports whether err is a server-draining refusal — the signal
+// to stop sending to this instance.
+func IsDraining(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && wire.Code(se.Code) == wire.CodeDraining
+}
+
+// Options tune a Client. The zero value is usable.
+type Options struct {
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request attempt when the caller's
+	// context has no deadline, and is sent to the server as the request's
+	// deadline budget. Default 10s.
+	RequestTimeout time.Duration
+	// BaseBackoff and MaxBackoff shape the exponential reconnect/retry
+	// backoff (with jitter). Defaults 50ms and 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxAttempts is the total attempt budget per request for retryable
+	// failures (dial errors, backpressure, draining). Default 4.
+	MaxAttempts int
+
+	// sleep and jitter are test seams: sleep waits out a backoff delay
+	// (respecting ctx), jitter yields a value in [0,1] scaling each
+	// delay. Production code leaves them nil.
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func() float64
+}
+
+func (o *Options) withDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.sleep == nil {
+		o.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	if o.jitter == nil {
+		o.jitter = rand.Float64
+	}
+}
+
+// backoff returns the delay before attempt n (0-based): exponential from
+// BaseBackoff, capped at MaxBackoff, scaled into [50%,100%] by jitter so a
+// reconnecting fleet does not thunder in lockstep.
+func (o *Options) backoff(n int) time.Duration {
+	d := o.BaseBackoff << uint(n)
+	if d <= 0 || d > o.MaxBackoff {
+		d = o.MaxBackoff
+	}
+	return d/2 + time.Duration(o.jitter()*float64(d/2))
+}
+
+// result is one response delivered to a waiting caller.
+type result struct {
+	h       wire.Header
+	payload []byte // copied out of the reader's buffer
+	err     error
+}
+
+// Client is a connection to one latestd instance. Safe for concurrent use;
+// concurrent requests pipeline over the single connection.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex // guards nc lifecycle and writes
+	nc     net.Conn
+	closed bool
+
+	pmu     sync.Mutex
+	pending map[uint64]chan result
+
+	nextID    atomic.Uint64
+	dialFails int // consecutive dial failures, for backoff pacing
+}
+
+// Dial creates a Client for addr. The first connection is established
+// lazily by the first request, so Dial itself cannot fail on an
+// unreachable server — the request path reports that with full retry
+// semantics instead.
+func Dial(addr string, opts Options) *Client {
+	opts.withDefaults()
+	return &Client{addr: addr, opts: opts, pending: make(map[uint64]chan result)}
+}
+
+// Close tears down the connection; in-flight requests fail with ErrClosed
+// semantics (a connection-closed error).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	nc := c.nc
+	c.nc = nil
+	c.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+	return nil
+}
+
+// ensureConn dials if the connection is down. Callers hold no locks.
+func (c *Client) ensureConn(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.nc != nil {
+		return nil
+	}
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		c.dialFails++
+		return &dialError{err}
+	}
+	c.dialFails = 0
+	c.nc = nc
+	go c.readLoop(nc)
+	return nil
+}
+
+// dialError marks connection-establishment failures, which are always
+// safe to retry.
+type dialError struct{ err error }
+
+func (e *dialError) Error() string { return "client: dial: " + e.err.Error() }
+func (e *dialError) Unwrap() error { return e.err }
+
+// readLoop routes response frames to waiting callers by request id. On any
+// read error it fails every pending request and marks the connection dead;
+// the next request redials.
+func (c *Client) readLoop(nc net.Conn) {
+	fr := wire.NewFrameReader(bufio.NewReaderSize(nc, 64<<10), 0)
+	var cause error
+	for {
+		h, payload, err := fr.Next()
+		if err != nil {
+			if err == io.EOF {
+				cause = errors.New("client: connection closed by server")
+			} else {
+				cause = fmt.Errorf("client: read: %w", err)
+			}
+			break
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[h.ID]
+		delete(c.pending, h.ID)
+		c.pmu.Unlock()
+		if ok {
+			ch <- result{h: h, payload: append([]byte(nil), payload...)}
+		}
+	}
+	c.mu.Lock()
+	if c.nc == nc {
+		c.nc = nil
+	}
+	c.mu.Unlock()
+	nc.Close()
+	c.pmu.Lock()
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- result{err: cause}
+	}
+	c.pmu.Unlock()
+}
+
+// send writes one frame, registering the pending id first so a fast
+// response cannot race the registration.
+func (c *Client) send(nc net.Conn, id uint64, frame []byte) (chan result, error) {
+	ch := make(chan result, 1)
+	c.pmu.Lock()
+	c.pending[id] = ch
+	c.pmu.Unlock()
+	c.mu.Lock()
+	if c.nc != nc {
+		c.mu.Unlock()
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, errors.New("client: connection died before write")
+	}
+	_, err := nc.Write(frame)
+	c.mu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	return ch, nil
+}
+
+// roundTrip runs one request with retry semantics: dial failures and
+// retryable server refusals are retried (honoring retry-after hints) up to
+// MaxAttempts; anything after a successful write is returned as-is.
+func (c *Client) roundTrip(ctx context.Context, build func(buf []byte, id uint64, deadlineMS uint32) []byte, want wire.Type) (result, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.opts.backoff(c.retryDelayBase(attempt - 1))
+			if se := (*ServerError)(nil); errors.As(lastErr, &se) && se.RetryAfter > 0 {
+				delay = se.RetryAfter
+			}
+			if err := c.opts.sleep(ctx, delay); err != nil {
+				return result{}, err
+			}
+		}
+		res, err := c.tryOnce(ctx, build, want)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return result{}, err
+		}
+	}
+	return result{}, fmt.Errorf("client: gave up after %d attempts: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// retryDelayBase picks the exponent for backoff: consecutive dial failures
+// dominate the attempt number so a dead server backs off steadily even
+// across separate requests.
+func (c *Client) retryDelayBase(attempt int) int {
+	c.mu.Lock()
+	f := c.dialFails
+	c.mu.Unlock()
+	if f > attempt+1 {
+		return f - 1
+	}
+	return attempt
+}
+
+func retryable(err error) bool {
+	var de *dialError
+	if errors.As(err, &de) {
+		return true
+	}
+	var se *ServerError
+	return errors.As(err, &se) && se.Temporary()
+}
+
+func (c *Client) tryOnce(ctx context.Context, build func(buf []byte, id uint64, deadlineMS uint32) []byte, want wire.Type) (result, error) {
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+	}
+	if err := c.ensureConn(ctx); err != nil {
+		return result{}, err
+	}
+	c.mu.Lock()
+	nc := c.nc
+	c.mu.Unlock()
+	if nc == nil {
+		return result{}, &dialError{errors.New("connection lost")}
+	}
+
+	var deadlineMS uint32
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			return result{}, context.DeadlineExceeded
+		}
+		if ms > 1<<31 {
+			ms = 1 << 31
+		}
+		deadlineMS = uint32(ms)
+	}
+
+	id := c.nextID.Add(1)
+	buf := wire.GetBuf()
+	*buf = build(*buf, id, deadlineMS)
+	ch, err := c.send(nc, id, *buf)
+	wire.PutBuf(buf)
+	if err != nil {
+		// The write failed; the kernel may still have delivered bytes, so
+		// treat it as non-retryable unless nothing could have been sent.
+		return result{}, err
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return result{}, res.err
+		}
+		if res.h.Type == wire.TError {
+			re, derr := wire.DecodeError(res.payload)
+			if derr != nil {
+				return result{}, fmt.Errorf("client: undecodable error frame: %w", derr)
+			}
+			return result{}, &ServerError{
+				Code:       uint16(re.Code),
+				Name:       re.Code.String(),
+				RetryAfter: re.RetryAfter,
+				Msg:        re.Msg,
+			}
+		}
+		if res.h.Type != want {
+			return result{}, fmt.Errorf("client: expected %v response, got %v", want, res.h.Type)
+		}
+		return res, nil
+	case <-ctx.Done():
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return result{}, ctx.Err()
+	}
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, func(buf []byte, id uint64, _ uint32) []byte {
+		return wire.AppendPing(buf, id)
+	}, wire.TPong)
+	return err
+}
+
+// FeedBatch ingests a batch of stream objects, returning the accepted
+// count from the server's ack.
+func (c *Client) FeedBatch(ctx context.Context, objs []latest.Object) (uint32, error) {
+	res, err := c.roundTrip(ctx, func(buf []byte, id uint64, _ uint32) []byte {
+		return wire.AppendFeedBatch(buf, id, objs)
+	}, wire.TAck)
+	if err != nil {
+		return 0, err
+	}
+	return wire.DecodeAck(res.payload)
+}
+
+// Estimate answers one query approximately; the server closes the
+// accuracy feedback loop with its own exact window answer.
+func (c *Client) Estimate(ctx context.Context, q latest.Query) (float64, error) {
+	res, err := c.roundTrip(ctx, func(buf []byte, id uint64, deadlineMS uint32) []byte {
+		return wire.AppendEstimate(buf, id, deadlineMS, &q)
+	}, wire.TEstimateResult)
+	if err != nil {
+		return 0, err
+	}
+	return wire.DecodeEstimateResult(res.payload)
+}
+
+// QueryBatch runs a batch of full estimate+execute cycles, returning
+// parallel estimate and exact-count slices.
+func (c *Client) QueryBatch(ctx context.Context, qs []latest.Query) ([]float64, []int, error) {
+	res, err := c.roundTrip(ctx, func(buf []byte, id uint64, deadlineMS uint32) []byte {
+		return wire.AppendQueryBatch(buf, id, deadlineMS, qs)
+	}, wire.TQueryBatchResult)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wire.DecodeQueryBatchResult(res.payload, nil, nil)
+}

@@ -1,0 +1,455 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/wire"
+)
+
+// fakeListener is a scripted server: each accepted connection is handed to
+// the handler with its 0-based index, so tests choose per-connection
+// behavior (answer, refuse, hang, drop).
+type fakeListener struct {
+	t       *testing.T
+	ln      net.Listener
+	accepts atomic.Int32
+	wg      sync.WaitGroup
+}
+
+func newFakeListener(t *testing.T, handler func(nc net.Conn, index int)) *fakeListener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeListener{t: t, ln: ln}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			idx := int(f.accepts.Add(1)) - 1
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				defer nc.Close()
+				handler(nc, idx)
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		f.wg.Wait()
+	})
+	return f
+}
+
+func (f *fakeListener) addr() string { return f.ln.Addr().String() }
+
+// echoPong answers every request frame with a pong carrying its id.
+func echoPong(nc net.Conn, _ int) {
+	fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+	for {
+		h, _, err := fr.Next()
+		if err != nil {
+			return
+		}
+		nc.Write(wire.AppendPong(nil, h.ID))
+	}
+}
+
+// recorder wires deterministic seams into Options: jitter pinned to 1
+// (delays become exactly base<<n) and sleeps recorded instead of slept.
+func recorder(opts Options) (Options, *[]time.Duration) {
+	sleeps := &[]time.Duration{}
+	opts.jitter = func() float64 { return 1 }
+	opts.sleep = func(ctx context.Context, d time.Duration) error {
+		*sleeps = append(*sleeps, d)
+		return ctx.Err()
+	}
+	return opts, sleeps
+}
+
+// TestReconnectBackoffCadence: against a dead address the client must
+// space its dial attempts exponentially — base, 2·base, 4·base with
+// jitter pinned — and give up after MaxAttempts with the dial error.
+func TestReconnectBackoffCadence(t *testing.T) {
+	// Grab an address that refuses connections: listen, then close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	opts, sleeps := recorder(Options{
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		MaxAttempts: 4,
+	})
+	c := Dial(addr, opts)
+	defer c.Close()
+
+	err = c.Ping(context.Background())
+	if err == nil {
+		t.Fatal("ping succeeded against dead address")
+	}
+	var de *dialError
+	if !errors.As(err, &de) {
+		t.Fatalf("not a dial error: %v", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", *sleeps, want)
+	}
+	for i, d := range want {
+		if (*sleeps)[i] != d {
+			t.Fatalf("sleep %d = %v, want %v (all: %v)", i, (*sleeps)[i], d, *sleeps)
+		}
+	}
+}
+
+// TestBackoffCap: the exponential is clamped at MaxBackoff.
+func TestBackoffCap(t *testing.T) {
+	opts := Options{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 300 * time.Millisecond}
+	opts.withDefaults()
+	opts.jitter = func() float64 { return 1 }
+	if d := opts.backoff(0); d != 100*time.Millisecond {
+		t.Fatalf("backoff(0) = %v", d)
+	}
+	if d := opts.backoff(10); d != 300*time.Millisecond {
+		t.Fatalf("backoff(10) = %v, want cap", d)
+	}
+	// Jitter scales into [50%,100%].
+	opts.jitter = func() float64 { return 0 }
+	if d := opts.backoff(0); d != 50*time.Millisecond {
+		t.Fatalf("backoff(0) with zero jitter = %v", d)
+	}
+}
+
+// TestRetryAfterRespected: a backpressure refusal carrying a retry-after
+// hint must be retried after exactly that hint, not the backoff curve.
+func TestRetryAfterRespected(t *testing.T) {
+	var requests atomic.Int32
+	f := newFakeListener(t, func(nc net.Conn, _ int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		for {
+			h, _, err := fr.Next()
+			if err != nil {
+				return
+			}
+			if requests.Add(1) == 1 {
+				nc.Write(wire.AppendError(nil, h.ID, wire.CodeBackpressure, 123, "window full"))
+				continue
+			}
+			nc.Write(wire.AppendPong(nil, h.ID))
+		}
+	})
+
+	opts, sleeps := recorder(Options{BaseBackoff: 10 * time.Millisecond})
+	c := Dial(f.addr(), opts)
+	defer c.Close()
+
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after refusal: %v", err)
+	}
+	if len(*sleeps) != 1 || (*sleeps)[0] != 123*time.Millisecond {
+		t.Fatalf("sleeps = %v, want exactly [123ms]", *sleeps)
+	}
+	if n := requests.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2", n)
+	}
+}
+
+// TestNonRetryableErrorReturnsImmediately: a malformed rejection is not
+// Temporary, so the client must not burn attempts on it.
+func TestNonRetryableErrorReturnsImmediately(t *testing.T) {
+	var requests atomic.Int32
+	f := newFakeListener(t, func(nc net.Conn, _ int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		for {
+			h, _, err := fr.Next()
+			if err != nil {
+				return
+			}
+			requests.Add(1)
+			nc.Write(wire.AppendError(nil, h.ID, wire.CodeMalformed, 0, "nope"))
+		}
+	})
+	opts, sleeps := recorder(Options{})
+	c := Dial(f.addr(), opts)
+	defer c.Close()
+
+	err := c.Ping(context.Background())
+	var se *ServerError
+	if !errors.As(err, &se) || se.Name != "malformed" {
+		t.Fatalf("err = %v", err)
+	}
+	if se.Temporary() {
+		t.Fatal("malformed must not be Temporary")
+	}
+	if len(*sleeps) != 0 || requests.Load() != 1 {
+		t.Fatalf("retried a non-retryable error: sleeps=%v requests=%d", *sleeps, requests.Load())
+	}
+}
+
+// TestDeadlineHonored: a hanging server (accepts, never answers) must not
+// hold a request past its context deadline.
+func TestDeadlineHonored(t *testing.T) {
+	f := newFakeListener(t, func(nc net.Conn, _ int) {
+		// Read forever, answer never.
+		buf := make([]byte, 1024)
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				return
+			}
+		}
+	})
+	c := Dial(f.addr(), Options{})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Ping(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("deadline ignored: took %v", took)
+	}
+	// The abandoned request must not leak a pending entry.
+	c.pmu.Lock()
+	n := len(c.pending)
+	c.pmu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending entries leaked", n)
+	}
+}
+
+// TestReconnectAfterServerDrop: a connection the server drops mid-life is
+// redialed transparently on the next request.
+func TestReconnectAfterServerDrop(t *testing.T) {
+	f := newFakeListener(t, func(nc net.Conn, idx int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		h, _, err := fr.Next()
+		if err != nil {
+			return
+		}
+		nc.Write(wire.AppendPong(nil, h.ID))
+		if idx == 0 {
+			return // drop the first connection after one answer
+		}
+		echoPong(nc, idx)
+	})
+	opts, _ := recorder(Options{})
+	c := Dial(f.addr(), opts)
+	defer c.Close()
+
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("first ping: %v", err)
+	}
+	// Wait for the client to notice the drop so the next request redials
+	// rather than racing a write onto the dying socket.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		down := c.nc == nil
+		c.mu.Unlock()
+		if down {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never noticed the dropped connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping after drop: %v", err)
+	}
+	if n := f.accepts.Load(); n != 2 {
+		t.Fatalf("accepts = %d, want 2", n)
+	}
+}
+
+// TestPipelinedConcurrentRequests: many goroutines share one connection;
+// responses route back by id even when the server answers out of order.
+func TestPipelinedConcurrentRequests(t *testing.T) {
+	f := newFakeListener(t, func(nc net.Conn, _ int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		var mu sync.Mutex
+		batch := []uint64{}
+		flush := func() {
+			mu.Lock()
+			// Answer in reverse arrival order to exercise id routing.
+			for i := len(batch) - 1; i >= 0; i-- {
+				nc.Write(wire.AppendPong(nil, batch[i]))
+			}
+			batch = batch[:0]
+			mu.Unlock()
+		}
+		for {
+			h, _, err := fr.Next()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			batch = append(batch, h.ID)
+			n := len(batch)
+			mu.Unlock()
+			if n >= 8 {
+				flush()
+			}
+		}
+	})
+	c := Dial(f.addr(), Options{})
+	defer c.Close()
+
+	const n = 64
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() { errs <- c.Ping(context.Background()) }()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("pipelined ping: %v", err)
+		}
+	}
+	if got := f.accepts.Load(); got != 1 {
+		t.Fatalf("used %d connections, want 1 (pipelining broken)", got)
+	}
+}
+
+// TestClosedClient: requests after Close fail fast with ErrClosed.
+func TestClosedClient(t *testing.T) {
+	f := newFakeListener(t, echoPong)
+	c := Dial(f.addr(), Options{})
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Ping(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestIsDraining classifies draining refusals for load-generator logic.
+func TestIsDraining(t *testing.T) {
+	se := &ServerError{Code: uint16(wire.CodeDraining), Name: "draining"}
+	if !IsDraining(se) || !se.Temporary() {
+		t.Fatal("draining classification broken")
+	}
+	if IsDraining(fmt.Errorf("other")) {
+		t.Fatal("false positive")
+	}
+	wrapped := fmt.Errorf("attempt failed: %w", se)
+	if !IsDraining(wrapped) {
+		t.Fatal("wrapped draining not detected")
+	}
+}
+
+// TestDataPlaneMethods: FeedBatch, Estimate, and QueryBatch round-trip
+// their payloads through a scripted wire server — arguments arrive
+// decoded correctly and typed results come back.
+func TestDataPlaneMethods(t *testing.T) {
+	f := newFakeListener(t, func(nc net.Conn, _ int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		for {
+			h, payload, err := fr.Next()
+			if err != nil {
+				return
+			}
+			switch h.Type {
+			case wire.TFeedBatch:
+				objs, err := wire.DecodeFeedBatch(payload, nil)
+				if err != nil {
+					t.Errorf("decode feed: %v", err)
+					return
+				}
+				nc.Write(wire.AppendAck(nil, h.ID, uint32(len(objs))))
+			case wire.TEstimate:
+				_, q, err := wire.DecodeEstimate(payload)
+				if err != nil || len(q.Keywords) == 0 {
+					t.Errorf("decode estimate: %v %+v", err, q)
+					return
+				}
+				nc.Write(wire.AppendEstimateResult(nil, h.ID, 42.5))
+			case wire.TQueryBatch:
+				_, qs, err := wire.DecodeQueryBatch(payload, nil)
+				if err != nil {
+					t.Errorf("decode query batch: %v", err)
+					return
+				}
+				ests := make([]float64, len(qs))
+				acts := make([]int, len(qs))
+				for i := range qs {
+					ests[i], acts[i] = float64(i)+0.5, i*10
+				}
+				nc.Write(wire.AppendQueryBatchResult(nil, h.ID, ests, acts))
+			default:
+				nc.Write(wire.AppendPong(nil, h.ID))
+			}
+		}
+	})
+	c := Dial(f.addr(), Options{})
+	defer c.Close()
+	ctx := context.Background()
+
+	objs := make([]latest.Object, 3)
+	for i := range objs {
+		objs[i] = latest.Object{ID: uint64(i + 1), Timestamp: int64(i), Keywords: []string{"fire"}}
+		objs[i].Loc.X, objs[i].Loc.Y = -100, 35
+	}
+	accepted, err := c.FeedBatch(ctx, objs)
+	if err != nil || accepted != 3 {
+		t.Fatalf("FeedBatch = %d, %v", accepted, err)
+	}
+
+	var p geo.Point
+	p.X, p.Y = -100, 35
+	q := stream.HybridQ(geo.CenteredRect(p, 1, 1), []string{"fire"}, 6)
+	est, err := c.Estimate(ctx, q)
+	if err != nil || est != 42.5 {
+		t.Fatalf("Estimate = %v, %v", est, err)
+	}
+
+	ests, acts, err := c.QueryBatch(ctx, []latest.Query{q, q})
+	if err != nil || len(ests) != 2 || len(acts) != 2 {
+		t.Fatalf("QueryBatch = %v %v %v", ests, acts, err)
+	}
+	if ests[1] != 1.5 || acts[1] != 10 {
+		t.Fatalf("QueryBatch values = %v %v", ests, acts)
+	}
+}
+
+// TestServerErrorString: the error text carries code name, message, and
+// the retry-after hint when present.
+func TestServerErrorString(t *testing.T) {
+	e := &ServerError{Code: uint16(wire.CodeBackpressure), Name: "backpressure",
+		RetryAfter: 50 * time.Millisecond, Msg: "window full"}
+	s := e.Error()
+	for _, want := range []string{"backpressure", "window full", "50ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("error %q missing %q", s, want)
+		}
+	}
+	if (&ServerError{Name: "internal"}).Temporary() {
+		t.Error("internal must not be Temporary")
+	}
+}

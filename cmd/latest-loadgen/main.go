@@ -1,0 +1,279 @@
+// latest-loadgen drives a running latestd over the wire protocol with a
+// mixed feed/query workload and reports throughput, latency percentiles,
+// and error counts as JSON — the serving layer's benchmark harness and
+// smoke-test driver.
+//
+// Closed loop (default): each connection keeps exactly one request
+// outstanding and issues the next as soon as the previous answers, until
+// -requests complete. Open loop: -qps paces request starts at a target
+// rate regardless of completions, which surfaces queueing collapse the
+// closed loop hides.
+//
+//	latest-loadgen -addr 127.0.0.1:7707 -requests 5000 -conns 4 -feed-frac 0.9
+//	latest-loadgen -addr 127.0.0.1:7707 -qps 2000 -duration 30s -out bench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/client"
+	"github.com/spatiotext/latest/internal/datagen"
+	"github.com/spatiotext/latest/internal/telemetry"
+	"github.com/spatiotext/latest/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type loadOptions struct {
+	addr     string
+	conns    int
+	requests int
+	duration time.Duration
+	qps      float64
+	feedFrac float64
+	batch    int
+	dataset  string
+	wlName   string
+	seed     int64
+	deadline time.Duration
+	outPath  string
+}
+
+// report is the JSON result shape; BENCH_serve.json stores one of these
+// per datapoint.
+type report struct {
+	Addr        string  `json:"addr"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Conns       int     `json:"conns"`
+	FeedFrac    float64 `json:"feed_frac"`
+	BatchSize   int     `json:"batch_size"`
+	Requests    uint64  `json:"requests"`
+	Feeds       uint64  `json:"feeds"`
+	FeedObjects uint64  `json:"feed_objects"`
+	Queries     uint64  `json:"queries"`
+	Errors      uint64  `json:"errors"`
+	Drained     uint64  `json:"drained"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	Throughput  float64 `json:"requests_per_sec"`
+	LatencyUS   struct {
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Mean float64 `json:"mean"`
+	} `json:"latency_us"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("latest-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o loadOptions
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:7707", "latestd wire address")
+	fs.IntVar(&o.conns, "conns", 4, "concurrent connections (one worker each)")
+	fs.IntVar(&o.requests, "requests", 5000, "total requests for closed-loop mode")
+	fs.DurationVar(&o.duration, "duration", 0, "run length for open-loop mode (with -qps)")
+	fs.Float64Var(&o.qps, "qps", 0, "open-loop target request rate; 0 = closed loop")
+	fs.Float64Var(&o.feedFrac, "feed-frac", 0.9, "fraction of requests that are feed batches (rest are estimates)")
+	fs.IntVar(&o.batch, "batch", 64, "objects per feed batch")
+	fs.StringVar(&o.dataset, "dataset", "Twitter", "synthetic dataset preset for objects and query sampling")
+	fs.StringVar(&o.wlName, "workload", "TwQW1", "query workload preset")
+	fs.Int64Var(&o.seed, "seed", 42, "deterministic workload seed")
+	fs.DurationVar(&o.deadline, "request-deadline", 5*time.Second, "per-request deadline")
+	fs.StringVar(&o.outPath, "out", "", "write the JSON report here as well as stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.conns <= 0 || o.batch <= 0 || o.feedFrac < 0 || o.feedFrac > 1 {
+		fmt.Fprintln(stderr, "latest-loadgen: invalid -conns/-batch/-feed-frac")
+		return 2
+	}
+	if o.qps > 0 && o.duration <= 0 {
+		fmt.Fprintln(stderr, "latest-loadgen: open loop (-qps) requires -duration")
+		return 2
+	}
+	switch o.dataset {
+	case "Twitter", "eBird", "CheckIn":
+	default:
+		fmt.Fprintf(stderr, "latest-loadgen: unknown -dataset %q (want Twitter, eBird, or CheckIn)\n", o.dataset)
+		return 2
+	}
+	if !knownWorkload(o.wlName) {
+		fmt.Fprintf(stderr, "latest-loadgen: unknown -workload %q (one of %v)\n", o.wlName, workload.Names())
+		return 2
+	}
+
+	rep, err := drive(o, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "latest-loadgen:", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	if o.outPath != "" {
+		f, err := os.Create(o.outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "latest-loadgen:", err)
+			return 1
+		}
+		je := json.NewEncoder(f)
+		je.SetIndent("", "  ")
+		je.Encode(rep)
+		f.Close()
+	}
+	if rep.Errors > 0 {
+		return 1
+	}
+	return 0
+}
+
+func knownWorkload(name string) bool {
+	for _, n := range workload.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// worker is one connection's request loop state.
+type worker struct {
+	c   *client.Client
+	rng *rand.Rand
+	gen *datagen.Generator
+	wl  *workload.Generator
+	now int64
+}
+
+func drive(o loadOptions, stderr io.Writer) (*report, error) {
+	rep := &report{
+		Addr: o.addr, Conns: o.conns, FeedFrac: o.feedFrac, BatchSize: o.batch,
+		Mode: "closed",
+	}
+	if o.qps > 0 {
+		rep.Mode = "open"
+	}
+
+	var (
+		requests, feeds, feedObjects, queries, errorsN, drained atomic.Uint64
+		hist                                                    telemetry.Histogram
+		remaining                                               atomic.Int64
+		stop                                                    atomic.Bool
+	)
+	remaining.Store(int64(o.requests))
+
+	workers := make([]*worker, o.conns)
+	for i := range workers {
+		gen := datagen.ByName(o.dataset, o.seed+int64(i)*101, 1000)
+		spec := workload.ByName(o.wlName)
+		workers[i] = &worker{
+			c:   client.Dial(o.addr, client.Options{RequestTimeout: o.deadline}),
+			rng: rand.New(rand.NewSource(o.seed + int64(i)*977)),
+			gen: gen,
+			wl:  workload.NewGenerator(spec, gen, 1<<30),
+		}
+	}
+	defer func() {
+		for _, w := range workers {
+			w.c.Close()
+		}
+	}()
+
+	// one issues a single request and classifies the outcome.
+	one := func(w *worker) {
+		ctx, cancel := context.WithTimeout(context.Background(), o.deadline)
+		defer cancel()
+		start := time.Now()
+		var err error
+		if w.rng.Float64() < o.feedFrac {
+			objs := make([]latest.Object, o.batch)
+			for j := range objs {
+				objs[j] = w.gen.Next()
+			}
+			w.now = objs[len(objs)-1].Timestamp
+			_, err = w.c.FeedBatch(ctx, objs)
+			if err == nil {
+				feeds.Add(1)
+				feedObjects.Add(uint64(len(objs)))
+			}
+		} else {
+			q := w.wl.Next(w.now)
+			_, err = w.c.Estimate(ctx, q)
+			if err == nil {
+				queries.Add(1)
+			}
+		}
+		requests.Add(1)
+		if err == nil {
+			hist.Record(time.Since(start))
+			return
+		}
+		if client.IsDraining(err) {
+			// The server is going away cleanly: not a protocol error.
+			drained.Add(1)
+			stop.Store(true)
+			return
+		}
+		errorsN.Add(1)
+		if errorsN.Load() <= 5 {
+			fmt.Fprintln(stderr, "latest-loadgen: request error:", err)
+		}
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if o.qps > 0 {
+				// Open loop: pace request starts; each worker owns an
+				// interleaved slice of the global schedule.
+				interval := time.Duration(float64(o.conns) / o.qps * float64(time.Second))
+				end := begin.Add(o.duration)
+				next := time.Now()
+				for time.Now().Before(end) && !stop.Load() {
+					one(w)
+					next = next.Add(interval)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				return
+			}
+			// Closed loop: one outstanding request per connection.
+			for remaining.Add(-1) >= 0 && !stop.Load() {
+				one(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep.Requests = requests.Load()
+	rep.Feeds = feeds.Load()
+	rep.FeedObjects = feedObjects.Load()
+	rep.Queries = queries.Load()
+	rep.Errors = errorsN.Load()
+	rep.Drained = drained.Load()
+	rep.ElapsedSec = time.Since(begin).Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.Throughput = float64(rep.Requests) / rep.ElapsedSec
+	}
+	hs := hist.Snapshot()
+	rep.LatencyUS.P50 = float64(hs.P50().Microseconds())
+	rep.LatencyUS.P95 = float64(hs.P95().Microseconds())
+	rep.LatencyUS.P99 = float64(hs.P99().Microseconds())
+	rep.LatencyUS.Mean = float64(hs.Mean().Microseconds())
+	return rep, nil
+}

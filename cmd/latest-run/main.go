@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/spatiotext/latest/client"
 	"github.com/spatiotext/latest/internal/core"
 	"github.com/spatiotext/latest/internal/datagen"
 	"github.com/spatiotext/latest/internal/estimator"
@@ -118,19 +120,20 @@ func parseWorld(spec string) (geo.Rect, error) {
 
 // runOptions is the parsed flag set of one invocation.
 type runOptions struct {
-	dataset  string
-	wlName   string
-	queries  int
-	pretrain int
-	windowMS int64
-	rate     float64
-	alpha    float64
-	tau      float64
-	beta     float64
-	seed     int64
-	every    int
-	input    string
-	worldStr string
+	dataset   string
+	wlName    string
+	queries   int
+	pretrain  int
+	windowMS  int64
+	rate      float64
+	alpha     float64
+	tau       float64
+	beta      float64
+	seed      int64
+	every     int
+	input     string
+	worldStr  string
+	serveAddr string
 }
 
 func main() {
@@ -156,38 +159,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.every, "report", 200, "progress report interval (queries)")
 	fs.StringVar(&o.input, "input", "", "replay a JSONL object stream instead of generating one")
 	fs.StringVar(&o.worldStr, "world", "-125,24,-66,50", "world rect for -input mode: minx,miny,maxx,maxy")
+	fs.StringVar(&o.serveAddr, "serve-addr", "", "replay against a running latestd at this wire address instead of an in-process module (start latestd with a matching -window)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if err := drive(o, stdout); err != nil {
+	var err error
+	if o.serveAddr != "" {
+		err = driveRemote(o, stdout)
+	} else {
+		err = drive(o, stdout)
+	}
+	if err != nil {
 		fmt.Fprintf(stderr, "latest-run: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-// drive executes one narrated run, writing the report to out.
-func drive(o runOptions, out io.Writer) error {
-	// nextObject abstracts over synthetic generation and file replay.
-	var nextObject func() (stream.Object, bool, error)
-	var world geo.Rect
-	var src workload.Source
+// objectSource bundles one run's object stream with its world rect and the
+// workload.Source that samples query focal points from it. It abstracts
+// over synthetic generation and file replay for both the in-process and
+// the remote (-serve-addr) drivers.
+type objectSource struct {
+	next    func() (stream.Object, bool, error)
+	world   geo.Rect
+	src     workload.Source
+	name    string
+	cleanup func()
+}
+
+func openSource(o runOptions) (*objectSource, error) {
 	if o.input != "" {
-		w, err := parseWorld(o.worldStr)
+		world, err := parseWorld(o.worldStr)
 		if err != nil {
-			return fmt.Errorf("-world: %w", err)
+			return nil, fmt.Errorf("-world: %w", err)
 		}
-		world = w
 		f, err := os.Open(o.input)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		defer f.Close()
 		rd := replay.NewReader(f)
 		rd.SetWorld(world)
 		rs := newReplaySource(world, o.seed)
-		src = rs
-		nextObject = func() (stream.Object, bool, error) {
+		next := func() (stream.Object, bool, error) {
 			obj, err := rd.Next()
 			if err == io.EOF {
 				return stream.Object{}, false, nil
@@ -198,12 +212,27 @@ func drive(o runOptions, out io.Writer) error {
 			rs.observe(&obj)
 			return obj, true, nil
 		}
-	} else {
-		data := datagen.ByName(o.dataset, o.seed, o.rate)
-		world = data.World()
-		src = data
-		nextObject = func() (stream.Object, bool, error) { return data.Next(), true, nil }
+		return &objectSource{next: next, world: world, src: rs, name: o.input,
+			cleanup: func() { f.Close() }}, nil
 	}
+	data := datagen.ByName(o.dataset, o.seed, o.rate)
+	return &objectSource{
+		next:    func() (stream.Object, bool, error) { return data.Next(), true, nil },
+		world:   data.World(),
+		src:     data,
+		name:    o.dataset,
+		cleanup: func() {},
+	}, nil
+}
+
+// drive executes one narrated run, writing the report to out.
+func drive(o runOptions, out io.Writer) error {
+	osrc, err := openSource(o)
+	if err != nil {
+		return err
+	}
+	defer osrc.cleanup()
+	nextObject, world, src := osrc.next, osrc.world, osrc.src
 	spec := workload.ByName(o.wlName)
 	gen := workload.NewGenerator(spec, src, o.pretrain+o.queries)
 	oracle := stream.NewWindow(world, o.windowMS, 4096)
@@ -257,12 +286,8 @@ func drive(o runOptions, out io.Writer) error {
 		return nil
 	}
 
-	sourceName := o.dataset
-	if o.input != "" {
-		sourceName = o.input
-	}
 	fmt.Fprintf(out, "warm-up: filling one %.0fs window of %s data...\n",
-		float64(o.windowMS)/1000, sourceName)
+		float64(o.windowMS)/1000, osrc.name)
 	if o.input != "" {
 		// Replayed time is whatever the file says: fill until one window
 		// has elapsed.
@@ -335,4 +360,119 @@ func orDash(s string) string {
 		return "-"
 	}
 	return s
+}
+
+// driveRemote replays the same stream-and-query loop against a running
+// latestd over the wire protocol instead of an in-process module. A local
+// window oracle still computes exact counts so the report carries the same
+// rolling-accuracy column; for that column to be meaningful the daemon
+// must have been started with the same -window span. Phase and switch
+// narration is absent — the adaptor lives on the far side of the wire.
+func driveRemote(o runOptions, out io.Writer) error {
+	osrc, err := openSource(o)
+	if err != nil {
+		return err
+	}
+	defer osrc.cleanup()
+	spec := workload.ByName(o.wlName)
+	gen := workload.NewGenerator(spec, osrc.src, o.queries)
+	oracle := stream.NewWindow(osrc.world, o.windowMS, 4096)
+
+	c := client.Dial(o.serveAddr, client.Options{})
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		return fmt.Errorf("latestd at %s: %w", o.serveAddr, err)
+	}
+
+	var exhausted bool
+	var lastTS int64
+	batch := make([]stream.Object, 0, 256)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := c.FeedBatch(ctx, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	feed := func(n int) error {
+		for i := 0; i < n && !exhausted; i++ {
+			obj, ok, err := osrc.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				exhausted = true
+				break
+			}
+			lastTS = obj.Timestamp
+			oracle.Insert(obj)
+			if batch = append(batch, obj); len(batch) == cap(batch) {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		return flush()
+	}
+
+	fmt.Fprintf(out, "replaying %s to latestd at %s (%d queries, %.0fs window)\n",
+		osrc.name, o.serveAddr, o.queries, float64(o.windowMS)/1000)
+	// Warm-up: one full window of data before the first query, mirroring
+	// the in-process driver.
+	if o.input != "" {
+		obj, ok, err := osrc.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errors.New("input is empty")
+		}
+		start := obj.Timestamp
+		lastTS = obj.Timestamp
+		oracle.Insert(obj)
+		batch = append(batch, obj)
+		for lastTS-start < o.windowMS && !exhausted {
+			if err := feed(1024); err != nil {
+				return err
+			}
+		}
+	} else if err := feed(int(float64(o.windowMS) * o.rate)); err != nil {
+		return err
+	}
+
+	var lat metrics.LatencyTracker
+	accSum, n := 0.0, 0
+	for gen.Remaining() > 0 && !exhausted {
+		if err := feed(40); err != nil {
+			return err
+		}
+		q := gen.Next(lastTS)
+		start := time.Now()
+		est, err := c.Estimate(ctx, q)
+		if err != nil {
+			if client.IsDraining(err) {
+				fmt.Fprintf(out, "server draining after %d queries; stopping replay\n", n)
+				break
+			}
+			return err
+		}
+		lat.Add(time.Since(start))
+		actual := oracle.Answer(&q)
+		accSum += metrics.Accuracy(est, float64(actual))
+		n++
+		if n%o.every == 0 {
+			fmt.Fprintf(out, "q=%-6d acc(avg)=%.3f rtt(p50)=%s window=%d\n",
+				n, accSum/float64(n), lat.Percentile(0.5).Round(time.Microsecond), oracle.Size())
+		}
+	}
+	if n == 0 {
+		return errors.New("stream exhausted before any query ran")
+	}
+	fmt.Fprintf(out, "\nfinished: %d remote queries, overall accuracy %.3f, mean round-trip %s\n",
+		n, accSum/float64(n), lat.Mean().Round(time.Microsecond))
+	return nil
 }

@@ -6,6 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/server"
 )
 
 func runRun(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -55,6 +59,55 @@ func TestReplayRunEmptyInput(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "input is empty") {
 		t.Errorf("stderr missing empty-input error:\n%s", stderr)
+	}
+}
+
+// TestServeAddrReplay replays the golden trace against an in-process
+// serving stack — engine behind internal/server, driven over a real TCP
+// socket through the public client — and expects the remote report.
+func TestServeAddrReplay(t *testing.T) {
+	world := latest.Rect{MinX: -125, MinY: 24, MaxX: -66, MaxY: 50}
+	eng, err := latest.NewConcurrent(world, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(eng, server.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Close()
+		eng.Close()
+	}()
+
+	trace := filepath.Join("..", "..", "testdata", "check", "trace_twitter.jsonl")
+	code, stdout, stderr := runRun(t,
+		"-serve-addr", srv.Addr(),
+		"-input", trace, "-world", "-125,24,-66,50",
+		"-queries", "60", "-window", "1000", "-report", "30")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"replaying", "latestd at", "finished: 60 remote queries"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	// Local phase/switch narration must not appear in remote mode.
+	if strings.Contains(stdout, "switches (") {
+		t.Errorf("remote mode leaked local narration:\n%s", stdout)
+	}
+}
+
+// TestServeAddrUnreachable fails fast with a useful error.
+func TestServeAddrUnreachable(t *testing.T) {
+	code, _, stderr := runRun(t,
+		"-serve-addr", "127.0.0.1:1", "-queries", "10")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "latestd at") {
+		t.Errorf("stderr missing dial context:\n%s", stderr)
 	}
 }
 

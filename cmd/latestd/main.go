@@ -1,0 +1,193 @@
+// latestd serves a LATEST engine over the network: the binary wire
+// protocol from internal/wire on one TCP listener for the hot paths (feed
+// batches, estimates, query batches), and the HTTP admin plane (health,
+// /metrics, /statusz, pprof, drain trigger) on another.
+//
+// Usage:
+//
+//	latestd -addr 127.0.0.1:7707 -admin 127.0.0.1:7708
+//	latestd -engine concurrent -window 2m -addr-file /tmp/latestd.addr
+//
+// SIGTERM or SIGINT (or POST /drain on the admin plane) begins a graceful
+// drain: the listener closes, in-flight requests finish and flush, new
+// requests are refused with a retryable draining error, and the process
+// exits once peers hang up or the drain timeout expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/server"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+func main() {
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, syscall.SIGTERM, os.Interrupt)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, shutdown))
+}
+
+type daemonOptions struct {
+	addr         string
+	adminAddr    string
+	addrFile     string
+	engine       string
+	shards       int
+	window       time.Duration
+	worldStr     string
+	maxConns     int
+	maxInFlight  int
+	drainTimeout time.Duration
+	logLevel     string
+}
+
+// run is the testable entrypoint: flags in, exit code out, shutdown
+// triggered by whatever the caller feeds the signal channel.
+func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int {
+	fs := flag.NewFlagSet("latestd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o daemonOptions
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:7707", "wire-protocol listen address (port 0 = kernel-assigned)")
+	fs.StringVar(&o.adminAddr, "admin", "127.0.0.1:0", "admin/metrics listen address; empty disables the admin plane")
+	fs.StringVar(&o.addrFile, "addr-file", "", "write the bound addresses here (line 1 wire, line 2 admin) once listening")
+	fs.StringVar(&o.engine, "engine", "sharded", "engine: sharded or concurrent")
+	fs.IntVar(&o.shards, "shards", 0, "shard count for -engine sharded (0 = one per CPU core)")
+	fs.DurationVar(&o.window, "window", time.Minute, "sliding-window span")
+	fs.StringVar(&o.worldStr, "world", "-125,24,-66,50", "world rect: minx,miny,maxx,maxy")
+	fs.IntVar(&o.maxConns, "max-conns", 256, "maximum concurrent wire connections")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 64, "per-connection in-flight request window")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "bound on graceful drain before force-closing connections")
+	fs.StringVar(&o.logLevel, "log-level", "info", "minimum log severity: debug, info, warn, error")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if err := serve(o, stdout, stderr, shutdown); err != nil {
+		fmt.Fprintln(stderr, "latestd:", err)
+		return 1
+	}
+	return 0
+}
+
+func parseLevel(s string) (telemetry.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return telemetry.LevelDebug, nil
+	case "info":
+		return telemetry.LevelInfo, nil
+	case "warn":
+		return telemetry.LevelWarn, nil
+	case "error":
+		return telemetry.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q", s)
+}
+
+// parseWorld parses "minx,miny,maxx,maxy".
+func parseWorld(spec string) (geo.Rect, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return geo.Rect{}, fmt.Errorf("want minx,miny,maxx,maxy, got %q", spec)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geo.Rect{}, err
+		}
+		vals[i] = v
+	}
+	r := geo.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	if !r.Valid() || r.Empty() {
+		return geo.Rect{}, fmt.Errorf("invalid world %v", r)
+	}
+	return r, nil
+}
+
+// engine is the daemon's view of the systems it can front: the serving
+// Engine surface plus graceful teardown.
+type engine interface {
+	server.Engine
+	Shutdown(ctx context.Context) error
+}
+
+func buildEngine(o daemonOptions, world geo.Rect, logW io.Writer, level telemetry.Level) (engine, error) {
+	// The daemon owns the exposition listener through internal/server, so
+	// the engine is built WITHOUT WithTelemetry — its snapshot is scraped
+	// through the admin plane instead.
+	opts := []latest.Option{latest.WithLogger(logW, level)}
+	switch o.engine {
+	case "sharded":
+		if o.shards > 0 {
+			opts = append(opts, latest.WithShards(o.shards))
+		}
+		return latest.NewSharded(world, o.window, opts...)
+	case "concurrent":
+		return latest.NewConcurrent(world, o.window, opts...)
+	}
+	return nil, fmt.Errorf("unknown engine %q (want sharded or concurrent)", o.engine)
+}
+
+func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal) error {
+	level, err := parseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	world, err := parseWorld(o.worldStr)
+	if err != nil {
+		return fmt.Errorf("-world: %w", err)
+	}
+	eng, err := buildEngine(o, world, stderr, level)
+	if err != nil {
+		return err
+	}
+	log := telemetry.NewLogger(stderr, level)
+	srv, err := server.New(eng, server.Config{
+		Addr:        o.addr,
+		AdminAddr:   o.adminAddr,
+		MaxConns:    o.maxConns,
+		MaxInFlight: o.maxInFlight,
+		Log:         log,
+	})
+	if err != nil {
+		eng.Shutdown(context.Background())
+		return err
+	}
+
+	if o.addrFile != "" {
+		content := srv.Addr() + "\n" + srv.AdminAddr() + "\n"
+		if err := os.WriteFile(o.addrFile, []byte(content), 0o644); err != nil {
+			srv.Close()
+			eng.Shutdown(context.Background())
+			return fmt.Errorf("-addr-file: %w", err)
+		}
+	}
+	fmt.Fprintf(stdout, "latestd listening addr=%s admin=%s engine=%s window=%s\n",
+		srv.Addr(), srv.AdminAddr(), o.engine, o.window)
+
+	select {
+	case sig := <-shutdown:
+		fmt.Fprintf(stdout, "latestd draining reason=%v\n", sig)
+	case <-srv.DrainRequested():
+		fmt.Fprintln(stdout, "latestd draining reason=admin")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	engErr := eng.Shutdown(ctx)
+	fmt.Fprintln(stdout, "latestd stopped")
+	return errors.Join(drainErr, engErr)
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/client"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+// startDaemon runs the daemon in a goroutine and waits for the addr file.
+// Returns the wire and admin addresses, the shutdown trigger, and a
+// function that waits for exit and returns (code, stdout).
+func startDaemon(t *testing.T, extraArgs ...string) (addr, admin string, shutdown chan os.Signal, wait func() (int, string)) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "latestd.addr")
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-admin", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-engine", "concurrent",
+		"-window", "30s",
+		"-drain-timeout", "5s",
+	}, extraArgs...)
+
+	var stdout, stderr bytes.Buffer
+	var mu sync.Mutex
+	shutdown = make(chan os.Signal, 1)
+	done := make(chan int, 1)
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		done <- run(args, &stdout, &stderr, shutdown)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(addrFile)
+		if err == nil && bytes.Count(b, []byte("\n")) >= 2 {
+			lines := strings.Split(string(b), "\n")
+			addr, admin = lines[0], lines[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never wrote addr file; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wait = func() (int, string) {
+		select {
+		case code := <-done:
+			mu.Lock()
+			out := stdout.String()
+			mu.Unlock()
+			return code, out
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not exit")
+			return -1, ""
+		}
+	}
+	return addr, admin, shutdown, wait
+}
+
+func testObjects(n int) []latest.Object {
+	objs := make([]latest.Object, n)
+	for i := range objs {
+		o := stream.Object{ID: uint64(i + 1), Timestamp: int64(i), Keywords: []string{"fire"}}
+		o.Loc.X, o.Loc.Y = -100+float64(i)*0.01, 35
+		objs[i] = o
+	}
+	return objs
+}
+
+// TestServeFeedQueryDrain: the full daemon loop — serve traffic through
+// the public client, then SIGTERM and verify a clean exit.
+func TestServeFeedQueryDrain(t *testing.T) {
+	addr, admin, shutdown, wait := startDaemon(t)
+
+	c := client.Dial(addr, client.Options{})
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	accepted, err := c.FeedBatch(ctx, testObjects(50))
+	if err != nil || accepted != 50 {
+		t.Fatalf("feed: %d, %v", accepted, err)
+	}
+	var p geo.Point
+	p.X, p.Y = -100, 35
+	q := stream.HybridQ(geo.CenteredRect(p, 5, 5), []string{"fire"}, 6)
+	if _, err := c.Estimate(ctx, q); err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+
+	// The admin plane must expose health and server metric families.
+	resp, err := http.Get("http://" + admin + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+
+	c.Close()
+	shutdown <- syscall.SIGTERM
+	code, out := wait()
+	if code != 0 {
+		t.Fatalf("exit code %d; stdout: %s", code, out)
+	}
+	for _, want := range []string{"latestd listening", "draining reason=terminated", "latestd stopped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAdminDrainTrigger: POST /drain is equivalent to SIGTERM.
+func TestAdminDrainTrigger(t *testing.T) {
+	_, admin, _, wait := startDaemon(t)
+	resp, err := http.Post("http://"+admin+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /drain: %v", err)
+	}
+	resp.Body.Close()
+	code, out := wait()
+	if code != 0 || !strings.Contains(out, "draining reason=admin") {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+}
+
+// TestShardedEngineOption: the default sharded engine also serves.
+func TestShardedEngineOption(t *testing.T) {
+	addr, _, shutdown, wait := startDaemon(t, "-engine", "sharded", "-shards", "2")
+	c := client.Dial(addr, client.Options{})
+	defer c.Close()
+	if _, err := c.FeedBatch(context.Background(), testObjects(10)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	shutdown <- syscall.SIGTERM
+	if code, _ := wait(); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	cases := [][]string{
+		{"-engine", "bogus"},
+		{"-world", "1,2,3"},
+		{"-log-level", "loud"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		ch := make(chan os.Signal)
+		if code := run(args, &out, &errOut, ch); code == 0 {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]telemetry.Level{
+		"debug": telemetry.LevelDebug, "Info": telemetry.LevelInfo,
+		"WARN": telemetry.LevelWarn, "error": telemetry.LevelError,
+	} {
+		got, err := parseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseLevel("loud"); err == nil {
+		t.Error("parseLevel accepted garbage")
+	}
+}

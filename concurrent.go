@@ -1,6 +1,7 @@
 package latest
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -77,6 +78,20 @@ func (c *ConcurrentSystem) Close() {
 			c.telem.Close()
 		}
 	})
+}
+
+// Shutdown is the graceful form of Close: the telemetry exposition server
+// (if one was started) finishes in-flight scrapes before stopping, bounded
+// by ctx. Shares Close's once — whichever runs first wins, the other is a
+// no-op.
+func (c *ConcurrentSystem) Shutdown(ctx context.Context) error {
+	var err error
+	c.closeOnce.Do(func() {
+		if c.telem != nil {
+			err = c.telem.Shutdown(ctx)
+		}
+	})
+	return err
 }
 
 // TelemetryAddr returns the bound address of the telemetry server, or ""

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/wire"
+)
+
+// outHeadroom is extra capacity on the response queue beyond the in-flight
+// window, reserved so refusal frames (backpressure, draining) can always
+// enqueue without deadlocking against the very fullness they report.
+const outHeadroom = 16
+
+// conn is one wire-protocol connection: a read loop that decodes and
+// dispatches frames inline, and a write loop that flushes encoded
+// responses. The out channel is the in-flight window — responses the read
+// loop has produced but the peer has not yet been sent.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	fr  *wire.FrameReader
+	out chan *[]byte
+
+	// window bounds concurrently in-flight estimate/query requests on
+	// this connection; a slot is held from dispatch until the response is
+	// enqueued. Feeds process inline on the read loop (ingest order is
+	// part of stream semantics), so they are bounded by the out queue
+	// instead.
+	window  chan struct{}
+	workers sync.WaitGroup
+
+	// decode scratch, reused across frames on this connection. Only the
+	// read loop touches it.
+	objs     []stream.Object
+	coalesce []stream.Object
+	acks     []feedAck
+}
+
+// feedAck remembers one coalesced feed frame's id and object count so each
+// pipelined frame still gets its own acknowledgment.
+type feedAck struct {
+	id uint64
+	n  uint32
+}
+
+// countingReader feeds the bytes-in counter without touching the hot
+// decode path.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(uint64(n))
+	return n, err
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	br := bufio.NewReaderSize(countingReader{nc, &s.st.bytesIn}, 64<<10)
+	return &conn{
+		srv:    s,
+		nc:     nc,
+		fr:     wire.NewFrameReader(br, s.cfg.MaxPayload),
+		out:    make(chan *[]byte, s.cfg.MaxInFlight+outHeadroom),
+		window: make(chan struct{}, s.cfg.MaxInFlight),
+	}
+}
+
+func (c *conn) serve() {
+	defer c.srv.removeConn(c)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.writeLoop()
+	}()
+	c.readLoop()
+	c.workers.Wait() // in-flight estimate/query workers still own out slots
+	close(c.out)     // flush queued responses, then the writer exits
+	wg.Wait()
+	c.nc.Close()
+}
+
+// writeLoop drains the response queue to the socket. After a write error
+// it keeps draining (returning buffers, decrementing in-flight) without
+// writing, so the read loop never blocks on a dead peer.
+func (c *conn) writeLoop() {
+	st := &c.srv.st
+	failed := false
+	for b := range c.out {
+		if !failed {
+			if _, err := c.nc.Write(*b); err != nil {
+				failed = true
+				c.nc.Close() // unblock the read loop
+			} else {
+				st.bytesOut.Add(uint64(len(*b)))
+				st.framesOut.Add(1)
+			}
+		}
+		wire.PutBuf(b)
+		st.inFlight.Add(-1)
+	}
+}
+
+// enqueue hands one encoded response to the write loop. Blocking here is
+// the backstop — dispatch refuses with CodeBackpressure before the window
+// fills, so only refusal frames ever ride the headroom.
+func (c *conn) enqueue(b *[]byte) {
+	c.srv.st.inFlight.Add(1)
+	c.out <- b
+}
+
+func (c *conn) sendErr(id uint64, code wire.Code, retryAfter time.Duration, msg string) {
+	c.srv.st.countErr(code)
+	b := wire.GetBuf()
+	*b = wire.AppendError(*b, id, code, uint32(retryAfter.Milliseconds()), msg)
+	c.enqueue(b)
+}
+
+// decodeErr maps a payload decode failure onto a typed error frame. The
+// framing itself was sound (header CRC passed, payload length honored), so
+// the connection stays usable.
+func (c *conn) decodeErr(id uint64, err error) {
+	var pe *wire.ProtoError
+	if errors.As(err, &pe) {
+		c.sendErr(id, pe.Code, 0, pe.Reason)
+		return
+	}
+	c.sendErr(id, wire.CodeMalformed, 0, err.Error())
+}
+
+func (c *conn) readLoop() {
+	for {
+		h, payload, err := c.fr.Next()
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return
+			}
+			var pe *wire.ProtoError
+			if errors.As(err, &pe) {
+				// Malformed header: report once, then drop the
+				// connection — after a framing error the stream is
+				// desynchronized and nothing further can be trusted.
+				c.sendErr(0, pe.Code, 0, pe.Reason)
+				c.srv.log.Warn("framing error, dropping conn",
+					"remote", c.nc.RemoteAddr().String(), "err", pe.Reason)
+			}
+			return
+		}
+		c.srv.st.framesIn.Add(1)
+		c.dispatch(h, payload)
+	}
+}
+
+// dispatch routes one well-framed request. Refusals (draining, window
+// full, unknown type) answer without touching the engine; engine calls run
+// under a panic guard so a contained engine failure becomes CodeInternal,
+// never a dropped connection without an answer.
+func (c *conn) dispatch(h wire.Header, payload []byte) {
+	start := time.Now()
+	if h.Flags != 0 {
+		c.sendErr(h.ID, wire.CodeMalformed, 0,
+			fmt.Sprintf("reserved header flags 0x%04x must be zero", h.Flags))
+		return
+	}
+	if !h.Type.Request() {
+		c.sendErr(h.ID, wire.CodeUnknownType, 0, "not a request type: "+h.Type.String())
+		return
+	}
+	if c.srv.draining.Load() {
+		c.sendErr(h.ID, wire.CodeDraining, c.srv.cfg.RetryAfter, "server draining")
+		return
+	}
+	switch h.Type {
+	case wire.TPing:
+		if len(c.out) >= c.srv.cfg.MaxInFlight {
+			c.sendErr(h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
+			return
+		}
+		c.srv.st.ping.observe(start)
+		b := wire.GetBuf()
+		*b = wire.AppendPong(*b, h.ID)
+		c.enqueue(b)
+	case wire.TFeedBatch:
+		if len(c.out) >= c.srv.cfg.MaxInFlight {
+			c.sendErr(h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
+			return
+		}
+		c.handleFeed(h, payload, start)
+	case wire.TEstimate, wire.TQueryBatch:
+		// Estimates and query batches run on worker goroutines so a
+		// pipelining client overlaps them; the window slot is held from
+		// here until the response is enqueued.
+		select {
+		case c.window <- struct{}{}:
+		default:
+			c.sendErr(h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
+			return
+		}
+		if h.Type == wire.TEstimate {
+			c.handleEstimate(h, payload, start)
+		} else {
+			c.handleQueryBatch(h, payload, start)
+		}
+	}
+}
+
+// guard runs an engine call, converting a panic into CodeInternal. The
+// engines carry their own resilience layer; this is the serving layer's
+// last line — a request must always be answered.
+func (c *conn) guard(id uint64, fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.log.Error("engine panic contained", "err", fmt.Sprint(r))
+			c.sendErr(id, wire.CodeInternal, 0, "engine failure")
+			ok = false
+		}
+	}()
+	fn()
+	return true
+}
+
+// handleFeed ingests one feed frame, first folding in any pipelined feed
+// frames that are already fully buffered — one engine batch instead of N,
+// while every frame still gets its own ack.
+func (c *conn) handleFeed(h wire.Header, payload []byte, start time.Time) {
+	st := &c.srv.st
+	objs, err := wire.DecodeFeedBatch(payload, c.objs)
+	if err != nil {
+		c.decodeErr(h.ID, err)
+		return
+	}
+	acks := append(c.acks[:0], feedAck{h.ID, uint32(len(objs))})
+	for len(objs) < c.srv.cfg.CoalesceObjects {
+		nh, ready := c.fr.PeekHeader()
+		if !ready || nh.Type != wire.TFeedBatch || nh.Flags != 0 ||
+			c.fr.Buffered() < wire.HeaderSize+int(nh.Length) {
+			break
+		}
+		nh, pl, err := c.fr.Next() // fully buffered and header-verified: cannot block
+		if err != nil {
+			break
+		}
+		st.framesIn.Add(1)
+		more, err := wire.DecodeFeedBatch(pl, c.coalesce)
+		if err != nil {
+			// This frame alone is bad; answer it and feed what we have.
+			c.decodeErr(nh.ID, err)
+			break
+		}
+		c.coalesce = more[:0]
+		objs = append(objs, more...)
+		acks = append(acks, feedAck{nh.ID, uint32(len(more))})
+		st.coalescedFeeds.Add(1)
+	}
+	c.objs = objs[:0]
+	c.acks = acks[:0]
+	if !c.guard(h.ID, func() { c.srv.eng.FeedBatch(objs) }) {
+		return
+	}
+	st.feedObjects.Add(uint64(len(objs)))
+	for _, a := range acks {
+		st.feed.observe(start)
+		b := wire.GetBuf()
+		*b = wire.AppendAck(*b, a.id, a.n)
+		c.enqueue(b)
+	}
+}
+
+// expired reports whether a request's relative deadline budget has
+// elapsed. Budgets are milliseconds from frame decode — the two sides
+// never need agreeing clocks.
+func expired(start time.Time, deadlineMS uint32) bool {
+	return deadlineMS > 0 && time.Since(start) > time.Duration(deadlineMS)*time.Millisecond
+}
+
+// handleEstimate decodes on the read loop (the payload aliases the frame
+// reader's buffer and dies at the next read), then answers from a worker
+// holding a window slot.
+func (c *conn) handleEstimate(h wire.Header, payload []byte, start time.Time) {
+	deadlineMS, q, err := wire.DecodeEstimate(payload)
+	if err != nil {
+		<-c.window
+		c.decodeErr(h.ID, err)
+		return
+	}
+	c.workers.Add(1)
+	go func() {
+		defer c.workers.Done()
+		defer func() { <-c.window }()
+		var est float64
+		if !c.guard(h.ID, func() { est, _ = c.srv.eng.EstimateAndExecute(&q) }) {
+			return
+		}
+		if expired(start, deadlineMS) {
+			// The peer has given up; an answer now is noise it must
+			// discard.
+			c.sendErr(h.ID, wire.CodeDeadlineExceeded, 0,
+				fmt.Sprintf("deadline %dms elapsed", deadlineMS))
+			return
+		}
+		c.srv.st.estimate.observe(start)
+		b := wire.GetBuf()
+		*b = wire.AppendEstimateResult(*b, h.ID, est)
+		c.enqueue(b)
+	}()
+}
+
+// handleQueryBatch mirrors handleEstimate. The query slice is freshly
+// allocated per request — it crosses into the worker goroutine, so the
+// connection scratch cannot back it.
+func (c *conn) handleQueryBatch(h wire.Header, payload []byte, start time.Time) {
+	deadlineMS, qs, err := wire.DecodeQueryBatch(payload, nil)
+	if err != nil {
+		<-c.window
+		c.decodeErr(h.ID, err)
+		return
+	}
+	c.workers.Add(1)
+	go func() {
+		defer c.workers.Done()
+		defer func() { <-c.window }()
+		var ests []float64
+		var acts []int
+		if !c.guard(h.ID, func() { ests, acts = c.srv.eng.EstimateAndExecuteBatch(qs) }) {
+			return
+		}
+		if expired(start, deadlineMS) {
+			c.sendErr(h.ID, wire.CodeDeadlineExceeded, 0,
+				fmt.Sprintf("deadline %dms elapsed", deadlineMS))
+			return
+		}
+		c.srv.st.query.observe(start)
+		b := wire.GetBuf()
+		*b = wire.AppendQueryBatchResult(*b, h.ID, ests, acts)
+		c.enqueue(b)
+	}()
+}

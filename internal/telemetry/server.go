@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -76,6 +77,11 @@ type Snapshot struct {
 	// Resilience is the engine-level fault-isolation view: per-shard stats
 	// merged (counters summed, estimator state = worst across shards).
 	Resilience ResilienceStats `json:"resilience,omitempty"`
+
+	// Server is the serving layer's slice of the snapshot when this
+	// process fronts the engine with latestd's wire protocol; nil for
+	// in-process deployments.
+	Server *ServerSample `json:"server,omitempty"`
 }
 
 // Server publishes telemetry over HTTP using only the standard library:
@@ -115,10 +121,19 @@ func publishExpvar(src func() Snapshot) {
 	})
 }
 
+// Route is an extra handler mounted on the exposition mux — the hook the
+// serving layer uses to add its admin endpoints (/healthz, /drain) to the
+// same listener that publishes /metrics.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts a telemetry server on addr (e.g. "127.0.0.1:9090"; use port
 // 0 to let the kernel pick) reading state through src on every scrape. The
-// server runs until Close.
-func Serve(addr string, src func() Snapshot, log *Logger) (*Server, error) {
+// server runs until Close (immediate) or Shutdown (graceful). Extra routes
+// are mounted alongside the built-in endpoints.
+func Serve(addr string, src func() Snapshot, log *Logger, extra ...Route) (*Server, error) {
 	if src == nil {
 		return nil, fmt.Errorf("telemetry: nil snapshot source")
 	}
@@ -137,6 +152,9 @@ func Serve(addr string, src func() Snapshot, log *Logger) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		defer close(s.done)
@@ -151,11 +169,32 @@ func Serve(addr string, src func() Snapshot, log *Logger) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server. Idempotent.
-func (s *Server) Close() error {
+// Close stops the server immediately, severing in-flight scrapes.
+// Idempotent; a no-op after Shutdown.
+func (s *Server) Close() error { return s.stop(nil) }
+
+// Shutdown stops the server gracefully: the listener closes at once, but
+// in-flight scrapes are allowed to finish until ctx expires. This is the
+// path latestd's drain takes so a scrape racing the SIGTERM still gets its
+// response. Idempotent; a no-op after Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.stop(ctx)
+}
+
+// stop implements Close (nil ctx: immediate) and Shutdown (graceful),
+// sharing one sync.Once so whichever runs first wins and the server's
+// goroutine is reaped exactly once.
+func (s *Server) stop(ctx context.Context) error {
 	var err error
 	s.closeOnce.Do(func() {
-		err = s.srv.Close()
+		if ctx != nil {
+			err = s.srv.Shutdown(ctx)
+		} else {
+			err = s.srv.Close()
+		}
 		<-s.done
 		s.log.Info("telemetry stopped", "addr", s.ln.Addr().String())
 	})
@@ -365,6 +404,10 @@ func WriteProm(w interface{ Write([]byte) (int, error) }, snap Snapshot) {
 		"Active estimator's approximate-answer latency.", snap.Shards,
 		func(sh ShardSample) HistSnapshot { return sh.Estimate })
 
+	if snap.Server != nil {
+		writeServerProm(&b, snap.Server)
+	}
+
 	w.Write([]byte(b.String()))
 }
 
@@ -374,23 +417,27 @@ func WriteProm(w interface{ Write([]byte) (int, error) }, snap Snapshot) {
 func promHistogram(b *strings.Builder, name, help string, shards []ShardSample, get func(ShardSample) HistSnapshot) {
 	b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " histogram\n")
 	for _, sh := range shards {
-		h := get(sh)
-		label := `shard="` + strconv.Itoa(sh.Index) + `"`
-		hi := -1
-		for i, n := range h.Buckets {
-			if n > 0 {
-				hi = i
-			}
-		}
-		var cum uint64
-		for i := 0; i <= hi && i < NumBuckets-1; i++ {
-			cum += h.Buckets[i]
-			le := strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
-			fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, label, le, cum)
-		}
-		fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, h.Count)
-		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, label,
-			strconv.FormatFloat(h.Sum.Seconds(), 'g', -1, 64))
-		fmt.Fprintf(b, "%s_count{%s} %d\n", name, label, h.Count)
+		promHistogramOne(b, name, `shard="`+strconv.Itoa(sh.Index)+`"`, get(sh))
 	}
+}
+
+// promHistogramOne renders one labeled histogram series (no HELP/TYPE
+// preamble — the caller owns the family header).
+func promHistogramOne(b *strings.Builder, name, label string, h HistSnapshot) {
+	hi := -1
+	for i, n := range h.Buckets {
+		if n > 0 {
+			hi = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= hi && i < NumBuckets-1; i++ {
+		cum += h.Buckets[i]
+		le := strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, label, le, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, h.Count)
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", name, label,
+		strconv.FormatFloat(h.Sum.Seconds(), 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, label, h.Count)
 }

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drainGet performs a GET and fully consumes the body so the client's
+// persistConn goroutines can be reaped by CloseIdleConnections.
+func drainGet(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// TestServerShutdownGraceful: Shutdown stops the listener, completes, and
+// further Close/Shutdown calls are no-ops.
+func TestServerShutdownGraceful(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testSnapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	drainGet(t, "http://"+addr+"/metrics")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after shutdown")
+	}
+}
+
+// TestServerShutdownNoGoroutineLeak: repeatedly starting and gracefully
+// shutting down exposition servers returns the process to its baseline
+// goroutine count — the regression test for the drain path latestd uses.
+func TestServerShutdownNoGoroutineLeak(t *testing.T) {
+	// Warm up the HTTP stack's lazy singletons so they don't read as leaks.
+	srv, err := Serve("127.0.0.1:0", testSnapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainGet(t, "http://"+srv.Addr()+"/metrics")
+	srv.Shutdown(context.Background())
+	http.DefaultClient.CloseIdleConnections()
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		srv, err := Serve("127.0.0.1:0", testSnapshot, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainGet(t, "http://"+srv.Addr()+"/statusz")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown %d: %v", i, err)
+		}
+		cancel()
+	}
+	// The default client's keep-alive goroutines linger until their idle
+	// conns are dropped; close them and poll rather than sleep a fixed
+	// interval.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeExtraRoutes: Route handlers mount on the exposition mux.
+func TestServeExtraRoutes(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testSnapshot, nil, Route{
+		Pattern: "/healthz",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, `{"status":"ok"}`)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+// TestWritePromServerFamilies: a Snapshot carrying a ServerSample renders
+// the latest_server_* families.
+func TestWritePromServerFamilies(t *testing.T) {
+	var h Histogram
+	h.Record(3 * time.Millisecond)
+	snap := testSnapshot()
+	snap.Server = &ServerSample{
+		Addr:          "127.0.0.1:7707",
+		Draining:      true,
+		ConnsActive:   2,
+		ConnsAccepted: 9,
+		ConnsRejected: 1,
+		BytesIn:       4096,
+		BytesOut:      2048,
+		FramesIn:      64,
+		FramesOut:     60,
+		InFlight:      3,
+		FeedObjects:   1000,
+		Ops: []ServerOp{
+			{Op: "feed", Requests: 40, Latency: h.Snapshot()},
+			{Op: "query", Requests: 20, Latency: h.Snapshot()},
+		},
+		Errors: ServerErrors{Backpressure: 5, Malformed: 1},
+	}
+	var b strings.Builder
+	WriteProm(&b, snap)
+	out := b.String()
+	for _, want := range []string{
+		"latest_server_draining 1",
+		"latest_server_connections 2",
+		`latest_server_connections_total{outcome="accepted"} 9`,
+		`latest_server_bytes_total{dir="in"} 4096`,
+		`latest_server_frames_total{dir="out"} 60`,
+		"latest_server_inflight 3",
+		"latest_server_feed_objects_total 1000",
+		`latest_server_requests_total{op="feed"} 40`,
+		`latest_server_request_errors_total{code="backpressure"} 5`,
+		`latest_server_request_latency_seconds_count{op="query"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in prom output", want)
+		}
+	}
+	if snap.Server.Errors.Total() != 6 {
+		t.Fatalf("errors total %d", snap.Server.Errors.Total())
+	}
+}

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the full frame path — header
+// parse, payload decode for every request type — and asserts the
+// invariants the serving layer depends on: no panics, every failure is a
+// typed *ProtoError or a clean EOF class, and anything that decodes
+// re-encodes to the identical bytes (so the codec cannot silently
+// reinterpret a frame).
+//
+// The checked-in corpus under testdata/fuzz/FuzzDecodeFrame pins the six
+// interesting shapes: truncated header, bad header CRC, oversize declared
+// length, version skew, zero-length batch, and a valid frame followed by
+// pipelined garbage.
+func FuzzDecodeFrame(f *testing.F) {
+	// A healthy frame of each request type, so mutation starts from
+	// parseable inputs too.
+	obj := stream.Object{ID: 1, Timestamp: 5, Keywords: []string{"fire"}}
+	obj.Loc.X, obj.Loc.Y = -118.24, 34.05
+	q := stream.HybridQ(geo.CenteredRect(obj.Loc, 1, 1), []string{"fire"}, 6)
+	f.Add(AppendFeedBatch(nil, 1, []stream.Object{obj}))
+	f.Add(AppendEstimate(nil, 2, 100, &q))
+	f.Add(AppendQueryBatch(nil, 3, 0, []stream.Query{q}))
+	f.Add(AppendPing(nil, 4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bufio.NewReader(bytes.NewReader(data)), 1<<16)
+		for {
+			h, payload, err := fr.Next()
+			if err != nil {
+				var pe *ProtoError
+				if err == io.EOF || err == io.ErrUnexpectedEOF || errors.As(err, &pe) {
+					return
+				}
+				t.Fatalf("untyped frame error: %T %v", err, err)
+			}
+			switch h.Type {
+			case TFeedBatch:
+				objs, err := DecodeFeedBatch(payload, nil)
+				if err != nil {
+					assertProto(t, err)
+					return
+				}
+				if again := AppendFeedBatch(nil, h.ID, objs); !bytes.Equal(again[HeaderSize:], payload) {
+					t.Fatal("feed batch re-encode differs")
+				}
+			case TEstimate:
+				deadline, q, err := DecodeEstimate(payload)
+				if err != nil {
+					assertProto(t, err)
+					return
+				}
+				if again := AppendEstimate(nil, h.ID, deadline, &q); !bytes.Equal(again[HeaderSize:], payload) {
+					t.Fatal("estimate re-encode differs")
+				}
+			case TQueryBatch:
+				deadline, qs, err := DecodeQueryBatch(payload, nil)
+				if err != nil {
+					assertProto(t, err)
+					return
+				}
+				if again := AppendQueryBatch(nil, h.ID, deadline, qs); !bytes.Equal(again[HeaderSize:], payload) {
+					t.Fatal("query batch re-encode differs")
+				}
+			case TError:
+				if _, err := DecodeError(payload); err != nil {
+					assertProto(t, err)
+					return
+				}
+			default:
+				// Unknown or response types: the server answers with
+				// CodeUnknownType; nothing to decode here.
+			}
+		}
+	})
+}
+
+func assertProto(t *testing.T, err error) {
+	t.Helper()
+	var pe *ProtoError
+	if !errors.As(err, &pe) {
+		t.Fatalf("decode failure is not a *ProtoError: %T %v", err, err)
+	}
+}

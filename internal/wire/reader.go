@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bufio"
+	"io"
+)
+
+// FrameReader reads frames off a buffered stream, reusing one payload
+// buffer across reads. Not safe for concurrent use; each connection owns
+// one.
+type FrameReader struct {
+	r          *bufio.Reader
+	maxPayload int
+	hdr        [HeaderSize]byte
+	payload    []byte
+}
+
+// NewFrameReader wraps r. maxPayload bounds accepted payload lengths
+// (≤0 = DefaultMaxPayload).
+func NewFrameReader(r *bufio.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	return &FrameReader{r: r, maxPayload: maxPayload}
+}
+
+// Buffered reports how many undelivered bytes sit in the underlying
+// buffer — the serving layer uses it to decide whether more pipelined
+// frames are already waiting.
+func (fr *FrameReader) Buffered() int { return fr.r.Buffered() }
+
+// PeekHeader parses the next frame's header without consuming it, when an
+// entire header is already buffered. ok is false if fewer than HeaderSize
+// bytes are waiting or the buffered header is malformed — either way the
+// caller should fall back to Next, which will block or surface the typed
+// error. The serving layer uses this to coalesce pipelined feed frames:
+// peek, and only consume when the follow-on frame is another feed that is
+// fully buffered.
+func (fr *FrameReader) PeekHeader() (Header, bool) {
+	if fr.r.Buffered() < HeaderSize {
+		return Header{}, false
+	}
+	buf, err := fr.r.Peek(HeaderSize)
+	if err != nil {
+		return Header{}, false
+	}
+	h, err := ParseHeader(buf, fr.maxPayload)
+	if err != nil {
+		return Header{}, false
+	}
+	return h, true
+}
+
+// Next reads one frame. The returned payload aliases the reader's internal
+// buffer and is valid only until the next call. io.EOF is returned clean
+// only at a frame boundary; a partial frame yields io.ErrUnexpectedEOF.
+// Malformed headers yield typed *ProtoError values; after one, the stream
+// is desynchronized and the connection should be dropped after reporting.
+func (fr *FrameReader) Next() (Header, []byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Header{}, nil, io.EOF
+		}
+		return Header{}, nil, io.ErrUnexpectedEOF
+	}
+	h, err := ParseHeader(fr.hdr[:], fr.maxPayload)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if int(h.Length) > cap(fr.payload) {
+		fr.payload = make([]byte, h.Length)
+	}
+	fr.payload = fr.payload[:h.Length]
+	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
+		return Header{}, nil, io.ErrUnexpectedEOF
+	}
+	return h, fr.payload, nil
+}

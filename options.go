@@ -125,7 +125,13 @@ func WithSynchronousPrefill() Option {
 // percentiles) at /statusz, expvar at /debug/vars and pprof under
 // /debug/pprof/. Supported by NewConcurrent and NewSharded, whose engines
 // are safe to scrape while traffic flows; New returns an error because a
-// single-goroutine System is not. Stop the server with Close.
+// single-goroutine System is not. Stop the server with Close, or with
+// Shutdown(ctx) to let in-flight scrapes finish first.
+//
+// When the engine sits behind the network serving layer (cmd/latestd),
+// leave this option off: the daemon runs its own exposition server via
+// internal/server and publishes the engine's TelemetrySnapshot alongside
+// the serving-layer families on a single /metrics listener.
 func WithTelemetry(addr string) Option {
 	return func(c *Config) { c.TelemetryAddr = addr }
 }

@@ -1,6 +1,7 @@
 package latest
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -236,6 +237,46 @@ func (s *ShardedSystem) Close() {
 		}
 		s.workers.Wait()
 	})
+}
+
+// Shutdown is the graceful form of Close: the telemetry exposition server
+// (if one was started) finishes in-flight scrapes before stopping, and the
+// wait for background prefill workers is bounded by ctx. Shares Close's
+// once — whichever runs first wins, the other is a no-op. On ctx expiry
+// the workers keep draining in the background; the system is still safe to
+// use (refills fall back to inline replay).
+func (s *ShardedSystem) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var err error
+	s.closeOnce.Do(func() {
+		if s.telem != nil {
+			err = s.telem.Shutdown(ctx)
+		}
+		for _, sh := range s.shards {
+			if sh.refillCh != nil {
+				sh.mu.Lock()
+				ch := sh.refillCh
+				sh.refillCh = nil
+				sh.mu.Unlock()
+				close(ch)
+			}
+		}
+		done := make(chan struct{})
+		go func() {
+			s.workers.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+	})
+	return err
 }
 
 // shardGridDims factors n into the most-square rows×cols grid: rows is

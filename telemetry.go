@@ -38,6 +38,21 @@ func shardSample(index int, st Stats, g metrics.GaugeSnapshot) telemetry.ShardSa
 	}
 }
 
+// TelemetrySnapshot returns the same point-in-time view the /statusz
+// endpoint serves: merged engine stats plus per-shard operational gauges.
+// Exported so an external scrape source — the serving layer's admin plane,
+// an embedding application's own exposition server — can publish an engine
+// that was built without WithTelemetry.
+func (c *ConcurrentSystem) TelemetrySnapshot() telemetry.Snapshot {
+	return c.telemetrySnapshot()
+}
+
+// TelemetrySnapshot returns the same point-in-time view the /statusz
+// endpoint serves. See ConcurrentSystem.TelemetrySnapshot.
+func (s *ShardedSystem) TelemetrySnapshot() telemetry.Snapshot {
+	return s.telemetrySnapshot()
+}
+
 // telemetrySnapshot is the ConcurrentSystem scrape source: the wrapped
 // System as a single shard 0. Stats takes the engine lock briefly; the
 // gauges are read atomically.
