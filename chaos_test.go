@@ -115,7 +115,7 @@ func TestChaosShardedPanicInjection(t *testing.T) {
 	wg.Wait()
 	ts = feedTS + 1
 
-	st := sys.Stats()
+	st := sys.PerShardStats()
 	rsh := findHealth(t, st.Merged.Resilience, EstimatorRSH)
 	if rsh.Panics == 0 {
 		t.Error("no contained panics recorded for RSH")
@@ -155,11 +155,11 @@ func TestChaosShardedPanicInjection(t *testing.T) {
 			t.Fatalf("non-finite estimate %v during recovery", est)
 		}
 		if i%50 == 0 {
-			readmitted = findHealth(t, sys.Stats().Merged.Resilience, EstimatorRSH).Readmissions > 0
+			readmitted = findHealth(t, sys.Stats().Resilience, EstimatorRSH).Readmissions > 0
 		}
 	}
 	if !readmitted {
-		final := findHealth(t, sys.Stats().Merged.Resilience, EstimatorRSH)
+		final := findHealth(t, sys.Stats().Resilience, EstimatorRSH)
 		t.Fatalf("RSH never re-admitted after injector disabled (state %q, quarantines %d)",
 			final.State, final.Quarantines)
 	}
@@ -324,7 +324,7 @@ func TestQuarantineCountersSurfaceInGauges(t *testing.T) {
 		sys.EstimateAndExecute(&q)
 	}
 
-	st := sys.Stats()
+	st := sys.PerShardStats()
 	merged := findHealth(t, st.Merged.Resilience, EstimatorRSH)
 	var perShard uint64
 	for _, sh := range st.Shards {

@@ -245,7 +245,7 @@ func runQueryBench(stdout, stderr io.Writer, cfg queryBenchConfig, asJSON bool, 
 	}
 	engines = append(engines, engine{
 		name: "sharded", shards: cfg.Shards, feed: ss.Feed, query: ss.EstimateAndExecute,
-		stats: func() latest.Stats { return ss.Stats().Merged }, close: ss.Close,
+		stats: ss.Stats, close: ss.Close,
 	})
 
 	result := queryResult{
@@ -432,7 +432,7 @@ func runIngest(stdout, stderr io.Writer, shards, producers, objects, batchLen in
 	}
 	defer ss.Close()
 	ssDur := drive(ss.FeedBatch)
-	st := ss.Stats()
+	st := ss.PerShardStats()
 	shardGauges := make([]latest.GaugeSnapshot, len(st.Shards))
 	var ssReordered uint64
 	for i, sh := range st.Shards {

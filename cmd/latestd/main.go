@@ -7,6 +7,13 @@
 //
 //	latestd -addr 127.0.0.1:7707 -admin 127.0.0.1:7708
 //	latestd -engine concurrent -window 2m -addr-file /tmp/latestd.addr
+//	latestd -data-dir /var/lib/latestd -snapshot-interval 30s
+//
+// With -data-dir the engine is wrapped in a latest.DurableEngine: every
+// feed is write-ahead logged, snapshots are taken periodically and on
+// drain, and a restart resumes from the newest snapshot plus the WAL
+// tail. A corrupt or mismatched data directory refuses startup with the
+// typed reason — the daemon never serves from partial state.
 //
 // SIGTERM or SIGINT (or POST /drain on the admin plane) begins a graceful
 // drain: the listener closes, in-flight requests finish and flush, new
@@ -51,6 +58,9 @@ type daemonOptions struct {
 	maxInFlight  int
 	drainTimeout time.Duration
 	logLevel     string
+	dataDir      string
+	snapInterval time.Duration
+	walSyncEvery int
 }
 
 // run is the testable entrypoint: flags in, exit code out, shutdown
@@ -70,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 	fs.IntVar(&o.maxInFlight, "max-inflight", 64, "per-connection in-flight request window")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "bound on graceful drain before force-closing connections")
 	fs.StringVar(&o.logLevel, "log-level", "info", "minimum log severity: debug, info, warn, error")
+	fs.StringVar(&o.dataDir, "data-dir", "", "directory for durable state (snapshots + feed WAL); empty serves from memory only")
+	fs.DurationVar(&o.snapInterval, "snapshot-interval", 30*time.Second, "how often the durable engine snapshots (requires -data-dir)")
+	fs.IntVar(&o.walSyncEvery, "wal-sync-every", 0, "fsync the feed WAL every N records (0 = library default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -116,28 +129,50 @@ func parseWorld(spec string) (geo.Rect, error) {
 	return r, nil
 }
 
-// engine is the daemon's view of the systems it can front: the serving
-// Engine surface plus graceful teardown.
-type engine interface {
-	server.Engine
-	Shutdown(ctx context.Context) error
-}
-
-func buildEngine(o daemonOptions, world geo.Rect, logW io.Writer, level telemetry.Level) (engine, error) {
+// buildEngine constructs the serving engine: the unified latest.Engine is
+// the daemon's whole view of it — serving surface, persistence hooks and
+// graceful teardown. With -data-dir the core engine is wrapped in a
+// DurableEngine, which restores the newest snapshot plus the WAL tail (or
+// refuses with the typed reason) before the listener opens.
+func buildEngine(o daemonOptions, world geo.Rect, logW io.Writer, level telemetry.Level) (latest.Engine, error) {
 	// The daemon owns the exposition listener through internal/server, so
 	// the engine is built WITHOUT WithTelemetry — its snapshot is scraped
 	// through the admin plane instead.
 	opts := []latest.Option{latest.WithLogger(logW, level)}
+	var eng latest.Engine
+	var err error
 	switch o.engine {
 	case "sharded":
 		if o.shards > 0 {
 			opts = append(opts, latest.WithShards(o.shards))
 		}
-		return latest.NewSharded(world, o.window, opts...)
+		eng, err = latest.NewSharded(world, o.window, opts...)
 	case "concurrent":
-		return latest.NewConcurrent(world, o.window, opts...)
+		eng, err = latest.NewConcurrent(world, o.window, opts...)
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want sharded or concurrent)", o.engine)
 	}
-	return nil, fmt.Errorf("unknown engine %q (want sharded or concurrent)", o.engine)
+	if err != nil || o.dataDir == "" {
+		return eng, err
+	}
+	st, err := latest.NewFileStore(o.dataDir)
+	if err != nil {
+		eng.Shutdown(context.Background())
+		return nil, err
+	}
+	dur, err := latest.NewDurable(eng, st, latest.DurableConfig{
+		SnapshotInterval: o.snapInterval,
+		WALSyncEvery:     o.walSyncEvery,
+	})
+	if err != nil {
+		eng.Shutdown(context.Background())
+		// A typed refusal names the exact reason: checksum failure, version
+		// skew, configuration mismatch, foreign engine kind. The operator
+		// decision (restore a backup, wipe the dir, fix the flags) differs
+		// per code, so surface it verbatim.
+		return nil, fmt.Errorf("recover %s (code %v): %w", o.dataDir, latest.PersistCode(err), err)
+	}
+	return dur, nil
 }
 
 func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal) error {
@@ -174,8 +209,12 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 			return fmt.Errorf("-addr-file: %w", err)
 		}
 	}
-	fmt.Fprintf(stdout, "latestd listening addr=%s admin=%s engine=%s window=%s\n",
-		srv.Addr(), srv.AdminAddr(), o.engine, o.window)
+	durability := "none"
+	if dur, ok := eng.(*latest.DurableEngine); ok {
+		durability = fmt.Sprintf("%s gen=%d wal=%d", o.dataDir, dur.Generation(), dur.WALAppends())
+	}
+	fmt.Fprintf(stdout, "latestd listening addr=%s admin=%s engine=%s window=%s durability=%s\n",
+		srv.Addr(), srv.AdminAddr(), o.engine, o.window, durability)
 
 	select {
 	case sig := <-shutdown:
@@ -187,7 +226,16 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	drainErr := srv.Shutdown(ctx)
+	// Engine shutdown runs after the listener has drained, so the final
+	// snapshot a DurableEngine takes here captures every acknowledged feed:
+	// a clean stop/start cycle loses nothing.
 	engErr := eng.Shutdown(ctx)
+	if dur, ok := eng.(*latest.DurableEngine); ok {
+		if perr := dur.Err(); perr != nil {
+			fmt.Fprintf(stderr, "latestd: background persistence error: %v\n", perr)
+		}
+		fmt.Fprintf(stdout, "latestd final snapshot gen=%d\n", dur.Generation())
+	}
 	fmt.Fprintln(stdout, "latestd stopped")
 	return errors.Join(drainErr, engErr)
 }

@@ -35,27 +35,12 @@ type ConcurrentSystem struct {
 }
 
 // NewConcurrent builds a thread-safe LATEST system over the given world
-// and sliding-window span.
+// and sliding-window span. Sharding options (WithShards,
+// WithSynchronousPrefill, WithPrefillQueueDepth) are rejected with a
+// descriptive error.
 func NewConcurrent(world Rect, window time.Duration, opts ...Option) (*ConcurrentSystem, error) {
-	return NewConcurrentFromConfig(buildConfig(world, window, opts))
-}
-
-// MustNewConcurrent is NewConcurrent but panics on error — for tests,
-// examples and programs whose configuration is static.
-func MustNewConcurrent(world Rect, window time.Duration, opts ...Option) *ConcurrentSystem {
-	c, err := NewConcurrent(world, window, opts...)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
-// NewConcurrentFromConfig builds a thread-safe LATEST system from a
-// Config struct.
-//
-// Deprecated: use NewConcurrent with functional options.
-func NewConcurrentFromConfig(cfg Config) (*ConcurrentSystem, error) {
-	sys, err := newSystem(cfg, nil, "inline", "concurrent")
+	cfg := buildConfig(world, window, opts)
+	sys, err := newSystem(cfg, nil, "inline", "concurrent", kindConcurrent)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +53,16 @@ func NewConcurrentFromConfig(cfg Config) (*ConcurrentSystem, error) {
 		c.telem = srv
 	}
 	return c, nil
+}
+
+// MustNewConcurrent is NewConcurrent but panics on error — for tests,
+// examples and programs whose configuration is static.
+func MustNewConcurrent(world Rect, window time.Duration, opts ...Option) *ConcurrentSystem {
+	c, err := NewConcurrent(world, window, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Close stops the telemetry server if one was started. Idempotent; the

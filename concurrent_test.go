@@ -14,8 +14,8 @@ func TestConcurrentSystemBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewConcurrentFromConfig(Config{}); err == nil {
-		t.Error("bad config accepted")
+	if _, err := NewConcurrent(Rect{}, 0); err == nil {
+		t.Error("bad world/window accepted")
 	}
 	rng := rand.New(rand.NewSource(1))
 	ts := int64(0)

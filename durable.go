@@ -1,0 +1,399 @@
+package latest
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/spatiotext/latest/internal/persist"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// DurableConfig tunes the persistence wrapper.
+type DurableConfig struct {
+	// SnapshotInterval, when positive, starts a background goroutine that
+	// takes a snapshot every interval. Zero means snapshots happen only on
+	// SnapshotNow and Shutdown.
+	SnapshotInterval time.Duration
+	// WALSyncEvery batches fsyncs: the feed WAL is flushed to stable
+	// storage every N appended records (default
+	// persist.DefaultWALSyncEvery). Lower is more durable, higher is
+	// faster; a crash loses at most the un-fsynced tail, which the
+	// checksummed record framing detects and drops on recovery.
+	WALSyncEvery int
+}
+
+// DurableEngine wraps any Engine with crash-durable state: every fed
+// object is appended to a checksummed write-ahead log before it reaches
+// the engine, and periodic snapshots capture the engine's full state —
+// window, module counters, learning model, estimator summaries. After a
+// crash, NewDurable rebuilds the engine from the newest snapshot plus the
+// WAL tail written since it.
+//
+// What recovery restores exactly: every object the WAL had fsynced, and
+// all engine state as of the snapshot. What it does not: queries answered
+// after the snapshot (their model feedback is not logged — re-deriving it
+// would require re-running the queries) and the un-fsynced WAL tail. Both
+// are documented trade-offs of logging only the feed stream.
+//
+// Locking: feeds take the write lock — the WAL append and the engine
+// apply must commit in the same order, or a replay could present two
+// concurrent producers' objects in an order the original engine never saw.
+// Queries take the read lock (the inner engine provides its own mutual
+// exclusion); snapshots take the write lock, so a capture is atomic with
+// respect to both feeds and query fan-outs.
+//
+// The snapshot/WAL pairing is atomic: each snapshot embeds a generation
+// number, the paired WAL is named after it (feed-<generation>.wal), and
+// the snapshot commits via an atomic rename. Whatever instant a crash
+// hits, the store holds one committed snapshot and the WAL that extends
+// it.
+type DurableEngine struct {
+	mu    sync.RWMutex
+	eng   Engine
+	store Store
+	cfg   DurableConfig
+
+	wal *persist.WAL
+	gen uint64
+
+	// persistErr is the latest background persistence failure (WAL append
+	// or ticker snapshot); the feed path cannot return errors, so failures
+	// are recorded here and surfaced by Err.
+	persistErr error
+	errMu      sync.Mutex
+
+	done      chan struct{}
+	ticker    *time.Ticker
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewDurable wraps eng with snapshot + WAL persistence backed by st.
+//
+// eng must be freshly constructed with the same options as the engine that
+// wrote the store's state. If st holds a snapshot, it is restored and the
+// paired WAL tail replayed; a checksum failure, version skew or
+// configuration mismatch refuses startup with the typed error — never a
+// partial restore. An empty store starts fresh at generation zero.
+func NewDurable(eng Engine, st Store, cfg DurableConfig) (*DurableEngine, error) {
+	if cfg.WALSyncEvery == 0 {
+		cfg.WALSyncEvery = persist.DefaultWALSyncEvery
+	}
+	d := &DurableEngine{eng: eng, store: st, cfg: cfg, done: make(chan struct{})}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	if cfg.SnapshotInterval > 0 {
+		d.ticker = time.NewTicker(cfg.SnapshotInterval)
+		d.wg.Add(1)
+		go d.snapshotLoop()
+	}
+	return d, nil
+}
+
+// recover restores the snapshot (if any), replays the paired WAL tail and
+// leaves the WAL open for appends.
+func (d *DurableEngine) recover() error {
+	gen, err := snapshotGeneration(d.store)
+	switch {
+	case err == nil:
+		if rerr := d.eng.Restore(context.Background(), d.store); rerr != nil {
+			return rerr
+		}
+		d.gen = gen
+	case persist.IsNotExist(err):
+		d.gen = 0 // fresh store: generation zero, WAL feed-00000000.wal
+	default:
+		return err
+	}
+	wal, records, tail, err := persist.OpenWAL(d.store, persist.WALName(d.gen), d.cfg.WALSyncEvery)
+	if err != nil {
+		return err
+	}
+	if tail.DroppedBytes > 0 {
+		// A torn tail is the expected shape of a crash mid-append; the
+		// checksummed framing identified the exact valid prefix.
+		d.noteErr(fmt.Errorf("wal: dropped %d-byte torn tail after %d valid records",
+			tail.DroppedBytes, tail.Records))
+	}
+	if len(records) > 0 {
+		objs := make([]Object, 0, len(records))
+		for i, rec := range records {
+			dec := persist.NewDec(rec)
+			o := stream.DecodeObject(dec)
+			if dec.Err() != nil || dec.Done() != nil {
+				wal.Close()
+				return persist.Errf(persist.CodeMalformed, "wal replay",
+					"record %d of %d does not decode as a feed object", i, len(records))
+			}
+			objs = append(objs, o)
+		}
+		d.eng.FeedBatch(objs)
+	}
+	d.wal = wal
+	d.removeStaleWALs()
+	return nil
+}
+
+// snapshotGeneration reads the generation embedded in the store's snapshot
+// without validating kind or fingerprint — the engine's Restore does that;
+// this only answers "which WAL extends this snapshot".
+func snapshotGeneration(st Store) (uint64, error) {
+	data, err := st.Load(persist.SnapshotName)
+	if err != nil {
+		return 0, err
+	}
+	snap, err := persist.DecodeSnapshot(data)
+	if err != nil {
+		return 0, err
+	}
+	payload, ok := snap.Section(metaSectionName)
+	if !ok {
+		return 0, persist.Errf(persist.CodeMalformed, "snapshot meta", "section missing")
+	}
+	dec := persist.NewDec(payload)
+	dec.Str()  // kind
+	dec.Blob() // fingerprint
+	gen := dec.U64()
+	if dec.Err() != nil {
+		return 0, dec.Err()
+	}
+	return gen, nil
+}
+
+// removeStaleWALs deletes feed WALs of generations other than the current
+// one. They are obsolete — their snapshot has been superseded — and
+// removal is safe at any crash point: recovery only ever opens the WAL
+// named by the committed snapshot's generation.
+func (d *DurableEngine) removeStaleWALs() {
+	names, err := d.store.List()
+	if err != nil {
+		d.noteErr(err)
+		return
+	}
+	current := persist.WALName(d.gen)
+	for _, name := range names {
+		if name == current || !strings.HasPrefix(name, "feed-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		if err := d.store.Remove(name); err != nil {
+			d.noteErr(err)
+		}
+	}
+}
+
+// snapshotLoop drives the periodic snapshot ticker.
+func (d *DurableEngine) snapshotLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-d.ticker.C:
+			if err := d.SnapshotNow(context.Background()); err != nil {
+				d.noteErr(err)
+			}
+		}
+	}
+}
+
+// noteErr records a background persistence failure for Err.
+func (d *DurableEngine) noteErr(err error) {
+	d.errMu.Lock()
+	d.persistErr = err
+	d.errMu.Unlock()
+}
+
+// Err returns the most recent background persistence failure (WAL append,
+// ticker snapshot, stale-WAL cleanup), or nil. The serving path never
+// blocks on persistence errors — the engine keeps answering from memory —
+// so operators must watch this (cmd/latestd logs it).
+func (d *DurableEngine) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.persistErr
+}
+
+// Generation returns the current snapshot generation (zero until the first
+// snapshot commits).
+func (d *DurableEngine) Generation() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen
+}
+
+// WALAppends returns how many records the current-generation WAL holds
+// (replayed + appended) — the recovery-test observable for "the tail was
+// actually logged".
+func (d *DurableEngine) WALAppends() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.wal == nil {
+		return 0
+	}
+	return d.wal.Appends()
+}
+
+// appendWAL logs one object. Caller holds the write lock.
+func (d *DurableEngine) appendWAL(o *Object) {
+	if d.wal == nil {
+		return // Shutdown already closed the log
+	}
+	var e persist.Enc
+	stream.EncodeObject(&e, o)
+	if err := d.wal.Append(e.Data()); err != nil {
+		d.noteErr(err)
+	}
+}
+
+// Feed logs the object to the WAL, then feeds the engine.
+func (d *DurableEngine) Feed(o Object) {
+	d.mu.Lock()
+	d.appendWAL(&o)
+	d.eng.Feed(o)
+	d.mu.Unlock()
+}
+
+// FeedBatch logs every object to the WAL, then feeds the engine.
+func (d *DurableEngine) FeedBatch(objs []Object) {
+	if len(objs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for i := range objs {
+		d.appendWAL(&objs[i])
+	}
+	d.eng.FeedBatch(objs)
+	d.mu.Unlock()
+}
+
+// EstimateAndExecute delegates to the engine under the read lock. Queries
+// are not write-ahead logged; see the type comment for what that means on
+// recovery.
+func (d *DurableEngine) EstimateAndExecute(q *Query) (float64, int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.EstimateAndExecute(q)
+}
+
+// EstimateAndExecuteBatch delegates to the engine under the read lock.
+func (d *DurableEngine) EstimateAndExecuteBatch(qs []Query) ([]float64, []int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.EstimateAndExecuteBatch(qs)
+}
+
+// Stats delegates to the engine.
+func (d *DurableEngine) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.Stats()
+}
+
+// TelemetrySnapshot delegates to the engine.
+func (d *DurableEngine) TelemetrySnapshot() TelemetryReport {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.eng.TelemetrySnapshot()
+}
+
+// SnapshotNow takes a snapshot into the backing store and rotates the feed
+// WAL, all atomically with respect to feeds and queries: the engine
+// serializes generation g+1, the snapshot commits via rename, appends
+// switch to feed-<g+1>.wal, and older WALs are removed. A crash at any
+// point leaves either (old snapshot + old WAL) or (new snapshot + new WAL)
+// recoverable — never a torn pairing.
+func (d *DurableEngine) SnapshotNow(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotLocked(ctx)
+}
+
+func (d *DurableEngine) snapshotLocked(ctx context.Context) error {
+	if d.wal != nil {
+		// Flush pending appends first: if the snapshot fails the WAL must
+		// still fully extend the previous one.
+		if err := d.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := d.eng.Snapshot(ctx, d.store); err != nil {
+		return err
+	}
+	gen, err := snapshotGeneration(d.store)
+	if err != nil {
+		return err
+	}
+	wal, _, _, err := persist.OpenWAL(d.store, persist.WALName(gen), d.cfg.WALSyncEvery)
+	if err != nil {
+		// The snapshot committed but the new WAL did not open: recovery
+		// from the new snapshot with an empty tail is still correct, but
+		// this process can no longer log feeds. Fail loudly.
+		return err
+	}
+	if d.wal != nil {
+		if cerr := d.wal.Close(); cerr != nil {
+			d.noteErr(cerr)
+		}
+	}
+	d.wal = wal
+	d.gen = gen
+	d.removeStaleWALs()
+	return nil
+}
+
+// Snapshot satisfies the unified Engine interface. Snapshotting into the
+// backing store is SnapshotNow — full WAL rotation semantics. Snapshotting
+// into any other store writes a standalone full-state artifact (for
+// backups or seeding a replica) without touching this engine's WAL
+// pairing; note the inner engine's generation still advances, so the
+// backing store's next snapshot skips a generation number — harmless, the
+// pairing is by name, not by density.
+func (d *DurableEngine) Snapshot(ctx context.Context, st Store) error {
+	if st == Store(d.store) || st == nil {
+		return d.SnapshotNow(ctx)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.eng.Snapshot(ctx, st)
+}
+
+// Restore refuses: a DurableEngine restores exactly once, at construction
+// (NewDurable), where the WAL replay and generation bookkeeping happen.
+// Restoring mid-flight would desynchronize the WAL from the engine.
+func (d *DurableEngine) Restore(context.Context, Store) error {
+	return persist.Errf(persist.CodeState, "durable engine",
+		"restore happens at construction (NewDurable); build a fresh engine instead")
+}
+
+// Shutdown drains gracefully: the snapshot ticker stops, a final snapshot
+// captures everything — so a clean shutdown/restart cycle loses nothing —
+// the WAL closes, and the inner engine shuts down, bounded by ctx. The
+// first error is returned but every step still runs.
+func (d *DurableEngine) Shutdown(ctx context.Context) error {
+	var first error
+	note := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	d.closeOnce.Do(func() {
+		close(d.done)
+		if d.ticker != nil {
+			d.ticker.Stop()
+		}
+		d.wg.Wait()
+		d.mu.Lock()
+		note(d.snapshotLocked(ctx))
+		if d.wal != nil {
+			note(d.wal.Close())
+			d.wal = nil
+		}
+		d.mu.Unlock()
+		note(d.eng.Shutdown(ctx))
+	})
+	return first
+}

@@ -1,0 +1,125 @@
+package latest
+
+import (
+	"context"
+
+	"github.com/spatiotext/latest/internal/persist"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+// TelemetryReport is the point-in-time engine view served by the /statusz
+// endpoint and returned by TelemetrySnapshot: merged stats plus per-shard
+// operational samples.
+type TelemetryReport = telemetry.Snapshot
+
+// Engine is the unified surface every LATEST deployment shape serves:
+// System (single-goroutine), ConcurrentSystem (one mutex) and ShardedSystem
+// (spatial partitions) all implement it, as does the DurableEngine wrapper
+// that adds snapshot + WAL persistence. Embedding applications, the network
+// serving layer (internal/server) and the correctness harness
+// (internal/check) program against this interface and work with any shape.
+//
+// Concurrency follows the concrete type: System is single-goroutine, the
+// others are safe for concurrent use. Snapshot and Restore are safe to call
+// on a concurrency-safe engine while traffic flows — they take the engine's
+// own locks — but Restore additionally requires a freshly constructed
+// engine (it returns a CodeState error otherwise), so in practice it runs
+// before traffic starts.
+type Engine interface {
+	// Feed ingests one stream object.
+	Feed(o Object)
+	// FeedBatch ingests a batch of stream objects in order.
+	FeedBatch(objs []Object)
+	// EstimateAndExecute answers the query approximately, then exactly,
+	// and feeds the truth back to the switching model.
+	EstimateAndExecute(q *Query) (estimate float64, actual int)
+	// EstimateAndExecuteBatch runs EstimateAndExecute over a batch.
+	EstimateAndExecuteBatch(qs []Query) (estimates []float64, actuals []int)
+	// Stats returns a snapshot of the module internals (merged across
+	// shards for a ShardedSystem).
+	Stats() Stats
+	// TelemetrySnapshot returns the /statusz view: merged stats plus
+	// per-shard operational gauges.
+	TelemetrySnapshot() TelemetryReport
+	// Shutdown releases background resources gracefully, bounded by ctx.
+	// On a DurableEngine it also takes a final snapshot, so a clean
+	// shutdown loses nothing.
+	Shutdown(ctx context.Context) error
+	// Snapshot serializes the engine's full state — window store, module
+	// counters, learning model, active estimator summaries — into st as
+	// one atomic, checksummed artifact.
+	Snapshot(ctx context.Context, st Store) error
+	// Restore loads a Snapshot artifact into this freshly constructed
+	// engine. The engine must have been built with the same options
+	// (CodeMismatch otherwise) and never fed (CodeState otherwise); on
+	// error the engine must be discarded — never partially restored.
+	Restore(ctx context.Context, st Store) error
+}
+
+// Compile-time interface checks: the unified Engine API is the contract
+// this PR establishes; losing a method on any shape is a build error.
+var (
+	_ Engine = (*System)(nil)
+	_ Engine = (*ConcurrentSystem)(nil)
+	_ Engine = (*ShardedSystem)(nil)
+	_ Engine = (*DurableEngine)(nil)
+)
+
+// Persistence surface, aliased from the internal implementation package so
+// user code never imports internal paths.
+type (
+	// Store is where snapshots and write-ahead logs live: a directory on
+	// disk (NewFileStore) or memory (NewMemStore, for tests).
+	Store = persist.Store
+	// MemStore is an in-memory Store for tests and ephemeral deployments.
+	MemStore = persist.MemStore
+	// FileStore is a directory-backed Store with atomic snapshot renames
+	// and fsynced appends.
+	FileStore = persist.FileStore
+	// PersistError is the typed error every persistence failure surfaces
+	// as; PersistCode extracts its code.
+	PersistError = persist.Error
+	// PersistErrorCode classifies persistence failures (corrupt artifact,
+	// version skew, configuration mismatch, ...).
+	PersistErrorCode = persist.ErrorCode
+)
+
+// Persistence error codes, re-exported for callers switching on
+// PersistCode(err).
+const (
+	// CodeNotExist: the artifact does not exist (fresh data directory).
+	CodeNotExist = persist.CodeNotExist
+	// CodeCorrupt: a checksum failed — bit rot, torn write, tampering.
+	CodeCorrupt = persist.CodeCorrupt
+	// CodeVersionSkew: the artifact's format version is not understood.
+	CodeVersionSkew = persist.CodeVersionSkew
+	// CodeMalformed: structurally invalid content behind a valid checksum.
+	CodeMalformed = persist.CodeMalformed
+	// CodeTruncated: the artifact ends mid-structure.
+	CodeTruncated = persist.CodeTruncated
+	// CodeMismatch: the artifact was written under a different
+	// configuration than the restoring engine's.
+	CodeMismatch = persist.CodeMismatch
+	// CodeState: the operation is invalid in the engine's current state
+	// (restoring into a non-fresh engine, snapshotting mid-query).
+	CodeState = persist.CodeState
+)
+
+// NewMemStore returns an empty in-memory Store.
+func NewMemStore() *MemStore { return persist.NewMemStore() }
+
+// NewFileStore opens (creating if needed) a directory-backed Store.
+func NewFileStore(dir string) (*FileStore, error) { return persist.NewFileStore(dir) }
+
+// OpenFileStore opens an existing directory-backed Store, returning a
+// CodeNotExist error when the directory is missing — for deployments that
+// must refuse to start from an empty data directory.
+func OpenFileStore(dir string) (*FileStore, error) { return persist.OpenFileStore(dir) }
+
+// PersistCode extracts the PersistErrorCode from err, or 0 when err is not
+// a persistence error.
+func PersistCode(err error) PersistErrorCode { return persist.CodeOf(err) }
+
+// IsNotExist reports whether err means "no such artifact" — the expected
+// first-boot condition, as opposed to a refusal.
+func IsNotExist(err error) bool { return persist.IsNotExist(err) }

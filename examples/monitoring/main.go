@@ -197,7 +197,7 @@ func run(out io.Writer, p params) error {
 	close(stop)
 	wg.Wait()
 
-	st := sys.Stats()
+	st := sys.PerShardStats()
 	fmt.Fprintf(out, "\nshutdown: %d requests served, active per shard [%s], %d switches total\n",
 		served.Load(), strings.Join(sys.ActiveEstimators(), " "), st.Merged.Switches)
 	for _, ev := range sys.Switches() {

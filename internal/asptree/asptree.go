@@ -96,13 +96,16 @@ type Tree struct {
 	synopsis  *kmv.Sliced // windowed distinct-keyword synopsis
 }
 
+// synopsisK is the size of the windowed distinct-keyword synopsis.
+const synopsisK = 256
+
 // New creates an empty tree over the given world rectangle.
 func New(world geo.Rect, cfg Config) *Tree {
 	if world.Empty() || !world.Valid() {
 		panic(fmt.Sprintf("asptree: invalid world %v", world))
 	}
 	c := cfg.withDefaults()
-	t := &Tree{cfg: c, synopsis: kmv.NewSliced(256, c.Slices)}
+	t := &Tree{cfg: c, synopsis: kmv.NewSliced(synopsisK, c.Slices)}
 	t.root = t.newNode(world, 0)
 	t.nodes = 1
 	return t
@@ -292,7 +295,7 @@ func (t *Tree) Reset() {
 	t.nodes = 1
 	t.cur = 0
 	t.totalLive = 0
-	t.synopsis = kmv.NewSliced(256, t.cfg.Slices)
+	t.synopsis = kmv.NewSliced(synopsisK, t.cfg.Slices)
 }
 
 // MemoryBytes approximates the tree's footprint for the memory-budget

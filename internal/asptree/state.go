@@ -1,0 +1,111 @@
+package asptree
+
+import (
+	"github.com/spatiotext/latest/internal/kmv"
+	"github.com/spatiotext/latest/internal/persist"
+)
+
+// SaveState serializes the tree: counters, a preorder walk of the nodes,
+// then the keyword synopsis. Node bounds and depths are not written — they
+// re-derive deterministically from the world rectangle via Quadrants on
+// load, because a node either has all four children or none.
+func (t *Tree) SaveState(e *persist.Enc) {
+	e.Int(t.nodes)
+	e.Int(t.cur)
+	e.U32(t.totalLive)
+	saveNode(e, t.root)
+	t.synopsis.SaveState(e)
+}
+
+func saveNode(e *persist.Enc, n *node) {
+	e.Bool(n.children != nil)
+	e.U32s(n.slices)
+	e.U32(n.live)
+	e.U32s(n.kw)
+	e.U32s(n.kwLive)
+	if n.children != nil {
+		for i := range n.children {
+			saveNode(e, &n.children[i])
+		}
+	}
+}
+
+// LoadState restores a tree saved under the same Config and world
+// rectangle. The restore is atomic: the receiver is untouched on error.
+func (t *Tree) LoadState(d *persist.Dec) error {
+	const op = "asp tree"
+	nodes := d.Int()
+	cur := d.Int()
+	totalLive := d.U32()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if cur < 0 || cur >= t.cfg.Slices {
+		return persist.Errf(persist.CodeMalformed, op, "slice %d of %d", cur, t.cfg.Slices)
+	}
+	if nodes < 1 || nodes > t.cfg.MaxNodes {
+		return persist.Errf(persist.CodeMalformed, op, "node count %d (cap %d)", nodes, t.cfg.MaxNodes)
+	}
+	root := t.newNode(t.root.bounds, 0)
+	read, liveSum := 1, uint32(0)
+	if err := t.loadNode(d, root, &read, nodes, &liveSum); err != nil {
+		return err
+	}
+	if read != nodes {
+		return persist.Errf(persist.CodeMalformed, op, "%d nodes decoded, header says %d", read, nodes)
+	}
+	if liveSum != totalLive {
+		return persist.Errf(persist.CodeMalformed, op, "live sum %d, header says %d", liveSum, totalLive)
+	}
+	syn := kmv.NewSliced(synopsisK, t.cfg.Slices)
+	if err := syn.LoadState(d); err != nil {
+		return err
+	}
+	t.root, t.nodes, t.cur, t.totalLive, t.synopsis = root, nodes, cur, totalLive, syn
+	return nil
+}
+
+func (t *Tree) loadNode(d *persist.Dec, n *node, read *int, limit int, liveSum *uint32) error {
+	const op = "asp node"
+	hasChildren := d.Bool()
+	slices := d.U32s()
+	live := d.U32()
+	kw := d.U32s()
+	kwLive := d.U32s()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	S, B := t.cfg.Slices, t.cfg.KeywordBuckets
+	if len(slices) != S || len(kw) != B*S || len(kwLive) != B {
+		return persist.Errf(persist.CodeMismatch, op,
+			"ring shapes %d/%d/%d, config wants %d/%d/%d",
+			len(slices), len(kw), len(kwLive), S, B*S, B)
+	}
+	copy(n.slices, slices)
+	n.live = live
+	*liveSum += live
+	copy(n.kw, kw)
+	copy(n.kwLive, kwLive)
+	if !hasChildren {
+		return nil
+	}
+	if n.depth >= t.cfg.MaxDepth {
+		return persist.Errf(persist.CodeMalformed, op, "children below max depth %d", t.cfg.MaxDepth)
+	}
+	*read += 4
+	if *read > limit {
+		return persist.Errf(persist.CodeMalformed, op, "more nodes than the header's %d", limit)
+	}
+	quads := n.bounds.Quadrants()
+	var ch [4]node
+	for i := range ch {
+		ch[i] = *t.newNode(quads[i], n.depth+1)
+	}
+	n.children = &ch
+	for i := range n.children {
+		if err := t.loadNode(d, &n.children[i], read, limit, liveSum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

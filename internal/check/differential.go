@@ -147,13 +147,16 @@ func (r *DiffReport) note(kind *int, format string, args ...any) {
 // engine adapts the three public deployment shapes to one comparable
 // surface.
 type engine struct {
-	name    string
-	feed    func(o latest.Object)
-	run     func(q *latest.Query) (float64, int)
+	name string
+	// eng carries the whole serving surface — feeds, queries, stats — so
+	// the harness exercises exactly the unified public contract every
+	// deployment shape implements.
+	eng latest.Engine
+	// The remaining accessors are shape-specific diagnostics the Engine
+	// interface deliberately does not carry.
 	active  func() string
 	phase   func() latest.Phase
 	winSize func() int
-	stats   func() latest.Stats
 }
 
 // RunDifferential feeds one deterministic workload into System,
@@ -210,28 +213,22 @@ func RunDifferential(cfg DiffConfig) (*DiffReport, error) {
 
 	engines := []engine{
 		{
-			name: "system", feed: sys.Feed,
-			run:     sys.EstimateAndExecute,
+			name: "system", eng: sys,
 			active:  sys.ActiveEstimator,
 			phase:   sys.Phase,
 			winSize: sys.WindowSize,
-			stats:   sys.Stats,
 		},
 		{
-			name: "concurrent", feed: conc.Feed,
-			run:     conc.EstimateAndExecute,
+			name: "concurrent", eng: conc,
 			active:  conc.ActiveEstimator,
 			phase:   conc.Phase,
 			winSize: conc.WindowSize,
-			stats:   conc.Stats,
 		},
 		{
-			name: "sharded1", feed: shard.Feed,
-			run:     shard.EstimateAndExecute,
+			name: "sharded1", eng: shard,
 			active:  func() string { return shard.ActiveEstimators()[0] },
 			phase:   shard.Phase,
 			winSize: shard.WindowSize,
-			stats:   func() latest.Stats { return shard.Stats().Merged },
 		},
 	}
 
@@ -242,7 +239,7 @@ func RunDifferential(cfg DiffConfig) (*DiffReport, error) {
 		for j := 0; j < cfg.ObjectsPerQuery; j++ {
 			o := gen.Next()
 			for _, e := range engines {
-				e.feed(o)
+				e.eng.Feed(o)
 			}
 			oracle.Insert(&o)
 			report.FeedSteps++
@@ -259,7 +256,7 @@ func RunDifferential(cfg DiffConfig) (*DiffReport, error) {
 			// place, and a shared struct would let one engine's repair leak
 			// into the next engine's input.
 			qc := q
-			ests[i], acts[i] = e.run(&qc)
+			ests[i], acts[i] = e.eng.EstimateAndExecute(&qc)
 		}
 		for i, e := range engines {
 			if acts[i] != want {
@@ -304,9 +301,9 @@ func compareDeep(report *DiffReport, qi int, engines []engine, oracle *Oracle) {
 				"q%d: %s window size %d, oracle %d", qi, e.name, ws, oracle.Size())
 		}
 	}
-	ref := engines[0].stats()
+	ref := engines[0].eng.Stats()
 	for i := 1; i < len(engines); i++ {
-		st := engines[i].stats()
+		st := engines[i].eng.Stats()
 		diffStats(report, qi, engines[i].name, &st, engines[0].name, &ref)
 	}
 }

@@ -1,0 +1,208 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/datagen"
+	"github.com/spatiotext/latest/internal/replay"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+// recovery.go turns the golden replay into a recovery-correctness oracle:
+// the same deterministic trace is driven through an engine that crashes
+// and recovers from persisted state mid-run, and the per-query count
+// report plus the switch-decision trace must come out identical to the
+// uninterrupted run. Because the golden replay pins every observable the
+// engine produces, any state the snapshot or WAL fails to carry — a
+// sampler's RNG position, a sliding accuracy average, the learner's
+// profile grids — surfaces as a readable line diff, not a vague
+// statistical drift.
+
+// goldenWorld returns the world rect the golden trace was generated in.
+func goldenWorld() latest.Rect {
+	return datagen.ByName(TraceSpec.Dataset, TraceSpec.Seed, TraceSpec.Rate).World()
+}
+
+// goldenOptions builds the exact option set RunGolden uses; recovery runs
+// must construct every engine incarnation with it, both because the replay
+// must be deterministic and because Restore fingerprints the options.
+func goldenOptions(cfg GoldenConfig) []latest.Option {
+	opts := []latest.Option{
+		latest.WithSeed(cfg.Seed),
+		latest.WithPretrainQueries(cfg.Pretrain),
+		latest.WithAccWindow(cfg.AccWindow),
+		latest.WithAlpha(cfg.Alpha),
+		latest.WithLatencyModel(DeterministicLatencyModel),
+		latest.WithBreaker(latest.BreakerConfig{Deadline: 10 * time.Minute}),
+	}
+	if cfg.MemoryScale > 0 {
+		opts = append(opts, latest.WithMemoryScale(cfg.MemoryScale))
+	}
+	return opts
+}
+
+// LoadTrace reads a full JSONL object trace into memory, for runners that
+// need to replay segments of it against multiple engine incarnations.
+func LoadTrace(r io.Reader) ([]stream.Object, error) {
+	reader := replay.NewReader(r)
+	var objs []stream.Object
+	for {
+		o, err := reader.Next()
+		if err == io.EOF {
+			return objs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, o)
+	}
+}
+
+// reportLine appends one golden count-report line; every runner goes
+// through here so the formats can never drift apart.
+func reportLine(b *strings.Builder, qi int, q *latest.Query, est float64, actual int, sys *latest.System) {
+	fmt.Fprintf(b, "q=%04d type=%-7s est=%.6f actual=%d active=%s phase=%s window=%d\n",
+		qi, q.Type(), est, actual, sys.ActiveEstimator(), phaseName(sys.Phase()), sys.WindowSize())
+}
+
+// renderDecisions formats the switch-decision trace; same single-source
+// rule as reportLine.
+func renderDecisions(ds []latest.Decision) string {
+	var trace strings.Builder
+	for i, d := range ds {
+		fmt.Fprintf(&trace, "switch=%02d q=%d ts=%d from=%s to=%s reason=%s prefilled=%t qtype=%s recommended=%s\n",
+			i, d.QueryIndex, d.Timestamp, d.From, d.To, d.Reason, d.Prefilled, d.QueryType, d.Recommended)
+	}
+	return trace.String()
+}
+
+// RecoveryConfig shapes a mid-run crash/recovery replay.
+type RecoveryConfig struct {
+	Golden GoldenConfig
+	// SnapshotAt: the snapshot is taken right after this many objects have
+	// been fed (2000 in the checked-in scenario) and after any query due at
+	// that exact point has been served — query feedback lives only in
+	// process memory, so a snapshot taken between a feed and its co-located
+	// query would silently shed that query's learning from the durable
+	// state while the control run keeps it.
+	SnapshotAt int
+	// WALTailObjects: how many objects past the snapshot are fed — and
+	// write-ahead logged — before the simulated crash. Queries pause for
+	// this span: the WAL records feeds only, so the control run must have
+	// the same no-query gap for the comparison to be exact. Zero means the
+	// crash happens immediately after the snapshot (pure snapshot restore).
+	WALTailObjects int
+}
+
+// RunGoldenRecovery replays the golden trace through an engine that is
+// snapshotted, crashed and recovered mid-run, and through an uninterrupted
+// control engine with an identical query schedule. It returns both runs'
+// count reports and decision traces; recovery is correct iff they are
+// byte-identical.
+//
+// The crash is simulated faithfully: the first engine incarnation is
+// abandoned (no Shutdown, no final snapshot), so recovery sees exactly
+// what a SIGKILL would leave on disk — the committed snapshot plus the
+// fsynced WAL tail.
+func RunGoldenRecovery(objs []stream.Object, rc RecoveryConfig) (control, recovered Replay, err error) {
+	if rc.SnapshotAt <= 0 || rc.SnapshotAt >= len(objs) {
+		return control, recovered, fmt.Errorf("check: SnapshotAt %d out of trace (%d objects)", rc.SnapshotAt, len(objs))
+	}
+	gapStart := rc.SnapshotAt
+	gapEnd := rc.SnapshotAt + rc.WALTailObjects
+	if gapEnd > len(objs) {
+		return control, recovered, fmt.Errorf("check: WAL tail past trace end (%d+%d > %d)", rc.SnapshotAt, rc.WALTailObjects, len(objs))
+	}
+
+	control, err = runGoldenSegmented(objs, rc.Golden, gapStart, gapEnd, -1)
+	if err != nil {
+		return control, recovered, fmt.Errorf("check: control run: %w", err)
+	}
+	recovered, err = runGoldenSegmented(objs, rc.Golden, gapStart, gapEnd, rc.SnapshotAt)
+	if err != nil {
+		return control, recovered, fmt.Errorf("check: recovery run: %w", err)
+	}
+	return control, recovered, nil
+}
+
+// Replay is one run's observable output.
+type Replay struct {
+	Counts    string
+	Decisions string
+}
+
+// runGoldenSegmented drives the golden replay with a no-query gap over
+// [gapStart, gapEnd) and, when crashAt >= 0, a snapshot + simulated crash
+// + recovery at that object index. The crash engine persists into a
+// latest.MemStore via a DurableEngine with per-record WAL fsync, so the
+// post-crash incarnation recovers through exactly the production path:
+// NewDurable -> Restore -> WAL tail replay.
+func runGoldenSegmented(objs []stream.Object, cfg GoldenConfig, gapStart, gapEnd, crashAt int) (Replay, error) {
+	world := goldenWorld()
+	build := func() (*latest.System, error) {
+		return latest.New(world, cfg.Window, goldenOptions(cfg)...)
+	}
+	sys, err := build()
+	if err != nil {
+		return Replay{}, err
+	}
+
+	var eng latest.Engine = sys
+	store := latest.NewMemStore()
+	if crashAt >= 0 {
+		dur, derr := latest.NewDurable(sys, store, latest.DurableConfig{WALSyncEvery: 1})
+		if derr != nil {
+			return Replay{}, derr
+		}
+		eng = dur
+	}
+
+	qm := newQueryMaker(cfg.Seed, world)
+	var report strings.Builder
+	fed, qi := 0, 0
+	var lastTS int64
+	for i := range objs {
+		eng.Feed(objs[i])
+		qm.observe(&objs[i])
+		lastTS = objs[i].Timestamp
+		fed++
+
+		// Any query due at this object is served BEFORE a co-located
+		// snapshot or crash: query feedback is process memory, not durable
+		// state, so a snapshot taken between the feed and its query would
+		// shed that query's learning while the control engine keeps it —
+		// the runs would then disagree about history, not about recovery.
+		if fed%cfg.ObjectsPerQuery == 0 && !(fed > gapStart && fed <= gapEnd) {
+			q := qm.next(lastTS)
+			est, actual := eng.EstimateAndExecute(&q)
+			reportLine(&report, qi, &q, est, actual, sys)
+			qi++
+		}
+
+		if fed == crashAt {
+			if err := eng.(*latest.DurableEngine).SnapshotNow(context.Background()); err != nil {
+				return Replay{}, fmt.Errorf("snapshot at object %d: %w", fed, err)
+			}
+		}
+		if crashAt >= 0 && fed == gapEnd {
+			// Crash: abandon the incarnation without Shutdown and recover a
+			// fresh one from the store. Everything since the snapshot must
+			// come back out of the WAL.
+			sys, err = build()
+			if err != nil {
+				return Replay{}, err
+			}
+			dur, derr := latest.NewDurable(sys, store, latest.DurableConfig{WALSyncEvery: 1})
+			if derr != nil {
+				return Replay{}, fmt.Errorf("recover at object %d: %w", fed, derr)
+			}
+			eng = dur
+		}
+	}
+	return Replay{Counts: report.String(), Decisions: renderDecisions(sys.Decisions())}, nil
+}

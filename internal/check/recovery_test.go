@@ -1,0 +1,115 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+func loadGoldenTrace(t *testing.T) []stream.Object {
+	t.Helper()
+	f, err := os.Open(filepath.Join(goldenDir, traceFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	objs, err := LoadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != TraceSpec.Objects {
+		t.Fatalf("trace holds %d objects, spec says %d", len(objs), TraceSpec.Objects)
+	}
+	return objs
+}
+
+// diffReplays fails with the first differing line — a readable, localized
+// diff rather than a byte-offset mismatch.
+func diffReplays(t *testing.T, what string, control, recovered string) {
+	t.Helper()
+	if control == recovered {
+		return
+	}
+	cl := strings.Split(control, "\n")
+	rl := strings.Split(recovered, "\n")
+	for i := 0; i < len(cl) || i < len(rl); i++ {
+		var c, r string
+		if i < len(cl) {
+			c = cl[i]
+		}
+		if i < len(rl) {
+			r = rl[i]
+		}
+		if c != r {
+			t.Fatalf("%s diverges at line %d:\n  control:   %s\n  recovered: %s", what, i+1, c, r)
+		}
+	}
+	t.Fatalf("%s differs (lengths %d vs %d)", what, len(control), len(recovered))
+}
+
+// TestGoldenRecoverySnapshot is the pure snapshot/restore oracle: the
+// engine is snapshotted at object 2000, crashed immediately, restored from
+// the snapshot alone, and must finish the golden trace with per-query
+// counts and switch decisions identical to the uninterrupted run. Every
+// piece of engine state the snapshot fails to carry — a sampler's RNG
+// position, an accuracy window, the learner's profiles — shows up here as
+// a line diff.
+func TestGoldenRecoverySnapshot(t *testing.T) {
+	objs := loadGoldenTrace(t)
+	control, recovered, err := RunGoldenRecovery(objs, RecoveryConfig{
+		Golden:     DefaultGoldenConfig(),
+		SnapshotAt: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(control.Decisions, "switch=") {
+		t.Fatal("control run recorded no switches; the scenario is not exercising the adaptor")
+	}
+	diffReplays(t, "count report", control.Counts, recovered.Counts)
+	diffReplays(t, "decision trace", control.Decisions, recovered.Decisions)
+}
+
+// TestGoldenRecoveryWALTail extends the oracle through the write-ahead
+// log: snapshot at object 2000, four hundred more objects fed (and WAL'd)
+// before a SIGKILL-style crash, recovery from snapshot + WAL replay, then
+// the rest of the trace. The control run pauses queries over the same
+// span — the WAL logs feeds only, which is the durable layer's documented
+// contract — so any divergence is a WAL replay defect, not a scheduling
+// artifact.
+func TestGoldenRecoveryWALTail(t *testing.T) {
+	objs := loadGoldenTrace(t)
+	control, recovered, err := RunGoldenRecovery(objs, RecoveryConfig{
+		Golden:         DefaultGoldenConfig(),
+		SnapshotAt:     2000,
+		WALTailObjects: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffReplays(t, "count report", control.Counts, recovered.Counts)
+	diffReplays(t, "decision trace", control.Decisions, recovered.Decisions)
+}
+
+// TestGoldenRecoveryMatchesGoldenFiles pins the snapshot-only recovery run
+// against the same checked-in goldens as the uninterrupted replay: the
+// recovered engine must not only agree with its own control run, it must
+// reproduce the repository's canonical behaviour record.
+func TestGoldenRecoveryMatchesGoldenFiles(t *testing.T) {
+	objs := loadGoldenTrace(t)
+	_, recovered, err := RunGoldenRecovery(objs, RecoveryConfig{
+		Golden:     DefaultGoldenConfig(),
+		SnapshotAt: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(goldenDir, countsGolden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffReplays(t, "count report vs golden file", string(want), recovered.Counts)
+}

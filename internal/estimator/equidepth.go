@@ -39,6 +39,7 @@ type EquiDepth struct {
 	span    int64
 	k       int
 	counter *WindowCounter
+	src     *countedSource
 	rng     *rand.Rand
 
 	capacity     int
@@ -57,12 +58,14 @@ type EquiDepth struct {
 // capacity and the bucket count.
 func NewEquiDepth(p Params) *EquiDepth {
 	k := p.scaledInt(defaultEDColumns, 4)
+	src, rng := newCountedRand(p.Seed + 0x4544)
 	return &EquiDepth{
 		world:    p.World,
 		span:     p.Span,
 		k:        k,
 		counter:  NewWindowCounter(p.Span, defaultHistSlices),
-		rng:      rand.New(rand.NewSource(p.Seed + 0x4544)),
+		src:      src,
+		rng:      rng,
 		capacity: p.scaledInt(defaultEDSampleCap, 64),
 	}
 }

@@ -29,6 +29,7 @@ type sample struct {
 // the matching sample fraction scaled by the windowed arrival count.
 type ReservoirList struct {
 	capacity int
+	src      *countedSource
 	rng      *rand.Rand
 	counter  *WindowCounter
 	samples  []sample
@@ -37,9 +38,11 @@ type ReservoirList struct {
 
 // NewReservoirList builds the RSL estimator.
 func NewReservoirList(p Params) *ReservoirList {
+	src, rng := newCountedRand(p.Seed + 0x5271)
 	return &ReservoirList{
 		capacity: p.scaledInt(defaultReservoirCapacity, 64),
-		rng:      rand.New(rand.NewSource(p.Seed + 0x5271)),
+		src:      src,
+		rng:      rng,
 		counter:  NewWindowCounter(p.Span, defaultHistSlices),
 		span:     p.Span,
 	}

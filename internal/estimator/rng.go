@@ -1,0 +1,53 @@
+package estimator
+
+import "math/rand"
+
+// countedSource wraps math/rand's generator with an advance counter so an
+// estimator's RNG position serializes as (seed, n) and restores by
+// replaying n draws. Go's rngSource advances exactly once per Int63 or
+// Uint64 call (Int63 delegates to Uint64), so the counter fully determines
+// the stream position; rand.Rand's extra buffered state only serves Read,
+// which no estimator calls.
+type countedSource struct {
+	seed int64
+	n    uint64
+	src  rand.Source64
+}
+
+// newCountedRand builds a counted source and a rand.Rand drawing from it.
+func newCountedRand(seed int64) (*countedSource, *rand.Rand) {
+	cs := &countedSource{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+	return cs, rand.New(cs)
+}
+
+// Int63 implements rand.Source.
+func (c *countedSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *countedSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source.
+func (c *countedSource) Seed(seed int64) {
+	c.seed = seed
+	c.n = 0
+	c.src.Seed(seed)
+}
+
+// save appends the RNG position to an encoder-compatible pair.
+func (c *countedSource) state() (seed int64, n uint64) { return c.seed, c.n }
+
+// restore repositions the stream at (seed, n): reseed, then replay n draws.
+func (c *countedSource) restore(seed int64, n uint64) {
+	c.src.Seed(seed)
+	c.seed = seed
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.n = n
+}

@@ -26,6 +26,7 @@ const defaultRSHGridCells = 4096
 // replacement and purge are O(1) per sample.
 type ReservoirHashmap struct {
 	capacity int
+	src      *countedSource
 	rng      *rand.Rand
 	counter  *WindowCounter
 	grid     *geo.Grid
@@ -45,9 +46,11 @@ type rshSample struct {
 func NewReservoirHashmap(p Params) *ReservoirHashmap {
 	cells := nearestSquare(p.scaledInt(defaultRSHGridCells, 16))
 	g := geo.NewSquareGrid(p.World, cells)
+	src, rng := newCountedRand(p.Seed + 0x5248)
 	return &ReservoirHashmap{
 		capacity: p.scaledInt(defaultReservoirCapacity, 64),
-		rng:      rand.New(rand.NewSource(p.Seed + 0x5248)),
+		src:      src,
+		rng:      rng,
 		counter:  NewWindowCounter(p.Span, defaultHistSlices),
 		grid:     g,
 		span:     p.Span,

@@ -30,6 +30,7 @@ type SPNEstimator struct {
 	span    int64
 	net     *spn.Network
 	counter *WindowCounter
+	src     *countedSource
 	rng     *rand.Rand
 
 	capacity     int
@@ -42,6 +43,7 @@ type SPNEstimator struct {
 // NewSPN builds the estimator; p.Scale multiplies the component count and
 // sample capacity.
 func NewSPN(p Params) *SPNEstimator {
+	src, rng := newCountedRand(p.Seed + 0x53504E)
 	return &SPNEstimator{
 		world: p.World,
 		span:  p.Span,
@@ -53,7 +55,8 @@ func NewSPN(p Params) *SPNEstimator {
 			Seed:       p.Seed + 0x53504E,
 		}),
 		counter:      NewWindowCounter(p.Span, defaultHistSlices),
-		rng:          rand.New(rand.NewSource(p.Seed + 0x53504E)),
+		src:          src,
+		rng:          rng,
 		capacity:     p.scaledInt(defaultSPNSampleCap, 64),
 		retrainEvery: defaultSPNRetrain,
 	}

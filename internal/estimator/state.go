@@ -1,0 +1,439 @@
+package estimator
+
+import (
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/persist"
+)
+
+// Stateful is implemented by estimators whose internal state serializes
+// bit-exactly: a restored estimator answers every future query and absorbs
+// every future insert exactly as the original would have. Estimators built
+// by this package all implement it; third-party registry entries that do
+// not are restored by replaying the restored window through the usual
+// refill path instead.
+//
+// LoadState must be called on a freshly constructed estimator with the
+// same Params; on error the estimator must be discarded.
+type Stateful interface {
+	SaveState(e *persist.Enc)
+	LoadState(d *persist.Dec) error
+}
+
+// --- shared component codecs ---
+
+func saveSlicer(e *persist.Enc, s *Slicer) {
+	e.Bool(s.started)
+	e.I64(s.boundary)
+}
+
+func loadSlicer(d *persist.Dec, s *Slicer) error {
+	started := d.Bool()
+	boundary := d.I64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	s.started, s.boundary = started, boundary
+	return nil
+}
+
+// SaveState serializes the arrival counter.
+func (w *WindowCounter) SaveState(e *persist.Enc) {
+	saveSlicer(e, &w.slicer)
+	e.F64s(w.counts)
+	e.Int(w.cur)
+	e.F64(w.live)
+}
+
+// LoadState restores a counter saved with the same span and slice count.
+func (w *WindowCounter) LoadState(d *persist.Dec) error {
+	const op = "window counter"
+	sl := w.slicer
+	if err := loadSlicer(d, &sl); err != nil {
+		return err
+	}
+	counts := d.F64s()
+	cur := d.Int()
+	live := d.F64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if len(counts) != len(w.counts) {
+		return persist.Errf(persist.CodeMismatch, op, "%d slices, receiver has %d", len(counts), len(w.counts))
+	}
+	if cur < 0 || cur >= len(w.counts) {
+		return persist.Errf(persist.CodeMalformed, op, "current slice %d of %d", cur, len(w.counts))
+	}
+	w.slicer = sl
+	copy(w.counts, counts)
+	w.cur, w.live = cur, live
+	return nil
+}
+
+func saveSample(e *persist.Enc, s *sample) {
+	e.F64(s.loc.X)
+	e.F64(s.loc.Y)
+	e.I64(s.ts)
+	e.Strs(s.kws)
+}
+
+func loadSample(d *persist.Dec) sample {
+	x := d.F64()
+	y := d.F64()
+	ts := d.I64()
+	kws := d.Strs()
+	return sample{loc: geo.Point{X: x, Y: y}, ts: ts, kws: kws}
+}
+
+// sampleCount reads a sample-array length prefix, bounding it by the
+// reservoir capacity (same Params ⇒ same capacity, so more is malformed).
+func sampleCount(d *persist.Dec, capacity int, op string) (int, error) {
+	n := int(d.U32())
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	if n < 0 || n > capacity {
+		return 0, persist.Errf(persist.CodeMalformed, op, "%d samples exceeds capacity %d", n, capacity)
+	}
+	return n, nil
+}
+
+// --- H4096 ---
+
+// SaveState implements Stateful.
+func (h *Histogram) SaveState(e *persist.Enc) {
+	saveSlicer(e, &h.slicer)
+	e.F64s(h.ring)
+	e.F64s(h.live)
+	e.Int(h.cur)
+	e.F64(h.totalLive)
+}
+
+// LoadState implements Stateful.
+func (h *Histogram) LoadState(d *persist.Dec) error {
+	const op = "histogram"
+	sl := h.slicer
+	if err := loadSlicer(d, &sl); err != nil {
+		return err
+	}
+	ring := d.F64s()
+	live := d.F64s()
+	cur := d.Int()
+	totalLive := d.F64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if len(ring) != len(h.ring) || len(live) != len(h.live) {
+		return persist.Errf(persist.CodeMismatch, op,
+			"ring %d / live %d, receiver %d / %d", len(ring), len(live), len(h.ring), len(h.live))
+	}
+	if cur < 0 || cur >= h.slicer.Slices() {
+		return persist.Errf(persist.CodeMalformed, op, "current slice %d of %d", cur, h.slicer.Slices())
+	}
+	h.slicer = sl
+	copy(h.ring, ring)
+	copy(h.live, live)
+	h.cur, h.totalLive = cur, totalLive
+	return nil
+}
+
+// --- RSL ---
+
+// SaveState implements Stateful.
+func (r *ReservoirList) SaveState(e *persist.Enc) {
+	seed, n := r.src.state()
+	e.I64(seed)
+	e.U64(n)
+	r.counter.SaveState(e)
+	e.U32(uint32(len(r.samples)))
+	for i := range r.samples {
+		saveSample(e, &r.samples[i])
+	}
+}
+
+// LoadState implements Stateful.
+func (r *ReservoirList) LoadState(d *persist.Dec) error {
+	seed := d.I64()
+	rngN := d.U64()
+	if err := r.counter.LoadState(d); err != nil {
+		return err
+	}
+	count, err := sampleCount(d, r.capacity, "rsl")
+	if err != nil {
+		return err
+	}
+	samples := make([]sample, 0, count)
+	for i := 0; i < count; i++ {
+		samples = append(samples, loadSample(d))
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.src.restore(seed, rngN)
+	r.samples = samples
+	return nil
+}
+
+// --- RSH ---
+
+// SaveState implements Stateful. Slots are written in array order with
+// their position inside their grid bucket: the slot array's layout governs
+// future reservoir replacement and the bucket order governs purge order,
+// so both must survive exactly. Cells re-derive from the sample location.
+func (r *ReservoirHashmap) SaveState(e *persist.Enc) {
+	seed, n := r.src.state()
+	e.I64(seed)
+	e.U64(n)
+	r.counter.SaveState(e)
+	e.U32(uint32(len(r.samples)))
+	for i := range r.samples {
+		saveSample(e, &r.samples[i].sample)
+		e.U32(uint32(r.samples[i].pos))
+	}
+}
+
+// LoadState implements Stateful.
+func (r *ReservoirHashmap) LoadState(d *persist.Dec) error {
+	const op = "rsh"
+	seed := d.I64()
+	rngN := d.U64()
+	if err := r.counter.LoadState(d); err != nil {
+		return err
+	}
+	count, err := sampleCount(d, r.capacity, op)
+	if err != nil {
+		return err
+	}
+	samples := make([]rshSample, 0, count)
+	perCell := make(map[int32]int32, count)
+	for i := 0; i < count; i++ {
+		s := loadSample(d)
+		pos := int32(d.U32())
+		cell := int32(r.grid.CellOf(s.loc))
+		samples = append(samples, rshSample{sample: s, cell: cell, pos: pos})
+		perCell[cell]++
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	// Rebuild buckets by placing each slot at its recorded position; any
+	// duplicate or out-of-range position means the image is inconsistent.
+	buckets := make([][]int32, len(r.buckets))
+	for cell, n := range perCell {
+		b := make([]int32, n)
+		for i := range b {
+			b[i] = -1
+		}
+		buckets[cell] = b
+	}
+	for j := range samples {
+		s := &samples[j]
+		b := buckets[s.cell]
+		if s.pos < 0 || int(s.pos) >= len(b) || b[s.pos] != -1 {
+			return persist.Errf(persist.CodeMalformed, op, "slot %d bucket position %d invalid", j, s.pos)
+		}
+		b[s.pos] = int32(j)
+	}
+	r.src.restore(seed, rngN)
+	r.samples = samples
+	for i := range r.buckets {
+		if buckets[i] != nil {
+			r.buckets[i] = buckets[i]
+		} else {
+			r.buckets[i] = r.buckets[i][:0]
+		}
+	}
+	return nil
+}
+
+// --- AASP ---
+
+// SaveState implements Stateful.
+func (a *AASP) SaveState(e *persist.Enc) {
+	saveSlicer(e, &a.slicer)
+	a.tree.SaveState(e)
+}
+
+// LoadState implements Stateful.
+func (a *AASP) LoadState(d *persist.Dec) error {
+	sl := a.slicer
+	if err := loadSlicer(d, &sl); err != nil {
+		return err
+	}
+	if err := a.tree.LoadState(d); err != nil {
+		return err
+	}
+	a.slicer = sl
+	return nil
+}
+
+// --- FFN ---
+
+// SaveState implements Stateful.
+func (f *FFN) SaveState(e *persist.Enc) {
+	f.net.SaveState(e)
+	e.Int(len(f.xs))
+	for i := range f.xs {
+		e.F64s(f.xs[i])
+		e.F64s(f.ys[i])
+	}
+	e.Int(f.n)
+	e.Bool(f.trained)
+}
+
+// LoadState implements Stateful.
+func (f *FFN) LoadState(d *persist.Dec) error {
+	const op = "ffn"
+	if err := f.net.LoadState(d); err != nil {
+		return err
+	}
+	count := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if count < 0 || count > ffnReplayBuffer {
+		return persist.Errf(persist.CodeMalformed, op, "replay buffer length %d (cap %d)", count, ffnReplayBuffer)
+	}
+	xs := make([][]float64, 0, count)
+	ys := make([][]float64, 0, count)
+	for i := 0; i < count; i++ {
+		x := d.F64s()
+		y := d.F64s()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if len(x) != ffnInputDim || len(y) != 1 {
+			return persist.Errf(persist.CodeMalformed, op, "replay sample dims %d/%d, want %d/1", len(x), len(y), ffnInputDim)
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	n := d.Int()
+	trained := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	f.xs, f.ys, f.n, f.trained = xs, ys, n, trained
+	return nil
+}
+
+// --- SPN ---
+
+// SaveState implements Stateful.
+func (s *SPNEstimator) SaveState(e *persist.Enc) {
+	seed, n := s.src.state()
+	e.I64(seed)
+	e.U64(n)
+	s.counter.SaveState(e)
+	e.U32(uint32(len(s.samples)))
+	for i := range s.samples {
+		saveSample(e, &s.samples[i])
+	}
+	e.Int(s.sinceRetrain)
+	e.Int(s.retrains)
+	s.net.SaveState(e)
+}
+
+// LoadState implements Stateful.
+func (s *SPNEstimator) LoadState(d *persist.Dec) error {
+	seed := d.I64()
+	rngN := d.U64()
+	if err := s.counter.LoadState(d); err != nil {
+		return err
+	}
+	count, err := sampleCount(d, s.capacity, "spn")
+	if err != nil {
+		return err
+	}
+	samples := make([]sample, 0, count)
+	for i := 0; i < count; i++ {
+		samples = append(samples, loadSample(d))
+	}
+	sinceRetrain := d.Int()
+	retrains := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if err := s.net.LoadState(d); err != nil {
+		return err
+	}
+	s.src.restore(seed, rngN)
+	s.samples = samples
+	s.sinceRetrain, s.retrains = sinceRetrain, retrains
+	return nil
+}
+
+// --- ED ---
+
+// SaveState implements Stateful.
+func (e *EquiDepth) SaveState(enc *persist.Enc) {
+	seed, n := e.src.state()
+	enc.I64(seed)
+	enc.U64(n)
+	e.counter.SaveState(enc)
+	enc.U32(uint32(len(e.samples)))
+	for i := range e.samples {
+		saveSample(enc, &e.samples[i])
+	}
+	enc.Int(e.sinceRebuild)
+	enc.Int(e.rebuilds)
+	enc.F64s(e.xCuts)
+	enc.Int(len(e.yCuts))
+	for _, row := range e.yCuts {
+		enc.F64s(row)
+	}
+	enc.Bool(e.built)
+}
+
+// LoadState implements Stateful.
+func (e *EquiDepth) LoadState(d *persist.Dec) error {
+	const op = "equidepth"
+	seed := d.I64()
+	rngN := d.U64()
+	if err := e.counter.LoadState(d); err != nil {
+		return err
+	}
+	count, err := sampleCount(d, e.capacity, op)
+	if err != nil {
+		return err
+	}
+	samples := make([]sample, 0, count)
+	for i := 0; i < count; i++ {
+		samples = append(samples, loadSample(d))
+	}
+	sinceRebuild := d.Int()
+	rebuilds := d.Int()
+	xCuts := d.F64s()
+	yRows := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if len(xCuts) != 0 && len(xCuts) != e.k {
+		return persist.Errf(persist.CodeMismatch, op, "%d column cuts, receiver k=%d", len(xCuts), e.k)
+	}
+	if yRows != 0 && yRows != e.k {
+		return persist.Errf(persist.CodeMismatch, op, "%d cut rows, receiver k=%d", yRows, e.k)
+	}
+	var yCuts [][]float64
+	for i := 0; i < yRows; i++ {
+		row := d.F64s()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if len(row) != e.k {
+			return persist.Errf(persist.CodeMismatch, op, "cut row %d has %d cuts, receiver k=%d", i, len(row), e.k)
+		}
+		yCuts = append(yCuts, row)
+	}
+	built := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if built && (len(xCuts) != e.k || yRows != e.k) {
+		return persist.Errf(persist.CodeMalformed, op, "built histogram without complete cuts")
+	}
+	e.src.restore(seed, rngN)
+	e.samples = samples
+	e.sinceRebuild, e.rebuilds = sinceRebuild, rebuilds
+	e.xCuts, e.yCuts, e.built = xCuts, yCuts, built
+	return nil
+}

@@ -1,0 +1,53 @@
+package mlp
+
+import "github.com/spatiotext/latest/internal/persist"
+
+// SaveState serializes the learned parameters: per-layer weights, biases
+// and momentum buffers. The forward/backward scratch slices are transient
+// and not written. Fit reseeds its shuffle RNG from the config on every
+// call, so no trainer RNG position needs saving.
+func (n *Network) SaveState(e *persist.Enc) {
+	e.Int(len(n.layers))
+	for _, l := range n.layers {
+		e.Int(l.in)
+		e.Int(l.out)
+		e.F64s(l.w)
+		e.F64s(l.b)
+		e.F64s(l.dw)
+		e.F64s(l.db)
+	}
+}
+
+// LoadState restores parameters into a network built with the same shape.
+// On error the receiver must be discarded.
+func (n *Network) LoadState(d *persist.Dec) error {
+	const op = "mlp network"
+	count := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if count != len(n.layers) {
+		return persist.Errf(persist.CodeMismatch, op, "%d layers, receiver has %d", count, len(n.layers))
+	}
+	for li, l := range n.layers {
+		in := d.Int()
+		out := d.Int()
+		w := d.F64s()
+		b := d.F64s()
+		dw := d.F64s()
+		db := d.F64s()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if in != l.in || out != l.out ||
+			len(w) != len(l.w) || len(b) != len(l.b) ||
+			len(dw) != len(l.dw) || len(db) != len(l.db) {
+			return persist.Errf(persist.CodeMismatch, op, "layer %d shape %dx%d, receiver %dx%d", li, in, out, l.in, l.out)
+		}
+		copy(l.w, w)
+		copy(l.b, b)
+		copy(l.dw, dw)
+		copy(l.db, db)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package persist is the durability layer: a small storage abstraction
+// (Store, with in-memory and on-disk backends), a versioned CRC-guarded
+// snapshot container, and an fsync-batched write-ahead log for the feed
+// tail between snapshots.
+//
+// The package deliberately knows nothing about engines or estimators. It
+// moves opaque byte sections; the engine packages own their encodings via
+// the Enc/Dec primitives in codec.go. Framing follows the conventions of
+// internal/wire: fixed magic, explicit version byte, length-prefixed
+// payloads, CRC32-IEEE guards, and one typed error (*Error) whose Code
+// callers can branch on without string matching.
+package persist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrorCode classifies persistence failures so callers (the daemon's
+// load-on-start path, tests) can react without parsing messages.
+type ErrorCode uint8
+
+const (
+	// CodeNotExist: the named file is absent from the store.
+	CodeNotExist ErrorCode = iota + 1
+	// CodeCorrupt: a CRC guard failed — the bytes are not what was written.
+	CodeCorrupt
+	// CodeVersionSkew: the snapshot was written by an incompatible format
+	// version.
+	CodeVersionSkew
+	// CodeMalformed: the bytes parse to something structurally impossible
+	// (bad magic, lengths past the end, impossible counts).
+	CodeMalformed
+	// CodeTruncated: the file ends mid-structure (a partial snapshot write;
+	// WAL tails are tolerated, snapshots are not).
+	CodeTruncated
+	// CodeMismatch: the snapshot is valid but belongs to a different engine
+	// shape or configuration than the one restoring it.
+	CodeMismatch
+	// CodeState: the engine cannot snapshot or restore in its current state
+	// (e.g. a query is mid-flight, or the engine already holds data).
+	CodeState
+)
+
+// String implements fmt.Stringer.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeNotExist:
+		return "not-exist"
+	case CodeCorrupt:
+		return "corrupt"
+	case CodeVersionSkew:
+		return "version-skew"
+	case CodeMalformed:
+		return "malformed"
+	case CodeTruncated:
+		return "truncated"
+	case CodeMismatch:
+		return "mismatch"
+	case CodeState:
+		return "state"
+	default:
+		return fmt.Sprintf("ErrorCode(%d)", uint8(c))
+	}
+}
+
+// Error is the typed persistence error. Never partial: any operation that
+// returns *Error has left the destination (engine or store) untouched.
+type Error struct {
+	Code   ErrorCode
+	Op     string // what was being done, e.g. "decode snapshot"
+	Detail string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("persist: %s: %s", e.Op, e.Code)
+	}
+	return fmt.Sprintf("persist: %s: %s (%s)", e.Op, e.Code, e.Detail)
+}
+
+// Errf builds a typed error with a formatted detail.
+func Errf(code ErrorCode, op, format string, args ...interface{}) *Error {
+	return &Error{Code: code, Op: op, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the ErrorCode from err, or 0 when err is not a *Error.
+func CodeOf(err error) ErrorCode {
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe.Code
+	}
+	return 0
+}
+
+// IsNotExist reports whether err is a typed not-exist error.
+func IsNotExist(err error) bool { return CodeOf(err) == CodeNotExist }
+
+// Store is the storage abstraction engines snapshot into. Save must be
+// atomic: a reader never observes a half-written file, even across a crash
+// (the file backend writes a temp file, fsyncs, and renames into place).
+type Store interface {
+	// Save atomically replaces the named file with data, durably.
+	Save(name string, data []byte) error
+	// Load returns the named file's full contents, or a CodeNotExist error.
+	Load(name string) ([]byte, error)
+	// List returns the names of all files in the store, in any order.
+	List() ([]string, error)
+	// Remove deletes the named file; removing a missing file is not an
+	// error.
+	Remove(name string) error
+	// OpenAppend opens the named file for appending, creating it when
+	// absent. truncateTo >= 0 first truncates the file to that size —
+	// the WAL uses this to drop a torn tail record before appending new
+	// ones. truncateTo < 0 keeps the current contents.
+	OpenAppend(name string, truncateTo int64) (AppendFile, error)
+}
+
+// AppendFile is an append-only handle with explicit durability control.
+type AppendFile interface {
+	// Append writes p at the end of the file (buffered; not yet durable).
+	Append(p []byte) error
+	// Sync flushes appended data to stable storage.
+	Sync() error
+	// Close syncs and releases the handle.
+	Close() error
+}

@@ -1,0 +1,349 @@
+package persist
+
+import (
+	"bytes"
+	"hash/crc32"
+	"path/filepath"
+	"testing"
+)
+
+// TestCodecRoundTrip pins every Enc primitive to its Dec counterpart.
+func TestCodecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.U16(65535)
+	e.U32(1 << 30)
+	e.U64(1 << 62)
+	e.I64(-42)
+	e.Int(-1)
+	e.F64(3.141592653589793)
+	e.Str("hello")
+	e.Blob([]byte{1, 2, 3})
+	e.F64s([]float64{0.5, -0.5})
+	e.I64s([]int64{-1, 0, 1})
+	e.U32s([]uint32{9, 8})
+	e.Strs([]string{"a", "bb"})
+
+	d := NewDec(e.Data())
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip")
+	}
+	if got := d.U16(); got != 65535 {
+		t.Errorf("U16 = %d", got)
+	}
+	if got := d.U32(); got != 1<<30 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := d.U64(); got != 1<<62 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Int(); got != -1 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.141592653589793 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := d.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := d.F64s(); len(got) != 2 || got[0] != 0.5 || got[1] != -0.5 {
+		t.Errorf("F64s = %v", got)
+	}
+	if got := d.I64s(); len(got) != 3 || got[0] != -1 || got[2] != 1 {
+		t.Errorf("I64s = %v", got)
+	}
+	if got := d.U32s(); len(got) != 2 || got[0] != 9 {
+		t.Errorf("U32s = %v", got)
+	}
+	if got := d.Strs(); len(got) != 2 || got[1] != "bb" {
+		t.Errorf("Strs = %v", got)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+// TestDecTruncation: reading past the end fails typed and sticks.
+func TestDecTruncation(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	d.U64()
+	if CodeOf(d.Err()) != CodeTruncated {
+		t.Fatalf("err = %v, want truncated", d.Err())
+	}
+	// Subsequent reads stay failed, never panic.
+	d.Str()
+	d.F64s()
+	if CodeOf(d.Err()) != CodeTruncated {
+		t.Fatalf("err after more reads = %v", d.Err())
+	}
+}
+
+// TestDecDoneLeftover: trailing unread bytes are a typed malformed error.
+func TestDecDoneLeftover(t *testing.T) {
+	var e Enc
+	e.U8(1)
+	e.U8(2)
+	d := NewDec(e.Data())
+	d.U8()
+	if err := d.Done(); CodeOf(err) != CodeMalformed {
+		t.Fatalf("Done with leftover = %v", err)
+	}
+}
+
+func buildSnapshot(t *testing.T) []byte {
+	t.Helper()
+	w := NewSnapshotWriter()
+	w.Section("meta", []byte("m"))
+	w.Section("window", bytes.Repeat([]byte{0xAB}, 100))
+	return w.Bytes()
+}
+
+// TestSnapshotRoundTrip: sections come back verbatim, in order, verified.
+func TestSnapshotRoundTrip(t *testing.T) {
+	data := buildSnapshot(t)
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != SnapshotVersion {
+		t.Errorf("version = %d", snap.Version)
+	}
+	if got := snap.Names(); len(got) != 2 || got[0] != "meta" || got[1] != "window" {
+		t.Errorf("names = %v", got)
+	}
+	m, ok := snap.Section("meta")
+	if !ok || string(m) != "m" {
+		t.Errorf("meta = %q ok=%v", m, ok)
+	}
+	if _, ok := snap.Section("absent"); ok {
+		t.Error("absent section found")
+	}
+}
+
+// TestSnapshotCorruption: a single flipped bit anywhere fails CodeCorrupt
+// — and the whole-file CRC is checked before the version field, so bit rot
+// in the version bytes reads as corruption, not skew.
+func TestSnapshotCorruption(t *testing.T) {
+	for _, off := range []int{4, 5, 11, 40} { // version bytes, section name, payload
+		data := buildSnapshot(t)
+		if off >= len(data) {
+			t.Fatalf("offset %d past %d-byte snapshot", off, len(data))
+		}
+		data[off] ^= 0x01
+		_, err := DecodeSnapshot(data)
+		if CodeOf(err) != CodeCorrupt {
+			t.Errorf("flip at %d: err = %v, want corrupt", off, err)
+		}
+	}
+}
+
+// TestSnapshotVersionSkew: an unknown version with a valid CRC is skew.
+func TestSnapshotVersionSkew(t *testing.T) {
+	w := NewSnapshotWriter()
+	w.Section("meta", []byte("m"))
+	data := w.Bytes()
+	// Bump the version and recompute the trailing CRC so only the version
+	// is wrong.
+	data[4] = 99
+	fixed := append([]byte(nil), data[:len(data)-4]...)
+	var e Enc
+	e.b = fixed
+	e.U32(crcOf(fixed))
+	if _, err := DecodeSnapshot(e.Data()); CodeOf(err) != CodeVersionSkew {
+		t.Fatalf("err = %v, want version-skew", err)
+	}
+}
+
+// TestSnapshotTruncated: cutting the file fails typed, never partial.
+func TestSnapshotTruncated(t *testing.T) {
+	data := buildSnapshot(t)
+	for _, n := range []int{0, 5, 13, len(data) - 1} {
+		_, err := DecodeSnapshot(data[:n])
+		if c := CodeOf(err); c != CodeTruncated && c != CodeCorrupt {
+			t.Errorf("truncate to %d: err = %v", n, err)
+		}
+	}
+}
+
+// TestSnapshotBadMagic is malformed, not corrupt: it was never ours.
+func TestSnapshotBadMagic(t *testing.T) {
+	data := buildSnapshot(t)
+	data[0] = 'X'
+	if _, err := DecodeSnapshot(data); CodeOf(err) != CodeMalformed {
+		t.Fatalf("err = %v, want malformed", err)
+	}
+}
+
+// TestWALRoundTrip: append, reopen, replay.
+func TestWALRoundTrip(t *testing.T) {
+	st := NewMemStore()
+	wal, records, tail, err := OpenWAL(st, WALName(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 || tail.Records != 0 {
+		t.Fatalf("fresh WAL has %d records", len(records))
+	}
+	for i := 0; i < 5; i++ {
+		if err := wal.Append([]byte{byte(i), 0xFF}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wal.Appends() != 5 {
+		t.Errorf("Appends = %d", wal.Appends())
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, records, tail, err = OpenWAL(st, WALName(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 || tail.DroppedBytes != 0 {
+		t.Fatalf("replayed %d records, dropped %d bytes", len(records), tail.DroppedBytes)
+	}
+	for i, r := range records {
+		if len(r) != 2 || r[0] != byte(i) {
+			t.Errorf("record %d = %v", i, r)
+		}
+	}
+}
+
+// TestWALTornTail: a crash mid-append loses only the torn record; reopen
+// truncates it away so new appends extend a valid log.
+func TestWALTornTail(t *testing.T) {
+	st := NewMemStore()
+	wal, _, _, err := OpenWAL(st, WALName(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal.Append([]byte("one"))
+	wal.Append([]byte("two"))
+	wal.Close()
+	// Simulate the crash: chop bytes off the file's end.
+	data, _ := st.Load(WALName(0))
+	st.Save(WALName(0), data[:len(data)-2])
+
+	wal2, records, tail, err := OpenWAL(st, WALName(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || string(records[0]) != "one" {
+		t.Fatalf("records = %q", records)
+	}
+	if tail.DroppedBytes == 0 {
+		t.Error("torn tail not reported")
+	}
+	wal2.Append([]byte("three"))
+	wal2.Close()
+	_, records, tail, err = OpenWAL(st, WALName(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || string(records[1]) != "three" || tail.DroppedBytes != 0 {
+		t.Fatalf("after repair: %q dropped=%d", records, tail.DroppedBytes)
+	}
+}
+
+// TestWALCorruptRecord: a bit flip inside a record stops replay at the
+// last valid prefix — everything after is indistinguishable from a torn
+// write and is dropped.
+func TestWALCorruptRecord(t *testing.T) {
+	st := NewMemStore()
+	wal, _, _, _ := OpenWAL(st, WALName(0), 1)
+	wal.Append([]byte("aaaa"))
+	wal.Append([]byte("bbbb"))
+	wal.Close()
+	data, _ := st.Load(WALName(0))
+	data[len(data)-3] ^= 0x10 // inside record two's payload
+	st.Save(WALName(0), data)
+	_, records, tail, err := OpenWAL(st, WALName(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || string(records[0]) != "aaaa" {
+		t.Fatalf("records = %q", records)
+	}
+	if tail.DroppedBytes == 0 {
+		t.Error("corrupt record not counted as dropped")
+	}
+}
+
+// TestFileStore: atomic save/load/list/remove plus append on disk.
+func TestFileStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	if _, err := OpenFileStore(dir); !IsNotExist(err) {
+		t.Fatalf("open missing dir = %v, want not-exist", err)
+	}
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("absent"); !IsNotExist(err) {
+		t.Fatalf("load absent = %v", err)
+	}
+	if err := st.Save("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("a")
+	if err != nil || string(got) != "1" {
+		t.Fatalf("load = %q, %v", got, err)
+	}
+	names, err := st.List()
+	if err != nil || len(names) != 1 || names[0] != "a" {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	if err := st.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("a"); err != nil {
+		t.Fatalf("removing a missing file should be a no-op, got %v", err)
+	}
+	// Path traversal must be refused, not resolved.
+	if err := st.Save("../escape", []byte("x")); err == nil {
+		t.Error("path traversal accepted")
+	}
+	// WAL over FileStore, including the truncate-torn-tail path.
+	wal, _, _, err := OpenWAL(st, WALName(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal.Append([]byte("r"))
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, records, _, err := OpenWAL(st, WALName(3), 2)
+	if err != nil || len(records) != 1 {
+		t.Fatalf("file WAL replay = %d records, %v", len(records), err)
+	}
+}
+
+// TestMemStoreCorruptHook pins the test hook the engine-level corruption
+// tests rely on.
+func TestMemStoreCorruptHook(t *testing.T) {
+	st := NewMemStore()
+	st.Save("f", []byte{0x00})
+	if err := st.Corrupt("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := st.Load("f")
+	if data[0] == 0x00 {
+		t.Error("Corrupt flipped nothing")
+	}
+	if err := st.Corrupt("missing", 0); !IsNotExist(err) {
+		t.Errorf("corrupt missing = %v", err)
+	}
+}
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -11,4 +11,5 @@ import (
 var (
 	_ Engine = (*latest.ConcurrentSystem)(nil)
 	_ Engine = (*latest.ShardedSystem)(nil)
+	_ Engine = (*latest.DurableEngine)(nil)
 )

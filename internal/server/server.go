@@ -27,20 +27,16 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/spatiotext/latest/internal/stream"
+	latest "github.com/spatiotext/latest"
 	"github.com/spatiotext/latest/internal/telemetry"
 	"github.com/spatiotext/latest/internal/wire"
 )
 
-// Engine is the estimator surface the serving layer fronts. Both
-// latest.ConcurrentSystem and latest.ShardedSystem satisfy it (Object and
-// Query are aliases of the internal stream types).
-type Engine interface {
-	FeedBatch(objs []stream.Object)
-	EstimateAndExecute(q *stream.Query) (estimate float64, actual int)
-	EstimateAndExecuteBatch(qs []stream.Query) (estimates []float64, actuals []int)
-	TelemetrySnapshot() telemetry.Snapshot
-}
+// Engine is the estimator surface the serving layer fronts: the unified
+// latest.Engine contract. Every engine shape — ConcurrentSystem,
+// ShardedSystem, and the persistence-wrapping DurableEngine — satisfies it
+// (Object and Query are aliases of the internal stream types).
+type Engine = latest.Engine
 
 // Config tunes a Server. Zero values mean defaults.
 type Config struct {

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	latest "github.com/spatiotext/latest"
 	"github.com/spatiotext/latest/internal/geo"
 	"github.com/spatiotext/latest/internal/stream"
 	"github.com/spatiotext/latest/internal/telemetry"
@@ -70,6 +71,14 @@ func (f *fakeEngine) EstimateAndExecuteBatch(qs []stream.Query) ([]float64, []in
 func (f *fakeEngine) TelemetrySnapshot() telemetry.Snapshot {
 	return telemetry.Snapshot{Engine: "fake"}
 }
+
+// The remaining latest.Engine methods are inert: the serving layer never
+// calls them, but the unified interface requires every shape to carry them.
+func (f *fakeEngine) Feed(o stream.Object)                         { f.FeedBatch([]stream.Object{o}) }
+func (f *fakeEngine) Stats() latest.Stats                          { return latest.Stats{} }
+func (f *fakeEngine) Shutdown(context.Context) error               { return nil }
+func (f *fakeEngine) Snapshot(context.Context, latest.Store) error { return nil }
+func (f *fakeEngine) Restore(context.Context, latest.Store) error  { return nil }
 
 // rawConn drives the wire protocol directly, with no client-side help.
 type rawConn struct {

@@ -1,0 +1,55 @@
+package spn
+
+import "github.com/spatiotext/latest/internal/persist"
+
+// SaveState serializes the mixture parameters. Train reseeds its EM RNG
+// from the config on every call, so no RNG position needs saving.
+func (n *Network) SaveState(e *persist.Enc) {
+	e.Bool(n.trained)
+	e.Int(len(n.comps))
+	for i := range n.comps {
+		c := &n.comps[i]
+		e.F64(c.weight)
+		e.F64s(c.histX)
+		e.F64s(c.histY)
+		e.F64s(c.kwP)
+		e.F64(c.n)
+	}
+}
+
+// LoadState restores parameters into a network built with the same Config.
+// On error the receiver must be discarded.
+func (n *Network) LoadState(d *persist.Dec) error {
+	const op = "spn network"
+	trained := d.Bool()
+	count := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if count != len(n.comps) {
+		return persist.Errf(persist.CodeMismatch, op, "%d components, receiver has %d", count, len(n.comps))
+	}
+	for i := range n.comps {
+		c := &n.comps[i]
+		weight := d.F64()
+		histX := d.F64s()
+		histY := d.F64s()
+		kwP := d.F64s()
+		nn := d.F64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if len(histX) != len(c.histX) || len(histY) != len(c.histY) || len(kwP) != len(c.kwP) {
+			return persist.Errf(persist.CodeMismatch, op,
+				"component %d bins %d/%d/%d, receiver %d/%d/%d",
+				i, len(histX), len(histY), len(kwP), len(c.histX), len(c.histY), len(c.kwP))
+		}
+		c.weight = weight
+		copy(c.histX, histX)
+		copy(c.histY, histY)
+		copy(c.kwP, kwP)
+		c.n = nn
+	}
+	n.trained = trained
+	return nil
+}

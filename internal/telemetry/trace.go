@@ -123,6 +123,22 @@ func (t *DecisionTrace) Snapshot() []Decision {
 	return append(out, t.ring[:t.next]...)
 }
 
+// Restore replaces the trace contents with ds (oldest-first, as returned
+// by Snapshot) and the lifetime total — the persistence layer's restore
+// path. When ds exceeds the ring capacity only the newest entries are kept.
+func (t *DecisionTrace) Restore(ds []Decision, total uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	depth := cap(t.ring)
+	if len(ds) > depth {
+		ds = ds[len(ds)-depth:]
+	}
+	t.ring = t.ring[:0]
+	t.ring = append(t.ring, ds...)
+	t.next = len(t.ring) % depth
+	t.total = total
+}
+
 // Total returns the lifetime number of recorded decisions (including
 // evicted ones).
 func (t *DecisionTrace) Total() uint64 {

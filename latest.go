@@ -41,6 +41,7 @@
 package latest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -153,14 +154,14 @@ func NewRegistry() *Registry { return estimator.NewRegistry() }
 // DefaultRegistry returns a registry holding the paper's six estimators.
 func DefaultRegistry() *Registry { return estimator.DefaultRegistry() }
 
-// Config configures a System. The zero values of the tuning knobs take the
-// paper's defaults (α=0.5, τ=0.75, β=0.8, RSH as default estimator).
-//
-// Deprecated: Config remains as an adapter for pre-options callers via
-// NewFromConfig, NewConcurrentFromConfig and NewShardedFromConfig. New code
-// should pass functional options to New/NewConcurrent/NewSharded instead —
-// in particular WithAlpha(0) replaces the Alpha/AlphaSet pair.
-type Config struct {
+// config is the resolved option set shared by the three constructors. It
+// is deliberately unexported: the only way to configure an engine is the
+// functional options, so every knob is validated at the API boundary and a
+// literal zero never needs a companion "was it set" flag in user code.
+// (The former exported Config struct and the NewFromConfig constructors
+// were removed in the durability redesign; see CHANGES.md for the
+// migration table.)
+type config struct {
 	// World is the spatial domain all objects and ranges live in.
 	World Rect
 	// Window is the time window T: queries count objects of the last
@@ -201,13 +202,12 @@ type Config struct {
 	// OpportunityMargin is the proactive-switch margin (zero = 0.15,
 	// negative disables opportunity switches).
 	OpportunityMargin float64
-	// Shards is the spatial shard count used by NewSharded /
-	// NewShardedFromConfig (zero = runtime.GOMAXPROCS(0)). New and
-	// NewConcurrent ignore it.
+	// Shards is the spatial shard count used by NewSharded (zero =
+	// runtime.GOMAXPROCS(0)). New and NewConcurrent reject it.
 	Shards int
 	// SyncPrefill makes ShardedSystem warm switch candidates on the query
 	// path instead of the shard's background goroutine. New and
-	// NewConcurrent always prefill synchronously and ignore it.
+	// NewConcurrent always prefill synchronously and reject it.
 	SyncPrefill bool
 	// TelemetryAddr, when non-empty, starts the stdlib exposition server
 	// ("host:port"; port 0 picks a free one) publishing /metrics, /statusz,
@@ -260,6 +260,17 @@ type System struct {
 	// violating the window store's ordering invariant.
 	lastTS int64
 
+	// gen counts snapshots taken of this engine; each Snapshot embeds
+	// gen+1 and the paired feed WAL is named after it, so a restore knows
+	// which WAL tail extends which snapshot.
+	gen uint64
+
+	// fingerprint is the byte encoding of every configuration knob that
+	// shapes serialized state; Restore refuses a snapshot whose fingerprint
+	// differs (CodeMismatch) rather than silently reinterpreting state
+	// under different parameters.
+	fingerprint []byte
+
 	// pendingRejected marks that the last Estimate refused its query, so
 	// the paired Execute/ObserveActual must not feed the module a truth
 	// value it never produced an estimate for.
@@ -284,8 +295,11 @@ type System struct {
 // New builds a System over the given world rectangle, keeping the last
 // window duration of stream data. Tuning knobs are functional options
 // (WithAlpha, WithTau, ...); zero options take the paper's defaults.
+// Options that require a concurrency-safe or sharded engine (WithTelemetry,
+// WithShards, WithSynchronousPrefill, WithPrefillQueueDepth) are rejected
+// with a descriptive error.
 func New(world Rect, window time.Duration, opts ...Option) (*System, error) {
-	return NewFromConfig(buildConfig(world, window, opts))
+	return newSystem(buildConfig(world, window, opts), nil, "inline", "system", kindSingle)
 }
 
 // MustNew is New but panics on error — for tests, examples and programs
@@ -296,16 +310,6 @@ func MustNew(world Rect, window time.Duration, opts ...Option) *System {
 		panic(err)
 	}
 	return s
-}
-
-// NewFromConfig builds a System from a Config struct.
-//
-// Deprecated: use New with functional options.
-func NewFromConfig(cfg Config) (*System, error) {
-	if cfg.TelemetryAddr != "" {
-		return nil, fmt.Errorf("latest: WithTelemetry requires a concurrency-safe engine (System is single-goroutine, so a scrape would race with traffic); use NewConcurrent or NewSharded")
-	}
-	return newSystem(cfg, nil, "inline", "system")
 }
 
 // refillFunc seeds a freshly wiped estimator from the window store.
@@ -323,10 +327,11 @@ func syncRefill(w *stream.Window, e estimator.Estimator) {
 // newSystem is the shared constructor. refill overrides how switch
 // candidates are pre-filled from the window store (ShardedSystem hands the
 // replay to a background goroutine); nil keeps the synchronous replay.
-// prefillMode annotates switch-decision traces ("inline" or "async") and
-// component names the logger ("system", "concurrent", "shard-3", ...).
-func newSystem(cfg Config, refill refillFunc, prefillMode, component string) (*System, error) {
-	if err := validateOptions(&cfg); err != nil {
+// prefillMode annotates switch-decision traces ("inline" or "async"),
+// component names the logger ("system", "concurrent", "shard-3", ...), and
+// kind names the constructor for option-compatibility errors.
+func newSystem(cfg config, refill refillFunc, prefillMode, component string, kind engineKind) (*System, error) {
+	if err := validateOptions(&cfg, kind); err != nil {
 		return nil, err
 	}
 	cells := cfg.OracleGridCells
@@ -375,21 +380,67 @@ func newSystem(cfg Config, refill refillFunc, prefillMode, component string) (*S
 		return nil, err
 	}
 	return &System{
-		module: m,
-		window: w,
-		world:  cfg.World,
-		policy: cfg.Validation,
-		gauges: new(metrics.ShardGauges),
-		log:    log,
+		module:      m,
+		window:      w,
+		world:       cfg.World,
+		policy:      cfg.Validation,
+		gauges:      new(metrics.ShardGauges),
+		log:         log,
+		fingerprint: configFingerprint(&cfg, m.Estimators()),
 	}, nil
+}
+
+// engineKind names the constructor being validated, so option-surface
+// errors can say which constructor rejected which option and why.
+type engineKind int
+
+const (
+	kindSingle engineKind = iota
+	kindConcurrent
+	kindSharded
+)
+
+// String returns the constructor name.
+func (k engineKind) String() string {
+	switch k {
+	case kindSingle:
+		return "New"
+	case kindConcurrent:
+		return "NewConcurrent"
+	default:
+		return "NewSharded"
+	}
+}
+
+// optionErr is the one error shape every option-surface rejection uses:
+// which option, which constructor, why.
+func optionErr(option string, kind engineKind, reason string) error {
+	return fmt.Errorf("latest: %s is not supported by %s (%s)", option, kind, reason)
 }
 
 // validateOptions rejects option values that would previously surface as a
 // panic inside an internal constructor (grid sizing, slicer spans, EWMA
 // alphas, trace rings), turning each into a descriptive error at the API
-// boundary. Bounds the core layer already enforces with errors (Tau, Beta,
-// Alpha ranges, fleet membership) are left to it.
-func validateOptions(cfg *Config) error {
+// boundary, and rejects options the constructor's engine shape cannot
+// honour — silently ignoring them would let a caller believe telemetry is
+// being served or shards exist when they do not. Bounds the core layer
+// already enforces with errors (Tau, Beta, Alpha ranges, fleet membership)
+// are left to it.
+func validateOptions(cfg *config, kind engineKind) error {
+	if kind != kindSharded {
+		if cfg.Shards != 0 {
+			return optionErr("WithShards", kind, "only a ShardedSystem partitions the world")
+		}
+		if cfg.SyncPrefill {
+			return optionErr("WithSynchronousPrefill", kind, "this engine always prefills synchronously")
+		}
+		if cfg.PrefillQueueDepth != 0 {
+			return optionErr("WithPrefillQueueDepth", kind, "only a ShardedSystem defers prefills to a queue")
+		}
+	}
+	if kind == kindSingle && cfg.TelemetryAddr != "" {
+		return optionErr("WithTelemetry", kind, "a single-goroutine System cannot be scraped concurrently with traffic; use NewConcurrent or NewSharded")
+	}
 	if cfg.Window <= 0 {
 		return fmt.Errorf("latest: Window must be positive, got %v", cfg.Window)
 	}
@@ -599,3 +650,9 @@ func (s *System) Decisions() []Decision { return s.module.Decisions() }
 // quarantine by their circuit breakers, in fleet order (empty when the
 // whole fleet is healthy).
 func (s *System) QuarantinedEstimators() []string { return s.module.QuarantinedNames() }
+
+// Shutdown satisfies the unified Engine interface. A System owns no
+// background resources — no telemetry server, no shard workers — so there
+// is nothing to stop; it exists so code written against Engine can shut any
+// shape down uniformly.
+func (s *System) Shutdown(context.Context) error { return nil }

@@ -9,21 +9,11 @@ import (
 	"github.com/spatiotext/latest/internal/metrics"
 )
 
-func testSystem(t *testing.T, mut func(*Config)) *System {
+func testSystem(t *testing.T, opts ...Option) *System {
 	t.Helper()
-	cfg := Config{
-		World:           Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
-		Window:          10 * time.Second,
-		PretrainQueries: 150,
-		AccWindow:       60,
-		Seed:            1,
-	}
-	if mut != nil {
-		mut(&cfg)
-	}
-	// Deliberately exercises the deprecated Config adapter; option-based
-	// construction is covered by TestOptionsMatchConfig and the examples.
-	sys, err := NewFromConfig(cfg)
+	base := []Option{WithPretrainQueries(150), WithAccWindow(60), WithSeed(1)}
+	sys, err := New(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+		append(base, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +33,7 @@ func feedSystem(sys *System, rng *rand.Rand, ts *int64, n int) {
 }
 
 func TestSystemLifecycle(t *testing.T) {
-	sys := testSystem(t, nil)
+	sys := testSystem(t)
 	rng := rand.New(rand.NewSource(2))
 	var ts int64
 	if sys.Phase() != PhaseWarmup {
@@ -79,7 +69,7 @@ func TestSystemLifecycle(t *testing.T) {
 }
 
 func TestSystemAccuracyOnStableWorkload(t *testing.T) {
-	sys := testSystem(t, nil)
+	sys := testSystem(t)
 	rng := rand.New(rand.NewSource(3))
 	var ts int64
 	feedSystem(sys, rng, &ts, 5000)
@@ -111,7 +101,7 @@ func TestSystemAccuracyOnStableWorkload(t *testing.T) {
 }
 
 func TestSystemObserveActualPath(t *testing.T) {
-	sys := testSystem(t, nil)
+	sys := testSystem(t)
 	rng := rand.New(rand.NewSource(4))
 	var ts int64
 	feedSystem(sys, rng, &ts, 1000)
@@ -136,9 +126,9 @@ func TestSystemRejectsBadConfig(t *testing.T) {
 	}
 }
 
-// TestOptionsMatchConfig pins the functional-option surface to the Config
-// fields it writes, including the Alpha/AlphaSet pairing that options
-// exist to hide.
+// TestOptionsMatchConfig pins the functional-option surface to the
+// resolved config fields it writes, including the Alpha/AlphaSet pairing
+// that options exist to hide.
 func TestOptionsMatchConfig(t *testing.T) {
 	world := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
 	onSwitch := func(SwitchEvent) {}
@@ -174,8 +164,8 @@ func TestOptionsMatchConfig(t *testing.T) {
 // TestFeedBatch pins the batch ingest and batch query paths to their
 // single-object equivalents on a deterministic system.
 func TestFeedBatch(t *testing.T) {
-	single := testSystem(t, nil)
-	batched := testSystem(t, nil)
+	single := testSystem(t)
+	batched := testSystem(t)
 	rng := rand.New(rand.NewSource(6))
 	objs := make([]Object, 500)
 	for i := range objs {
@@ -218,10 +208,8 @@ func TestCustomEstimatorRegistration(t *testing.T) {
 	reg.Register("Naive", func(p EstimatorParams) Estimator {
 		return &naiveEstimator{}
 	})
-	sys := testSystem(t, func(c *Config) {
-		c.Registry = reg
-		c.Estimators = []string{EstimatorH4096, EstimatorRSH, "Naive"}
-	})
+	sys := testSystem(t, WithRegistry(reg),
+		WithEstimators(EstimatorH4096, EstimatorRSH, "Naive"))
 	rng := rand.New(rand.NewSource(5))
 	var ts int64
 	feedSystem(sys, rng, &ts, 2000)

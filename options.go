@@ -6,67 +6,67 @@ import (
 )
 
 // options.go defines the functional-option configuration surface shared by
-// New, NewConcurrent and NewSharded. Options replace the old
-// Alpha float64 / AlphaSet bool pattern: WithAlpha(0) unambiguously means
-// "accuracy only", no companion boolean required. The Config struct remains
-// as a deprecated adapter (NewFromConfig and friends) so existing callers
-// keep building.
+// New, NewConcurrent and NewSharded — the only way to configure an engine.
+// WithAlpha(0) unambiguously means "accuracy only", no companion boolean
+// required. Options that only make sense for a particular engine shape
+// (WithTelemetry, WithShards, WithSynchronousPrefill, WithPrefillQueueDepth)
+// are rejected by the constructors that cannot honour them.
 
 // Option customizes a System, ConcurrentSystem or ShardedSystem at
 // construction time. Options apply in order; later options win.
-type Option func(*Config)
+type Option func(*config)
 
 // WithRegistry supplies the estimator registry (nil keeps the paper's six).
 func WithRegistry(r *Registry) Option {
-	return func(c *Config) { c.Registry = r }
+	return func(c *config) { c.Registry = r }
 }
 
 // WithEstimators names the fleet members (default: every registered
 // estimator, in registration order).
 func WithEstimators(names ...string) Option {
-	return func(c *Config) { c.Estimators = append([]string(nil), names...) }
+	return func(c *config) { c.Estimators = append([]string(nil), names...) }
 }
 
 // WithDefaultEstimator names the estimator active when the incremental
 // phase starts (default RSH, as in the paper).
 func WithDefaultEstimator(name string) Option {
-	return func(c *Config) { c.Default = name }
+	return func(c *config) { c.Default = name }
 }
 
 // WithAlpha sets α ∈ [0,1], the latency-vs-accuracy weight of switching
-// decisions: 0 = accuracy only, 1 = latency only. Unlike the Config field,
-// a literal 0 needs no companion flag.
+// decisions: 0 = accuracy only, 1 = latency only. A literal 0 needs no
+// companion flag.
 func WithAlpha(a float64) Option {
-	return func(c *Config) { c.Alpha, c.AlphaSet = a, true }
+	return func(c *config) { c.Alpha, c.AlphaSet = a, true }
 }
 
 // WithTau sets τ ∈ (0,1), the accuracy threshold that triggers a switch
 // (default 0.75).
 func WithTau(t float64) Option {
-	return func(c *Config) { c.Tau = t }
+	return func(c *config) { c.Tau = t }
 }
 
 // WithBeta sets β ∈ (0,1), controlling how early the replacement estimator
 // starts pre-filling (default 0.8).
 func WithBeta(b float64) Option {
-	return func(c *Config) { c.Beta = b }
+	return func(c *config) { c.Beta = b }
 }
 
 // WithAccWindow sets how many recent queries the monitored accuracy
 // average covers (default 200).
 func WithAccWindow(n int) Option {
-	return func(c *Config) { c.AccWindow = n }
+	return func(c *config) { c.AccWindow = n }
 }
 
 // WithPretrainQueries sets the pre-training phase length (default 2000).
 func WithPretrainQueries(n int) Option {
-	return func(c *Config) { c.PretrainQueries = n }
+	return func(c *config) { c.PretrainQueries = n }
 }
 
 // WithCooldown sets the minimum number of queries between switches
 // (default AccWindow/2).
 func WithCooldown(n int) Option {
-	return func(c *Config) { c.CooldownQueries = n }
+	return func(c *config) { c.CooldownQueries = n }
 }
 
 // WithOpportunityMargin sets the proactive-switch margin: the adaptor moves
@@ -76,36 +76,36 @@ func WithCooldown(n int) Option {
 // threshold — useful for bit-exact reproducible runs, since opportunity
 // decisions weigh measured wall-clock latency.
 func WithOpportunityMargin(m float64) Option {
-	return func(c *Config) { c.OpportunityMargin = m }
+	return func(c *config) { c.OpportunityMargin = m }
 }
 
 // WithMemoryScale multiplies every estimator's capacity defaults
 // (default 1).
 func WithMemoryScale(s float64) Option {
-	return func(c *Config) { c.MemoryScale = s }
+	return func(c *config) { c.MemoryScale = s }
 }
 
 // WithSeed makes runs reproducible.
 func WithSeed(seed int64) Option {
-	return func(c *Config) { c.Seed = seed }
+	return func(c *config) { c.Seed = seed }
 }
 
 // WithOnSwitch installs a callback invoked after every estimator switch.
 func WithOnSwitch(fn func(SwitchEvent)) Option {
-	return func(c *Config) { c.OnSwitch = fn }
+	return func(c *config) { c.OnSwitch = fn }
 }
 
 // WithOracleGridCells sizes the exact window store's internal grid (speed
 // only, never correctness; default 4096).
 func WithOracleGridCells(n int) Option {
-	return func(c *Config) { c.OracleGridCells = n }
+	return func(c *config) { c.OracleGridCells = n }
 }
 
 // WithShards sets the number of spatial shards a ShardedSystem partitions
 // the world into (default runtime.GOMAXPROCS(0)). New and NewConcurrent
-// ignore it.
+// reject it.
 func WithShards(n int) Option {
-	return func(c *Config) { c.Shards = n }
+	return func(c *config) { c.Shards = n }
 }
 
 // WithSynchronousPrefill makes a ShardedSystem warm switch candidates on
@@ -113,9 +113,9 @@ func WithShards(n int) Option {
 // the window replay to the shard's background goroutine. Costs switch-time
 // latency, buys determinism: a 1-shard ShardedSystem with synchronous
 // prefill reproduces System bit-for-bit. New and NewConcurrent always
-// prefill synchronously and ignore it.
+// prefill synchronously and reject it.
 func WithSynchronousPrefill() Option {
-	return func(c *Config) { c.SyncPrefill = true }
+	return func(c *config) { c.SyncPrefill = true }
 }
 
 // WithTelemetry starts a stdlib-only HTTP exposition server on addr
@@ -133,21 +133,21 @@ func WithSynchronousPrefill() Option {
 // internal/server and publishes the engine's TelemetrySnapshot alongside
 // the serving-layer families on a single /metrics listener.
 func WithTelemetry(addr string) Option {
-	return func(c *Config) { c.TelemetryAddr = addr }
+	return func(c *config) { c.TelemetryAddr = addr }
 }
 
 // WithLogger directs structured logfmt lines (estimator switches, prefill
 // lifecycle, telemetry-server lifecycle) at or above min to w. Logging
 // stays off the per-object and per-query hot paths.
 func WithLogger(w io.Writer, min LogLevel) Option {
-	return func(c *Config) { c.LogOutput, c.LogLevel = w, min }
+	return func(c *config) { c.LogOutput, c.LogLevel = w, min }
 }
 
 // WithTraceDepth sizes the switch-decision audit ring each module retains
 // (default 64). Deeper rings remember more history at a few hundred bytes
 // per record.
 func WithTraceDepth(n int) Option {
-	return func(c *Config) { c.TraceDepth = n }
+	return func(c *config) { c.TraceDepth = n }
 }
 
 // WithValidation selects the input-hardening policy applied to inbound
@@ -157,21 +157,21 @@ func WithTraceDepth(n int) Option {
 // rejects silently. Rejections and repairs are counted in the
 // ValidationRejected / ValidationClamped gauges.
 func WithValidation(p ValidationPolicy) Option {
-	return func(c *Config) { c.Validation = p }
+	return func(c *config) { c.Validation = p }
 }
 
 // WithBreaker tunes the per-estimator quarantine circuit breaker (fault
 // window, trip threshold, cooldown, probe count, per-call deadline,
 // estimate sanity ceiling). Zero fields keep the package defaults.
 func WithBreaker(b BreakerConfig) Option {
-	return func(c *Config) { c.Breaker = b }
+	return func(c *config) { c.Breaker = b }
 }
 
 // WithFaultInjector installs a deterministic fault injector on every
 // estimator guard — the chaos-testing hook. Injected faults flow through
 // the same recovery, sanitization and quarantine machinery as real ones.
 func WithFaultInjector(inj *FaultInjector) Option {
-	return func(c *Config) { c.FaultInjector = inj }
+	return func(c *config) { c.FaultInjector = inj }
 }
 
 // WithLatencyModel replaces wall-clock estimator latency measurement with
@@ -182,20 +182,20 @@ func WithFaultInjector(inj *FaultInjector) Option {
 // and runs — the correctness harness in internal/check depends on it.
 // Production deployments leave it unset.
 func WithLatencyModel(fn func(estimator string, q *Query, measured time.Duration) time.Duration) Option {
-	return func(c *Config) { c.LatencyModel = fn }
+	return func(c *config) { c.LatencyModel = fn }
 }
 
 // WithPrefillQueueDepth bounds each shard's deferred pre-fill queue
 // (default 4). When a switch storm fills the queue, the replay runs inline
 // on the query path instead — counted in the PrefillQueueFull gauge. New
-// and NewConcurrent ignore it.
+// and NewConcurrent reject it.
 func WithPrefillQueueDepth(n int) Option {
-	return func(c *Config) { c.PrefillQueueDepth = n }
+	return func(c *config) { c.PrefillQueueDepth = n }
 }
 
 // buildConfig folds options into a Config carrying the world and window.
-func buildConfig(world Rect, window time.Duration, opts []Option) Config {
-	cfg := Config{World: world, Window: window}
+func buildConfig(world Rect, window time.Duration, opts []Option) config {
+	cfg := config{World: world, Window: window}
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&cfg)

@@ -1,0 +1,361 @@
+package latest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spatiotext/latest/internal/persist"
+)
+
+// persist_test.go exercises the public persistence surface end to end:
+// Snapshot/Restore on every engine shape, the typed failure paths, and the
+// DurableEngine crash/recovery lifecycle — all over MemStore so the suite
+// stays hermetic and fast.
+
+// workload deterministically interleaves feeds and queries so two engines
+// given the same seed and starting timestamp see byte-identical traffic.
+type workload struct {
+	rng *rand.Rand
+	ts  int64
+}
+
+func newWorkload(seed int64) *workload {
+	return &workload{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (w *workload) feed(eng Engine, n int) {
+	for i := 0; i < n; i++ {
+		w.ts++
+		eng.Feed(Object{
+			ID:        uint64(w.ts),
+			Loc:       Pt(w.rng.Float64(), w.rng.Float64()),
+			Keywords:  []string{fmt.Sprintf("kw%d", w.rng.Intn(20))},
+			Timestamp: w.ts,
+		})
+	}
+}
+
+func (w *workload) query(eng Engine) (float64, int) {
+	r := CenteredRect(Pt(w.rng.Float64(), w.rng.Float64()), 0.3, 0.3)
+	kws := []string{fmt.Sprintf("kw%d", w.rng.Intn(20))}
+	var q Query
+	switch w.rng.Intn(3) {
+	case 0:
+		q = SpatialQuery(r, w.ts)
+	case 1:
+		q = KeywordQuery(kws, w.ts)
+	default:
+		q = HybridQuery(r, kws, w.ts)
+	}
+	return eng.EstimateAndExecute(&q)
+}
+
+// drive runs rounds of (10 feeds + 1 query) and returns a transcript of
+// every estimate/actual pair; identical engines must produce identical
+// transcripts.
+func (w *workload) drive(eng Engine, rounds int) string {
+	var b strings.Builder
+	for i := 0; i < rounds; i++ {
+		w.feed(eng, 10)
+		est, actual := w.query(eng)
+		fmt.Fprintf(&b, "q=%03d est=%.9f actual=%d\n", i, est, actual)
+	}
+	return b.String()
+}
+
+// warmToIncremental pushes an engine through warmup and pretraining (150
+// pretrain queries under testSystem's options) into the incremental phase.
+func warmEngine(t *testing.T, eng Engine, w *workload) {
+	t.Helper()
+	w.feed(eng, 3000)
+	w.drive(eng, 160)
+	if p := eng.Stats().Phase; p != PhaseIncremental {
+		t.Fatalf("phase after warm drive = %v, want incremental", p)
+	}
+}
+
+// restoredBehavesIdentically snapshots src, restores into dst, and then
+// drives both with identical traffic: the restored engine must not merely
+// look like the original, it must *behave* like it query for query.
+func restoredBehavesIdentically(t *testing.T, src, dst Engine, w *workload) {
+	t.Helper()
+	st := NewMemStore()
+	if err := src.Snapshot(context.Background(), st); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := dst.Restore(context.Background(), st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	a, b := src.Stats(), dst.Stats()
+	if a.Phase != b.Phase || a.Active != b.Active ||
+		a.PretrainSeen != b.PretrainSeen || a.IncrementalSeen != b.IncrementalSeen ||
+		a.Switches != b.Switches || a.TrainingRecords != b.TrainingRecords {
+		t.Fatalf("restored stats differ:\n  src: %+v...\n  dst: %+v...",
+			struct{ P, A string }{fmt.Sprint(a.Phase), a.Active},
+			struct{ P, A string }{fmt.Sprint(b.Phase), b.Active})
+	}
+	// Two independent copies of the post-snapshot future.
+	wa, wb := newWorkload(99), newWorkload(99)
+	wa.ts, wb.ts = w.ts, w.ts
+	ta := wa.drive(src, 80)
+	tb := wb.drive(dst, 80)
+	if ta != tb {
+		al, bl := strings.Split(ta, "\n"), strings.Split(tb, "\n")
+		for i := range al {
+			if i >= len(bl) || al[i] != bl[i] {
+				t.Fatalf("post-restore behaviour diverges at line %d:\n  src: %s\n  dst: %s", i+1, al[i], bl[i])
+			}
+		}
+		t.Fatal("post-restore transcripts differ")
+	}
+}
+
+func TestSystemSnapshotRestoreRoundTrip(t *testing.T) {
+	src := testSystem(t)
+	w := newWorkload(7)
+	warmEngine(t, src, w)
+	restoredBehavesIdentically(t, src, testSystem(t), w)
+}
+
+// TestConcurrentCrossRestore: System and ConcurrentSystem share the
+// "single" snapshot kind — a snapshot taken by one restores into the other.
+func TestConcurrentCrossRestore(t *testing.T) {
+	src := testSystem(t)
+	w := newWorkload(8)
+	warmEngine(t, src, w)
+	conc, err := NewConcurrent(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+		WithPretrainQueries(150), WithAccWindow(60), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conc.Shutdown(context.Background())
+	restoredBehavesIdentically(t, src, conc, w)
+}
+
+func testSharded(t *testing.T) *ShardedSystem {
+	t.Helper()
+	s, err := NewSharded(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 10*time.Second,
+		WithPretrainQueries(150), WithAccWindow(60), WithSeed(1),
+		WithShards(4), WithSynchronousPrefill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardedSnapshotRestoreRoundTrip(t *testing.T) {
+	src := testSharded(t)
+	defer src.Close()
+	w := newWorkload(9)
+	w.feed(src, 3000)
+	w.drive(src, 160)
+	dst := testSharded(t)
+	defer dst.Close()
+	restoredBehavesIdentically(t, src, dst, w)
+}
+
+func TestRestoreFailurePaths(t *testing.T) {
+	src := testSystem(t)
+	w := newWorkload(10)
+	warmEngine(t, src, w)
+	st := NewMemStore()
+	if err := src.Snapshot(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("missing artifact", func(t *testing.T) {
+		err := testSystem(t).Restore(context.Background(), NewMemStore())
+		if !IsNotExist(err) {
+			t.Fatalf("restore from empty store = %v, want not-exist", err)
+		}
+	})
+
+	t.Run("corruption", func(t *testing.T) {
+		bad := NewMemStore()
+		data, _ := st.Load(persist.SnapshotName)
+		bad.Save(persist.SnapshotName, data)
+		if err := bad.Corrupt(persist.SnapshotName, len(data)/2); err != nil {
+			t.Fatal(err)
+		}
+		err := testSystem(t).Restore(context.Background(), bad)
+		if PersistCode(err) != CodeCorrupt {
+			t.Fatalf("restore corrupt = %v, want CodeCorrupt", err)
+		}
+	})
+
+	t.Run("kind mismatch", func(t *testing.T) {
+		sh := testSharded(t)
+		defer sh.Close()
+		err := sh.Restore(context.Background(), st)
+		if PersistCode(err) != CodeMismatch {
+			t.Fatalf("sharded restore of single snapshot = %v, want CodeMismatch", err)
+		}
+	})
+
+	t.Run("fingerprint mismatch", func(t *testing.T) {
+		other := testSystem(t, WithSeed(42))
+		err := other.Restore(context.Background(), st)
+		if PersistCode(err) != CodeMismatch {
+			t.Fatalf("restore under different options = %v, want CodeMismatch", err)
+		}
+	})
+
+	t.Run("non-fresh receiver", func(t *testing.T) {
+		used := testSystem(t)
+		uw := newWorkload(11)
+		uw.feed(used, 50)
+		uw.query(used) // a served query makes the receiver non-fresh
+		err := used.Restore(context.Background(), st)
+		if PersistCode(err) != CodeState {
+			t.Fatalf("restore into used engine = %v, want CodeState", err)
+		}
+	})
+}
+
+func newDurable(t *testing.T, st Store) *DurableEngine {
+	t.Helper()
+	dur, err := NewDurable(testSystem(t), st, DurableConfig{WALSyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dur
+}
+
+// TestDurableCrashRecovery: feed + query, snapshot, feed a WAL tail, crash
+// (abandon without Shutdown), recover — the second incarnation must match a
+// control engine that saw the whole stream uninterrupted.
+func TestDurableCrashRecovery(t *testing.T) {
+	st := NewMemStore()
+	dur := newDurable(t, st)
+	w := newWorkload(20)
+	warmEngine(t, dur, w)
+	if err := dur.SnapshotNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	w.feed(dur, 500) // WAL'd but not snapshotted
+	walTS := w.ts
+
+	// Control: same traffic, no crash.
+	control := testSystem(t)
+	cw := newWorkload(20)
+	cw.feed(control, 3000)
+	cw.drive(control, 160)
+	cw.feed(control, 500)
+	if cw.ts != walTS {
+		t.Fatalf("control timestamp %d != durable timestamp %d", cw.ts, walTS)
+	}
+
+	recovered := newDurable(t, st) // crash: first incarnation abandoned
+	if err := recovered.Err(); err != nil {
+		t.Fatalf("recovery noted error: %v", err)
+	}
+	if got := recovered.Generation(); got != 1 {
+		t.Fatalf("generation after recovery = %d, want 1", got)
+	}
+	a, b := control.Stats(), recovered.Stats()
+	if a.Phase != b.Phase || a.Active != b.Active || a.IncrementalSeen != b.IncrementalSeen {
+		t.Fatalf("recovered stats differ from control: %v/%s/%d vs %v/%s/%d",
+			a.Phase, a.Active, a.IncrementalSeen, b.Phase, b.Active, b.IncrementalSeen)
+	}
+	wa, wb := newWorkload(21), newWorkload(21)
+	wa.ts, wb.ts = walTS, walTS
+	if ta, tb := wa.drive(control, 60), wb.drive(recovered, 60); ta != tb {
+		t.Fatal("recovered engine diverges from uninterrupted control")
+	}
+	if err := recovered.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableWALRotation: each snapshot opens the next generation's WAL
+// and removes the superseded one.
+func TestDurableWALRotation(t *testing.T) {
+	st := NewMemStore()
+	dur := newDurable(t, st)
+	w := newWorkload(22)
+	w.feed(dur, 100)
+	if n := dur.WALAppends(); n != 100 {
+		t.Fatalf("WAL appends = %d, want 100", n)
+	}
+	if err := dur.SnapshotNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWAL := persist.WALName(1)
+	var wals []string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".wal") {
+			wals = append(wals, n)
+		}
+	}
+	if len(wals) != 1 || wals[0] != wantWAL {
+		t.Fatalf("WALs after rotation = %v, want [%s]", wals, wantWAL)
+	}
+	if n := dur.WALAppends(); n != 0 {
+		t.Fatalf("appends after rotation = %d, want 0 (fresh WAL)", n)
+	}
+	if err := dur.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRestoreRefused: a DurableEngine restores at construction
+// only; a later Restore is a typed state error, not a silent reset.
+func TestDurableRestoreRefused(t *testing.T) {
+	dur := newDurable(t, NewMemStore())
+	defer dur.Shutdown(context.Background())
+	if err := dur.Restore(context.Background(), NewMemStore()); PersistCode(err) != CodeState {
+		t.Fatalf("Restore on live durable engine = %v, want CodeState", err)
+	}
+}
+
+// TestDurableCleanShutdown: Shutdown takes a final snapshot, so a clean
+// restart loses nothing — not even un-snapshotted tail feeds.
+func TestDurableCleanShutdown(t *testing.T) {
+	st := NewMemStore()
+	dur := newDurable(t, st)
+	w := newWorkload(23)
+	warmEngine(t, dur, w)
+	before := dur.Stats()
+	if err := dur.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	reopened := newDurable(t, st)
+	defer reopened.Shutdown(context.Background())
+	after := reopened.Stats()
+	if before.Phase != after.Phase || before.Active != after.Active ||
+		before.IncrementalSeen != after.IncrementalSeen || before.Switches != after.Switches {
+		t.Fatalf("state lost across clean shutdown: %+v vs %+v", before.Active, after.Active)
+	}
+	if reopened.Generation() == 0 {
+		t.Fatal("reopened engine did not load the shutdown snapshot")
+	}
+}
+
+// TestDurableSideSnapshot: Snapshot(ctx, otherStore) writes a portable
+// copy without disturbing the engine's own store pairing.
+func TestDurableSideSnapshot(t *testing.T) {
+	home := NewMemStore()
+	dur := newDurable(t, home)
+	defer dur.Shutdown(context.Background())
+	w := newWorkload(24)
+	warmEngine(t, dur, w)
+	side := NewMemStore()
+	if err := dur.Snapshot(context.Background(), side); err != nil {
+		t.Fatal(err)
+	}
+	dst := testSystem(t)
+	if err := dst.Restore(context.Background(), side); err != nil {
+		t.Fatalf("restore from side snapshot: %v", err)
+	}
+	if a, b := dur.Stats(), dst.Stats(); a.IncrementalSeen != b.IncrementalSeen {
+		t.Fatalf("side snapshot diverges: %d vs %d", a.IncrementalSeen, b.IncrementalSeen)
+	}
+}

@@ -55,6 +55,12 @@ type ShardedSystem struct {
 
 	closeOnce sync.Once
 	workers   sync.WaitGroup
+
+	// gen counts snapshots taken of this engine; fingerprint encodes the
+	// construction options. Both serve the Snapshot/Restore contract — see
+	// snapshot.go.
+	gen         uint64
+	fingerprint []byte
 }
 
 // shard is one spatial partition: a full System (module + window store)
@@ -75,6 +81,24 @@ type shard struct {
 	// channel must never be sent to while blocking — enqueue falls back to
 	// an inline replay when the buffer is full.
 	refillCh chan refillTask
+
+	// prefillPending counts enqueued-but-unapplied deferred pre-fills
+	// (guarded by mu; incremented by the enqueuing query, decremented by
+	// the worker after the replay lands). Snapshot waits on prefillIdle
+	// until it reaches zero: capturing an estimator while its replay is
+	// queued would save a summary the original process was still about to
+	// fill, and the restored run would diverge.
+	prefillPending int
+	prefillIdle    *sync.Cond
+}
+
+// awaitPrefillsLocked blocks until every deferred pre-fill handed to the
+// shard's worker has been applied. Caller holds sh.mu; Wait releases it
+// while blocked, so the worker can take the lock and drain.
+func (sh *shard) awaitPrefillsLocked() {
+	for sh.prefillPending > 0 {
+		sh.prefillIdle.Wait()
+	}
 }
 
 // refillTask is one deferred pre-fill: replay the window objects that
@@ -91,7 +115,7 @@ type refillTask struct {
 // runtime.GOMAXPROCS(0)). Call Close when done to stop the background
 // prefill workers.
 func NewSharded(world Rect, window time.Duration, opts ...Option) (*ShardedSystem, error) {
-	return NewShardedFromConfig(buildConfig(world, window, opts))
+	return newSharded(buildConfig(world, window, opts))
 }
 
 // MustNewSharded is NewSharded but panics on error — for tests, examples
@@ -104,10 +128,8 @@ func MustNewSharded(world Rect, window time.Duration, opts ...Option) *ShardedSy
 	return s
 }
 
-// NewShardedFromConfig builds a ShardedSystem from a Config struct.
-//
-// Deprecated: use NewSharded with functional options.
-func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
+// newSharded builds a ShardedSystem from the resolved option set.
+func newSharded(cfg config) (*ShardedSystem, error) {
 	n := cfg.Shards
 	if n == 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -141,6 +163,7 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 			rect: Rect{MinX: s.xs[c], MinY: s.ys[r], MaxX: s.xs[c+1], MaxY: s.ys[r+1]},
 			log:  baseLog.Named(component),
 		}
+		sh.prefillIdle = sync.NewCond(&sh.mu)
 		shardCfg := cfg
 		shardCfg.World = sh.rect
 		// Shard 0 keeps the configured seed so a 1-shard system matches
@@ -159,6 +182,10 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 			refill = func(w *stream.Window, e estimator.Estimator) {
 				select {
 				case sh.refillCh <- refillTask{est: e, boundary: w.NextSeq()}:
+					// Enqueuer holds sh.mu (refills happen inside module
+					// calls under the shard lock), so the count is
+					// consistent with the send.
+					sh.prefillPending++
 				default:
 					// Worker backlog (switch storm): pay the replay inline
 					// rather than block while holding the shard lock.
@@ -170,7 +197,7 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 				}
 			}
 		}
-		sys, err := newSystem(shardCfg, refill, prefillMode, component)
+		sys, err := newSystem(shardCfg, refill, prefillMode, component, kindSharded)
 		if err != nil {
 			return nil, err
 		}
@@ -188,6 +215,10 @@ func NewShardedFromConfig(cfg Config) (*ShardedSystem, error) {
 			go s.refillWorker(sh, sh.refillCh)
 		}
 	}
+	// The sharded fingerprint derives from the top-level options (shard
+	// systems see derived worlds and seeds); the fleet is identical across
+	// shards, so shard 0's resolved names stand for all.
+	s.fingerprint = configFingerprint(&cfg, s.shards[0].sys.module.Estimators())
 	if cfg.TelemetryAddr != "" {
 		srv, err := telemetry.Serve(cfg.TelemetryAddr, s.telemetrySnapshot, baseLog)
 		if err != nil {
@@ -210,6 +241,8 @@ func (s *ShardedSystem) refillWorker(sh *shard, ch <-chan refillTask) {
 			task.est.Insert(o)
 			return true
 		})
+		sh.prefillPending--
+		sh.prefillIdle.Broadcast()
 		sh.mu.Unlock()
 		sh.gauges.RecordPrefill(true)
 		sh.log.Debug("async prefill replayed",
@@ -603,8 +636,14 @@ type ShardedStats struct {
 	Shards []ShardStats
 }
 
-// Stats snapshots every shard and merges the module views.
-func (s *ShardedSystem) Stats() ShardedStats {
+// Stats snapshots every shard and returns the merged module view —
+// counters summed, phase = earliest, accuracy weighted by monitored
+// queries — satisfying the unified Engine interface. Per-shard detail
+// moved to PerShardStats.
+func (s *ShardedSystem) Stats() Stats { return s.PerShardStats().Merged }
+
+// PerShardStats snapshots every shard and merges the module views.
+func (s *ShardedSystem) PerShardStats() ShardedStats {
 	out := ShardedStats{Shards: make([]ShardStats, len(s.shards))}
 	parts := make([]Stats, len(s.shards))
 	for i, sh := range s.shards {

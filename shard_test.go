@@ -248,7 +248,7 @@ func TestShardedParallel(t *testing.T) {
 	close(stop)
 	prodWG.Wait()
 
-	st := s.Stats()
+	st := s.PerShardStats()
 	if got := st.Merged.PretrainSeen + st.Merged.IncrementalSeen; got == 0 {
 		t.Error("no queries accounted across shards")
 	}

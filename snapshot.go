@@ -1,0 +1,365 @@
+package latest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"github.com/spatiotext/latest/internal/estimator"
+	"github.com/spatiotext/latest/internal/persist"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+// snapshot.go implements Engine.Snapshot / Engine.Restore for the three
+// engine shapes. A snapshot is one LSNP container (internal/persist) whose
+// sections are:
+//
+//	meta               engine kind, config fingerprint, generation
+//	[shard-N/]window   the exact window store, objects in arrival order
+//	[shard-N/]module   lifecycle counters, brain, estimator summaries
+//	[shard-N/]engine   the stream clock high-water mark
+//
+// The monolithic engines write unprefixed sections; ShardedSystem writes
+// one section group per shard. Every section and the whole file are CRC
+// guarded; the container checksum is verified before the version field, so
+// bit rot surfaces as CodeCorrupt rather than masquerading as skew.
+
+// Engine-kind strings recorded in snapshot meta. System and
+// ConcurrentSystem share "single": the wrapper adds a mutex, not state, so
+// their snapshots are interchangeable.
+const snapKindSingle = "single"
+
+// metaSectionName is the section every snapshot must carry.
+const metaSectionName = "meta"
+
+// configFingerprint encodes every configuration knob that shapes
+// serialized state. Restore compares fingerprints byte-for-byte: a
+// snapshot taken under different parameters (different window span, fleet,
+// seed, memory scale, ...) is refused with CodeMismatch instead of being
+// silently reinterpreted. Defaults are resolved before encoding so an
+// explicit WithTau(0.75) and an implied default fingerprint identically.
+func configFingerprint(cfg *config, fleet []string) []byte {
+	alpha := cfg.Alpha
+	if !cfg.AlphaSet && alpha == 0 {
+		alpha = 0.5
+	}
+	tau := cfg.Tau
+	if tau == 0 {
+		tau = 0.75
+	}
+	beta := cfg.Beta
+	if beta == 0 {
+		beta = 0.8
+	}
+	accWindow := cfg.AccWindow
+	if accWindow == 0 {
+		accWindow = 200
+	}
+	pretrain := cfg.PretrainQueries
+	if pretrain == 0 {
+		pretrain = 2000
+	}
+	cooldown := cfg.CooldownQueries
+	if cooldown == 0 {
+		cooldown = accWindow / 2
+	}
+	oppMargin := cfg.OpportunityMargin
+	if oppMargin == 0 {
+		oppMargin = 0.15
+	}
+	def := cfg.Default
+	if def == "" {
+		def = estimator.NameRSH
+	}
+	cells := cfg.OracleGridCells
+	if cells == 0 {
+		cells = 4096
+	}
+	traceDepth := cfg.TraceDepth
+	if traceDepth == 0 {
+		traceDepth = telemetry.DefaultTraceDepth
+	}
+	var e persist.Enc
+	e.F64(cfg.World.MinX)
+	e.F64(cfg.World.MinY)
+	e.F64(cfg.World.MaxX)
+	e.F64(cfg.World.MaxY)
+	e.I64(cfg.Window.Milliseconds())
+	e.Strs(fleet)
+	e.Str(def)
+	e.F64(alpha)
+	e.F64(tau)
+	e.F64(beta)
+	e.Int(accWindow)
+	e.Int(pretrain)
+	e.Int(cooldown)
+	e.F64(oppMargin)
+	e.F64(cfg.MemoryScale)
+	e.I64(cfg.Seed)
+	e.Int(cells)
+	e.Int(traceDepth)
+	e.U8(uint8(cfg.Validation))
+	return e.Data()
+}
+
+// encodeMeta builds the meta section payload.
+func encodeMeta(kind string, fingerprint []byte, gen uint64) []byte {
+	var e persist.Enc
+	e.Str(kind)
+	e.Blob(fingerprint)
+	e.U64(gen)
+	return e.Data()
+}
+
+// decodeMeta validates the meta section against the restoring engine's
+// kind and fingerprint and returns the snapshot generation.
+func decodeMeta(snap *persist.Snapshot, wantKind string, wantFP []byte) (gen uint64, err error) {
+	const op = "snapshot meta"
+	payload, ok := snap.Section(metaSectionName)
+	if !ok {
+		return 0, persist.Errf(persist.CodeMalformed, op, "section missing")
+	}
+	d := persist.NewDec(payload)
+	kind := d.Str()
+	fp := d.Blob()
+	gen = d.U64()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	if err := d.Done(); err != nil {
+		return 0, err
+	}
+	if kind != wantKind {
+		return 0, persist.Errf(persist.CodeMismatch, op,
+			"snapshot is from a %q engine, this engine is %q", kind, wantKind)
+	}
+	if !bytes.Equal(fp, wantFP) {
+		return 0, persist.Errf(persist.CodeMismatch, op,
+			"snapshot was taken under a different configuration (fingerprint differs); rebuild the engine with the original options")
+	}
+	return gen, nil
+}
+
+// writeSections serializes one System's state group into sw under prefix
+// ("" for the monolithic engines, "shard-N/" per shard).
+func (s *System) writeSections(sw *persist.SnapshotWriter, prefix string) error {
+	var we persist.Enc
+	s.window.SaveState(&we)
+	sw.Section(prefix+"window", we.Data())
+	var me persist.Enc
+	if err := s.module.SaveState(&me); err != nil {
+		return err
+	}
+	sw.Section(prefix+"module", me.Data())
+	var ee persist.Enc
+	ee.I64(s.lastTS)
+	sw.Section(prefix+"engine", ee.Data())
+	return nil
+}
+
+// readSections restores one System's state group. The window loads first:
+// estimators without a serialized summary are rebuilt by replaying the
+// restored window through the refill path, which must see the full store.
+func (s *System) readSections(snap *persist.Snapshot, prefix string) error {
+	const op = "snapshot"
+	win, ok := snap.Section(prefix + "window")
+	if !ok {
+		return persist.Errf(persist.CodeMalformed, op, "section %q missing", prefix+"window")
+	}
+	wd := persist.NewDec(win)
+	if err := s.window.LoadState(wd); err != nil {
+		return err
+	}
+	if err := wd.Done(); err != nil {
+		return err
+	}
+	mod, ok := snap.Section(prefix + "module")
+	if !ok {
+		return persist.Errf(persist.CodeMalformed, op, "section %q missing", prefix+"module")
+	}
+	md := persist.NewDec(mod)
+	if err := s.module.LoadState(md); err != nil {
+		return err
+	}
+	if err := md.Done(); err != nil {
+		return err
+	}
+	eng, ok := snap.Section(prefix + "engine")
+	if !ok {
+		return persist.Errf(persist.CodeMalformed, op, "section %q missing", prefix+"engine")
+	}
+	ed := persist.NewDec(eng)
+	lastTS := ed.I64()
+	if err := ed.Err(); err != nil {
+		return err
+	}
+	if err := ed.Done(); err != nil {
+		return err
+	}
+	s.lastTS = lastTS
+	return nil
+}
+
+// Snapshot serializes the engine into st as one atomic artifact named
+// persist.SnapshotName. Each successful snapshot increments the engine's
+// generation by exactly one; the generation is embedded in the artifact,
+// which is what lets the durable layer pair a snapshot with its feed WAL
+// atomically (the pairing commits with the snapshot's rename).
+//
+// System is single-goroutine: do not call Snapshot concurrently with
+// traffic (use ConcurrentSystem, ShardedSystem or DurableEngine for that).
+func (s *System) Snapshot(ctx context.Context, st Store) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sw := persist.NewSnapshotWriter()
+	sw.Section(metaSectionName, encodeMeta(snapKindSingle, s.fingerprint, s.gen+1))
+	if err := s.writeSections(sw, ""); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := st.Save(persist.SnapshotName, sw.Bytes()); err != nil {
+		return err
+	}
+	s.gen++
+	return nil
+}
+
+// Restore loads a snapshot into this freshly constructed System. The
+// engine must have been built with the same options (CodeMismatch
+// otherwise) and never fed (CodeState otherwise). On error the engine must
+// be discarded: a failed restore never leaves partial state behind a
+// usable-looking engine.
+func (s *System) Restore(ctx context.Context, st Store) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	data, err := st.Load(persist.SnapshotName)
+	if err != nil {
+		return err
+	}
+	snap, err := persist.DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	gen, err := decodeMeta(snap, snapKindSingle, s.fingerprint)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.readSections(snap, ""); err != nil {
+		return err
+	}
+	s.gen = gen
+	return nil
+}
+
+// Snapshot serializes the wrapped System under the engine lock; see
+// System.Snapshot. Safe to call while traffic flows — feeds and queries
+// wait for the capture.
+func (c *ConcurrentSystem) Snapshot(ctx context.Context, st Store) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Snapshot(ctx, st)
+}
+
+// Restore loads a snapshot into this freshly constructed engine; see
+// System.Restore. ConcurrentSystem shares System's on-disk shape ("single"
+// kind): the wrapper adds a mutex, not state, so either can restore the
+// other's snapshots.
+func (c *ConcurrentSystem) Restore(ctx context.Context, st Store) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Restore(ctx, st)
+}
+
+// snapKind returns the sharded engine's kind string: the grid shape is
+// part of the on-disk contract because shard section groups are keyed by
+// shard index.
+func (s *ShardedSystem) snapKind() string {
+	return fmt.Sprintf("sharded:%dx%d", s.rows, s.cols)
+}
+
+// shardPrefix names shard i's section group.
+func shardPrefix(i int) string { return fmt.Sprintf("shard-%d/", i) }
+
+// Snapshot serializes every shard into st as one atomic artifact. All
+// shard locks are held for the duration (acquired in shard order), so the
+// capture is a consistent cut with respect to feeds and single-shard
+// queries; for a cut that is also consistent with multi-shard query
+// fan-outs, quiesce queries first (DurableEngine's write lock does). Any
+// deferred pre-fill already handed to a shard's background worker is
+// waited for before that shard is captured, so no estimator is ever saved
+// missing a replay the original process would still apply.
+func (s *ShardedSystem) Snapshot(ctx context.Context, st Store) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.awaitPrefillsLocked()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	sw := persist.NewSnapshotWriter()
+	sw.Section(metaSectionName, encodeMeta(s.snapKind(), s.fingerprint, s.gen+1))
+	for i, sh := range s.shards {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := sh.sys.writeSections(sw, shardPrefix(i)); err != nil {
+			return err
+		}
+	}
+	if err := st.Save(persist.SnapshotName, sw.Bytes()); err != nil {
+		return err
+	}
+	s.gen++
+	return nil
+}
+
+// Restore loads a snapshot into this freshly constructed ShardedSystem.
+// The shard grid must match (the kind string carries it) and every shard
+// must be untouched; see System.Restore for the error contract.
+func (s *ShardedSystem) Restore(ctx context.Context, st Store) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	data, err := st.Load(persist.SnapshotName)
+	if err != nil {
+		return err
+	}
+	snap, err := persist.DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	gen, err := decodeMeta(snap, s.snapKind(), s.fingerprint)
+	if err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	for i, sh := range s.shards {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := sh.sys.readSections(snap, shardPrefix(i)); err != nil {
+			return err
+		}
+	}
+	s.gen = gen
+	return nil
+}

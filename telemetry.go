@@ -47,6 +47,27 @@ func (c *ConcurrentSystem) TelemetrySnapshot() telemetry.Snapshot {
 	return c.telemetrySnapshot()
 }
 
+// TelemetrySnapshot returns the /statusz view of a single-goroutine
+// System, reporting itself as shard 0 of a one-shard engine. Unlike the
+// concurrent shapes it must not be called while another goroutine drives
+// traffic — System's general concurrency contract.
+func (s *System) TelemetrySnapshot() telemetry.Snapshot {
+	st := s.Stats()
+	return telemetry.Snapshot{
+		Engine:      "system",
+		Phase:       st.Phase.String(),
+		Active:      st.Active,
+		Switches:    st.Switches,
+		AccuracyAvg: st.AccuracyAvg,
+		MemoryBytes: st.MemoryBytes,
+		WindowSize:  s.WindowSize(),
+		Shards:      []telemetry.ShardSample{shardSample(0, st, s.gauges.Snapshot())},
+		Decisions:   st.Decisions,
+		QError:      st.QError,
+		Resilience:  st.Resilience,
+	}
+}
+
 // TelemetrySnapshot returns the same point-in-time view the /statusz
 // endpoint serves. See ConcurrentSystem.TelemetrySnapshot.
 func (s *ShardedSystem) TelemetrySnapshot() telemetry.Snapshot {
@@ -79,7 +100,7 @@ func (c *ConcurrentSystem) telemetrySnapshot() telemetry.Snapshot {
 // telemetrySnapshot is the ShardedSystem scrape source: per-shard samples
 // plus the merged module view. Each shard's lock is taken briefly in turn.
 func (s *ShardedSystem) telemetrySnapshot() telemetry.Snapshot {
-	st := s.Stats()
+	st := s.PerShardStats()
 	snap := telemetry.Snapshot{
 		Engine:      "sharded",
 		Phase:       st.Merged.Phase.String(),

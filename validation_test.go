@@ -210,7 +210,7 @@ func TestValidationShardedRouting(t *testing.T) {
 		t.Errorf("window holds %d objects, want 1", n)
 	}
 	var rejected uint64
-	for _, sh := range sys.Stats().Shards {
+	for _, sh := range sys.PerShardStats().Shards {
 		rejected += sh.Gauges.ValidationRejected
 	}
 	if rejected != 1 {
@@ -282,7 +282,7 @@ func TestValidationRejectedObjectDoesNotPoisonClock(t *testing.T) {
 		sys.Feed(poison)
 		sys.Feed(valid)
 		var g GaugeSnapshot
-		for _, sh := range sys.Stats().Shards {
+		for _, sh := range sys.PerShardStats().Shards {
 			g.ValidationRejected += sh.Gauges.ValidationRejected
 			g.ValidationClamped += sh.Gauges.ValidationClamped
 			g.Reordered += sh.Gauges.Reordered
