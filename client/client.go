@@ -26,6 +26,7 @@ import (
 	"time"
 
 	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/telemetry"
 	"github.com/spatiotext/latest/internal/wire"
 )
 
@@ -80,6 +81,19 @@ type Options struct {
 	// MaxAttempts is the total attempt budget per request for retryable
 	// failures (dial errors, backpressure, draining). Default 4.
 	MaxAttempts int
+
+	// Trace enables end-to-end request tracing: every attempt carries a
+	// freshly minted trace ID in the wire header extension
+	// (wire.FlagTrace), the client records its own span timeline (encode,
+	// write, wait, decode) into a sampled buffer readable via Traces, and
+	// a tracing server attaches its server-side spans to the same ID in
+	// its /debug/requests buffer.
+	Trace bool
+	// TraceDepth sizes the client trace ring; TraceEvery is the sampling
+	// stride (1 retains every traced request). Defaults
+	// telemetry.DefaultTraceBufferDepth / DefaultTraceSampleEvery.
+	TraceDepth int
+	TraceEvery int
 
 	// sleep and jitter are test seams: sleep waits out a backoff delay
 	// (respecting ctx), jitter yields a value in [0,1] scaling each
@@ -154,6 +168,8 @@ type Client struct {
 
 	nextID    atomic.Uint64
 	dialFails int // consecutive dial failures, for backoff pacing
+
+	traces *telemetry.TraceBuffer // nil unless Options.Trace
 }
 
 // Dial creates a Client for addr. The first connection is established
@@ -162,8 +178,17 @@ type Client struct {
 // semantics instead.
 func Dial(addr string, opts Options) *Client {
 	opts.withDefaults()
-	return &Client{addr: addr, opts: opts, pending: make(map[uint64]chan result)}
+	c := &Client{addr: addr, opts: opts, pending: make(map[uint64]chan result)}
+	if opts.Trace {
+		c.traces = telemetry.NewTraceBuffer(opts.TraceDepth, opts.TraceEvery)
+	}
+	return c
 }
+
+// Traces returns the client-side sampled trace buffer, nil unless
+// Options.Trace is set. Trace IDs here match the server's
+// /debug/requests entries for the same requests.
+func (c *Client) Traces() *telemetry.TraceBuffer { return c.traces }
 
 // Close tears down the connection; in-flight requests fail with ErrClosed
 // semantics (a connection-closed error).
@@ -275,7 +300,11 @@ func (c *Client) send(nc net.Conn, id uint64, frame []byte) (chan result, error)
 // roundTrip runs one request with retry semantics: dial failures and
 // retryable server refusals are retried (honoring retry-after hints) up to
 // MaxAttempts; anything after a successful write is returned as-is.
-func (c *Client) roundTrip(ctx context.Context, build func(buf []byte, id uint64, deadlineMS uint32) []byte, want wire.Type) (result, error) {
+//
+// The returned trace (nil unless tracing is on and the attempt was
+// sampled) has recorded encode/write/wait spans; the caller records the
+// decode span and finishes it.
+func (c *Client) roundTrip(ctx context.Context, op string, build func(buf []byte, id, traceID uint64, deadlineMS uint32) []byte, want wire.Type) (result, *telemetry.ActiveTrace, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -284,19 +313,19 @@ func (c *Client) roundTrip(ctx context.Context, build func(buf []byte, id uint64
 				delay = se.RetryAfter
 			}
 			if err := c.opts.sleep(ctx, delay); err != nil {
-				return result{}, err
+				return result{}, nil, err
 			}
 		}
-		res, err := c.tryOnce(ctx, build, want)
+		res, tr, err := c.tryOnce(ctx, op, build, want)
 		if err == nil {
-			return res, nil
+			return res, tr, nil
 		}
 		lastErr = err
 		if !retryable(err) {
-			return result{}, err
+			return result{}, nil, err
 		}
 	}
-	return result{}, fmt.Errorf("client: gave up after %d attempts: %w", c.opts.MaxAttempts, lastErr)
+	return result{}, nil, fmt.Errorf("client: gave up after %d attempts: %w", c.opts.MaxAttempts, lastErr)
 }
 
 // retryDelayBase picks the exponent for backoff: consecutive dial failures
@@ -321,27 +350,27 @@ func retryable(err error) bool {
 	return errors.As(err, &se) && se.Temporary()
 }
 
-func (c *Client) tryOnce(ctx context.Context, build func(buf []byte, id uint64, deadlineMS uint32) []byte, want wire.Type) (result, error) {
+func (c *Client) tryOnce(ctx context.Context, op string, build func(buf []byte, id, traceID uint64, deadlineMS uint32) []byte, want wire.Type) (result, *telemetry.ActiveTrace, error) {
 	if _, has := ctx.Deadline(); !has {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
 		defer cancel()
 	}
 	if err := c.ensureConn(ctx); err != nil {
-		return result{}, err
+		return result{}, nil, err
 	}
 	c.mu.Lock()
 	nc := c.nc
 	c.mu.Unlock()
 	if nc == nil {
-		return result{}, &dialError{errors.New("connection lost")}
+		return result{}, nil, &dialError{errors.New("connection lost")}
 	}
 
 	var deadlineMS uint32
 	if dl, ok := ctx.Deadline(); ok {
 		ms := time.Until(dl).Milliseconds()
 		if ms < 1 {
-			return result{}, context.DeadlineExceeded
+			return result{}, nil, context.DeadlineExceeded
 		}
 		if ms > 1<<31 {
 			ms = 1 << 31
@@ -349,27 +378,52 @@ func (c *Client) tryOnce(ctx context.Context, build func(buf []byte, id uint64, 
 		deadlineMS = uint32(ms)
 	}
 
+	// Each attempt carries a fresh trace ID (a retried request is a new
+	// wire exchange); zero when tracing is off, which builds byte-identical
+	// untraced frames.
+	var traceID uint64
+	var tr *telemetry.ActiveTrace
+	if c.opts.Trace {
+		tid := telemetry.NewTraceID()
+		traceID = uint64(tid)
+		tr = c.traces.Start(op, tid)
+	}
+
 	id := c.nextID.Add(1)
 	buf := wire.GetBuf()
-	*buf = build(*buf, id, deadlineMS)
+	encStart := time.Now()
+	*buf = build(*buf, id, traceID, deadlineMS)
+	tr.AddSpan("encode", encStart)
+	writeStart := time.Now()
 	ch, err := c.send(nc, id, *buf)
 	wire.PutBuf(buf)
 	if err != nil {
 		// The write failed; the kernel may still have delivered bytes, so
 		// treat it as non-retryable unless nothing could have been sent.
-		return result{}, err
+		tr.SetError("write_failed")
+		tr.Finish()
+		return result{}, nil, err
 	}
+	tr.AddSpan("write", writeStart)
+	waitStart := time.Now()
 	select {
 	case res := <-ch:
+		tr.AddSpan("wait", waitStart)
 		if res.err != nil {
-			return result{}, res.err
+			tr.SetError("conn_lost")
+			tr.Finish()
+			return result{}, nil, res.err
 		}
 		if res.h.Type == wire.TError {
 			re, derr := wire.DecodeError(res.payload)
 			if derr != nil {
-				return result{}, fmt.Errorf("client: undecodable error frame: %w", derr)
+				tr.SetError("undecodable_error")
+				tr.Finish()
+				return result{}, nil, fmt.Errorf("client: undecodable error frame: %w", derr)
 			}
-			return result{}, &ServerError{
+			tr.SetError(re.Code.String())
+			tr.Finish()
+			return result{}, nil, &ServerError{
 				Code:       uint16(re.Code),
 				Name:       re.Code.String(),
 				RetryAfter: re.RetryAfter,
@@ -377,57 +431,77 @@ func (c *Client) tryOnce(ctx context.Context, build func(buf []byte, id uint64, 
 			}
 		}
 		if res.h.Type != want {
-			return result{}, fmt.Errorf("client: expected %v response, got %v", want, res.h.Type)
+			tr.SetError("unexpected_type")
+			tr.Finish()
+			return result{}, nil, fmt.Errorf("client: expected %v response, got %v", want, res.h.Type)
 		}
-		return res, nil
+		return res, tr, nil
 	case <-ctx.Done():
 		c.pmu.Lock()
 		delete(c.pending, id)
 		c.pmu.Unlock()
-		return result{}, ctx.Err()
+		tr.SetError("context")
+		tr.Finish()
+		return result{}, nil, ctx.Err()
 	}
+}
+
+// finishDecode closes a request trace around its payload decode stage.
+func finishDecode(tr *telemetry.ActiveTrace, decStart time.Time) {
+	tr.AddSpan("decode", decStart)
+	tr.Finish()
 }
 
 // Ping round-trips a no-op frame.
 func (c *Client) Ping(ctx context.Context) error {
-	_, err := c.roundTrip(ctx, func(buf []byte, id uint64, _ uint32) []byte {
-		return wire.AppendPing(buf, id)
+	_, tr, err := c.roundTrip(ctx, "ping", func(buf []byte, id, traceID uint64, _ uint32) []byte {
+		return wire.AppendPingTraced(buf, id, traceID)
 	}, wire.TPong)
+	tr.Finish()
 	return err
 }
 
 // FeedBatch ingests a batch of stream objects, returning the accepted
 // count from the server's ack.
 func (c *Client) FeedBatch(ctx context.Context, objs []latest.Object) (uint32, error) {
-	res, err := c.roundTrip(ctx, func(buf []byte, id uint64, _ uint32) []byte {
-		return wire.AppendFeedBatch(buf, id, objs)
+	res, tr, err := c.roundTrip(ctx, "feed", func(buf []byte, id, traceID uint64, _ uint32) []byte {
+		return wire.AppendFeedBatchTraced(buf, id, traceID, objs)
 	}, wire.TAck)
 	if err != nil {
 		return 0, err
 	}
-	return wire.DecodeAck(res.payload)
+	decStart := time.Now()
+	n, err := wire.DecodeAck(res.payload)
+	finishDecode(tr, decStart)
+	return n, err
 }
 
 // Estimate answers one query approximately; the server closes the
 // accuracy feedback loop with its own exact window answer.
 func (c *Client) Estimate(ctx context.Context, q latest.Query) (float64, error) {
-	res, err := c.roundTrip(ctx, func(buf []byte, id uint64, deadlineMS uint32) []byte {
-		return wire.AppendEstimate(buf, id, deadlineMS, &q)
+	res, tr, err := c.roundTrip(ctx, "estimate", func(buf []byte, id, traceID uint64, deadlineMS uint32) []byte {
+		return wire.AppendEstimateTraced(buf, id, traceID, deadlineMS, &q)
 	}, wire.TEstimateResult)
 	if err != nil {
 		return 0, err
 	}
-	return wire.DecodeEstimateResult(res.payload)
+	decStart := time.Now()
+	est, err := wire.DecodeEstimateResult(res.payload)
+	finishDecode(tr, decStart)
+	return est, err
 }
 
 // QueryBatch runs a batch of full estimate+execute cycles, returning
 // parallel estimate and exact-count slices.
 func (c *Client) QueryBatch(ctx context.Context, qs []latest.Query) ([]float64, []int, error) {
-	res, err := c.roundTrip(ctx, func(buf []byte, id uint64, deadlineMS uint32) []byte {
-		return wire.AppendQueryBatch(buf, id, deadlineMS, qs)
+	res, tr, err := c.roundTrip(ctx, "query", func(buf []byte, id, traceID uint64, deadlineMS uint32) []byte {
+		return wire.AppendQueryBatchTraced(buf, id, traceID, deadlineMS, qs)
 	}, wire.TQueryBatchResult)
 	if err != nil {
 		return nil, nil, err
 	}
-	return wire.DecodeQueryBatchResult(res.payload, nil, nil)
+	decStart := time.Now()
+	ests, acts, err := wire.DecodeQueryBatchResult(res.payload, nil, nil)
+	finishDecode(tr, decStart)
+	return ests, acts, err
 }

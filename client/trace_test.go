@@ -1,0 +1,149 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/telemetry"
+	"github.com/spatiotext/latest/internal/wire"
+)
+
+// frameRecord captures what the server actually saw on the wire.
+type frameRecord struct {
+	flags   uint16
+	traceID uint64
+}
+
+// recordingPong answers every frame with a pong and records its header
+// flags and trace ID.
+func recordingPong(mu *sync.Mutex, seen *[]frameRecord) func(net.Conn, int) {
+	return func(nc net.Conn, _ int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		for {
+			h, payload, err := fr.Next()
+			if err != nil {
+				return
+			}
+			id, _, err := wire.SplitTrace(h, payload)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			*seen = append(*seen, frameRecord{flags: h.Flags, traceID: id})
+			mu.Unlock()
+			nc.Write(wire.AppendPong(nil, h.ID))
+		}
+	}
+}
+
+// TestClientTracePropagation: a tracing client stamps FlagTrace and a fresh
+// nonzero trace ID on each request, and its local timeline carries the same
+// ID the server saw.
+func TestClientTracePropagation(t *testing.T) {
+	var mu sync.Mutex
+	var seen []frameRecord
+	fl := newFakeListener(t, recordingPong(&mu, &seen))
+	cl := Dial(fl.addr(), Options{Trace: true, TraceEvery: 1})
+	defer cl.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := cl.Ping(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	got := append([]frameRecord(nil), seen...)
+	mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("server saw %d frames", len(got))
+	}
+	ids := map[uint64]bool{}
+	for i, r := range got {
+		if r.flags != wire.FlagTrace || r.traceID == 0 {
+			t.Fatalf("frame %d: flags %#x trace %#x", i, r.flags, r.traceID)
+		}
+		if ids[r.traceID] {
+			t.Fatalf("trace ID %#x reused across requests", r.traceID)
+		}
+		ids[r.traceID] = true
+	}
+
+	traces := cl.Traces().Snapshot()
+	if len(traces) != 3 {
+		t.Fatalf("client retained %d traces", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Op != "ping" || tr.Error != "" {
+			t.Fatalf("client trace = %+v", tr)
+		}
+		if !ids[uint64(tr.ID)] {
+			t.Fatalf("client trace ID %s never crossed the wire", tr.ID)
+		}
+		// Pings carry no payload, so there is no decode stage.
+		for _, want := range []string{"encode", "write", "wait"} {
+			found := false
+			for _, sp := range tr.Spans {
+				if sp.Name == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("client trace missing %q span: %v", want, tr.Spans)
+			}
+		}
+	}
+}
+
+// TestClientTraceRecordsError: a refused request's trace is sealed with the
+// wire error code name, so failed exemplars are attributable too.
+func TestClientTraceRecordsError(t *testing.T) {
+	fl := newFakeListener(t, func(nc net.Conn, _ int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		for {
+			h, _, err := fr.Next()
+			if err != nil {
+				return
+			}
+			nc.Write(wire.AppendError(nil, h.ID, wire.CodeMalformed, 0, "scripted refusal"))
+		}
+	})
+	cl := Dial(fl.addr(), Options{Trace: true, TraceEvery: 1})
+	defer cl.Close()
+
+	if err := cl.Ping(context.Background()); err == nil {
+		t.Fatal("scripted refusal did not surface")
+	}
+	traces := cl.Traces().Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("%d traces", len(traces))
+	}
+	if traces[0].Error != wire.CodeMalformed.String() {
+		t.Fatalf("trace error = %q, want %q", traces[0].Error, wire.CodeMalformed.String())
+	}
+}
+
+// TestUntracedClientSendsPlainFrames: without Trace, frames carry no flags
+// and no buffer is allocated.
+func TestUntracedClientSendsPlainFrames(t *testing.T) {
+	var mu sync.Mutex
+	var seen []frameRecord
+	fl := newFakeListener(t, recordingPong(&mu, &seen))
+	cl := Dial(fl.addr(), Options{})
+	defer cl.Close()
+	if err := cl.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0].flags != 0 || seen[0].traceID != 0 {
+		t.Fatalf("untraced frames = %+v", seen)
+	}
+	var nilBuf *telemetry.TraceBuffer
+	if cl.Traces() != nilBuf {
+		t.Error("untraced client allocated a trace buffer")
+	}
+}

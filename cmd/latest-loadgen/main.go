@@ -16,6 +16,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,26 @@ type loadOptions struct {
 	outPath  string
 }
 
+// latencyStats summarizes one client-side latency distribution in
+// microseconds.
+type latencyStats struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func latencyOf(hs telemetry.HistSnapshot) latencyStats {
+	return latencyStats{
+		P50:  float64(hs.P50().Microseconds()),
+		P95:  float64(hs.P95().Microseconds()),
+		P99:  float64(hs.P99().Microseconds()),
+		Max:  float64(hs.Max.Microseconds()),
+		Mean: float64(hs.Mean().Microseconds()),
+	}
+}
+
 // report is the JSON result shape; BENCH_serve.json stores one of these
 // per datapoint.
 type report struct {
@@ -59,6 +80,9 @@ type report struct {
 	Conns       int     `json:"conns"`
 	FeedFrac    float64 `json:"feed_frac"`
 	BatchSize   int     `json:"batch_size"`
+	Dataset     string  `json:"dataset"`
+	Workload    string  `json:"workload"`
+	Seed        int64   `json:"seed"`
 	Requests    uint64  `json:"requests"`
 	Feeds       uint64  `json:"feeds"`
 	FeedObjects uint64  `json:"feed_objects"`
@@ -67,12 +91,15 @@ type report struct {
 	Drained     uint64  `json:"drained"`
 	ElapsedSec  float64 `json:"elapsed_sec"`
 	Throughput  float64 `json:"requests_per_sec"`
-	LatencyUS   struct {
-		P50  float64 `json:"p50"`
-		P95  float64 `json:"p95"`
-		P99  float64 `json:"p99"`
-		Mean float64 `json:"mean"`
-	} `json:"latency_us"`
+	// LatencyUS covers all successful requests; FeedLatencyUS and
+	// QueryLatencyUS split it by operation.
+	LatencyUS      latencyStats `json:"latency_us"`
+	FeedLatencyUS  latencyStats `json:"feed_latency_us"`
+	QueryLatencyUS latencyStats `json:"query_latency_us"`
+	// ErrorCodes counts failed requests by wire error code name (plus
+	// "timeout" for client-side deadline expiry and "conn" for transport
+	// failures).
+	ErrorCodes map[string]uint64 `json:"error_codes,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -159,6 +186,7 @@ type worker struct {
 func drive(o loadOptions, stderr io.Writer) (*report, error) {
 	rep := &report{
 		Addr: o.addr, Conns: o.conns, FeedFrac: o.feedFrac, BatchSize: o.batch,
+		Dataset: o.dataset, Workload: o.wlName, Seed: o.seed,
 		Mode: "closed",
 	}
 	if o.qps > 0 {
@@ -167,11 +195,27 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 
 	var (
 		requests, feeds, feedObjects, queries, errorsN, drained atomic.Uint64
-		hist                                                    telemetry.Histogram
+		hist, feedHist, queryHist                               telemetry.Histogram
 		remaining                                               atomic.Int64
 		stop                                                    atomic.Bool
+
+		errMu    sync.Mutex
+		errCodes = map[string]uint64{}
 	)
 	remaining.Store(int64(o.requests))
+	countErr := func(err error) {
+		code := "conn"
+		var se *client.ServerError
+		switch {
+		case errors.As(err, &se):
+			code = se.Name
+		case errors.Is(err, context.DeadlineExceeded):
+			code = "timeout"
+		}
+		errMu.Lock()
+		errCodes[code]++
+		errMu.Unlock()
+	}
 
 	workers := make([]*worker, o.conns)
 	for i := range workers {
@@ -196,7 +240,8 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 		defer cancel()
 		start := time.Now()
 		var err error
-		if w.rng.Float64() < o.feedFrac {
+		isFeed := w.rng.Float64() < o.feedFrac
+		if isFeed {
 			objs := make([]latest.Object, o.batch)
 			for j := range objs {
 				objs[j] = w.gen.Next()
@@ -216,7 +261,13 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 		}
 		requests.Add(1)
 		if err == nil {
-			hist.Record(time.Since(start))
+			lat := time.Since(start)
+			hist.Record(lat)
+			if isFeed {
+				feedHist.Record(lat)
+			} else {
+				queryHist.Record(lat)
+			}
 			return
 		}
 		if client.IsDraining(err) {
@@ -225,6 +276,7 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 			stop.Store(true)
 			return
 		}
+		countErr(err)
 		errorsN.Add(1)
 		if errorsN.Load() <= 5 {
 			fmt.Fprintln(stderr, "latest-loadgen: request error:", err)
@@ -270,10 +322,11 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 	if rep.ElapsedSec > 0 {
 		rep.Throughput = float64(rep.Requests) / rep.ElapsedSec
 	}
-	hs := hist.Snapshot()
-	rep.LatencyUS.P50 = float64(hs.P50().Microseconds())
-	rep.LatencyUS.P95 = float64(hs.P95().Microseconds())
-	rep.LatencyUS.P99 = float64(hs.P99().Microseconds())
-	rep.LatencyUS.Mean = float64(hs.Mean().Microseconds())
+	rep.LatencyUS = latencyOf(hist.Snapshot())
+	rep.FeedLatencyUS = latencyOf(feedHist.Snapshot())
+	rep.QueryLatencyUS = latencyOf(queryHist.Snapshot())
+	if len(errCodes) > 0 {
+		rep.ErrorCodes = errCodes
+	}
 	return rep, nil
 }

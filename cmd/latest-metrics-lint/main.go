@@ -1,0 +1,82 @@
+// Command latest-metrics-lint validates a Prometheus text exposition
+// (format 0.0.4) against the format contract scrapers depend on: line
+// grammar, name charsets, HELP/TYPE placement, label escaping, and
+// histogram structure (le on every bucket, cumulative monotone counts,
+// +Inf equal to _count).
+//
+// It is the CI metrics-lint gate: point it at a live daemon with -url, at
+// a captured scrape file, or pipe a scrape through stdin. Exit status is 0
+// for a clean exposition, 1 with every violation on stderr otherwise.
+//
+//	latest-metrics-lint -url http://127.0.0.1:9090/metrics
+//	latest-metrics-lint metrics.txt
+//	curl -s $ADMIN/metrics | latest-metrics-lint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this /metrics URL instead of reading files or stdin")
+	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout with -url")
+	flag.Parse()
+
+	type source struct {
+		name string
+		r    io.ReadCloser
+	}
+	var sources []source
+	switch {
+	case *url != "":
+		cl := &http.Client{Timeout: *timeout}
+		resp, err := cl.Get(*url)
+		if err != nil {
+			fatal("scrape %s: %v", *url, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			fatal("scrape %s: status %s", *url, resp.Status)
+		}
+		sources = append(sources, source{*url, resp.Body})
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+			sources = append(sources, source{path, f})
+		}
+	default:
+		sources = append(sources, source{"<stdin>", os.Stdin})
+	}
+
+	failed := false
+	for _, src := range sources {
+		errs := telemetry.LintProm(src.r)
+		src.r.Close()
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", src.name, e)
+		}
+		if len(errs) > 0 {
+			failed = true
+		} else {
+			fmt.Printf("%s: exposition clean\n", src.name)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "latest-metrics-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

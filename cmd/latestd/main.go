@@ -61,6 +61,8 @@ type daemonOptions struct {
 	dataDir      string
 	snapInterval time.Duration
 	walSyncEvery int
+	traceDepth   int
+	traceSample  int
 }
 
 // run is the testable entrypoint: flags in, exit code out, shutdown
@@ -83,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 	fs.StringVar(&o.dataDir, "data-dir", "", "directory for durable state (snapshots + feed WAL); empty serves from memory only")
 	fs.DurationVar(&o.snapInterval, "snapshot-interval", 30*time.Second, "how often the durable engine snapshots (requires -data-dir)")
 	fs.IntVar(&o.walSyncEvery, "wal-sync-every", 0, "fsync the feed WAL every N records (0 = library default)")
+	fs.IntVar(&o.traceDepth, "trace-depth", 0, "retained span timelines in /debug/requests (0 = library default)")
+	fs.IntVar(&o.traceSample, "trace-sample", 0, "sample one trace-flagged request in N (1 = all, 0 = library default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -194,6 +198,8 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 		AdminAddr:   o.adminAddr,
 		MaxConns:    o.maxConns,
 		MaxInFlight: o.maxInFlight,
+		TraceDepth:  o.traceDepth,
+		TraceEvery:  o.traceSample,
 		Log:         log,
 	})
 	if err != nil {
@@ -211,7 +217,8 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 	}
 	durability := "none"
 	if dur, ok := eng.(*latest.DurableEngine); ok {
-		durability = fmt.Sprintf("%s gen=%d wal=%d", o.dataDir, dur.Generation(), dur.WALAppends())
+		durability = fmt.Sprintf("%s gen=%d wal=%d recovery=%.3fs",
+			o.dataDir, dur.Generation(), dur.WALAppends(), dur.RecoverySeconds())
 	}
 	fmt.Fprintf(stdout, "latestd listening addr=%s admin=%s engine=%s window=%s durability=%s\n",
 		srv.Addr(), srv.AdminAddr(), o.engine, o.window, durability)

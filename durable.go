@@ -59,6 +59,11 @@ type DurableEngine struct {
 	wal *persist.WAL
 	gen uint64
 
+	// stats instruments the layer: WAL append/fsync latency, snapshot
+	// outcomes, recovery cost. Exposed via TelemetrySnapshot as the
+	// latest_wal_* / latest_snapshot_* / latest_recovery_* families.
+	stats durableStats
+
 	// persistErr is the latest background persistence failure (WAL append
 	// or ticker snapshot); the feed path cannot return errors, so failures
 	// are recorded here and surfaced by Err.
@@ -83,9 +88,11 @@ func NewDurable(eng Engine, st Store, cfg DurableConfig) (*DurableEngine, error)
 		cfg.WALSyncEvery = persist.DefaultWALSyncEvery
 	}
 	d := &DurableEngine{eng: eng, store: st, cfg: cfg, done: make(chan struct{})}
+	recoverStart := time.Now()
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
+	d.stats.recoverySeconds = time.Since(recoverStart).Seconds()
 	if cfg.SnapshotInterval > 0 {
 		d.ticker = time.NewTicker(cfg.SnapshotInterval)
 		d.wg.Add(1)
@@ -104,6 +111,7 @@ func (d *DurableEngine) recover() error {
 			return rerr
 		}
 		d.gen = gen
+		d.stats.recoveredSnapshot = true
 	case persist.IsNotExist(err):
 		d.gen = 0 // fresh store: generation zero, WAL feed-00000000.wal
 	default:
@@ -113,6 +121,9 @@ func (d *DurableEngine) recover() error {
 	if err != nil {
 		return err
 	}
+	wal.SetObserver(&d.stats)
+	d.stats.recoveryRecords = uint64(len(records))
+	d.stats.recoveryTruncated = tail.DroppedBytes
 	if tail.DroppedBytes > 0 {
 		// A torn tail is the expected shape of a crash mid-append; the
 		// checksummed framing identified the exact valid prefix.
@@ -293,11 +304,15 @@ func (d *DurableEngine) Stats() Stats {
 	return d.eng.Stats()
 }
 
-// TelemetrySnapshot delegates to the engine.
+// TelemetrySnapshot delegates to the engine and attaches the durability
+// layer's sample (generation, WAL and snapshot counters/latencies,
+// recovery cost) so /metrics and /statusz describe the whole stack.
 func (d *DurableEngine) TelemetrySnapshot() TelemetryReport {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.eng.TelemetrySnapshot()
+	snap := d.eng.TelemetrySnapshot()
+	snap.Durable = d.stats.sample(d.gen)
+	return snap
 }
 
 // SnapshotNow takes a snapshot into the backing store and rotates the feed
@@ -313,6 +328,19 @@ func (d *DurableEngine) SnapshotNow(ctx context.Context) error {
 }
 
 func (d *DurableEngine) snapshotLocked(ctx context.Context) error {
+	start := time.Now()
+	err := d.snapshotCommit(ctx)
+	if err != nil {
+		d.stats.snapErrors.Add(1)
+		return err
+	}
+	d.stats.snapshots.Add(1)
+	d.stats.snapLat.Record(time.Since(start))
+	return nil
+}
+
+// snapshotCommit is the uninstrumented snapshot + rotation sequence.
+func (d *DurableEngine) snapshotCommit(ctx context.Context) error {
 	if d.wal != nil {
 		// Flush pending appends first: if the snapshot fails the WAL must
 		// still fully extend the previous one.
@@ -320,9 +348,13 @@ func (d *DurableEngine) snapshotLocked(ctx context.Context) error {
 			return err
 		}
 	}
-	if err := d.eng.Snapshot(ctx, d.store); err != nil {
+	// The counting wrapper measures the serialized size; the engine writes
+	// through it to the same backing store.
+	cs := &countingStore{Store: d.store}
+	if err := d.eng.Snapshot(ctx, cs); err != nil {
 		return err
 	}
+	d.stats.lastSnapBytes.Store(cs.bytes)
 	gen, err := snapshotGeneration(d.store)
 	if err != nil {
 		return err
@@ -334,10 +366,12 @@ func (d *DurableEngine) snapshotLocked(ctx context.Context) error {
 		// this process can no longer log feeds. Fail loudly.
 		return err
 	}
+	wal.SetObserver(&d.stats)
 	if d.wal != nil {
 		if cerr := d.wal.Close(); cerr != nil {
 			d.noteErr(cerr)
 		}
+		d.stats.rotations.Add(1)
 	}
 	d.wal = wal
 	d.gen = gen

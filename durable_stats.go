@@ -1,0 +1,96 @@
+package latest
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/spatiotext/latest/internal/persist"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+// durable_stats.go instruments the persistence wrapper: WAL append/fsync
+// counters and latency histograms (fed by the persist.WALObserver
+// callbacks, so they survive WAL rotations), snapshot commit outcomes and
+// sizes, and the one-time startup recovery cost. Everything on the feed
+// path is a few atomic adds into lock-free histograms.
+
+// durableStats is the DurableEngine's measurement sink.
+type durableStats struct {
+	appends     atomic.Uint64
+	appendBytes atomic.Uint64
+	syncs       atomic.Uint64
+	rotations   atomic.Uint64
+
+	snapshots     atomic.Uint64
+	snapErrors    atomic.Uint64
+	lastSnapBytes atomic.Uint64
+
+	appendLat telemetry.Histogram
+	syncLat   telemetry.Histogram
+	snapLat   telemetry.Histogram
+
+	// Recovery facts are written once inside NewDurable, before the engine
+	// is shared, so plain fields suffice.
+	recoverySeconds   float64
+	recoveryRecords   uint64
+	recoveryTruncated int64
+	recoveredSnapshot bool
+}
+
+// durableStats implements persist.WALObserver.
+var _ persist.WALObserver = (*durableStats)(nil)
+
+// WALAppend implements persist.WALObserver.
+func (s *durableStats) WALAppend(bytes int, d time.Duration) {
+	s.appends.Add(1)
+	s.appendBytes.Add(uint64(bytes))
+	s.appendLat.Record(d)
+}
+
+// WALSync implements persist.WALObserver.
+func (s *durableStats) WALSync(d time.Duration) {
+	s.syncs.Add(1)
+	s.syncLat.Record(d)
+}
+
+// sample builds the exposition view.
+func (s *durableStats) sample(gen uint64) *telemetry.DurableSample {
+	return &telemetry.DurableSample{
+		Generation:             gen,
+		WALAppends:             s.appends.Load(),
+		WALBytes:               s.appendBytes.Load(),
+		WALSyncs:               s.syncs.Load(),
+		WALRotations:           s.rotations.Load(),
+		Snapshots:              s.snapshots.Load(),
+		SnapshotErrors:         s.snapErrors.Load(),
+		LastSnapshotBytes:      s.lastSnapBytes.Load(),
+		RecoverySeconds:        s.recoverySeconds,
+		RecoveryWALRecords:     s.recoveryRecords,
+		RecoveryTruncatedBytes: s.recoveryTruncated,
+		RecoveredSnapshot:      s.recoveredSnapshot,
+		AppendLatency:          s.appendLat.Snapshot(),
+		SyncLatency:            s.syncLat.Snapshot(),
+		SnapshotLatency:        s.snapLat.Snapshot(),
+	}
+}
+
+// RecoverySeconds reports the startup cost of snapshot restore plus WAL
+// replay, for operator log lines and dashboards.
+func (d *DurableEngine) RecoverySeconds() float64 { return d.stats.recoverySeconds }
+
+// countingStore wraps a Store to measure the bytes a snapshot writes. It
+// is used only inside snapshotLocked — the wrapper is handed to the inner
+// engine's Snapshot and discarded, so the DurableEngine's own store
+// identity (which Snapshot's routing depends on) never changes.
+type countingStore struct {
+	Store
+	bytes uint64
+}
+
+func (c *countingStore) Save(name string, data []byte) error {
+	err := c.Store.Save(name, data)
+	if err == nil {
+		c.bytes += uint64(len(data))
+	}
+	return err
+}

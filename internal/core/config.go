@@ -104,6 +104,13 @@ type Config struct {
 	// TraceDepth sizes the switch-decision audit ring (zero =
 	// telemetry.DefaultTraceDepth).
 	TraceDepth int
+	// DriftWindow sizes the accuracy-drift watchdog's reference and current
+	// q-error windows (zero = telemetry.DefaultDriftWindow).
+	DriftWindow int
+	// DriftThreshold is the current/reference mean q-error ratio at which
+	// an estimator is flagged drifted (zero =
+	// telemetry.DefaultDriftThreshold).
+	DriftThreshold float64
 	// PrefillMode annotates trace decisions with how this deployment warms
 	// switch candidates: "inline" (on the query path) or "async" (a
 	// background worker). Informational only; empty means "inline".

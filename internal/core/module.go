@@ -66,6 +66,18 @@ type Module struct {
 	qerrN  []uint64
 	log    *telemetry.Logger
 
+	// Accuracy-drift watchdog: per-estimator windowed q-error drift
+	// trackers (frozen reference window vs rolling current window) plus the
+	// last drifted flag so the transition is logged exactly once per
+	// excursion. Updated on the Observe path, read by Snapshot.
+	drift   []*telemetry.DriftTracker
+	drifted []bool
+
+	// qtrace is the in-flight request trace the serving layer installed for
+	// the current Estimate/Observe cycle (nil when untraced). The module is
+	// single-goroutine, so a plain field under the owner's lock suffices.
+	qtrace *telemetry.ActiveTrace
+
 	// Opportunity-switch state: a sliding window of per-query score gaps
 	// (best alternative minus active, for that query's type) and of which
 	// alternative was best. Averaging over the window weighs the gap by
@@ -109,8 +121,10 @@ func New(cfg Config) (*Module, error) {
 	}
 	for range cfg.Estimators {
 		m.qerr = append(m.qerr, metrics.NewEWMA(profileAlpha))
+		m.drift = append(m.drift, telemetry.NewDriftTracker(cfg.DriftWindow, cfg.DriftThreshold))
 	}
 	m.qerrN = make([]uint64, len(cfg.Estimators))
+	m.drifted = make([]bool, len(cfg.Estimators))
 	// The paper's text places pre-filling at β·τ and switching at τ, but
 	// with 0<β<1 a falling average crosses τ first; the mechanism is only
 	// coherent with the pre-fill threshold above the switch threshold. We
@@ -233,6 +247,7 @@ func (m *Module) Estimate(q *stream.Query) float64 {
 		p.measured[i] = true
 		if i == m.active {
 			m.estLat.Record(lat)
+			m.qtrace.AddSpanDur("estimator", m.names[i], lat)
 		}
 	}
 	if m.phase == PhasePretrain {
@@ -289,8 +304,21 @@ func (m *Module) Observe(actual float64) {
 		}
 		acc := metrics.Accuracy(p.estimates[i], actual)
 		relErr := metrics.RelativeError(p.estimates[i], actual)
-		m.qerr[i].Update(metrics.QError(p.estimates[i], actual))
+		qe := metrics.QError(p.estimates[i], actual)
+		m.qerr[i].Update(qe)
 		m.qerrN[i]++
+		m.drift[i].Observe(qe)
+		if s := m.drift[i].Sample(m.names[i]); s.Drifted != m.drifted[i] {
+			m.drifted[i] = s.Drifted
+			if s.Drifted {
+				m.log.Warn("q-error drift", "estimator", s.Estimator,
+					"ratio", s.Ratio, "reference", s.Reference,
+					"current", s.Current, "threshold", s.Threshold)
+			} else {
+				m.log.Info("q-error drift recovered", "estimator", s.Estimator,
+					"ratio", s.Ratio)
+			}
+		}
 		m.brain.observe(i, qt, acc, p.latencies[i])
 		m.brain.learn(&p.q, i, acc, p.latencies[i], relErr)
 		// Workload-driven estimators get the raw feedback as well.
@@ -628,6 +656,21 @@ func (m *Module) traceDecision(ev SwitchEvent, q *stream.Query, reason string) {
 		"confidence", d.Confidence)
 }
 
+// SetTrace installs (or, with nil, clears) the request trace for the next
+// Estimate/Observe cycle. Like every other module method it must be called
+// by the module's owning goroutine; the serving layer sets it under the
+// same lock that serializes the query itself.
+func (m *Module) SetTrace(tr *telemetry.ActiveTrace) { m.qtrace = tr }
+
+// driftSamples snapshots every estimator's drift-watchdog state.
+func (m *Module) driftSamples() []telemetry.DriftSample {
+	out := make([]telemetry.DriftSample, len(m.names))
+	for i, name := range m.names {
+		out[i] = m.drift[i].Sample(name)
+	}
+	return out
+}
+
 // qerrSamples snapshots every estimator's rolling q-error.
 func (m *Module) qerrSamples() []telemetry.QErrorSample {
 	out := make([]telemetry.QErrorSample, len(m.names))
@@ -673,6 +716,9 @@ type Stats struct {
 	// QError is each estimator's rolling q-error over ground-truth
 	// observations, in fleet order.
 	QError []telemetry.QErrorSample
+	// Drift is the accuracy-drift watchdog's reading per estimator, in
+	// fleet order.
+	Drift []telemetry.DriftSample
 	// Decisions is the retained switch-decision audit trail, oldest-first.
 	Decisions []telemetry.Decision
 	// Resilience is the fault-isolation layer's health: per-estimator
@@ -704,6 +750,7 @@ func (m *Module) Snapshot() Stats {
 		MemoryBytes:     mem,
 		EstimateLatency: m.estLat.Snapshot(),
 		QError:          m.qerrSamples(),
+		Drift:           m.driftSamples(),
 		Decisions:       m.trace.Snapshot(),
 		Resilience:      m.resilienceStats(),
 	}

@@ -81,10 +81,13 @@ func MergeStats(parts []Stats) Stats {
 		out.Decisions = out.Decisions[n-telemetry.DefaultTraceDepth:]
 	}
 	res := make([]telemetry.ResilienceStats, len(parts))
+	drifts := make([][]telemetry.DriftSample, len(parts))
 	for i, p := range parts {
 		res[i] = p.Resilience
+		drifts[i] = p.Drift
 	}
 	out.Resilience = telemetry.MergeResilience(res)
+	out.Drift = telemetry.MergeDriftSamples(drifts...)
 	return out
 }
 

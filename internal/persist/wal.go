@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 )
 
 // Write-ahead log format: a sequence of framed records,
@@ -85,6 +86,19 @@ func AppendWALRecord(buf []byte, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
+// WALObserver receives per-operation measurements from a WAL: append cost
+// (framing + buffered write, fsync excluded) and fsync-batch cost. The
+// callbacks run under the WAL's lock on the feed path, so implementations
+// must be cheap and non-blocking — a few atomic adds (the durable engine
+// feeds them into lock-free telemetry histograms).
+type WALObserver interface {
+	// WALAppend reports one framed record write: the framed byte count and
+	// the append call's duration (fsync excluded).
+	WALAppend(bytes int, d time.Duration)
+	// WALSync reports one fsync batch and its duration.
+	WALSync(d time.Duration)
+}
+
 // WAL is an open write-ahead log. Safe for concurrent Append.
 type WAL struct {
 	mu      sync.Mutex
@@ -93,6 +107,16 @@ type WAL struct {
 	every   int
 	scratch []byte
 	appends uint64
+	obs     WALObserver
+}
+
+// SetObserver installs (or with nil clears) the measurement sink. Rotation
+// re-installs the previous generation's observer on the fresh handle, so
+// lifetime counters span generations.
+func (w *WAL) SetObserver(o WALObserver) {
+	w.mu.Lock()
+	w.obs = o
+	w.mu.Unlock()
 }
 
 // OpenWAL opens (creating if absent) the named log in the store, first
@@ -123,17 +147,38 @@ func OpenWAL(store Store, name string, syncEvery int) (*WAL, [][]byte, WALTail, 
 func (w *WAL) Append(payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	var start time.Time
+	if w.obs != nil {
+		start = time.Now()
+	}
 	w.scratch = AppendWALRecord(w.scratch[:0], payload)
 	if err := w.f.Append(w.scratch); err != nil {
 		return err
+	}
+	if w.obs != nil {
+		w.obs.WALAppend(len(w.scratch), time.Since(start))
 	}
 	w.appends++
 	w.pending++
 	if w.pending >= w.every {
 		w.pending = 0
-		return w.f.Sync()
+		return w.syncLocked()
 	}
 	return nil
+}
+
+// syncLocked fsyncs under the held lock, reporting the batch to the
+// observer.
+func (w *WAL) syncLocked() error {
+	var start time.Time
+	if w.obs != nil {
+		start = time.Now()
+	}
+	err := w.f.Sync()
+	if w.obs != nil {
+		w.obs.WALSync(time.Since(start))
+	}
+	return err
 }
 
 // Appends returns the lifetime number of records appended through this
@@ -149,7 +194,7 @@ func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.pending = 0
-	return w.f.Sync()
+	return w.syncLocked()
 }
 
 // Close syncs and releases the log.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/telemetry"
 	"github.com/spatiotext/latest/internal/wire"
 )
 
@@ -24,10 +25,11 @@ const outHeadroom = 16
 // responses. The out channel is the in-flight window — responses the read
 // loop has produced but the peer has not yet been sent.
 type conn struct {
-	srv *Server
-	nc  net.Conn
-	fr  *wire.FrameReader
-	out chan *[]byte
+	srv    *Server
+	nc     net.Conn
+	fr     *wire.FrameReader
+	out    chan outFrame
+	opened time.Time
 
 	// window bounds concurrently in-flight estimate/query requests on
 	// this connection; a slot is held from dispatch until the response is
@@ -42,6 +44,15 @@ type conn struct {
 	objs     []stream.Object
 	coalesce []stream.Object
 	acks     []feedAck
+}
+
+// outFrame is one queued response: the encoded bytes plus the request's
+// trace recorder, whose open "write" span the write loop closes (and whose
+// timeline it publishes) once the bytes reach the socket. Sending the
+// frame transfers trace ownership to the write loop.
+type outFrame struct {
+	buf *[]byte
+	tr  *telemetry.ActiveTrace
 }
 
 // feedAck remembers one coalesced feed frame's id and object count so each
@@ -70,7 +81,8 @@ func newConn(s *Server, nc net.Conn) *conn {
 		srv:    s,
 		nc:     nc,
 		fr:     wire.NewFrameReader(br, s.cfg.MaxPayload),
-		out:    make(chan *[]byte, s.cfg.MaxInFlight+outHeadroom),
+		out:    make(chan outFrame, s.cfg.MaxInFlight+outHeadroom),
+		opened: time.Now(),
 		window: make(chan struct{}, s.cfg.MaxInFlight),
 	}
 }
@@ -92,54 +104,62 @@ func (c *conn) serve() {
 
 // writeLoop drains the response queue to the socket. After a write error
 // it keeps draining (returning buffers, decrementing in-flight) without
-// writing, so the read loop never blocks on a dead peer.
+// writing, so the read loop never blocks on a dead peer. It is the final
+// owner of each response's trace: the "write" span closes and the timeline
+// publishes only after the bytes have reached (or failed to reach) the
+// socket.
 func (c *conn) writeLoop() {
 	st := &c.srv.st
 	failed := false
-	for b := range c.out {
+	for f := range c.out {
 		if !failed {
-			if _, err := c.nc.Write(*b); err != nil {
+			if _, err := c.nc.Write(*f.buf); err != nil {
 				failed = true
 				c.nc.Close() // unblock the read loop
 			} else {
-				st.bytesOut.Add(uint64(len(*b)))
+				st.bytesOut.Add(uint64(len(*f.buf)))
 				st.framesOut.Add(1)
 			}
 		}
-		wire.PutBuf(b)
+		wire.PutBuf(f.buf)
 		st.inFlight.Add(-1)
+		f.tr.Finish()
 	}
 }
 
-// enqueue hands one encoded response to the write loop. Blocking here is
-// the backstop — dispatch refuses with CodeBackpressure before the window
-// fills, so only refusal frames ever ride the headroom.
-func (c *conn) enqueue(b *[]byte) {
+// enqueue hands one encoded response (and its trace, if sampled) to the
+// write loop. Blocking here is the backstop — dispatch refuses with
+// CodeBackpressure before the window fills, so only refusal frames ever
+// ride the headroom.
+func (c *conn) enqueue(b *[]byte, tr *telemetry.ActiveTrace) {
 	c.srv.st.inFlight.Add(1)
-	c.out <- b
+	c.out <- outFrame{buf: b, tr: tr}
 }
 
-func (c *conn) sendErr(id uint64, code wire.Code, retryAfter time.Duration, msg string) {
+func (c *conn) sendErr(tr *telemetry.ActiveTrace, id uint64, code wire.Code, retryAfter time.Duration, msg string) {
 	c.srv.st.countErr(code)
+	tr.SetError(code.String())
 	b := wire.GetBuf()
 	*b = wire.AppendError(*b, id, code, uint32(retryAfter.Milliseconds()), msg)
-	c.enqueue(b)
+	tr.BeginSpan("write")
+	c.enqueue(b, tr)
 }
 
 // decodeErr maps a payload decode failure onto a typed error frame. The
 // framing itself was sound (header CRC passed, payload length honored), so
 // the connection stays usable.
-func (c *conn) decodeErr(id uint64, err error) {
+func (c *conn) decodeErr(tr *telemetry.ActiveTrace, id uint64, err error) {
 	var pe *wire.ProtoError
 	if errors.As(err, &pe) {
-		c.sendErr(id, pe.Code, 0, pe.Reason)
+		c.sendErr(tr, id, pe.Code, 0, pe.Reason)
 		return
 	}
-	c.sendErr(id, wire.CodeMalformed, 0, err.Error())
+	c.sendErr(tr, id, wire.CodeMalformed, 0, err.Error())
 }
 
 func (c *conn) readLoop() {
 	for {
+		readStart := time.Now()
 		h, payload, err := c.fr.Next()
 		if err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -150,52 +170,77 @@ func (c *conn) readLoop() {
 				// Malformed header: report once, then drop the
 				// connection — after a framing error the stream is
 				// desynchronized and nothing further can be trusted.
-				c.sendErr(0, pe.Code, 0, pe.Reason)
+				c.sendErr(nil, 0, pe.Code, 0, pe.Reason)
 				c.srv.log.Warn("framing error, dropping conn",
 					"remote", c.nc.RemoteAddr().String(), "err", pe.Reason)
 			}
 			return
 		}
 		c.srv.st.framesIn.Add(1)
-		c.dispatch(h, payload)
+		c.dispatch(h, payload, readStart)
 	}
+}
+
+// opName maps a request frame type to its trace operation name.
+func opName(t wire.Type) string {
+	switch t {
+	case wire.TFeedBatch:
+		return "feed"
+	case wire.TEstimate:
+		return "estimate"
+	case wire.TQueryBatch:
+		return "query"
+	case wire.TPing:
+		return "ping"
+	}
+	return t.String()
 }
 
 // dispatch routes one well-framed request. Refusals (draining, window
 // full, unknown type) answer without touching the engine; engine calls run
 // under a panic guard so a contained engine failure becomes CodeInternal,
 // never a dropped connection without an answer.
-func (c *conn) dispatch(h wire.Header, payload []byte) {
+//
+// A trace-flagged request (wire.FlagTrace) may start a sampled span
+// timeline here; the trace's clock zero is the dispatch start, so the
+// preceding "read" span — waiting for and decoding the frame — carries a
+// negative start offset.
+func (c *conn) dispatch(h wire.Header, payload []byte, readStart time.Time) {
 	start := time.Now()
-	if h.Flags != 0 {
-		c.sendErr(h.ID, wire.CodeMalformed, 0,
-			fmt.Sprintf("reserved header flags 0x%04x must be zero", h.Flags))
+	traceID, payload, err := wire.SplitTrace(h, payload)
+	if err != nil {
+		c.decodeErr(nil, h.ID, err)
 		return
 	}
+	tr := c.srv.traces.Start(opName(h.Type), telemetry.TraceID(traceID))
+	tr.AddSpan("read", readStart)
 	if !h.Type.Request() {
-		c.sendErr(h.ID, wire.CodeUnknownType, 0, "not a request type: "+h.Type.String())
+		c.sendErr(tr, h.ID, wire.CodeUnknownType, 0, "not a request type: "+h.Type.String())
 		return
 	}
 	if c.srv.draining.Load() {
-		c.sendErr(h.ID, wire.CodeDraining, c.srv.cfg.RetryAfter, "server draining")
+		c.sendErr(tr, h.ID, wire.CodeDraining, c.srv.cfg.RetryAfter, "server draining")
 		return
 	}
 	switch h.Type {
 	case wire.TPing:
 		if len(c.out) >= c.srv.cfg.MaxInFlight {
-			c.sendErr(h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
+			c.sendErr(tr, h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
 			return
 		}
 		c.srv.st.ping.observe(start)
 		b := wire.GetBuf()
+		encStart := time.Now()
 		*b = wire.AppendPong(*b, h.ID)
-		c.enqueue(b)
+		tr.AddSpan("encode", encStart)
+		tr.BeginSpan("write")
+		c.enqueue(b, tr)
 	case wire.TFeedBatch:
 		if len(c.out) >= c.srv.cfg.MaxInFlight {
-			c.sendErr(h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
+			c.sendErr(tr, h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
 			return
 		}
-		c.handleFeed(h, payload, start)
+		c.handleFeed(h, payload, start, tr)
 	case wire.TEstimate, wire.TQueryBatch:
 		// Estimates and query batches run on worker goroutines so a
 		// pipelining client overlaps them; the window slot is held from
@@ -203,13 +248,13 @@ func (c *conn) dispatch(h wire.Header, payload []byte) {
 		select {
 		case c.window <- struct{}{}:
 		default:
-			c.sendErr(h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
+			c.sendErr(tr, h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
 			return
 		}
 		if h.Type == wire.TEstimate {
-			c.handleEstimate(h, payload, start)
+			c.handleEstimate(h, payload, start, tr)
 		} else {
-			c.handleQueryBatch(h, payload, start)
+			c.handleQueryBatch(h, payload, start, tr)
 		}
 	}
 }
@@ -217,11 +262,11 @@ func (c *conn) dispatch(h wire.Header, payload []byte) {
 // guard runs an engine call, converting a panic into CodeInternal. The
 // engines carry their own resilience layer; this is the serving layer's
 // last line — a request must always be answered.
-func (c *conn) guard(id uint64, fn func()) (ok bool) {
+func (c *conn) guard(tr *telemetry.ActiveTrace, id uint64, fn func()) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.srv.log.Error("engine panic contained", "err", fmt.Sprint(r))
-			c.sendErr(id, wire.CodeInternal, 0, "engine failure")
+			c.sendErr(tr, id, wire.CodeInternal, 0, "engine failure")
 			ok = false
 		}
 	}()
@@ -231,18 +276,20 @@ func (c *conn) guard(id uint64, fn func()) (ok bool) {
 
 // handleFeed ingests one feed frame, first folding in any pipelined feed
 // frames that are already fully buffered — one engine batch instead of N,
-// while every frame still gets its own ack.
-func (c *conn) handleFeed(h wire.Header, payload []byte, start time.Time) {
+// while every frame still gets its own ack. Trace-flagged followers
+// coalesce too (their payload prefix is stripped); only the head frame's
+// trace records the batch, since the followers share its engine call.
+func (c *conn) handleFeed(h wire.Header, payload []byte, start time.Time, tr *telemetry.ActiveTrace) {
 	st := &c.srv.st
 	objs, err := wire.DecodeFeedBatch(payload, c.objs)
 	if err != nil {
-		c.decodeErr(h.ID, err)
+		c.decodeErr(tr, h.ID, err)
 		return
 	}
 	acks := append(c.acks[:0], feedAck{h.ID, uint32(len(objs))})
 	for len(objs) < c.srv.cfg.CoalesceObjects {
 		nh, ready := c.fr.PeekHeader()
-		if !ready || nh.Type != wire.TFeedBatch || nh.Flags != 0 ||
+		if !ready || nh.Type != wire.TFeedBatch || nh.Flags&^wire.KnownFlags != 0 ||
 			c.fr.Buffered() < wire.HeaderSize+int(nh.Length) {
 			break
 		}
@@ -251,10 +298,14 @@ func (c *conn) handleFeed(h wire.Header, payload []byte, start time.Time) {
 			break
 		}
 		st.framesIn.Add(1)
+		if _, pl, err = wire.SplitTrace(nh, pl); err != nil {
+			c.decodeErr(nil, nh.ID, err)
+			break
+		}
 		more, err := wire.DecodeFeedBatch(pl, c.coalesce)
 		if err != nil {
 			// This frame alone is bad; answer it and feed what we have.
-			c.decodeErr(nh.ID, err)
+			c.decodeErr(nil, nh.ID, err)
 			break
 		}
 		c.coalesce = more[:0]
@@ -264,15 +315,24 @@ func (c *conn) handleFeed(h wire.Header, payload []byte, start time.Time) {
 	}
 	c.objs = objs[:0]
 	c.acks = acks[:0]
-	if !c.guard(h.ID, func() { c.srv.eng.FeedBatch(objs) }) {
+	engStart := time.Now()
+	if !c.guard(tr, h.ID, func() { c.srv.eng.FeedBatch(objs) }) {
 		return
 	}
+	tr.AddSpan("engine", engStart)
 	st.feedObjects.Add(uint64(len(objs)))
-	for _, a := range acks {
+	for i, a := range acks {
 		st.feed.observe(start)
 		b := wire.GetBuf()
+		encStart := time.Now()
 		*b = wire.AppendAck(*b, a.id, a.n)
-		c.enqueue(b)
+		if i == 0 {
+			tr.AddSpan("encode", encStart)
+			tr.BeginSpan("write")
+			c.enqueue(b, tr)
+			continue
+		}
+		c.enqueue(b, nil)
 	}
 }
 
@@ -285,63 +345,78 @@ func expired(start time.Time, deadlineMS uint32) bool {
 
 // handleEstimate decodes on the read loop (the payload aliases the frame
 // reader's buffer and dies at the next read), then answers from a worker
-// holding a window slot.
-func (c *conn) handleEstimate(h wire.Header, payload []byte, start time.Time) {
+// holding a window slot. Spawning the worker hands it trace ownership.
+func (c *conn) handleEstimate(h wire.Header, payload []byte, start time.Time, tr *telemetry.ActiveTrace) {
 	deadlineMS, q, err := wire.DecodeEstimate(payload)
 	if err != nil {
 		<-c.window
-		c.decodeErr(h.ID, err)
+		c.decodeErr(tr, h.ID, err)
 		return
 	}
 	c.workers.Add(1)
+	queued := time.Now()
 	go func() {
 		defer c.workers.Done()
 		defer func() { <-c.window }()
+		tr.AddSpan("queue", queued)
 		var est float64
-		if !c.guard(h.ID, func() { est, _ = c.srv.eng.EstimateAndExecute(&q) }) {
+		engStart := time.Now()
+		if !c.guard(tr, h.ID, func() { est, _ = c.srv.estimate(&q, tr) }) {
 			return
 		}
+		tr.AddSpan("engine", engStart)
 		if expired(start, deadlineMS) {
 			// The peer has given up; an answer now is noise it must
 			// discard.
-			c.sendErr(h.ID, wire.CodeDeadlineExceeded, 0,
+			c.sendErr(tr, h.ID, wire.CodeDeadlineExceeded, 0,
 				fmt.Sprintf("deadline %dms elapsed", deadlineMS))
 			return
 		}
 		c.srv.st.estimate.observe(start)
 		b := wire.GetBuf()
+		encStart := time.Now()
 		*b = wire.AppendEstimateResult(*b, h.ID, est)
-		c.enqueue(b)
+		tr.AddSpan("encode", encStart)
+		tr.BeginSpan("write")
+		c.enqueue(b, tr)
 	}()
 }
 
 // handleQueryBatch mirrors handleEstimate. The query slice is freshly
 // allocated per request — it crosses into the worker goroutine, so the
-// connection scratch cannot back it.
-func (c *conn) handleQueryBatch(h wire.Header, payload []byte, start time.Time) {
+// connection scratch cannot back it. Batches record one "engine" span for
+// the whole batch; per-estimator attribution stays with single estimates.
+func (c *conn) handleQueryBatch(h wire.Header, payload []byte, start time.Time, tr *telemetry.ActiveTrace) {
 	deadlineMS, qs, err := wire.DecodeQueryBatch(payload, nil)
 	if err != nil {
 		<-c.window
-		c.decodeErr(h.ID, err)
+		c.decodeErr(tr, h.ID, err)
 		return
 	}
 	c.workers.Add(1)
+	queued := time.Now()
 	go func() {
 		defer c.workers.Done()
 		defer func() { <-c.window }()
+		tr.AddSpan("queue", queued)
 		var ests []float64
 		var acts []int
-		if !c.guard(h.ID, func() { ests, acts = c.srv.eng.EstimateAndExecuteBatch(qs) }) {
+		engStart := time.Now()
+		if !c.guard(tr, h.ID, func() { ests, acts = c.srv.eng.EstimateAndExecuteBatch(qs) }) {
 			return
 		}
+		tr.AddSpan("engine", engStart)
 		if expired(start, deadlineMS) {
-			c.sendErr(h.ID, wire.CodeDeadlineExceeded, 0,
+			c.sendErr(tr, h.ID, wire.CodeDeadlineExceeded, 0,
 				fmt.Sprintf("deadline %dms elapsed", deadlineMS))
 			return
 		}
 		c.srv.st.query.observe(start)
 		b := wire.GetBuf()
+		encStart := time.Now()
 		*b = wire.AppendQueryBatchResult(*b, h.ID, ests, acts)
-		c.enqueue(b)
+		tr.AddSpan("encode", encStart)
+		tr.BeginSpan("write")
+		c.enqueue(b, tr)
 	}()
 }

@@ -61,6 +61,13 @@ type Config struct {
 	// RetryAfter is the hint carried in backpressure and draining errors.
 	// Default 50ms.
 	RetryAfter time.Duration
+	// TraceDepth sizes the /debug/requests ring of retained span timelines.
+	// Default telemetry.DefaultTraceBufferDepth.
+	TraceDepth int
+	// TraceEvery is the trace sampling stride: one trace-flagged request in
+	// this many is retained with its full span timeline (1 retains all).
+	// Default telemetry.DefaultTraceSampleEvery.
+	TraceEvery int
 	// Log receives serving-layer lifecycle lines. nil is silent.
 	Log *telemetry.Logger
 }
@@ -106,6 +113,7 @@ type serverStats struct {
 	inFlight       atomic.Int64
 	feedObjects    atomic.Uint64
 	coalescedFeeds atomic.Uint64
+	connDur        telemetry.Histogram
 
 	feed     opStat
 	estimate opStat
@@ -123,11 +131,12 @@ func (st *serverStats) countErr(code wire.Code) {
 
 // Server fronts an Engine with the wire protocol and the admin plane.
 type Server struct {
-	cfg   Config
-	eng   Engine
-	ln    net.Listener
-	admin *telemetry.Server
-	log   *telemetry.Logger
+	cfg    Config
+	eng    Engine
+	ln     net.Listener
+	admin  *telemetry.Server
+	log    *telemetry.Logger
+	traces *telemetry.TraceBuffer
 
 	st       serverStats
 	draining atomic.Bool
@@ -160,6 +169,7 @@ func New(eng Engine, cfg Config) (*Server, error) {
 		eng:     eng,
 		ln:      ln,
 		log:     cfg.Log.Named("server"),
+		traces:  telemetry.NewTraceBuffer(cfg.TraceDepth, cfg.TraceEvery),
 		drainCh: make(chan struct{}),
 		conns:   make(map[*conn]struct{}),
 	}
@@ -167,6 +177,7 @@ func New(eng Engine, cfg Config) (*Server, error) {
 		admin, err := telemetry.Serve(cfg.AdminAddr, s.snapshot, cfg.Log,
 			telemetry.Route{Pattern: "/healthz", Handler: http.HandlerFunc(s.handleHealthz)},
 			telemetry.Route{Pattern: "/drain", Handler: http.HandlerFunc(s.handleDrain)},
+			telemetry.Route{Pattern: "/debug/requests", Handler: s.traces.Handler()},
 		)
 		if err != nil {
 			ln.Close()
@@ -231,8 +242,24 @@ func (s *Server) removeConn(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
+	s.st.connDur.Record(time.Since(c.opened))
 	s.st.connsActive.Add(-1)
 	s.connWG.Done()
+}
+
+// Traces exposes the sampled-trace buffer (the /debug/requests source);
+// tests and embedding processes read it directly.
+func (s *Server) Traces() *telemetry.TraceBuffer { return s.traces }
+
+// estimate runs one query, threading the request trace into the engine
+// when the engine supports span attribution (all shipped shapes do).
+func (s *Server) estimate(q *latest.Query, tr *telemetry.ActiveTrace) (float64, int) {
+	if tr != nil {
+		if te, ok := s.eng.(latest.TracedEngine); ok {
+			return te.EstimateAndExecuteTraced(q, tr)
+		}
+	}
+	return s.eng.EstimateAndExecute(q)
 }
 
 // Shutdown drains gracefully: stop accepting, answer new requests with
@@ -338,6 +365,9 @@ func (s *Server) sample() telemetry.ServerSample {
 			{Op: "query", Requests: st.query.requests.Load(), Latency: st.query.latency.Snapshot()},
 			{Op: "ping", Requests: st.ping.requests.Load(), Latency: st.ping.latency.Snapshot()},
 		},
+		ConnDuration:  st.connDur.Snapshot(),
+		TracesSeen:    s.traces.Seen(),
+		TracesSampled: s.traces.Sampled(),
 		Errors: telemetry.ServerErrors{
 			Malformed:    st.errs[wire.CodeMalformed].Load(),
 			TooLarge:     st.errs[wire.CodeTooLarge].Load(),

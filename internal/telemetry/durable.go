@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+)
+
+// durable.go holds the durability layer's slice of a telemetry Snapshot:
+// WAL append/fsync counters and latency distributions, snapshot
+// duration/size/generation, and the startup recovery cost. The types live
+// here (below latest.DurableEngine in the dependency order) so the
+// exposition renderer can describe the layer without importing it —
+// mirroring how serving.go describes internal/server.
+
+// DurableSample is the durability layer's slice of a Snapshot.
+type DurableSample struct {
+	// Generation is the current snapshot generation (each snapshot commit
+	// increments it and rotates the WAL).
+	Generation uint64 `json:"generation"`
+
+	// WALAppends counts records appended to the live WAL across all
+	// generations; WALBytes the framed bytes written; WALSyncs the fsync
+	// batches issued; WALRotations the generation rollovers.
+	WALAppends   uint64 `json:"wal_appends"`
+	WALBytes     uint64 `json:"wal_bytes"`
+	WALSyncs     uint64 `json:"wal_syncs"`
+	WALRotations uint64 `json:"wal_rotations"`
+
+	// Snapshots counts committed snapshots this process took;
+	// SnapshotErrors failed attempts (engine keeps serving, Err() latches).
+	Snapshots      uint64 `json:"snapshots"`
+	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// LastSnapshotBytes is the serialized size of the most recent committed
+	// snapshot.
+	LastSnapshotBytes uint64 `json:"last_snapshot_bytes"`
+
+	// RecoverySeconds is the startup cost of restore + WAL replay (near
+	// zero for a fresh directory); RecoveryWALRecords the records replayed;
+	// RecoveryTruncatedBytes the torn tail discarded from the live WAL.
+	RecoverySeconds        float64 `json:"recovery_seconds"`
+	RecoveryWALRecords     uint64  `json:"recovery_wal_records"`
+	RecoveryTruncatedBytes int64   `json:"recovery_truncated_bytes"`
+	// RecoveredSnapshot is true when startup restored from a snapshot
+	// (false: fresh start, WAL-only replay counts from generation 0).
+	RecoveredSnapshot bool `json:"recovered_snapshot"`
+
+	// AppendLatency is the WAL append call distribution (framing + write,
+	// fsync excluded), SyncLatency the fsync-batch distribution, and
+	// SnapshotLatency full snapshot commits (serialize + rename + WAL
+	// rotation).
+	AppendLatency   HistSnapshot `json:"append_latency"`
+	SyncLatency     HistSnapshot `json:"sync_latency"`
+	SnapshotLatency HistSnapshot `json:"snapshot_latency"`
+}
+
+// writeDurableProm renders the latest_wal_*, latest_snapshot_* and
+// latest_recovery_* metric families.
+func writeDurableProm(b *strings.Builder, d *DurableSample) {
+	counter := func(name, help string) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " counter\n")
+	}
+	gauge := func(name, help string) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " gauge\n")
+	}
+	hist := func(name, help string) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " histogram\n")
+	}
+	sample := func(name string, v float64) {
+		b.WriteString(name + " " + strconv.FormatFloat(v, 'g', -1, 64) + "\n")
+	}
+	boolGauge := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+
+	counter("latest_wal_appends_total", "Records appended to the feed WAL.")
+	sample("latest_wal_appends_total", float64(d.WALAppends))
+	counter("latest_wal_bytes_total", "Framed bytes written to the feed WAL.")
+	sample("latest_wal_bytes_total", float64(d.WALBytes))
+	counter("latest_wal_fsyncs_total", "Fsync batches issued on the feed WAL.")
+	sample("latest_wal_fsyncs_total", float64(d.WALSyncs))
+	counter("latest_wal_rotations_total", "WAL generation rollovers (one per committed snapshot).")
+	sample("latest_wal_rotations_total", float64(d.WALRotations))
+	hist("latest_wal_append_latency_seconds", "WAL append latency (framing and write, fsync excluded).")
+	promHistogramOne(b, "latest_wal_append_latency_seconds", "", d.AppendLatency)
+	hist("latest_wal_fsync_latency_seconds", "WAL fsync-batch latency.")
+	promHistogramOne(b, "latest_wal_fsync_latency_seconds", "", d.SyncLatency)
+
+	counter("latest_snapshots_total", "Snapshots committed by this process.")
+	sample("latest_snapshots_total", float64(d.Snapshots))
+	counter("latest_snapshot_errors_total", "Snapshot attempts that failed (engine keeps serving).")
+	sample("latest_snapshot_errors_total", float64(d.SnapshotErrors))
+	gauge("latest_snapshot_generation", "Current snapshot generation.")
+	sample("latest_snapshot_generation", float64(d.Generation))
+	gauge("latest_snapshot_bytes", "Serialized size of the most recent committed snapshot.")
+	sample("latest_snapshot_bytes", float64(d.LastSnapshotBytes))
+	hist("latest_snapshot_duration_seconds", "Full snapshot commit latency (serialize, rename, WAL rotation).")
+	promHistogramOne(b, "latest_snapshot_duration_seconds", "", d.SnapshotLatency)
+
+	gauge("latest_recovery_seconds", "Startup restore plus WAL replay wall time.")
+	sample("latest_recovery_seconds", d.RecoverySeconds)
+	gauge("latest_recovery_wal_records", "WAL records replayed at startup.")
+	sample("latest_recovery_wal_records", float64(d.RecoveryWALRecords))
+	gauge("latest_recovery_truncated_bytes", "Torn-tail bytes truncated from the live WAL at startup.")
+	sample("latest_recovery_truncated_bytes", float64(d.RecoveryTruncatedBytes))
+	gauge("latest_recovery_from_snapshot", "1 when startup restored from a snapshot.")
+	sample("latest_recovery_from_snapshot", boolGauge(d.RecoveredSnapshot))
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden exposition file from current output")
+
+// TestWritePromGolden pins WriteProm's output byte for byte. The renderer is
+// a pure function of its Snapshot (runtime families are appended separately
+// by the HTTP handler), so any diff here is a deliberate exposition change —
+// rerun with -update and review the golden diff in the same commit.
+func TestWritePromGolden(t *testing.T) {
+	var b strings.Builder
+	WriteProm(&b, fullSnapshot())
+	got := b.String()
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `go test -run Golden -update ./internal/telemetry` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition differs from golden:\n%s\n(run with -update to accept)", firstDiff(string(want), got))
+	}
+
+	// The pinned bytes must themselves be a valid exposition — a golden
+	// file can otherwise freeze a spec violation in place.
+	if errs := LintProm(strings.NewReader(got)); len(errs) != 0 {
+		for _, e := range errs {
+			t.Errorf("golden output fails lint: %v", e)
+		}
+	}
+}
+
+// firstDiff renders the first differing line of two multi-line strings.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return "line " + itoa(i+1) + ":\n  golden: " + w + "\n  got:    " + g
+		}
+	}
+	return "lengths differ only"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

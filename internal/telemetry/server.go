@@ -74,6 +74,11 @@ type Snapshot struct {
 	Decisions []Decision     `json:"decisions"`
 	QError    []QErrorSample `json:"qerror"`
 
+	// Drift is the accuracy-drift watchdog's per-estimator reading
+	// (current-window vs reference-window mean q-error), merged across
+	// shards.
+	Drift []DriftSample `json:"drift,omitempty"`
+
 	// Resilience is the engine-level fault-isolation view: per-shard stats
 	// merged (counters summed, estimator state = worst across shards).
 	Resilience ResilienceStats `json:"resilience,omitempty"`
@@ -82,6 +87,10 @@ type Snapshot struct {
 	// process fronts the engine with latestd's wire protocol; nil for
 	// in-process deployments.
 	Server *ServerSample `json:"server,omitempty"`
+
+	// Durable is the durability layer's slice of the snapshot when the
+	// engine is wrapped in a DurableEngine; nil otherwise.
+	Durable *DurableSample `json:"durable,omitempty"`
 }
 
 // Server publishes telemetry over HTTP using only the standard library:
@@ -263,6 +272,10 @@ func statuszView(snap Snapshot) statuszBody {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteProm(w, s.src())
+	// Runtime health is collected live per scrape and appended after the
+	// snapshot families; it stays out of WriteProm so the snapshot renderer
+	// remains a deterministic, golden-testable function of its argument.
+	WriteGoRuntimeProm(w, ReadGoRuntime())
 }
 
 // WriteProm renders a Snapshot in the Prometheus text exposition format.
@@ -337,6 +350,26 @@ func WriteProm(w interface{ Write([]byte) (int, error) }, snap Snapshot) {
 		}
 	}
 
+	if len(snap.Drift) > 0 {
+		gauge("latest_qerror_drift", "Current-window over reference-window mean q-error ratio per estimator (0 until both windows fill; >= threshold means drifted).")
+		for _, d := range snap.Drift {
+			sample("latest_qerror_drift", `estimator="`+d.Estimator+`"`, d.Ratio)
+		}
+		gauge("latest_qerror_window", "Windowed mean q-error per estimator and window (reference is frozen at calibration, current rolls).")
+		for _, d := range snap.Drift {
+			sample("latest_qerror_window", `estimator="`+d.Estimator+`",window="reference"`, d.Reference)
+			sample("latest_qerror_window", `estimator="`+d.Estimator+`",window="current"`, d.Current)
+		}
+		gauge("latest_qerror_drifted", "1 while the estimator's drift ratio is at or above its threshold.")
+		for _, d := range snap.Drift {
+			v := 0.0
+			if d.Drifted {
+				v = 1
+			}
+			sample("latest_qerror_drifted", `estimator="`+d.Estimator+`"`, v)
+		}
+	}
+
 	counter("latest_validation_total", "Inputs handled by the validation policy per shard, by outcome.")
 	for _, sh := range snap.Shards {
 		sample("latest_validation_total", shardLabel(sh.Index)+`,outcome="rejected"`, float64(sh.ValidationRejected))
@@ -407,6 +440,9 @@ func WriteProm(w interface{ Write([]byte) (int, error) }, snap Snapshot) {
 	if snap.Server != nil {
 		writeServerProm(&b, snap.Server)
 	}
+	if snap.Durable != nil {
+		writeDurableProm(&b, snap.Durable)
+	}
 
 	w.Write([]byte(b.String()))
 }
@@ -421,9 +457,14 @@ func promHistogram(b *strings.Builder, name, help string, shards []ShardSample, 
 	}
 }
 
-// promHistogramOne renders one labeled histogram series (no HELP/TYPE
-// preamble — the caller owns the family header).
+// promHistogramOne renders one histogram series (no HELP/TYPE preamble —
+// the caller owns the family header). An empty label renders an unlabeled
+// series.
 func promHistogramOne(b *strings.Builder, name, label string, h HistSnapshot) {
+	prefix := label // bucket-line label prefix, "le" appended after it
+	if label != "" {
+		prefix += ","
+	}
 	hi := -1
 	for i, n := range h.Buckets {
 		if n > 0 {
@@ -434,10 +475,14 @@ func promHistogramOne(b *strings.Builder, name, label string, h HistSnapshot) {
 	for i := 0; i <= hi && i < NumBuckets-1; i++ {
 		cum += h.Buckets[i]
 		le := strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
-		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, label, le, cum)
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, prefix, le, cum)
 	}
-	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, h.Count)
-	fmt.Fprintf(b, "%s_sum{%s} %s\n", name, label,
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, h.Count)
+	suffix := ""
+	if label != "" {
+		suffix = "{" + label + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix,
 		strconv.FormatFloat(h.Sum.Seconds(), 'g', -1, 64))
-	fmt.Fprintf(b, "%s_count{%s} %d\n", name, label, h.Count)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.Count)
 }

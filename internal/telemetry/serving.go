@@ -70,6 +70,14 @@ type ServerSample struct {
 
 	Ops    []ServerOp   `json:"ops"`
 	Errors ServerErrors `json:"errors"`
+
+	// ConnDuration is the lifetime distribution of closed connections.
+	ConnDuration HistSnapshot `json:"conn_duration"`
+
+	// TracesSeen counts trace-flagged requests observed; TracesSampled
+	// those retained in the /debug/requests ring.
+	TracesSeen    uint64 `json:"traces_seen"`
+	TracesSampled uint64 `json:"traces_sampled"`
 }
 
 // writeServerProm renders the latest_server_* metric families.
@@ -142,4 +150,12 @@ func writeServerProm(b *strings.Builder, s *ServerSample) {
 	for _, op := range s.Ops {
 		promHistogramOne(b, "latest_server_request_latency_seconds", `op="`+op.Op+`"`, op.Latency)
 	}
+
+	b.WriteString("# HELP latest_server_conn_duration_seconds Lifetime of closed wire connections.\n" +
+		"# TYPE latest_server_conn_duration_seconds histogram\n")
+	promHistogramOne(b, "latest_server_conn_duration_seconds", "", s.ConnDuration)
+
+	counter("latest_server_traces_total", "Trace-flagged requests observed and retained for /debug/requests.")
+	sample("latest_server_traces_total", `outcome="seen"`, float64(s.TracesSeen))
+	sample("latest_server_traces_total", `outcome="sampled"`, float64(s.TracesSampled))
 }

@@ -9,7 +9,8 @@
 //	0       4     magic "LTST"
 //	4       1     protocol version (currently 1)
 //	5       1     frame type
-//	6       2     flags (reserved, must be zero)
+//	6       2     flags (bit 0 = FlagTrace: payload starts with an 8-byte
+//	              trace ID; all other bits reserved, must be zero)
 //	8       8     request id (echoed verbatim in the response)
 //	16      4     payload length in bytes
 //	20      4     IEEE CRC32 of bytes [0,20)

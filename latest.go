@@ -290,6 +290,12 @@ type System struct {
 	// then land in the gauges the sharded Stats actually reads.
 	gauges *metrics.ShardGauges
 	log    *telemetry.Logger
+
+	// guard enforces the single-goroutine contract in -race builds (a
+	// zero-size no-op otherwise): concurrent method calls — including a
+	// TelemetrySnapshot scrape racing traffic — panic with the fix spelled
+	// out instead of corrupting state silently.
+	guard raceGuard
 }
 
 // New builds a System over the given world rectangle, keeping the last
@@ -517,6 +523,8 @@ func (s *System) feedPtr(o *Object) {
 // One in metrics.FeedSampleInterval calls is timed into the ingest latency
 // histogram; the rest pay a single atomic increment.
 func (s *System) Feed(o Object) {
+	s.guard.enter("Feed")
+	defer s.guard.exit()
 	if s.gauges.RecordFeed() {
 		start := time.Now()
 		s.scratch = o
@@ -536,6 +544,8 @@ func (s *System) FeedBatch(objs []Object) {
 	if len(objs) == 0 {
 		return
 	}
+	s.guard.enter("FeedBatch")
+	defer s.guard.exit()
 	start := time.Now()
 	for i := range objs {
 		s.feedPtr(&objs[i])
@@ -553,6 +563,8 @@ func (s *System) FeedBatch(objs []Object) {
 // Execute/ObserveActual becomes a no-op rather than feeding the model a
 // truth value it never estimated.
 func (s *System) Estimate(q *Query) float64 {
+	s.guard.enter("Estimate")
+	defer s.guard.exit()
 	if !checkQuery(q, s.policy, s.world, s.gauges, s.log) {
 		s.pendingRejected = true
 		return 0
@@ -566,6 +578,8 @@ func (s *System) Estimate(q *Query) float64 {
 // it after Estimate for the same query. When that Estimate rejected the
 // query, Execute returns 0 without touching the store or the model.
 func (s *System) Execute(q *Query) int {
+	s.guard.enter("Execute")
+	defer s.guard.exit()
 	if s.pendingRejected {
 		s.pendingRejected = false
 		return 0
@@ -579,6 +593,8 @@ func (s *System) Execute(q *Query) int {
 // an external execution engine. A no-op when the paired Estimate rejected
 // its query.
 func (s *System) ObserveActual(actual float64) {
+	s.guard.enter("ObserveActual")
+	defer s.guard.exit()
 	if s.pendingRejected {
 		s.pendingRejected = false
 		return
@@ -632,7 +648,11 @@ func (s *System) AccuracyAverage() float64 { return s.module.AccuracyAverage() }
 func (s *System) WindowSize() int { return s.window.Size() }
 
 // Stats returns a snapshot of the module internals.
-func (s *System) Stats() Stats { return s.module.Snapshot() }
+func (s *System) Stats() Stats {
+	s.guard.enter("Stats")
+	defer s.guard.exit()
+	return s.module.Snapshot()
+}
 
 // RecommendFor returns the model's current estimator recommendation for a
 // query, without changing any state.

@@ -1,0 +1,12 @@
+//go:build !race
+
+package latest
+
+// raceGuard (plain builds) is a zero-size no-op: the single-goroutine
+// contract checks in raceguard_race.go exist only under -race, so the hot
+// paths pay nothing in production builds.
+type raceGuard struct{}
+
+func (*raceGuard) enter(string) {}
+
+func (*raceGuard) exit() {}

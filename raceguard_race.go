@@ -1,0 +1,26 @@
+//go:build race
+
+package latest
+
+import "sync/atomic"
+
+// raceGuard (race builds) turns a violation of System's single-goroutine
+// contract into an immediate, named panic. The plain build's data race —
+// say, a /metrics scrape calling TelemetrySnapshot while another goroutine
+// feeds — corrupts estimator state silently; under -race the detector
+// usually flags it, but only when the racing accesses happen to overlap a
+// watched address. This guard catches every overlapping call pair
+// deterministically: each guarded method increments the depth on entry,
+// and any entry that does not find the depth at zero is, by the contract,
+// a second goroutine.
+type raceGuard struct{ depth atomic.Int32 }
+
+func (g *raceGuard) enter(op string) {
+	if g.depth.Add(1) != 1 {
+		panic("latest: concurrent " + op + " on a single-goroutine System " +
+			"(its methods, including TelemetrySnapshot, must not race traffic; " +
+			"wrap the engine with NewConcurrent or NewSharded, or serialize access)")
+	}
+}
+
+func (g *raceGuard) exit() { g.depth.Add(-1) }

@@ -1,0 +1,44 @@
+//go:build race
+
+package latest
+
+import "testing"
+
+// TestRaceGuardSequential verifies the contract checks stay silent for the
+// legal pattern: strictly serialized method calls.
+func TestRaceGuardSequential(t *testing.T) {
+	var g raceGuard
+	for i := 0; i < 3; i++ {
+		g.enter("Feed")
+		g.exit()
+	}
+	g.enter("Stats")
+	g.exit()
+}
+
+// TestRaceGuardOverlapPanics verifies an overlapping call pair — by the
+// single-goroutine contract, necessarily a second goroutine — panics
+// deterministically with the violating operation named.
+func TestRaceGuardOverlapPanics(t *testing.T) {
+	var g raceGuard
+	g.enter("FeedBatch")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overlapping enter did not panic")
+		}
+		if msg, ok := r.(string); !ok || !contains(msg, "Stats") {
+			t.Fatalf("panic message %v does not name the overlapping operation", r)
+		}
+	}()
+	g.enter("Stats")
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

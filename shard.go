@@ -499,6 +499,14 @@ func (s *ShardedSystem) EstimateAndExecute(q *Query) (estimate float64, actual i
 		sh.gauges.RecordQuery(time.Since(start))
 		return estimate, actual
 	}
+	return s.fanOut(q, targets)
+}
+
+// fanOut runs the scatter-gather path over the already-routed target
+// shards: one atomic estimate/observe cycle per shard in parallel, partial
+// answers merged by summation (exact for the count because shards hold
+// disjoint objects).
+func (s *ShardedSystem) fanOut(q *Query, targets []*shard) (estimate float64, actual int) {
 	type partial struct {
 		est float64
 		act int

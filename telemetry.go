@@ -50,7 +50,11 @@ func (c *ConcurrentSystem) TelemetrySnapshot() telemetry.Snapshot {
 // TelemetrySnapshot returns the /statusz view of a single-goroutine
 // System, reporting itself as shard 0 of a one-shard engine. Unlike the
 // concurrent shapes it must not be called while another goroutine drives
-// traffic — System's general concurrency contract.
+// traffic — System's general concurrency contract. In -race builds that
+// contract is enforced: a scrape overlapping any other System method
+// panics immediately, naming the violation, instead of leaving it to the
+// race detector's sampling. Scrape a System from the goroutine that owns
+// it, or wrap the engine with NewConcurrent / NewSharded.
 func (s *System) TelemetrySnapshot() telemetry.Snapshot {
 	st := s.Stats()
 	return telemetry.Snapshot{
@@ -64,6 +68,7 @@ func (s *System) TelemetrySnapshot() telemetry.Snapshot {
 		Shards:      []telemetry.ShardSample{shardSample(0, st, s.gauges.Snapshot())},
 		Decisions:   st.Decisions,
 		QError:      st.QError,
+		Drift:       st.Drift,
 		Resilience:  st.Resilience,
 	}
 }
@@ -93,6 +98,7 @@ func (c *ConcurrentSystem) telemetrySnapshot() telemetry.Snapshot {
 		Shards:      []telemetry.ShardSample{shardSample(0, st, c.sys.gauges.Snapshot())},
 		Decisions:   st.Decisions,
 		QError:      st.QError,
+		Drift:       st.Drift,
 		Resilience:  st.Resilience,
 	}
 }
@@ -111,6 +117,7 @@ func (s *ShardedSystem) telemetrySnapshot() telemetry.Snapshot {
 		Shards:      make([]telemetry.ShardSample, len(st.Shards)),
 		Decisions:   st.Merged.Decisions,
 		QError:      st.Merged.QError,
+		Drift:       st.Merged.Drift,
 		Resilience:  st.Merged.Resilience,
 	}
 	for i, sh := range st.Shards {
