@@ -1,13 +1,18 @@
 package latest
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/spatiotext/latest/internal/persist"
+	"github.com/spatiotext/latest/internal/telemetry"
 )
 
 // chaos_test.go drives the engines with deterministic fault injection: the
@@ -162,6 +167,140 @@ func TestChaosShardedPanicInjection(t *testing.T) {
 		final := findHealth(t, sys.Stats().Resilience, EstimatorRSH)
 		t.Fatalf("RSH never re-admitted after injector disabled (state %q, quarantines %d)",
 			final.State, final.Quarantines)
+	}
+}
+
+// TestChaosDurableDegradedServing layers the two fault planes the issue's
+// acceptance run demands: 100% RSH estimator panics AND 100% WAL append
+// failures, live at once under -race, while 10k queries and a concurrent
+// feeder hammer a DurableEngine. Serving must never notice — every answer
+// finite, zero errors — while the durability state machine oscillates
+// healthy→degraded (append fails) →healthy (background repair snapshot)
+// and finally settles healthy once the faults stop. The transition must be
+// visible where operators look: Health(), and latest_durable_state in the
+// prom exposition.
+func TestChaosDurableDegradedServing(t *testing.T) {
+	inj := NewFaultInjector(53, FaultRule{
+		Estimator:   EstimatorRSH,
+		Op:          OpEstimate,
+		Kind:        InjectPanic,
+		Probability: 1,
+	})
+	inj.SetEnabled(false)
+	fstore := persist.NewFaultStore(NewMemStore(),
+		persist.FaultRule{Op: persist.FaultAppend}) // Count 0: every append fails while enabled
+	fstore.SetEnabled(false)
+
+	eng, err := NewConcurrent(chaosWorld, 10*time.Second,
+		WithSeed(59),
+		WithPretrainQueries(40),
+		WithAccWindow(30),
+		WithFaultInjector(inj),
+		WithBreaker(BreakerConfig{Window: 16, Threshold: 4, Cooldown: 40, ProbeSuccesses: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := NewDurable(eng, fstore, DurableConfig{
+		WALSyncEvery: 1,
+		// Fast repairs so the run exercises many full degrade→repair cycles,
+		// not one long outage.
+		RepairBackoff:    time.Millisecond,
+		RepairBackoffMax: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur.Shutdown(context.Background())
+
+	rng := rand.New(rand.NewSource(61))
+	var ts int64
+	warmToIncremental(t,
+		func(o Object) { dur.Feed(o) },
+		func(q *Query) { dur.EstimateAndExecute(q) },
+		eng.Phase, rng, &ts)
+
+	inj.SetEnabled(true)
+	fstore.SetEnabled(true)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	feedTS := ts
+	go func() {
+		defer wg.Done()
+		frng := rand.New(rand.NewSource(67))
+		for !stop.Load() {
+			feedTS++
+			dur.Feed(Object{
+				ID:        uint64(feedTS),
+				Loc:       Pt(frng.Float64(), frng.Float64()),
+				Keywords:  []string{fmt.Sprintf("kw%d", frng.Intn(20))},
+				Timestamp: feedTS,
+			})
+		}
+	}()
+
+	sawDegradedProm := false
+	const chaosQueries = 10_000
+	for i := 0; i < chaosQueries; i++ {
+		ts++
+		q := HybridQuery(CenteredRect(Pt(rng.Float64(), rng.Float64()), 0.5, 0.5),
+			[]string{fmt.Sprintf("kw%d", rng.Intn(20))}, ts)
+		est, _ := dur.EstimateAndExecute(&q)
+		if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+			t.Fatalf("query %d: non-finite or negative estimate %v under layered injection", i, est)
+		}
+		// Catch the machine degraded and prove the prom exposition says so.
+		// The repair loop can re-arm between the Health probe and the
+		// render, so keep trying — with every append failing, degraded
+		// windows recur throughout the run.
+		if !sawDegradedProm && i%16 == 0 && dur.Health().State == DurableDegraded {
+			var b strings.Builder
+			telemetry.WriteProm(&b, dur.TelemetrySnapshot())
+			sawDegradedProm = strings.Contains(b.String(), "latest_durable_state 1")
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if !sawDegradedProm {
+		t.Error("latest_durable_state never rendered 1 while degraded")
+	}
+
+	// Faults off: the background repair loop must settle the machine back
+	// to healthy on its own — no manual RepairNow.
+	inj.SetEnabled(false)
+	fstore.SetEnabled(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for !dur.Health().Healthy() {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never re-armed after faults stopped: %+v", dur.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	h := dur.Health()
+	if h.Degradations == 0 || h.Repairs == 0 {
+		t.Fatalf("no full degrade→repair cycle observed: %+v", h)
+	}
+	if h.DroppedAppends == 0 || h.WALErrors == 0 {
+		t.Fatalf("append faults left no trace: %+v", h)
+	}
+	// Appends must flow again on the post-repair generation.
+	before := dur.WALAppends()
+	ts++
+	dur.Feed(Object{ID: uint64(ts), Loc: Pt(0.5, 0.5), Keywords: []string{"kw1"}, Timestamp: ts})
+	if dur.WALAppends() != before+1 {
+		t.Fatalf("WAL appends did not resume after repair: %d -> %d", before, dur.WALAppends())
+	}
+	var b strings.Builder
+	telemetry.WriteProm(&b, dur.TelemetrySnapshot())
+	out := b.String()
+	if !strings.Contains(out, "latest_durable_state 0") {
+		t.Error("final exposition does not report latest_durable_state 0")
+	}
+	if !strings.Contains(out, "latest_durable_repairs_total") {
+		t.Error("final exposition missing latest_durable_repairs_total")
 	}
 }
 

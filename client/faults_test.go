@@ -1,0 +1,214 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/spatiotext/latest/internal/netchaos"
+	"github.com/spatiotext/latest/internal/wire"
+)
+
+// waitConnDown polls until the client has observed its connection die
+// (readLoop clears nc). Retrying before that point would race a write
+// onto the dying socket.
+func waitConnDown(t *testing.T, c *Client) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		down := c.nc == nil
+		c.mu.Unlock()
+		if down {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never noticed the dead connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCutMidReplySurfacesOnceThenRedials: a connection severed inside a
+// response frame is the hard failure mode — the request was delivered
+// and possibly executed, so the client must surface the loss exactly
+// once (no blind retry of a maybe-applied request) and then redial
+// transparently for the next call.
+func TestCutMidReplySurfacesOnceThenRedials(t *testing.T) {
+	f := newFakeListener(t, echoPong)
+	// Conn 0 dies 10 bytes into the 24-byte pong header; conn 1 onward
+	// relays faithfully.
+	p, err := netchaos.New(f.addr(),
+		netchaos.ConnPlan{CutDownstreamAfter: 10},
+		netchaos.ConnPlan{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	opts, sleeps := recorder(Options{})
+	c := Dial(p.Addr(), opts)
+	defer c.Close()
+
+	err = c.Ping(context.Background())
+	if err == nil {
+		t.Fatal("ping succeeded across a mid-frame cut")
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		t.Fatalf("conn loss misreported as a server refusal: %v", err)
+	}
+	if len(*sleeps) != 0 {
+		t.Fatalf("client retried a post-write failure: sleeps=%v", *sleeps)
+	}
+
+	waitConnDown(t, c)
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after redial: %v", err)
+	}
+	if n := p.Conns(); n != 2 {
+		t.Fatalf("proxy saw %d connections, want 2 (one dead, one redial)", n)
+	}
+}
+
+// TestBlackholeDeadline: a partitioned link (alive but silent) must not
+// hold a request past its deadline, and the abandoned request must not
+// leak a pending entry.
+func TestBlackholeDeadline(t *testing.T) {
+	f := newFakeListener(t, echoPong)
+	// Total-byte budget 60: ping 1 (24 up + 24 down = 48) completes, the
+	// second ping's request trips the threshold and vanishes.
+	p, err := netchaos.New(f.addr(), netchaos.ConnPlan{BlackholeAfter: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := Dial(p.Addr(), Options{})
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping before blackhole: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	if err := c.Ping(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	c.pmu.Lock()
+	n := len(c.pending)
+	c.pmu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending entries leaked into the blackhole", n)
+	}
+}
+
+// TestLinkLatencyDeadline: added link latency delays, not breaks — with
+// a generous deadline the request completes; with a tight one it fails
+// with the deadline, never a connection error.
+func TestLinkLatencyDeadline(t *testing.T) {
+	f := newFakeListener(t, echoPong)
+	p, err := netchaos.New(f.addr(), netchaos.ConnPlan{Delay: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := Dial(p.Addr(), Options{})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := c.Ping(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping with slack deadline over slow link: %v", err)
+	}
+}
+
+// TestDrainReconnect: a server draining mid-pipeline answers one request,
+// refuses the next with a retryable draining error, and hangs up. The
+// client must honor the retry-after hint, redial, and succeed on the new
+// connection — the refusal never reaches the caller.
+func TestDrainReconnect(t *testing.T) {
+	f := newFakeListener(t, func(nc net.Conn, idx int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		if idx == 0 {
+			h, _, err := fr.Next()
+			if err != nil {
+				return
+			}
+			nc.Write(wire.AppendPong(nil, h.ID))
+			h, _, err = fr.Next()
+			if err != nil {
+				return
+			}
+			nc.Write(wire.AppendError(nil, h.ID, wire.CodeDraining, 7, "draining"))
+			return // GOAWAY: refusal then hang-up
+		}
+		echoPong(nc, idx)
+	})
+
+	var c *Client
+	var sleeps []time.Duration
+	opts := Options{BaseBackoff: time.Millisecond}
+	opts.jitter = func() float64 { return 1 }
+	opts.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps = append(sleeps, d)
+		// Let the hang-up land before retrying, so the retry is forced to
+		// redial rather than reuse the dying connection.
+		waitConnDown(t, c)
+		return ctx.Err()
+	}
+	c = Dial(f.addr(), opts)
+	defer c.Close()
+
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("first ping: %v", err)
+	}
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping across drain: %v", err)
+	}
+	if n := f.accepts.Load(); n != 2 {
+		t.Fatalf("accepts = %d, want 2 (draining conn + redial)", n)
+	}
+	if len(sleeps) != 1 || sleeps[0] != 7*time.Millisecond {
+		t.Fatalf("sleeps = %v, want exactly the 7ms retry-after hint", sleeps)
+	}
+}
+
+// TestDrainNonRetryableSurfacesOnce: mixed refusals during a drain — a
+// malformed rejection is the caller's bug, not the drain's; it must
+// surface exactly once even while the server is also hanging up on
+// everyone.
+func TestDrainNonRetryableSurfacesOnce(t *testing.T) {
+	f := newFakeListener(t, func(nc net.Conn, _ int) {
+		fr := wire.NewFrameReader(bufio.NewReader(nc), 0)
+		h, _, err := fr.Next()
+		if err != nil {
+			return
+		}
+		nc.Write(wire.AppendError(nil, h.ID, wire.CodeMalformed, 0, "bad frame"))
+		// Hang up like a draining server would.
+	})
+
+	opts, sleeps := recorder(Options{})
+	c := Dial(f.addr(), opts)
+	defer c.Close()
+
+	err := c.Ping(context.Background())
+	var se *ServerError
+	if !errors.As(err, &se) || se.Name != "malformed" {
+		t.Fatalf("err = %v, want malformed refusal", err)
+	}
+	if len(*sleeps) != 0 {
+		t.Fatalf("retried a non-retryable refusal: sleeps=%v", *sleeps)
+	}
+	if n := f.accepts.Load(); n != 1 {
+		t.Fatalf("accepts = %d, want 1 (no retry, no redial)", n)
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/persist"
+)
+
+// TestParseFaultSpec pins the -disk-fault grammar: semicolon-separated
+// rules, op names mapped to FaultOps, after=/count= modifiers, and the
+// short torn-write kind.
+func TestParseFaultSpec(t *testing.T) {
+	rules, err := parseFaultSpec("append:after=500,count=100;sync:count=5,short;any")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []persist.FaultRule{
+		{Op: persist.FaultAppend, After: 500, Count: 100},
+		{Op: persist.FaultSync, Count: 5, Kind: persist.FaultShortWrite},
+		{Op: persist.FaultAnyOp},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d: %+v", len(rules), len(want), rules)
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+
+	for _, op := range []struct {
+		name string
+		op   persist.FaultOp
+	}{
+		{"save", persist.FaultSave},
+		{"load", persist.FaultLoad},
+		{"remove", persist.FaultRemove},
+		{"open", persist.FaultOpenAppend},
+	} {
+		rules, err := parseFaultSpec(op.name)
+		if err != nil || len(rules) != 1 || rules[0].Op != op.op {
+			t.Errorf("parseFaultSpec(%q) = %+v, %v", op.name, rules, err)
+		}
+	}
+
+	// Stray separators are tolerated; only an effectively empty spec is not.
+	if rules, err := parseFaultSpec("append:after=1;;"); err != nil || len(rules) != 1 {
+		t.Errorf("trailing separators rejected: %+v, %v", rules, err)
+	}
+}
+
+// TestParseFaultSpecRejects: a bad spec must refuse startup, not silently
+// arm the wrong fault.
+func TestParseFaultSpecRejects(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"fsync",            // unknown op
+		"append:often",     // unknown modifier
+		"append:after=",    // missing value
+		"append:after=abc", // non-numeric
+		"append:count=-1",  // negative
+		";;",               // nothing but separators
+	} {
+		if _, err := parseFaultSpec(spec); err == nil {
+			t.Errorf("parseFaultSpec(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+// TestBadDiskFaultFlagRefusesStartup: the flag error surfaces through run()
+// as a startup refusal naming the flag.
+func TestBadDiskFaultFlagRefusesStartup(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", "127.0.0.1:0", "-admin", "",
+		"-data-dir", t.TempDir(),
+		"-disk-fault", "explode",
+	}, &stdout, &stderr, nil)
+	if code == 0 {
+		t.Fatal("daemon started with an unparseable -disk-fault spec")
+	}
+	if !strings.Contains(stderr.String(), "-disk-fault") {
+		t.Fatalf("refusal does not name the flag: %q", stderr.String())
+	}
+}

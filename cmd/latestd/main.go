@@ -36,6 +36,7 @@ import (
 
 	latest "github.com/spatiotext/latest"
 	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/persist"
 	"github.com/spatiotext/latest/internal/server"
 	"github.com/spatiotext/latest/internal/telemetry"
 )
@@ -61,6 +62,8 @@ type daemonOptions struct {
 	dataDir      string
 	snapInterval time.Duration
 	walSyncEvery int
+	snapRetain   int
+	diskFault    string
 	traceDepth   int
 	traceSample  int
 }
@@ -85,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 	fs.StringVar(&o.dataDir, "data-dir", "", "directory for durable state (snapshots + feed WAL); empty serves from memory only")
 	fs.DurationVar(&o.snapInterval, "snapshot-interval", 30*time.Second, "how often the durable engine snapshots (requires -data-dir)")
 	fs.IntVar(&o.walSyncEvery, "wal-sync-every", 0, "fsync the feed WAL every N records (0 = library default)")
+	fs.IntVar(&o.snapRetain, "snapshot-retain", 0, "snapshot generations to keep for fallback recovery (0 = library default)")
+	fs.StringVar(&o.diskFault, "disk-fault", "", "deterministic disk-fault injection for chaos drills, e.g. append:after=500,count=100;sync:count=5 (ops: append, sync, save, load, remove, open, any; add 'short' for torn writes)")
 	fs.IntVar(&o.traceDepth, "trace-depth", 0, "retained span timelines in /debug/requests (0 = library default)")
 	fs.IntVar(&o.traceSample, "trace-sample", 0, "sample one trace-flagged request in N (1 = all, 0 = library default)")
 	if err := fs.Parse(args); err != nil {
@@ -138,7 +143,7 @@ func parseWorld(spec string) (geo.Rect, error) {
 // graceful teardown. With -data-dir the core engine is wrapped in a
 // DurableEngine, which restores the newest snapshot plus the WAL tail (or
 // refuses with the typed reason) before the listener opens.
-func buildEngine(o daemonOptions, world geo.Rect, logW io.Writer, level telemetry.Level) (latest.Engine, error) {
+func buildEngine(o daemonOptions, world geo.Rect, logW io.Writer, level telemetry.Level, log *telemetry.Logger) (latest.Engine, error) {
 	// The daemon owns the exposition listener through internal/server, so
 	// the engine is built WITHOUT WithTelemetry — its snapshot is scraped
 	// through the admin plane instead.
@@ -164,9 +169,24 @@ func buildEngine(o daemonOptions, world geo.Rect, logW io.Writer, level telemetr
 		eng.Shutdown(context.Background())
 		return nil, err
 	}
-	dur, err := latest.NewDurable(eng, st, latest.DurableConfig{
+	var store latest.Store = st
+	if o.diskFault != "" {
+		// Chaos drills: the data dir sits behind a deterministic fault
+		// injector so degraded-mode behavior can be exercised end to end
+		// on a real process without a failing disk.
+		rules, perr := parseFaultSpec(o.diskFault)
+		if perr != nil {
+			eng.Shutdown(context.Background())
+			return nil, fmt.Errorf("-disk-fault: %w", perr)
+		}
+		store = persist.NewFaultStore(st, rules...)
+		log.Warn("disk-fault injection armed", "spec", o.diskFault)
+	}
+	dur, err := latest.NewDurable(eng, store, latest.DurableConfig{
 		SnapshotInterval: o.snapInterval,
 		WALSyncEvery:     o.walSyncEvery,
+		Retain:           o.snapRetain,
+		Log:              log.Named("durable"),
 	})
 	if err != nil {
 		eng.Shutdown(context.Background())
@@ -188,11 +208,11 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 	if err != nil {
 		return fmt.Errorf("-world: %w", err)
 	}
-	eng, err := buildEngine(o, world, stderr, level)
+	log := telemetry.NewLogger(stderr, level)
+	eng, err := buildEngine(o, world, stderr, level, log)
 	if err != nil {
 		return err
 	}
-	log := telemetry.NewLogger(stderr, level)
 	srv, err := server.New(eng, server.Config{
 		Addr:        o.addr,
 		AdminAddr:   o.adminAddr,
@@ -217,8 +237,9 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 	}
 	durability := "none"
 	if dur, ok := eng.(*latest.DurableEngine); ok {
-		durability = fmt.Sprintf("%s gen=%d wal=%d recovery=%.3fs",
-			o.dataDir, dur.Generation(), dur.WALAppends(), dur.RecoverySeconds())
+		h := dur.Health()
+		durability = fmt.Sprintf("%s gen=%d wal=%d recovery=%.3fs state=%s",
+			o.dataDir, dur.Generation(), dur.WALAppends(), dur.RecoverySeconds(), h.State)
 	}
 	fmt.Fprintf(stdout, "latestd listening addr=%s admin=%s engine=%s window=%s durability=%s\n",
 		srv.Addr(), srv.AdminAddr(), o.engine, o.window, durability)
@@ -238,8 +259,9 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 	// a clean stop/start cycle loses nothing.
 	engErr := eng.Shutdown(ctx)
 	if dur, ok := eng.(*latest.DurableEngine); ok {
-		if perr := dur.Err(); perr != nil {
-			fmt.Fprintf(stderr, "latestd: background persistence error: %v\n", perr)
+		if h := dur.Health(); !h.Healthy() || h.ErrorsTotal > 0 {
+			fmt.Fprintf(stderr, "latestd: durability %s errors=%d degradations=%d repairs=%d dropped_appends=%d\n",
+				h.State, h.ErrorsTotal, h.Degradations, h.Repairs, h.DroppedAppends)
 		}
 		fmt.Fprintf(stdout, "latestd final snapshot gen=%d\n", dur.Generation())
 	}

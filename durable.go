@@ -3,13 +3,21 @@ package latest
 import (
 	"context"
 	"fmt"
-	"strings"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spatiotext/latest/internal/persist"
 	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/telemetry"
 )
+
+// DefaultSnapshotRetain is how many committed snapshot generations the
+// durable layer keeps when DurableConfig.Retain is zero. Two generations
+// means recovery survives the newest snapshot being corrupt: it falls
+// back one generation and replays both generations' WALs.
+const DefaultSnapshotRetain = 2
 
 // DurableConfig tunes the persistence wrapper.
 type DurableConfig struct {
@@ -23,20 +31,40 @@ type DurableConfig struct {
 	// faster; a crash loses at most the un-fsynced tail, which the
 	// checksummed record framing detects and drops on recovery.
 	WALSyncEvery int
+	// Retain is how many snapshot generations to keep (default
+	// DefaultSnapshotRetain, minimum 1). Each retained generation keeps
+	// its WAL too, so recovery can fall back past a corrupt newest
+	// snapshot and replay the full chain.
+	Retain int
+	// RepairBackoff is the repair loop's initial retry delay after a
+	// degradation (default 250ms); it doubles per attempt up to
+	// RepairBackoffMax (default 5s).
+	RepairBackoff    time.Duration
+	RepairBackoffMax time.Duration
+	// Log, when non-nil, receives state-machine transitions (degraded,
+	// repaired, fallback recovery). A nil logger drops everything.
+	Log *telemetry.Logger
 }
 
 // DurableEngine wraps any Engine with crash-durable state: every fed
 // object is appended to a checksummed write-ahead log before it reaches
 // the engine, and periodic snapshots capture the engine's full state —
 // window, module counters, learning model, estimator summaries. After a
-// crash, NewDurable rebuilds the engine from the newest snapshot plus the
-// WAL tail written since it.
+// crash, NewDurable rebuilds the engine from the newest decodable
+// snapshot plus every WAL generation written since it.
 //
 // What recovery restores exactly: every object the WAL had fsynced, and
 // all engine state as of the snapshot. What it does not: queries answered
 // after the snapshot (their model feedback is not logged — re-deriving it
 // would require re-running the queries) and the un-fsynced WAL tail. Both
 // are documented trade-offs of logging only the feed stream.
+//
+// Persistence failures never stop serving. A failed WAL append or
+// snapshot commit flips the engine into the degraded state (see
+// DurableHealth): queries and feeds continue from memory, further WAL
+// appends are dropped and counted rather than attempted against a broken
+// store, and a background repair loop retries a fresh snapshot commit
+// with backoff until durability is restored.
 //
 // Locking: feeds take the write lock — the WAL append and the engine
 // apply must commit in the same order, or a replay could present two
@@ -45,30 +73,40 @@ type DurableConfig struct {
 // exclusion); snapshots take the write lock, so a capture is atomic with
 // respect to both feeds and query fan-outs.
 //
-// The snapshot/WAL pairing is atomic: each snapshot embeds a generation
-// number, the paired WAL is named after it (feed-<generation>.wal), and
-// the snapshot commits via an atomic rename. Whatever instant a crash
-// hits, the store holds one committed snapshot and the WAL that extends
-// it.
+// The snapshot/WAL pairing is atomic: each committed snapshot generation
+// gets its own file (snapshot-<g>.snap, via atomic rename) and the paired
+// WAL is named after it (feed-<g>.wal). Whatever instant a crash hits,
+// the store holds at least one committed snapshot and the WAL chain that
+// extends it.
 type DurableEngine struct {
 	mu    sync.RWMutex
 	eng   Engine
 	store Store
 	cfg   DurableConfig
+	log   *telemetry.Logger
 
 	wal *persist.WAL
 	gen uint64
+	// snaps indexes the retained snapshot files by generation (values are
+	// file names; the legacy un-numbered snapshot.snap can appear here
+	// after recovering a store written by an older build).
+	snaps map[uint64]string
 
 	// stats instruments the layer: WAL append/fsync latency, snapshot
 	// outcomes, recovery cost. Exposed via TelemetrySnapshot as the
-	// latest_wal_* / latest_snapshot_* / latest_recovery_* families.
+	// latest_wal_* / latest_snapshot_* / latest_recovery_* /
+	// latest_durable_* families.
 	stats durableStats
 
-	// persistErr is the latest background persistence failure (WAL append
-	// or ticker snapshot); the feed path cannot return errors, so failures
-	// are recorded here and surfaced by Err.
-	persistErr error
-	errMu      sync.Mutex
+	// The degraded-mode state machine (durable_health.go): state is read
+	// on the feed path without the engine lock; healthMu guards the
+	// bounded error ring and the transition timestamp.
+	state     atomic.Uint32
+	healthMu  sync.Mutex
+	since     time.Time
+	ring      []DurableErrorRecord
+	errsTotal uint64
+	repairCh  chan struct{}
 
 	done      chan struct{}
 	ticker    *time.Ticker
@@ -79,20 +117,40 @@ type DurableEngine struct {
 // NewDurable wraps eng with snapshot + WAL persistence backed by st.
 //
 // eng must be freshly constructed with the same options as the engine that
-// wrote the store's state. If st holds a snapshot, it is restored and the
-// paired WAL tail replayed; a checksum failure, version skew or
-// configuration mismatch refuses startup with the typed error — never a
-// partial restore. An empty store starts fresh at generation zero.
+// wrote the store's state. If st holds snapshots, the newest decodable
+// generation is restored and the WAL chain extending it replayed; a
+// corrupt newest generation falls back to the previous retained one. Only
+// when no generation can be decoded — or the surviving one fails the
+// engine's own kind/fingerprint validation — does startup refuse with the
+// typed error; never a partial restore. An empty store starts fresh at
+// generation zero.
 func NewDurable(eng Engine, st Store, cfg DurableConfig) (*DurableEngine, error) {
 	if cfg.WALSyncEvery == 0 {
 		cfg.WALSyncEvery = persist.DefaultWALSyncEvery
 	}
-	d := &DurableEngine{eng: eng, store: st, cfg: cfg, done: make(chan struct{})}
+	if cfg.Retain < 1 {
+		cfg.Retain = DefaultSnapshotRetain
+	}
+	if cfg.RepairBackoff <= 0 {
+		cfg.RepairBackoff = 250 * time.Millisecond
+	}
+	if cfg.RepairBackoffMax <= 0 {
+		cfg.RepairBackoffMax = 5 * time.Second
+	}
+	d := &DurableEngine{
+		eng: eng, store: st, cfg: cfg, log: cfg.Log,
+		snaps:    make(map[uint64]string),
+		repairCh: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	d.since = time.Now()
 	recoverStart := time.Now()
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
 	d.stats.recoverySeconds = time.Since(recoverStart).Seconds()
+	d.wg.Add(1)
+	go d.repairLoop()
 	if cfg.SnapshotInterval > 0 {
 		d.ticker = time.NewTicker(cfg.SnapshotInterval)
 		d.wg.Add(1)
@@ -101,57 +159,217 @@ func NewDurable(eng Engine, st Store, cfg DurableConfig) (*DurableEngine, error)
 	return d, nil
 }
 
-// recover restores the snapshot (if any), replays the paired WAL tail and
-// leaves the WAL open for appends.
+// snapCandidate is one restorable snapshot file found during recovery.
+type snapCandidate struct {
+	gen  uint64
+	name string
+}
+
+// recover restores the newest decodable snapshot generation (falling back
+// to older retained generations when the newest fails its CRCs), replays
+// the WAL chain from the restored generation through the newest one, and
+// leaves the top WAL open for appends.
 func (d *DurableEngine) recover() error {
-	gen, err := snapshotGeneration(d.store)
-	switch {
-	case err == nil:
-		if rerr := d.eng.Restore(context.Background(), d.store); rerr != nil {
-			return rerr
-		}
-		d.gen = gen
-		d.stats.recoveredSnapshot = true
-	case persist.IsNotExist(err):
-		d.gen = 0 // fresh store: generation zero, WAL feed-00000000.wal
-	default:
+	names, err := d.store.List()
+	if err != nil {
 		return err
 	}
-	wal, records, tail, err := persist.OpenWAL(d.store, persist.WALName(d.gen), d.cfg.WALSyncEvery)
+	wals := make(map[uint64]bool)
+	var cands []snapCandidate
+	var lastErr error
+	var badNames []string
+	legacy := false
+	for _, name := range names {
+		if gen, ok := persist.ParseSnapshotName(name); ok {
+			cands = append(cands, snapCandidate{gen: gen, name: name})
+		} else if gen, ok := persist.ParseWALName(name); ok {
+			wals[gen] = true
+		} else if name == persist.SnapshotName {
+			legacy = true
+		}
+	}
+	if legacy {
+		// A store written by an older build: the generation lives inside
+		// the snapshot's meta section, not its name.
+		if gen, lerr := snapshotGeneration(d.store); lerr == nil {
+			cands = append(cands, snapCandidate{gen: gen, name: persist.SnapshotName})
+		} else {
+			lastErr = lerr
+			badNames = append(badNames, persist.SnapshotName)
+			d.noteErr("recover-snapshot", lerr)
+		}
+	}
+	// Newest generation first; a numbered file wins a same-generation tie
+	// against the legacy name (they hold identical state when both exist).
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gen != cands[j].gen {
+			return cands[i].gen > cands[j].gen
+		}
+		return cands[i].name != persist.SnapshotName
+	})
+	maxGen := uint64(0) // newest generation ever seen, restored or not
+	for _, c := range cands {
+		if c.gen > maxGen {
+			maxGen = c.gen
+		}
+	}
+	restored := false
+	var restoredGen uint64
+	for _, c := range cands {
+		// Pre-validate before the engine sees anything: DecodeSnapshot
+		// checks every CRC, so a fallback here never leaves the engine
+		// partially mutated.
+		data, lerr := d.store.Load(c.name)
+		if lerr == nil {
+			_, lerr = persist.DecodeSnapshot(data)
+		}
+		if lerr != nil {
+			lastErr = lerr
+			badNames = append(badNames, c.name)
+			d.noteErr("recover-snapshot",
+				fmt.Errorf("snapshot generation %d (%s): %w", c.gen, c.name, lerr))
+			continue
+		}
+		// The engine's Restore validates kind and fingerprint. A refusal
+		// there is semantic (wrong engine shape, config mismatch), not
+		// corruption — falling back to an older generation would restore
+		// state this process equally cannot speak, so refuse outright.
+		if rerr := d.eng.Restore(context.Background(), readRedirect{Store: d.store, name: c.name}); rerr != nil {
+			return rerr
+		}
+		restored = true
+		restoredGen = c.gen
+		d.snaps[c.gen] = c.name
+		if c.gen < maxGen {
+			d.stats.recoveredFallback = true
+			d.log.Warn("newest snapshot generation unreadable; falling back",
+				"restored_generation", c.gen, "newest_generation", maxGen, "err", lastErr)
+		}
+		break
+	}
+	if !restored && lastErr != nil {
+		// Snapshots existed but none decoded: that is a refusal, not a
+		// fresh start — silently dropping state would be data loss.
+		return lastErr
+	}
+	// Index the older retained generations too (not re-validated here:
+	// they are fallback candidates by presence; a future recovery
+	// validates whichever it needs).
+	for _, c := range cands {
+		if restored && c.gen < restoredGen {
+			if _, ok := d.snaps[c.gen]; !ok {
+				d.snaps[c.gen] = c.name
+			}
+		}
+	}
+	// Known-bad files are removed so retention never counts a corrupt
+	// generation as a keeper.
+	for _, name := range badNames {
+		if err := d.store.Remove(name); err != nil && !persist.IsNotExist(err) {
+			d.noteErr("cleanup", err)
+		}
+	}
+	d.stats.recoveredSnapshot = restored
+	d.stats.recoveredGen = restoredGen
+
+	// Replay the WAL chain. Generations between the restored snapshot and
+	// the newest generation seen anywhere must all be present — a gap in
+	// the middle means lost feeds, which is a refusal. The top generation
+	// may be absent (a crash between snapshot commit and WAL open); it is
+	// created empty.
+	start := restoredGen // 0 when starting fresh
+	top := start
+	for g := range wals {
+		if g > top {
+			top = g
+		}
+	}
+	if maxGen > top {
+		top = maxGen
+	}
+	for g := start; g < top; g++ {
+		data, lerr := d.store.Load(persist.WALName(g))
+		if lerr != nil {
+			if persist.IsNotExist(lerr) {
+				return persist.Errf(persist.CodeTruncated, "wal replay",
+					"wal chain broken: generation %d missing below generation %d", g, top)
+			}
+			return lerr
+		}
+		records, tail := persist.ParseWAL(data)
+		if tail.DroppedBytes > 0 {
+			// Only the final chain link may legitimately tear; a torn
+			// middle generation means its rotation never flushed.
+			d.noteErr("wal-recover", fmt.Errorf(
+				"wal generation %d: dropped %d-byte torn tail after %d valid records",
+				g, tail.DroppedBytes, tail.Records))
+		}
+		if err := d.replayRecords(records); err != nil {
+			return err
+		}
+		d.stats.recoveryRecords += uint64(len(records))
+		d.stats.recoveryTruncated += tail.DroppedBytes
+	}
+	wal, records, tail, err := persist.OpenWAL(d.store, persist.WALName(top), d.cfg.WALSyncEvery)
 	if err != nil {
 		return err
 	}
 	wal.SetObserver(&d.stats)
-	d.stats.recoveryRecords = uint64(len(records))
-	d.stats.recoveryTruncated = tail.DroppedBytes
+	d.stats.recoveryRecords += uint64(len(records))
+	d.stats.recoveryTruncated += tail.DroppedBytes
 	if tail.DroppedBytes > 0 {
 		// A torn tail is the expected shape of a crash mid-append; the
 		// checksummed framing identified the exact valid prefix.
-		d.noteErr(fmt.Errorf("wal: dropped %d-byte torn tail after %d valid records",
+		d.noteErr("wal-recover", fmt.Errorf("wal: dropped %d-byte torn tail after %d valid records",
 			tail.DroppedBytes, tail.Records))
 	}
-	if len(records) > 0 {
-		objs := make([]Object, 0, len(records))
-		for i, rec := range records {
-			dec := persist.NewDec(rec)
-			o := stream.DecodeObject(dec)
-			if dec.Err() != nil || dec.Done() != nil {
-				wal.Close()
-				return persist.Errf(persist.CodeMalformed, "wal replay",
-					"record %d of %d does not decode as a feed object", i, len(records))
-			}
-			objs = append(objs, o)
-		}
-		d.eng.FeedBatch(objs)
+	if err := d.replayRecords(records); err != nil {
+		wal.Close()
+		return err
 	}
 	d.wal = wal
-	d.removeStaleWALs()
+	d.gen = top
+	d.pruneGenerations()
 	return nil
 }
 
-// snapshotGeneration reads the generation embedded in the store's snapshot
-// without validating kind or fingerprint — the engine's Restore does that;
-// this only answers "which WAL extends this snapshot".
+// replayRecords decodes one WAL generation's records and feeds them.
+func (d *DurableEngine) replayRecords(records [][]byte) error {
+	if len(records) == 0 {
+		return nil
+	}
+	objs := make([]Object, 0, len(records))
+	for i, rec := range records {
+		dec := persist.NewDec(rec)
+		o := stream.DecodeObject(dec)
+		if dec.Err() != nil || dec.Done() != nil {
+			return persist.Errf(persist.CodeMalformed, "wal replay",
+				"record %d of %d does not decode as a feed object", i, len(records))
+		}
+		objs = append(objs, o)
+	}
+	d.eng.FeedBatch(objs)
+	return nil
+}
+
+// readRedirect lets the engine's Restore — which reads the conventional
+// persist.SnapshotName — load a specific retained generation file instead.
+type readRedirect struct {
+	Store
+	name string
+}
+
+// Load implements Store.
+func (r readRedirect) Load(name string) ([]byte, error) {
+	if name == persist.SnapshotName {
+		name = r.name
+	}
+	return r.Store.Load(name)
+}
+
+// snapshotGeneration reads the generation embedded in the store's legacy
+// snapshot.snap without validating kind or fingerprint — the engine's
+// Restore does that; this only answers "which WAL extends this snapshot".
 func snapshotGeneration(st Store) (uint64, error) {
 	data, err := st.Load(persist.SnapshotName)
 	if err != nil {
@@ -175,23 +393,43 @@ func snapshotGeneration(st Store) (uint64, error) {
 	return gen, nil
 }
 
-// removeStaleWALs deletes feed WALs of generations other than the current
-// one. They are obsolete — their snapshot has been superseded — and
-// removal is safe at any crash point: recovery only ever opens the WAL
-// named by the committed snapshot's generation.
-func (d *DurableEngine) removeStaleWALs() {
-	names, err := d.store.List()
-	if err != nil {
-		d.noteErr(err)
-		return
+// pruneGenerations enforces the retention policy: the newest cfg.Retain
+// snapshot generations stay (with every WAL from the oldest keeper
+// through the current generation — the fallback replay chain), everything
+// older goes. Removal failures are recorded, never fatal: stale files
+// cost disk, not correctness.
+func (d *DurableEngine) pruneGenerations() {
+	gens := make([]uint64, 0, len(d.snaps))
+	for g := range d.snaps {
+		gens = append(gens, g)
 	}
-	current := persist.WALName(d.gen)
-	for _, name := range names {
-		if name == current || !strings.HasPrefix(name, "feed-") || !strings.HasSuffix(name, ".wal") {
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	oldestKept := d.gen
+	for i, g := range gens {
+		if i < d.cfg.Retain {
+			if g < oldestKept {
+				oldestKept = g
+			}
 			continue
 		}
-		if err := d.store.Remove(name); err != nil {
-			d.noteErr(err)
+		if err := d.store.Remove(d.snaps[g]); err != nil && !persist.IsNotExist(err) {
+			d.noteErr("cleanup", err)
+			continue
+		}
+		delete(d.snaps, g)
+	}
+	names, err := d.store.List()
+	if err != nil {
+		d.noteErr("cleanup", err)
+		return
+	}
+	for _, name := range names {
+		g, ok := persist.ParseWALName(name)
+		if !ok || g == d.gen || g >= oldestKept {
+			continue
+		}
+		if err := d.store.Remove(name); err != nil && !persist.IsNotExist(err) {
+			d.noteErr("cleanup", err)
 		}
 	}
 }
@@ -204,28 +442,11 @@ func (d *DurableEngine) snapshotLoop() {
 		case <-d.done:
 			return
 		case <-d.ticker.C:
-			if err := d.SnapshotNow(context.Background()); err != nil {
-				d.noteErr(err)
-			}
+			// A failure degrades and is recorded inside snapshotLocked;
+			// the repair loop takes over from there.
+			_ = d.SnapshotNow(context.Background())
 		}
 	}
-}
-
-// noteErr records a background persistence failure for Err.
-func (d *DurableEngine) noteErr(err error) {
-	d.errMu.Lock()
-	d.persistErr = err
-	d.errMu.Unlock()
-}
-
-// Err returns the most recent background persistence failure (WAL append,
-// ticker snapshot, stale-WAL cleanup), or nil. The serving path never
-// blocks on persistence errors — the engine keeps answering from memory —
-// so operators must watch this (cmd/latestd logs it).
-func (d *DurableEngine) Err() error {
-	d.errMu.Lock()
-	defer d.errMu.Unlock()
-	return d.persistErr
 }
 
 // Generation returns the current snapshot generation (zero until the first
@@ -248,15 +469,23 @@ func (d *DurableEngine) WALAppends() uint64 {
 	return d.wal.Appends()
 }
 
-// appendWAL logs one object. Caller holds the write lock.
+// appendWAL logs one object. Caller holds the write lock. While degraded
+// the append is not attempted — the store already failed; hammering it
+// from the feed path would add latency for nothing — but it is counted,
+// and the repair snapshot will capture the object from engine memory.
 func (d *DurableEngine) appendWAL(o *Object) {
 	if d.wal == nil {
 		return // Shutdown already closed the log
 	}
+	if DurableState(d.state.Load()) == DurableDegraded {
+		d.stats.droppedAppends.Add(1)
+		return
+	}
 	var e persist.Enc
 	stream.EncodeObject(&e, o)
 	if err := d.wal.Append(e.Data()); err != nil {
-		d.noteErr(err)
+		d.stats.droppedAppends.Add(1)
+		d.degrade("wal-append", err)
 	}
 }
 
@@ -306,21 +535,24 @@ func (d *DurableEngine) Stats() Stats {
 
 // TelemetrySnapshot delegates to the engine and attaches the durability
 // layer's sample (generation, WAL and snapshot counters/latencies,
-// recovery cost) so /metrics and /statusz describe the whole stack.
+// recovery cost, health state) so /metrics and /statusz describe the
+// whole stack.
 func (d *DurableEngine) TelemetrySnapshot() TelemetryReport {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	snap := d.eng.TelemetrySnapshot()
-	snap.Durable = d.stats.sample(d.gen)
+	snap.Durable = d.stats.sample(d.gen, d.Health())
 	return snap
 }
 
 // SnapshotNow takes a snapshot into the backing store and rotates the feed
 // WAL, all atomically with respect to feeds and queries: the engine
-// serializes generation g+1, the snapshot commits via rename, appends
-// switch to feed-<g+1>.wal, and older WALs are removed. A crash at any
-// point leaves either (old snapshot + old WAL) or (new snapshot + new WAL)
-// recoverable — never a torn pairing.
+// serializes generation g+1 into snapshot-<g+1>.snap via rename, appends
+// switch to feed-<g+1>.wal, and generations past the retention horizon are
+// removed. A crash at any point leaves a recoverable snapshot generation
+// and the WAL chain extending it — never a torn pairing. A successful
+// commit also repairs a degraded engine: everything in memory (dropped
+// appends included) just became durable.
 func (d *DurableEngine) SnapshotNow(ctx context.Context) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -329,9 +561,9 @@ func (d *DurableEngine) SnapshotNow(ctx context.Context) error {
 
 func (d *DurableEngine) snapshotLocked(ctx context.Context) error {
 	start := time.Now()
-	err := d.snapshotCommit(ctx)
-	if err != nil {
+	if err := d.snapshotCommit(ctx); err != nil {
 		d.stats.snapErrors.Add(1)
+		d.degrade("snapshot", err)
 		return err
 	}
 	d.stats.snapshots.Add(1)
@@ -340,42 +572,45 @@ func (d *DurableEngine) snapshotLocked(ctx context.Context) error {
 }
 
 // snapshotCommit is the uninstrumented snapshot + rotation sequence.
+// Caller holds the write lock.
 func (d *DurableEngine) snapshotCommit(ctx context.Context) error {
-	if d.wal != nil {
+	if d.wal != nil && DurableState(d.state.Load()) == DurableHealthy {
 		// Flush pending appends first: if the snapshot fails the WAL must
-		// still fully extend the previous one.
+		// still fully extend the previous one. A failed flush degrades but
+		// does not abort — the snapshot below supersedes the WAL, and
+		// committing it is exactly the repair.
 		if err := d.wal.Sync(); err != nil {
-			return err
+			d.degrade("wal-sync", err)
 		}
 	}
-	// The counting wrapper measures the serialized size; the engine writes
-	// through it to the same backing store.
-	cs := &countingStore{Store: d.store}
+	target := persist.SnapshotNameFor(d.gen + 1)
+	cs := &commitStore{Store: d.store, target: target}
 	if err := d.eng.Snapshot(ctx, cs); err != nil {
 		return err
 	}
 	d.stats.lastSnapBytes.Store(cs.bytes)
-	gen, err := snapshotGeneration(d.store)
-	if err != nil {
-		return err
-	}
-	wal, _, _, err := persist.OpenWAL(d.store, persist.WALName(gen), d.cfg.WALSyncEvery)
+	wal, _, _, err := persist.OpenWAL(d.store, persist.WALName(d.gen+1), d.cfg.WALSyncEvery)
 	if err != nil {
 		// The snapshot committed but the new WAL did not open: recovery
 		// from the new snapshot with an empty tail is still correct, but
-		// this process can no longer log feeds. Fail loudly.
+		// this process can no longer log feeds. Fail the commit so the
+		// machine degrades and the repair loop retries the whole sequence.
 		return err
 	}
 	wal.SetObserver(&d.stats)
 	if d.wal != nil {
 		if cerr := d.wal.Close(); cerr != nil {
-			d.noteErr(cerr)
+			d.noteErr("wal-close", cerr)
 		}
 		d.stats.rotations.Add(1)
 	}
 	d.wal = wal
-	d.gen = gen
-	d.removeStaleWALs()
+	d.gen++
+	d.snaps[d.gen] = target
+	d.pruneGenerations()
+	// The commit captured every acknowledged feed — including any dropped
+	// from the WAL while degraded — so durability is whole again.
+	d.rearm()
 	return nil
 }
 
@@ -383,9 +618,7 @@ func (d *DurableEngine) snapshotCommit(ctx context.Context) error {
 // backing store is SnapshotNow — full WAL rotation semantics. Snapshotting
 // into any other store writes a standalone full-state artifact (for
 // backups or seeding a replica) without touching this engine's WAL
-// pairing; note the inner engine's generation still advances, so the
-// backing store's next snapshot skips a generation number — harmless, the
-// pairing is by name, not by density.
+// pairing or generation naming.
 func (d *DurableEngine) Snapshot(ctx context.Context, st Store) error {
 	if st == Store(d.store) || st == nil {
 		return d.SnapshotNow(ctx)
@@ -403,7 +636,7 @@ func (d *DurableEngine) Restore(context.Context, Store) error {
 		"restore happens at construction (NewDurable); build a fresh engine instead")
 }
 
-// Shutdown drains gracefully: the snapshot ticker stops, a final snapshot
+// Shutdown drains gracefully: the background loops stop, a final snapshot
 // captures everything — so a clean shutdown/restart cycle loses nothing —
 // the WAL closes, and the inner engine shuts down, bounded by ctx. The
 // first error is returned but every step still runs.

@@ -11,8 +11,9 @@ import (
 // durable_stats.go instruments the persistence wrapper: WAL append/fsync
 // counters and latency histograms (fed by the persist.WALObserver
 // callbacks, so they survive WAL rotations), snapshot commit outcomes and
-// sizes, and the one-time startup recovery cost. Everything on the feed
-// path is a few atomic adds into lock-free histograms.
+// sizes, degraded-mode transition counters, and the one-time startup
+// recovery cost. Everything on the feed path is a few atomic adds into
+// lock-free histograms.
 
 // durableStats is the DurableEngine's measurement sink.
 type durableStats struct {
@@ -25,6 +26,15 @@ type durableStats struct {
 	snapErrors    atomic.Uint64
 	lastSnapBytes atomic.Uint64
 
+	// Failure-surface counters for the degraded-mode state machine
+	// (durable_health.go reads them into DurableHealth).
+	walErrors      atomic.Uint64
+	storeErrors    atomic.Uint64
+	droppedAppends atomic.Uint64
+	degradations   atomic.Uint64
+	repairAttempts atomic.Uint64
+	repairs        atomic.Uint64
+
 	appendLat telemetry.Histogram
 	syncLat   telemetry.Histogram
 	snapLat   telemetry.Histogram
@@ -35,6 +45,8 @@ type durableStats struct {
 	recoveryRecords   uint64
 	recoveryTruncated int64
 	recoveredSnapshot bool
+	recoveredGen      uint64
+	recoveredFallback bool
 }
 
 // durableStats implements persist.WALObserver.
@@ -53,14 +65,23 @@ func (s *durableStats) WALSync(d time.Duration) {
 	s.syncLat.Record(d)
 }
 
-// sample builds the exposition view.
-func (s *durableStats) sample(gen uint64) *telemetry.DurableSample {
-	return &telemetry.DurableSample{
+// sample builds the exposition view. h carries the state machine's
+// position and counters so the sample is one consistent read.
+func (s *durableStats) sample(gen uint64, h DurableHealth) *telemetry.DurableSample {
+	d := &telemetry.DurableSample{
 		Generation:             gen,
+		State:                  h.State.String(),
 		WALAppends:             s.appends.Load(),
 		WALBytes:               s.appendBytes.Load(),
 		WALSyncs:               s.syncs.Load(),
 		WALRotations:           s.rotations.Load(),
+		WALErrors:              h.WALErrors,
+		StoreErrors:            h.StoreErrors,
+		DroppedAppends:         h.DroppedAppends,
+		Degradations:           h.Degradations,
+		RepairAttempts:         h.RepairAttempts,
+		Repairs:                h.Repairs,
+		ErrorsTotal:            h.ErrorsTotal,
 		Snapshots:              s.snapshots.Load(),
 		SnapshotErrors:         s.snapErrors.Load(),
 		LastSnapshotBytes:      s.lastSnapBytes.Load(),
@@ -68,26 +89,43 @@ func (s *durableStats) sample(gen uint64) *telemetry.DurableSample {
 		RecoveryWALRecords:     s.recoveryRecords,
 		RecoveryTruncatedBytes: s.recoveryTruncated,
 		RecoveredSnapshot:      s.recoveredSnapshot,
+		RecoveredGeneration:    s.recoveredGen,
+		RecoveredFallback:      s.recoveredFallback,
 		AppendLatency:          s.appendLat.Snapshot(),
 		SyncLatency:            s.syncLat.Snapshot(),
 		SnapshotLatency:        s.snapLat.Snapshot(),
 	}
+	if !h.Since.IsZero() {
+		d.StateSeconds = time.Since(h.Since).Seconds()
+	}
+	for _, e := range h.Errors {
+		d.LastErrors = append(d.LastErrors, telemetry.DurableError{
+			UnixNanos: e.Time.UnixNano(), Op: e.Op, Err: e.Err,
+		})
+	}
+	return d
 }
 
 // RecoverySeconds reports the startup cost of snapshot restore plus WAL
 // replay, for operator log lines and dashboards.
 func (d *DurableEngine) RecoverySeconds() float64 { return d.stats.recoverySeconds }
 
-// countingStore wraps a Store to measure the bytes a snapshot writes. It
-// is used only inside snapshotLocked — the wrapper is handed to the inner
-// engine's Snapshot and discarded, so the DurableEngine's own store
-// identity (which Snapshot's routing depends on) never changes.
-type countingStore struct {
+// commitStore wraps the backing Store for one snapshot commit: it
+// redirects the engine's conventional persist.SnapshotName write to the
+// retained generation file (snapshot-<g>.snap) and measures the bytes
+// written. It is used only inside snapshotCommit — the wrapper is handed
+// to the inner engine's Snapshot and discarded, so the DurableEngine's
+// own store identity (which Snapshot's routing depends on) never changes.
+type commitStore struct {
 	Store
-	bytes uint64
+	target string
+	bytes  uint64
 }
 
-func (c *countingStore) Save(name string, data []byte) error {
+func (c *commitStore) Save(name string, data []byte) error {
+	if name == persist.SnapshotName {
+		name = c.target
+	}
 	err := c.Store.Save(name, data)
 	if err == nil {
 		c.bytes += uint64(len(data))

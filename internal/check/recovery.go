@@ -9,6 +9,7 @@ import (
 
 	latest "github.com/spatiotext/latest"
 	"github.com/spatiotext/latest/internal/datagen"
+	"github.com/spatiotext/latest/internal/persist"
 	"github.com/spatiotext/latest/internal/replay"
 	"github.com/spatiotext/latest/internal/stream"
 )
@@ -97,6 +98,19 @@ type RecoveryConfig struct {
 	// the same no-query gap for the comparison to be exact. Zero means the
 	// crash happens immediately after the snapshot (pure snapshot restore).
 	WALTailObjects int
+	// SecondSnapshotAt (> SnapshotAt, < SnapshotAt+WALTailObjects) takes a
+	// second snapshot inside the WAL tail, producing generation 2 on top of
+	// generation 1. On its own it just proves multi-generation recovery
+	// restores the newest snapshot; combined with CorruptLatest it becomes
+	// the fallback oracle. Zero disables it.
+	SecondSnapshotAt int
+	// CorruptLatest flips a byte in the middle of the newest snapshot
+	// generation right before the crash-recovery rebuild. Recovery must
+	// detect the damage (whole-file CRC), fall back to generation 1, and
+	// replay BOTH WAL generations — byte-identical to the control run, or
+	// the fallback chain is losing state. Requires SecondSnapshotAt:
+	// corrupting the only snapshot is the refusal case, not fallback.
+	CorruptLatest bool
 }
 
 // RunGoldenRecovery replays the golden trace through an engine that is
@@ -118,22 +132,32 @@ func RunGoldenRecovery(objs []stream.Object, rc RecoveryConfig) (control, recove
 	if gapEnd > len(objs) {
 		return control, recovered, fmt.Errorf("check: WAL tail past trace end (%d+%d > %d)", rc.SnapshotAt, rc.WALTailObjects, len(objs))
 	}
+	if rc.SecondSnapshotAt != 0 && (rc.SecondSnapshotAt <= rc.SnapshotAt || rc.SecondSnapshotAt >= gapEnd) {
+		return control, recovered, fmt.Errorf("check: SecondSnapshotAt %d outside (%d, %d)", rc.SecondSnapshotAt, rc.SnapshotAt, gapEnd)
+	}
+	if rc.CorruptLatest && rc.SecondSnapshotAt == 0 {
+		return control, recovered, fmt.Errorf("check: CorruptLatest needs SecondSnapshotAt (one corrupt snapshot is refusal, not fallback)")
+	}
 
-	control, err = runGoldenSegmented(objs, rc.Golden, gapStart, gapEnd, -1)
+	control, err = runGoldenSegmented(objs, rc, gapStart, gapEnd, -1)
 	if err != nil {
 		return control, recovered, fmt.Errorf("check: control run: %w", err)
 	}
-	recovered, err = runGoldenSegmented(objs, rc.Golden, gapStart, gapEnd, rc.SnapshotAt)
+	recovered, err = runGoldenSegmented(objs, rc, gapStart, gapEnd, rc.SnapshotAt)
 	if err != nil {
 		return control, recovered, fmt.Errorf("check: recovery run: %w", err)
 	}
 	return control, recovered, nil
 }
 
-// Replay is one run's observable output.
+// Replay is one run's observable output. Fallback records whether the
+// crash-recovery incarnation restored an older snapshot generation than
+// the newest written — always false for control runs; the corruption
+// oracle asserts it so a fallback test can never pass vacuously.
 type Replay struct {
 	Counts    string
 	Decisions string
+	Fallback  bool
 }
 
 // runGoldenSegmented drives the golden replay with a no-query gap over
@@ -141,8 +165,10 @@ type Replay struct {
 // + recovery at that object index. The crash engine persists into a
 // latest.MemStore via a DurableEngine with per-record WAL fsync, so the
 // post-crash incarnation recovers through exactly the production path:
-// NewDurable -> Restore -> WAL tail replay.
-func runGoldenSegmented(objs []stream.Object, cfg GoldenConfig, gapStart, gapEnd, crashAt int) (Replay, error) {
+// NewDurable -> Restore -> WAL tail replay (falling back across snapshot
+// generations when rc.CorruptLatest damages the newest one).
+func runGoldenSegmented(objs []stream.Object, rc RecoveryConfig, gapStart, gapEnd, crashAt int) (Replay, error) {
+	cfg := rc.Golden
 	world := goldenWorld()
 	build := func() (*latest.System, error) {
 		return latest.New(world, cfg.Window, goldenOptions(cfg)...)
@@ -164,6 +190,7 @@ func runGoldenSegmented(objs []stream.Object, cfg GoldenConfig, gapStart, gapEnd
 
 	qm := newQueryMaker(cfg.Seed, world)
 	var report strings.Builder
+	var fellBack bool
 	fed, qi := 0, 0
 	var lastTS int64
 	for i := range objs {
@@ -184,15 +211,28 @@ func runGoldenSegmented(objs []stream.Object, cfg GoldenConfig, gapStart, gapEnd
 			qi++
 		}
 
-		if fed == crashAt {
+		if fed == crashAt || (crashAt >= 0 && rc.SecondSnapshotAt > 0 && fed == rc.SecondSnapshotAt) {
 			if err := eng.(*latest.DurableEngine).SnapshotNow(context.Background()); err != nil {
 				return Replay{}, fmt.Errorf("snapshot at object %d: %w", fed, err)
 			}
 		}
 		if crashAt >= 0 && fed == gapEnd {
+			if rc.CorruptLatest {
+				// Bit rot on the newest generation, right where a crash
+				// would find it. The whole-file CRC must catch this before
+				// any section reaches the engine.
+				name := persist.SnapshotNameFor(eng.(*latest.DurableEngine).Generation())
+				data, lerr := store.Load(name)
+				if lerr != nil {
+					return Replay{}, fmt.Errorf("corrupt %s: %w", name, lerr)
+				}
+				if cerr := store.Corrupt(name, len(data)/2); cerr != nil {
+					return Replay{}, fmt.Errorf("corrupt %s: %w", name, cerr)
+				}
+			}
 			// Crash: abandon the incarnation without Shutdown and recover a
-			// fresh one from the store. Everything since the snapshot must
-			// come back out of the WAL.
+			// fresh one from the store. Everything since the restored
+			// snapshot must come back out of the WAL chain.
 			sys, err = build()
 			if err != nil {
 				return Replay{}, err
@@ -201,8 +241,11 @@ func runGoldenSegmented(objs []stream.Object, cfg GoldenConfig, gapStart, gapEnd
 			if derr != nil {
 				return Replay{}, fmt.Errorf("recover at object %d: %w", fed, derr)
 			}
+			if s := dur.TelemetrySnapshot().Durable; s != nil && s.RecoveredFallback {
+				fellBack = true
+			}
 			eng = dur
 		}
 	}
-	return Replay{Counts: report.String(), Decisions: renderDecisions(sys.Decisions())}, nil
+	return Replay{Counts: report.String(), Decisions: renderDecisions(sys.Decisions()), Fallback: fellBack}, nil
 }

@@ -94,6 +94,36 @@ func TestGoldenRecoveryWALTail(t *testing.T) {
 	diffReplays(t, "decision trace", control.Decisions, recovered.Decisions)
 }
 
+// TestGoldenRecoveryCorruptLatestGeneration is the fallback oracle: two
+// snapshot generations are written mid-run (objects 2000 and 2200), the
+// newest is bit-flipped, and the crash at object 2400 recovers through
+// the fallback chain — generation 1 restored, BOTH WAL generations
+// replayed. The run must still be byte-identical to the uninterrupted
+// control; any state the older-generation path loses (a WAL record
+// skipped at the generation seam, a sampler restored from the wrong
+// epoch) shows up as a line diff.
+func TestGoldenRecoveryCorruptLatestGeneration(t *testing.T) {
+	objs := loadGoldenTrace(t)
+	control, recovered, err := RunGoldenRecovery(objs, RecoveryConfig{
+		Golden:           DefaultGoldenConfig(),
+		SnapshotAt:       2000,
+		WALTailObjects:   400,
+		SecondSnapshotAt: 2200,
+		CorruptLatest:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered.Fallback {
+		t.Fatal("recovery restored the corrupt generation; the fallback path was never exercised")
+	}
+	if control.Fallback {
+		t.Fatal("control run reported a fallback; the oracle is mislabeling runs")
+	}
+	diffReplays(t, "count report", control.Counts, recovered.Counts)
+	diffReplays(t, "decision trace", control.Decisions, recovered.Decisions)
+}
+
 // TestGoldenRecoveryMatchesGoldenFiles pins the snapshot-only recovery run
 // against the same checked-in goldens as the uninterrupted replay: the
 // recovered engine must not only agree with its own control run, it must

@@ -1,0 +1,218 @@
+// Package netchaos is a deterministic in-process TCP fault injector for
+// tests: a proxy that sits between a client and an upstream server and
+// breaks the connection on cue — after an exact number of relayed bytes,
+// with added latency, or by going silent without closing.
+//
+// Determinism is the point. Real networks fail at random moments; tests
+// need the failure to land on the same byte every run, so the proxy
+// counts bytes per direction and cuts (or stalls) exactly at the
+// configured offset. Cutting mid-frame — after a frame header but before
+// its payload — is how reconnect and retry logic gets exercised on the
+// hard path rather than the tidy close-between-requests path.
+package netchaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnPlan scripts the faults for one proxied connection. The zero plan
+// relays faithfully. Byte counts are cumulative per direction from the
+// moment the connection is accepted; 0 means "never".
+type ConnPlan struct {
+	// Delay is added before each chunk is relayed, in both directions.
+	// Models link latency; lets deadline tests run against a slow path.
+	Delay time.Duration
+
+	// CutDownstreamAfter closes both sides of the connection once this
+	// many upstream→client bytes have been relayed. Landing it inside a
+	// response frame simulates a server that dies mid-reply.
+	CutDownstreamAfter int64
+
+	// CutUpstreamAfter closes both sides once this many client→upstream
+	// bytes have been relayed. Landing it inside a request frame
+	// simulates a client link dying mid-send.
+	CutUpstreamAfter int64
+
+	// BlackholeAfter stops relaying in both directions after this many
+	// total bytes (either direction) without closing anything: the
+	// connection looks alive but nothing moves. Models a partitioned
+	// link; only deadlines get a test out of it.
+	BlackholeAfter int64
+}
+
+// Proxy is a TCP relay in front of a fixed upstream address. Each
+// accepted connection n gets plans[n]; past the end of the slice the
+// last plan repeats (an empty slice relays everything faithfully).
+type Proxy struct {
+	ln       net.Listener
+	upstream string
+	plans    []ConnPlan
+	conns    atomic.Int64
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+
+	mu     sync.Mutex
+	active []net.Conn
+}
+
+// New starts a proxy on a loopback port relaying to upstream.
+func New(upstream string, plans ...ConnPlan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, upstream: upstream, plans: plans}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the client dials.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Conns reports how many connections the proxy has accepted. Tests use
+// the delta to prove a client redialed (or didn't).
+func (p *Proxy) Conns() int64 { return p.conns.Load() }
+
+// Close stops accepting and waits for in-flight relays to wind down.
+// In-flight connections are severed, not drained — without that, a relay
+// pipe parked in Read on a healthy connection would hold Close hostage.
+func (p *Proxy) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p.ln.Close()
+	p.mu.Lock()
+	for _, c := range p.active {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// track registers a socket to be severed by Close. Closing an already
+// closed conn is harmless, so relays never bother deregistering.
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.active = append(p.active, c)
+	sever := p.closed.Load()
+	p.mu.Unlock()
+	// Racing with Close: the sweep may already have run, so sever here.
+	if sever {
+		c.Close()
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		idx := p.conns.Add(1) - 1
+		plan := ConnPlan{}
+		if n := len(p.plans); n > 0 {
+			if idx >= int64(n) {
+				plan = p.plans[n-1]
+			} else {
+				plan = p.plans[idx]
+			}
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.relay(client, plan)
+		}()
+	}
+}
+
+// relay shuttles bytes between the client and a fresh upstream
+// connection, applying the plan. Either cut threshold closes both
+// sockets so each end observes the failure promptly.
+func (p *Proxy) relay(client net.Conn, plan ConnPlan) {
+	defer client.Close()
+	p.track(client)
+	server, err := net.Dial("tcp", p.upstream)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	p.track(server)
+
+	st := &relayState{plan: plan, client: client, server: server}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); st.pipe(server, client, plan.CutUpstreamAfter) }()
+	go func() { defer wg.Done(); st.pipe(client, server, plan.CutDownstreamAfter) }()
+	wg.Wait()
+}
+
+type relayState struct {
+	plan    ConnPlan
+	client  net.Conn
+	server  net.Conn
+	total   atomic.Int64
+	blocked atomic.Bool
+}
+
+// severBoth closes both sockets: a cut must be visible to each end, not
+// just the direction that tripped it.
+func (st *relayState) severBoth() {
+	st.client.Close()
+	st.server.Close()
+}
+
+// pipe copies src→dst until EOF, a cut threshold, or a blackhole. cut is
+// the cumulative byte count in THIS direction at which to sever; 0
+// disables. Writes are split so the cut lands exactly at the threshold —
+// a frame can be torn at any byte, not just chunk boundaries.
+func (st *relayState) pipe(dst, src net.Conn, cut int64) {
+	var sent int64
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if st.plan.Delay > 0 {
+				time.Sleep(st.plan.Delay)
+			}
+			chunk := buf[:n]
+			if cut > 0 && sent+int64(n) >= cut {
+				chunk = buf[:cut-sent]
+			}
+			if st.plan.BlackholeAfter > 0 {
+				if t := st.total.Add(int64(len(chunk))); t >= st.plan.BlackholeAfter {
+					st.blocked.Store(true)
+				}
+			}
+			if st.blocked.Load() {
+				// Swallow silently: the link is partitioned, both ends
+				// still believe the connection is up.
+				continue
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			sent += int64(len(chunk))
+			if cut > 0 && sent >= cut {
+				st.severBoth()
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate EOF downstream without killing the
+			// reverse direction (a server may still be flushing replies).
+			if cw, ok := dst.(*net.TCPConn); ok {
+				cw.CloseWrite()
+			}
+			return
+		}
+	}
+}

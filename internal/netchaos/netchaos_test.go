@@ -1,0 +1,211 @@
+package netchaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoUpstream is a real TCP server that echoes everything back. Returns
+// its address and a count of connections it accepted.
+func echoUpstream(t *testing.T) (string, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var accepted atomic.Int64
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			go func() {
+				defer nc.Close()
+				io.Copy(nc, nc)
+			}()
+		}
+	}()
+	return ln.Addr().String(), &accepted
+}
+
+// TestFaithfulRelay: the zero plan must be invisible — bytes round-trip
+// unmodified and in full.
+func TestFaithfulRelay(t *testing.T) {
+	addr, _ := echoUpstream(t)
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	msg := bytes.Repeat([]byte("spatiotext"), 100)
+	if _, err := nc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("relay corrupted the stream")
+	}
+	if p.Conns() != 1 {
+		t.Fatalf("Conns = %d, want 1", p.Conns())
+	}
+}
+
+// TestCutDownstreamExactByte: the cut must land on the configured byte,
+// not a chunk boundary — the client sees exactly N bytes then a dead
+// socket.
+func TestCutDownstreamExactByte(t *testing.T) {
+	addr, _ := echoUpstream(t)
+	const cut = 37
+	p, err := New(addr, ConnPlan{CutDownstreamAfter: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write(bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(nc)
+	if len(got) != cut {
+		t.Fatalf("client received %d bytes, want exactly %d", len(got), cut)
+	}
+}
+
+// TestCutUpstreamExactByte: the upstream server receives exactly N bytes
+// of the client's send before the connection dies under it.
+func TestCutUpstreamExactByte(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan int, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		b, _ := io.ReadAll(nc)
+		received <- len(b)
+	}()
+
+	const cut = 41
+	p, err := New(ln.Addr().String(), ConnPlan{CutUpstreamAfter: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Write(bytes.Repeat([]byte("y"), 100))
+	if got := <-received; got != cut {
+		t.Fatalf("upstream received %d bytes, want exactly %d", got, cut)
+	}
+	// The cut severs the client side too — a read must fail promptly
+	// rather than hang on a half-dead proxy.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("client read succeeded after upstream cut")
+	} else if os.IsTimeout(err) {
+		t.Fatal("client socket left hanging instead of closed")
+	}
+}
+
+// TestBlackhole: past the threshold the connection goes silent without
+// closing — reads time out rather than erroring.
+func TestBlackhole(t *testing.T) {
+	addr, _ := echoUpstream(t)
+	p, err := New(addr, ConnPlan{BlackholeAfter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// 20 bytes in one write: threshold trips inside the chunk, nothing of
+	// it is relayed, so nothing echoes back.
+	nc.Write(bytes.Repeat([]byte("z"), 20))
+	nc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, rerr := nc.Read(buf)
+	if rerr == nil {
+		t.Fatal("read returned data through a blackholed link")
+	}
+	if !os.IsTimeout(rerr) {
+		t.Fatalf("read error = %v, want timeout (connection must stay open, just silent)", rerr)
+	}
+}
+
+// TestPlanPerConnection: each accepted connection takes its own plan and
+// the last plan repeats for the overflow.
+func TestPlanPerConnection(t *testing.T) {
+	addr, _ := echoUpstream(t)
+	p, err := New(addr,
+		ConnPlan{CutDownstreamAfter: 1}, // conn 0: nearly useless
+		ConnPlan{},                      // conn 1+ : faithful
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	roundTrip := func() (int, error) {
+		nc, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		nc.Write([]byte("hello"))
+		// Half-close so the echo upstream sees EOF, finishes its copy and
+		// closes — EOF then propagates back and ReadAll returns promptly.
+		nc.(*net.TCPConn).CloseWrite()
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		b, _ := io.ReadAll(nc)
+		return len(b), nil
+	}
+	if n, _ := roundTrip(); n != 1 {
+		t.Fatalf("conn 0 relayed %d bytes, want 1", n)
+	}
+	for i := 1; i <= 2; i++ {
+		if n, _ := roundTrip(); n != 5 {
+			t.Fatalf("conn %d relayed %d bytes, want 5 (last plan must repeat)", i, n)
+		}
+	}
+	if p.Conns() != 3 {
+		t.Fatalf("Conns = %d, want 3", p.Conns())
+	}
+}

@@ -1,0 +1,139 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+)
+
+// fault_test.go pins the deterministic fault injector: exact-call
+// triggering, expiry, torn-write shapes, and the naming helpers the
+// generation-fallback recovery depends on.
+
+func TestFaultStoreAppendRule(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), FaultRule{Op: FaultAppend, After: 2, Count: 3})
+	f, err := fs.OpenAppend("feed-00000000.wal", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := []byte("0123456789")
+	var outcomes []bool
+	for i := 0; i < 8; i++ {
+		outcomes = append(outcomes, f.Append(rec) == nil)
+	}
+	// After=2 lets two appends through, Count=3 fails the next three, then
+	// the rule is spent and appends succeed again.
+	want := []bool{true, true, false, false, false, true, true, true}
+	for i, ok := range outcomes {
+		if ok != want[i] {
+			t.Fatalf("append %d ok=%v, want %v (all: %v)", i, ok, want[i], outcomes)
+		}
+	}
+	if got := fs.Injected(); got != 3 {
+		t.Fatalf("Injected() = %d, want 3", got)
+	}
+}
+
+func TestFaultStoreErrInjected(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), FaultRule{Op: FaultSave})
+	err := fs.Save(SnapshotName, []byte("x"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Save error %v is not ErrInjected", err)
+	}
+	// The typed persist code must be absent: an injected disk error is an
+	// I/O failure, not a format refusal.
+	if code := CodeOf(err); code != 0 {
+		t.Fatalf("injected error carries persist code %v", code)
+	}
+}
+
+func TestFaultStoreShortWriteLeavesTornFrame(t *testing.T) {
+	inner := NewMemStore()
+	fs := NewFaultStore(inner, FaultRule{Op: FaultAppend, Kind: FaultShortWrite, After: 1, Count: 1})
+	wal, _, _, err := OpenWAL(fs, WALName(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Append([]byte("first-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Append([]byte("second-record")); err == nil {
+		t.Fatal("short-write append did not error")
+	}
+	// The torn frame landed: the file is longer than one clean record but
+	// parses back to exactly that record.
+	data, err := inner.Load(WALName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, tail := ParseWAL(data)
+	if len(records) != 1 || string(records[0]) != "first-record" {
+		t.Fatalf("parsed %d records, want the 1 clean one", len(records))
+	}
+	if tail.DroppedBytes == 0 {
+		t.Fatal("short write left no torn tail to drop")
+	}
+}
+
+func TestFaultStoreSetEnabled(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), FaultRule{Op: FaultSave})
+	fs.SetEnabled(false)
+	if err := fs.Save("a", nil); err != nil {
+		t.Fatalf("disabled injector still fired: %v", err)
+	}
+	fs.SetEnabled(true)
+	if err := fs.Save("a", nil); err == nil {
+		t.Fatal("re-enabled injector did not fire")
+	}
+}
+
+func TestFaultStoreNameAndOpMatching(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(),
+		FaultRule{Op: FaultSync, Name: "feed-00000001.wal"})
+	f0, err := fs.OpenAppend(WALName(0), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f0.Sync(); err != nil {
+		t.Fatalf("sync on unmatched name failed: %v", err)
+	}
+	f1, err := fs.OpenAppend(WALName(1), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Sync(); err == nil {
+		t.Fatal("sync on matched name did not fail")
+	}
+	if err := f1.Append([]byte("x")); err != nil {
+		t.Fatalf("append must not match a sync rule: %v", err)
+	}
+}
+
+func TestSnapshotNameRoundTrip(t *testing.T) {
+	for _, gen := range []uint64{0, 1, 7, 99999999, 1 << 40} {
+		name := SnapshotNameFor(gen)
+		got, ok := ParseSnapshotName(name)
+		if !ok || got != gen {
+			t.Fatalf("ParseSnapshotName(%q) = %d,%v want %d,true", name, got, ok, gen)
+		}
+	}
+	for _, bad := range []string{SnapshotName, "snapshot-.snap", "snapshot-x.snap", "feed-00000001.wal", "snapshot-00000001"} {
+		if _, ok := ParseSnapshotName(bad); ok {
+			t.Fatalf("ParseSnapshotName accepted %q", bad)
+		}
+	}
+}
+
+func TestWALNameRoundTrip(t *testing.T) {
+	for _, gen := range []uint64{0, 3, 12345678} {
+		name := WALName(gen)
+		got, ok := ParseWALName(name)
+		if !ok || got != gen {
+			t.Fatalf("ParseWALName(%q) = %d,%v want %d,true", name, got, ok, gen)
+		}
+	}
+	for _, bad := range []string{"feed-.wal", "feed-x.wal", SnapshotName, "feed-00000001"} {
+		if _, ok := ParseWALName(bad); ok {
+			t.Fatalf("ParseWALName accepted %q", bad)
+		}
+	}
+}

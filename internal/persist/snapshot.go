@@ -1,7 +1,10 @@
 package persist
 
 import (
+	"fmt"
 	"hash/crc32"
+	"strconv"
+	"strings"
 )
 
 // Snapshot container format, version 1. All integers little-endian.
@@ -31,6 +34,33 @@ var snapshotMagic = [4]byte{'L', 'S', 'N', 'P'}
 
 // SnapshotName is the conventional file name engines snapshot into.
 const SnapshotName = "snapshot.snap"
+
+// SnapshotNameFor returns the retained-generation snapshot file name the
+// durable layer commits to. Each committed generation keeps its own file
+// (snapshot-00000007.snap) so recovery can fall back to an older
+// generation when the newest one fails its CRC.
+func SnapshotNameFor(generation uint64) string {
+	return fmt.Sprintf("snapshot-%08d.snap", generation)
+}
+
+// ParseSnapshotName extracts the generation from a SnapshotNameFor-shaped
+// file name; ok is false for every other name (including the legacy
+// un-suffixed SnapshotName, whose generation lives in its meta section).
+func ParseSnapshotName(name string) (generation uint64, ok bool) {
+	digits, found := strings.CutPrefix(name, "snapshot-")
+	if !found {
+		return 0, false
+	}
+	digits, found = strings.CutSuffix(digits, ".snap")
+	if !found || digits == "" {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
 
 // SnapshotWriter accumulates named sections and finalizes them into a
 // checksummed container.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -36,6 +38,24 @@ const DefaultWALSyncEvery = 64
 // snapshot it loaded, never records the snapshot already contains.
 func WALName(generation uint64) string {
 	return fmt.Sprintf("feed-%08d.wal", generation)
+}
+
+// ParseWALName extracts the generation from a WALName-shaped file name;
+// ok is false for every other name.
+func ParseWALName(name string) (generation uint64, ok bool) {
+	digits, found := strings.CutPrefix(name, "feed-")
+	if !found {
+		return 0, false
+	}
+	digits, found = strings.CutSuffix(digits, ".wal")
+	if !found || digits == "" {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
 }
 
 // WALTail describes how cleanly a WAL parse ended.

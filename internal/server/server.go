@@ -176,6 +176,7 @@ func New(eng Engine, cfg Config) (*Server, error) {
 	if cfg.AdminAddr != "" {
 		admin, err := telemetry.Serve(cfg.AdminAddr, s.snapshot, cfg.Log,
 			telemetry.Route{Pattern: "/healthz", Handler: http.HandlerFunc(s.handleHealthz)},
+			telemetry.Route{Pattern: "/readyz", Handler: http.HandlerFunc(s.handleReadyz)},
 			telemetry.Route{Pattern: "/drain", Handler: http.HandlerFunc(s.handleDrain)},
 			telemetry.Route{Pattern: "/debug/requests", Handler: s.traces.Handler()},
 		)
@@ -381,16 +382,61 @@ func (s *Server) sample() telemetry.ServerSample {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	status := "ok"
+// healthStatus assesses the whole stack for the health endpoints: the
+// serving layer's drain state, the durability layer's degraded-mode
+// machine (via latest.HealthReporter, the same type-assert extension
+// pattern TracedEngine uses) and the accuracy-drift watchdog.
+func (s *Server) healthStatus() (status string, reasons []string) {
+	if hr, ok := s.eng.(latest.HealthReporter); ok {
+		if h := hr.Health(); !h.Healthy() {
+			reasons = append(reasons, "persistence:"+h.State.String())
+		}
+	}
+	for _, d := range s.eng.TelemetrySnapshot().Drift {
+		if d.Drifted {
+			reasons = append(reasons, "drift:"+d.Estimator)
+		}
+	}
+	status = "ok"
+	if len(reasons) > 0 {
+		status = "degraded"
+	}
 	if s.draining.Load() {
 		status = "draining"
+		reasons = append(reasons, "draining")
 	}
+	return status, reasons
+}
+
+// handleHealthz is liveness plus condition: HTTP 200 as long as the
+// process serves — even degraded, since a restart will not mend a broken
+// disk and would lose the in-memory state a repair snapshot could still
+// save — with the real assessment in the body. Route away on /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status, reasons := s.healthStatus()
+	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":   status,
+		"reasons":  reasons,
 		"draining": s.draining.Load(),
 		"conns":    s.st.connsActive.Load(),
+	})
+}
+
+// handleReadyz splits readiness from liveness: HTTP 503 while draining,
+// persistence-degraded or drift-tripped, so load balancers stop routing
+// here while the process stays up (and /healthz stays 200).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	status, reasons := s.healthStatus()
+	ready := status == "ok"
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready":   ready,
+		"status":  status,
+		"reasons": reasons,
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 
 	latest "github.com/spatiotext/latest"
 	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/persist"
 	"github.com/spatiotext/latest/internal/stream"
 	"github.com/spatiotext/latest/internal/telemetry"
 	"github.com/spatiotext/latest/internal/wire"
@@ -31,6 +33,7 @@ type fakeEngine struct {
 	delay    time.Duration
 	gate     chan struct{} // non-nil: estimates block until a receive succeeds
 	panicky  bool
+	drift    []telemetry.DriftSample // reported by TelemetrySnapshot
 }
 
 func (f *fakeEngine) FeedBatch(objs []stream.Object) {
@@ -69,7 +72,7 @@ func (f *fakeEngine) EstimateAndExecuteBatch(qs []stream.Query) ([]float64, []in
 }
 
 func (f *fakeEngine) TelemetrySnapshot() telemetry.Snapshot {
-	return telemetry.Snapshot{Engine: "fake"}
+	return telemetry.Snapshot{Engine: "fake", Drift: f.drift}
 }
 
 // The remaining latest.Engine methods are inert: the serving layer never
@@ -518,6 +521,124 @@ func TestAdminPlane(t *testing.T) {
 	case <-srv.DrainRequested():
 	case <-time.After(2 * time.Second):
 		t.Fatal("drain request not signaled")
+	}
+}
+
+// TestHealthEndpointsReflectDurability drives the real durability stack
+// behind the admin plane: an injected WAL append fault degrades the
+// DurableEngine, /healthz reports it (still HTTP 200 — liveness) and
+// /readyz flips to 503; a repair re-arms both.
+func TestHealthEndpointsReflectDurability(t *testing.T) {
+	fst := persist.NewFaultStore(latest.NewMemStore(),
+		persist.FaultRule{Op: persist.FaultAppend, Count: 1})
+	fst.SetEnabled(false)
+	core, err := latest.NewConcurrent(geo.Rect{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An hour of repair backoff keeps the background loop out of the
+	// test's way; repairs here are explicit RepairNow calls.
+	dur, err := latest.NewDurable(core, fst, latest.DurableConfig{
+		WALSyncEvery: 1, RepairBackoff: time.Hour, RepairBackoffMax: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dur.Shutdown(context.Background()) })
+	srv := startServer(t, dur, Config{AdminAddr: "127.0.0.1:0"})
+	base := "http://" + srv.AdminAddr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthy healthz: %d %s", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("healthy readyz: %d %s", code, body)
+	}
+
+	fst.SetEnabled(true)
+	dur.Feed(testObj(1)) // the WAL append fires the fault and degrades
+
+	if code, body := get("/healthz"); code != http.StatusOK ||
+		!strings.Contains(body, `"status":"degraded"`) ||
+		!strings.Contains(body, "persistence:degraded") {
+		t.Fatalf("degraded healthz must stay 200 with the real state: %d %s", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, `"ready":false`) {
+		t.Fatalf("degraded readyz: %d %s", code, body)
+	}
+	// Degraded is not down: the wire plane still serves.
+	rc := dialRaw(t, srv.Addr())
+	rc.write(wire.AppendPing(nil, 1))
+	if h, _ := rc.read(); h.Type != wire.TPong {
+		t.Fatalf("degraded ping answered %v", h.Type)
+	}
+
+	fst.SetEnabled(false)
+	if err := dur.RepairNow(context.Background()); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("repaired readyz: %d %s", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "latest_durable_state 0") ||
+		!strings.Contains(body, "latest_durable_repairs_total 1") {
+		t.Fatalf("metrics missing durable state families: %d", code)
+	}
+}
+
+// TestHealthEndpointsReflectDrift: a tripped accuracy-drift watchdog makes
+// /healthz degraded and /readyz 503, naming the estimator.
+func TestHealthEndpointsReflectDrift(t *testing.T) {
+	eng := &fakeEngine{estimate: 1, drift: []telemetry.DriftSample{
+		{Estimator: "RSH", Ratio: 3.1, Threshold: 2, Drifted: true},
+	}}
+	srv := startServer(t, eng, Config{AdminAddr: "127.0.0.1:0"})
+	base := "http://" + srv.AdminAddr()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "drift:RSH") {
+		t.Fatalf("drifted healthz: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drifted readyz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestReadyzDraining: a draining server is alive but not ready.
+func TestReadyzDraining(t *testing.T) {
+	srv := startServer(t, &fakeEngine{estimate: 1}, Config{})
+	srv.draining.Store(true)
+	rec := httptest.NewRecorder()
+	srv.handleReadyz(rec, nil)
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("draining readyz: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	srv.handleHealthz(rec, nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"draining"`) {
+		t.Fatalf("draining healthz: %d %s", rec.Code, rec.Body.String())
 	}
 }
 

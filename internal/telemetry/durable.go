@@ -12,11 +12,23 @@ import (
 // exposition renderer can describe the layer without importing it —
 // mirroring how serving.go describes internal/server.
 
+// DurableError is one retained persistence failure, for /statusz.
+type DurableError struct {
+	UnixNanos int64  `json:"unix_nanos"`
+	Op        string `json:"op"`
+	Err       string `json:"err"`
+}
+
 // DurableSample is the durability layer's slice of a Snapshot.
 type DurableSample struct {
 	// Generation is the current snapshot generation (each snapshot commit
 	// increments it and rotates the WAL).
 	Generation uint64 `json:"generation"`
+
+	// State is the degraded-mode machine's position ("healthy" or
+	// "degraded"); StateSeconds how long it has been there.
+	State        string  `json:"state"`
+	StateSeconds float64 `json:"state_seconds"`
 
 	// WALAppends counts records appended to the live WAL across all
 	// generations; WALBytes the framed bytes written; WALSyncs the fsync
@@ -26,8 +38,28 @@ type DurableSample struct {
 	WALSyncs     uint64 `json:"wal_syncs"`
 	WALRotations uint64 `json:"wal_rotations"`
 
+	// WALErrors counts failed WAL operations; StoreErrors failed store
+	// housekeeping; DroppedAppends feeds not logged while degraded (in
+	// memory only until the repair snapshot commits).
+	WALErrors      uint64 `json:"wal_errors"`
+	StoreErrors    uint64 `json:"store_errors"`
+	DroppedAppends uint64 `json:"dropped_appends"`
+
+	// Degradations counts healthy-to-degraded transitions; RepairAttempts
+	// snapshot-based repair tries; Repairs successful re-arms;
+	// ErrorsTotal every persistence error recorded.
+	Degradations   uint64 `json:"degradations"`
+	RepairAttempts uint64 `json:"repair_attempts"`
+	Repairs        uint64 `json:"repairs"`
+	ErrorsTotal    uint64 `json:"errors_total"`
+
+	// LastErrors is the bounded tail of recent persistence failures,
+	// oldest first.
+	LastErrors []DurableError `json:"last_errors,omitempty"`
+
 	// Snapshots counts committed snapshots this process took;
-	// SnapshotErrors failed attempts (engine keeps serving, Err() latches).
+	// SnapshotErrors failed attempts (each degrades the state machine;
+	// the engine keeps serving from memory).
 	Snapshots      uint64 `json:"snapshots"`
 	SnapshotErrors uint64 `json:"snapshot_errors"`
 	// LastSnapshotBytes is the serialized size of the most recent committed
@@ -43,6 +75,11 @@ type DurableSample struct {
 	// RecoveredSnapshot is true when startup restored from a snapshot
 	// (false: fresh start, WAL-only replay counts from generation 0).
 	RecoveredSnapshot bool `json:"recovered_snapshot"`
+	// RecoveredGeneration is the generation startup restored from;
+	// RecoveredFallback is true when that was not the newest generation on
+	// disk (the newest failed its checksums and recovery fell back).
+	RecoveredGeneration uint64 `json:"recovered_generation"`
+	RecoveredFallback   bool   `json:"recovered_fallback"`
 
 	// AppendLatency is the WAL append call distribution (framing + write,
 	// fsync excluded), SyncLatency the fsync-batch distribution, and
@@ -88,6 +125,25 @@ func writeDurableProm(b *strings.Builder, d *DurableSample) {
 	hist("latest_wal_fsync_latency_seconds", "WAL fsync-batch latency.")
 	promHistogramOne(b, "latest_wal_fsync_latency_seconds", "", d.SyncLatency)
 
+	gauge("latest_durable_state", "Degraded-mode state machine position (0 healthy, 1 degraded).")
+	sample("latest_durable_state", boolGauge(d.State == "degraded"))
+	gauge("latest_durable_state_seconds", "Seconds in the current durability state.")
+	sample("latest_durable_state_seconds", d.StateSeconds)
+	counter("latest_durable_degradations_total", "Healthy-to-degraded transitions.")
+	sample("latest_durable_degradations_total", float64(d.Degradations))
+	counter("latest_durable_repair_attempts_total", "Snapshot-based repair attempts while degraded.")
+	sample("latest_durable_repair_attempts_total", float64(d.RepairAttempts))
+	counter("latest_durable_repairs_total", "Successful repairs (degraded back to healthy).")
+	sample("latest_durable_repairs_total", float64(d.Repairs))
+	counter("latest_durable_dropped_appends_total", "Feeds not WAL-logged while degraded (durable again after the repair snapshot).")
+	sample("latest_durable_dropped_appends_total", float64(d.DroppedAppends))
+	counter("latest_durable_wal_errors_total", "Failed WAL operations (append, fsync, close, recovery truncation).")
+	sample("latest_durable_wal_errors_total", float64(d.WALErrors))
+	counter("latest_durable_store_errors_total", "Failed store housekeeping operations.")
+	sample("latest_durable_store_errors_total", float64(d.StoreErrors))
+	counter("latest_durable_errors_total", "All persistence errors recorded.")
+	sample("latest_durable_errors_total", float64(d.ErrorsTotal))
+
 	counter("latest_snapshots_total", "Snapshots committed by this process.")
 	sample("latest_snapshots_total", float64(d.Snapshots))
 	counter("latest_snapshot_errors_total", "Snapshot attempts that failed (engine keeps serving).")
@@ -107,4 +163,8 @@ func writeDurableProm(b *strings.Builder, d *DurableSample) {
 	sample("latest_recovery_truncated_bytes", float64(d.RecoveryTruncatedBytes))
 	gauge("latest_recovery_from_snapshot", "1 when startup restored from a snapshot.")
 	sample("latest_recovery_from_snapshot", boolGauge(d.RecoveredSnapshot))
+	gauge("latest_recovery_generation", "Snapshot generation startup restored from.")
+	sample("latest_recovery_generation", float64(d.RecoveredGeneration))
+	gauge("latest_recovery_fallback", "1 when recovery fell back past a corrupt newest snapshot generation.")
+	sample("latest_recovery_fallback", boolGauge(d.RecoveredFallback))
 }

@@ -21,16 +21,16 @@ func fullSnapshot() Snapshot {
 		{Estimator: "H4096", Reference: 1.1, Current: 2.9, Ratio: 2.64, Threshold: 2, Samples: 256, Drifted: true},
 	}
 	snap.Server = &ServerSample{
-		Addr:          "127.0.0.1:7070",
-		ConnsActive:   2,
-		ConnsAccepted: 9,
-		ConnsRejected: 1,
-		BytesIn:       4096,
-		BytesOut:      8192,
-		FramesIn:      120,
-		FramesOut:     118,
-		InFlight:      1,
-		FeedObjects:   900,
+		Addr:           "127.0.0.1:7070",
+		ConnsActive:    2,
+		ConnsAccepted:  9,
+		ConnsRejected:  1,
+		BytesIn:        4096,
+		BytesOut:       8192,
+		FramesIn:       120,
+		FramesOut:      118,
+		InFlight:       1,
+		FeedObjects:    900,
 		CoalescedFeeds: 7,
 		Ops: []ServerOp{
 			{Op: "feed", Requests: 80, Latency: hs},
@@ -42,19 +42,32 @@ func fullSnapshot() Snapshot {
 		TracesSampled: 5,
 	}
 	snap.Durable = &DurableSample{
-		Generation:        3,
-		WALAppends:        500,
-		WALBytes:          123456,
-		WALSyncs:          50,
-		WALRotations:      3,
-		Snapshots:         3,
-		LastSnapshotBytes: 6789,
-		RecoverySeconds:   0.125,
-		RecoveryWALRecords: 42,
-		RecoveredSnapshot: true,
-		AppendLatency:     hs,
-		SyncLatency:       hs,
-		SnapshotLatency:   hs,
+		Generation:          3,
+		State:               "degraded",
+		StateSeconds:        4.5,
+		WALAppends:          500,
+		WALBytes:            123456,
+		WALSyncs:            50,
+		WALRotations:        3,
+		WALErrors:           2,
+		StoreErrors:         1,
+		DroppedAppends:      17,
+		Degradations:        2,
+		RepairAttempts:      3,
+		Repairs:             1,
+		ErrorsTotal:         4,
+		LastErrors:          []DurableError{{UnixNanos: 1700000000000000000, Op: "wal-append", Err: "injected fault"}},
+		Snapshots:           3,
+		SnapshotErrors:      1,
+		LastSnapshotBytes:   6789,
+		RecoverySeconds:     0.125,
+		RecoveryWALRecords:  42,
+		RecoveredSnapshot:   true,
+		RecoveredGeneration: 2,
+		RecoveredFallback:   true,
+		AppendLatency:       hs,
+		SyncLatency:         hs,
+		SnapshotLatency:     hs,
 	}
 	return snap
 }

@@ -250,8 +250,8 @@ func TestDurableCrashRecovery(t *testing.T) {
 	}
 
 	recovered := newDurable(t, st) // crash: first incarnation abandoned
-	if err := recovered.Err(); err != nil {
-		t.Fatalf("recovery noted error: %v", err)
+	if h := recovered.Health(); !h.Healthy() || h.ErrorsTotal != 0 {
+		t.Fatalf("recovery health = %s with %d errors (%v), want clean healthy", h.State, h.ErrorsTotal, h.Errors)
 	}
 	if got := recovered.Generation(); got != 1 {
 		t.Fatalf("generation after recovery = %d, want 1", got)
@@ -336,6 +336,177 @@ func TestDurableCleanShutdown(t *testing.T) {
 	}
 	if reopened.Generation() == 0 {
 		t.Fatal("reopened engine did not load the shutdown snapshot")
+	}
+}
+
+// TestDurableFallbackRecovery: with two retained generations, corrupting
+// the newest snapshot must not lose anything — recovery falls back one
+// generation and replays both generations' WALs, landing byte-identical
+// to an uninterrupted control.
+func TestDurableFallbackRecovery(t *testing.T) {
+	st := NewMemStore()
+	dur := newDurable(t, st)
+	w := newWorkload(26)
+	warmEngine(t, dur, w)
+	if err := dur.SnapshotNow(context.Background()); err != nil { // gen 1
+		t.Fatal(err)
+	}
+	w.feed(dur, 300)                                              // WAL generation 1
+	if err := dur.SnapshotNow(context.Background()); err != nil { // gen 2
+		t.Fatal(err)
+	}
+	w.feed(dur, 200) // WAL generation 2
+	crashTS := w.ts
+
+	// Crash, then bit rot eats the newest snapshot generation.
+	data, err := st.Load(persist.SnapshotNameFor(2))
+	if err != nil {
+		t.Fatalf("load gen-2 snapshot: %v", err)
+	}
+	if err := st.Corrupt(persist.SnapshotNameFor(2), len(data)/2); err != nil {
+		t.Fatal(err)
+	}
+
+	control := testSystem(t)
+	cw := newWorkload(26)
+	cw.feed(control, 3000)
+	cw.drive(control, 160)
+	cw.feed(control, 300)
+	cw.feed(control, 200)
+	if cw.ts != crashTS {
+		t.Fatalf("control timestamp %d != durable timestamp %d", cw.ts, crashTS)
+	}
+
+	recovered := newDurable(t, st)
+	defer recovered.Shutdown(context.Background())
+	h := recovered.Health()
+	if !h.Healthy() {
+		t.Fatalf("fallback recovery left state %s", h.State)
+	}
+	if h.ErrorsTotal == 0 {
+		t.Fatal("fallback recovery recorded no error for the corrupt generation")
+	}
+	if !recovered.stats.recoveredFallback {
+		t.Fatal("recoveredFallback not set")
+	}
+	if got := recovered.stats.recoveredGen; got != 1 {
+		t.Fatalf("recovered from generation %d, want 1", got)
+	}
+	// d.gen must land past the corrupt generation so the next snapshot
+	// never reuses its number.
+	if got := recovered.Generation(); got != 2 {
+		t.Fatalf("generation after fallback = %d, want 2", got)
+	}
+	wa, wb := newWorkload(27), newWorkload(27)
+	wa.ts, wb.ts = crashTS, crashTS
+	if ta, tb := wa.drive(control, 60), wb.drive(recovered, 60); ta != tb {
+		t.Fatal("fallback-recovered engine diverges from uninterrupted control")
+	}
+	// The corrupt file was removed so retention never counts it again.
+	if _, err := st.Load(persist.SnapshotNameFor(2)); !IsNotExist(err) {
+		t.Fatalf("corrupt generation file still present (load err %v)", err)
+	}
+}
+
+// TestDurableAllGenerationsCorruptRefused: when every retained snapshot
+// fails its checksums, startup refuses with the typed corruption error —
+// silently starting fresh would be data loss.
+func TestDurableAllGenerationsCorruptRefused(t *testing.T) {
+	st := NewMemStore()
+	dur := newDurable(t, st)
+	w := newWorkload(28)
+	warmEngine(t, dur, w)
+	if err := dur.SnapshotNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	w.feed(dur, 100)
+	if err := dur.SnapshotNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range []uint64{1, 2} {
+		data, err := st.Load(persist.SnapshotNameFor(gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Corrupt(persist.SnapshotNameFor(gen), len(data)/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := NewDurable(testSystem(t), st, DurableConfig{WALSyncEvery: 1})
+	if PersistCode(err) != CodeCorrupt {
+		t.Fatalf("recover with all generations corrupt = %v, want CodeCorrupt", err)
+	}
+}
+
+// TestDurableDegradedRepair drives the state machine directly: an append
+// fault degrades the engine (serving continues, appends drop), RepairNow
+// commits a fresh generation and re-arms it, and the dropped feeds are in
+// that snapshot — a reopened engine has them.
+func TestDurableDegradedRepair(t *testing.T) {
+	inner := NewMemStore()
+	fst := persist.NewFaultStore(inner, persist.FaultRule{Op: persist.FaultAppend, Count: 1})
+	fst.SetEnabled(false)
+	dur, err := NewDurable(testSystem(t), fst, DurableConfig{WALSyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorkload(29)
+	warmEngine(t, dur, w)
+	fst.SetEnabled(true)
+
+	w.feed(dur, 10) // first append fires the fault and degrades
+	h := dur.Health()
+	if h.State != DurableDegraded {
+		t.Fatalf("state after append fault = %s, want degraded", h.State)
+	}
+	if h.Degradations != 1 || h.DroppedAppends != 10 || h.WALErrors == 0 {
+		t.Fatalf("health after fault = %+v, want 1 degradation, 10 dropped appends", h)
+	}
+	// Serving continues from memory while degraded.
+	if est, _ := w.query(dur); est < 0 {
+		t.Fatalf("degraded query estimate = %v", est)
+	}
+
+	if err := dur.RepairNow(context.Background()); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	h = dur.Health()
+	if !h.Healthy() || h.Repairs != 1 || h.RepairAttempts != 1 {
+		t.Fatalf("health after repair = %+v, want healthy with 1 repair", h)
+	}
+	w.feed(dur, 5) // healthy again: these hit the fresh WAL
+	if n := dur.WALAppends(); n != 5 {
+		t.Fatalf("appends after repair = %d, want 5", n)
+	}
+	crashTS := w.ts
+
+	// Control: the same stream — warm, the 10 feeds that were dropped from
+	// the WAL, the degraded-mode query, the 5 post-repair feeds — with no
+	// faults anywhere.
+	control := testSystem(t)
+	cw := newWorkload(29)
+	cw.feed(control, 3000)
+	cw.drive(control, 160)
+	cw.feed(control, 10)
+	cw.query(control)
+	cw.feed(control, 5)
+	if cw.ts != crashTS {
+		t.Fatalf("control timestamp %d != durable timestamp %d", cw.ts, crashTS)
+	}
+
+	// Crash (abandon) and reopen: the dropped feeds were captured by the
+	// repair snapshot, the post-repair feeds by the fresh WAL — nothing
+	// acknowledged after the repair is lost.
+	fst.SetEnabled(false)
+	reopened, err := NewDurable(testSystem(t), fst, DurableConfig{WALSyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Shutdown(context.Background())
+	wa, wb := newWorkload(30), newWorkload(30)
+	wa.ts, wb.ts = crashTS, crashTS
+	if ta, tb := wa.drive(control, 40), wb.drive(reopened, 40); ta != tb {
+		t.Fatal("reopened engine diverges from the uninterrupted control")
 	}
 }
 

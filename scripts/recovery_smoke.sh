@@ -38,7 +38,11 @@ wait_addr_file() { # file
 }
 
 statusz_window() { # admin-addr
-    curl -sf "http://$1/statusz" | grep -o '"window_size": *[0-9]*' | head -1 | grep -o '[0-9]*$'
+    # Buffer the body first: under pipefail, grep/head closing the pipe
+    # early turns curl's EPIPE (exit 23) into a phantom failure.
+    local body
+    body=$(curl -sf "http://$1/statusz") || return 1
+    grep -o '"window_size": *[0-9]*' <<<"$body" | head -1 | grep -o '[0-9]*$'
 }
 
 start_daemon() { # addr-file out err
@@ -99,8 +103,15 @@ wait_gone "$PID"
 grep -q 'latestd final snapshot gen=' "$WORK/run2.out" || {
     echo "FAIL: drain did not take a final snapshot"; cat "$WORK/run2.out"; exit 1; }
 
-echo "== phase 3: corrupt snapshot, startup must refuse with the typed reason =="
-printf 'XXXX' | dd of="$DATA/snapshot.snap" bs=1 count=4 conv=notrunc status=none
+echo "== phase 3: corrupt every snapshot generation, startup must refuse with the typed reason =="
+# One corrupt generation falls back to the previous one (that path is
+# exercised by disk_chaos_smoke.sh); only a data dir with no valid
+# generation at all is a refusal.
+ls "$DATA"/snapshot*.snap >/dev/null 2>&1 || {
+    echo "FAIL: no snapshot files in $DATA"; ls -la "$DATA"; exit 1; }
+for snap in "$DATA"/snapshot*.snap; do
+    printf 'XXXX' | dd of="$snap" bs=1 count=4 conv=notrunc status=none
+done
 if "$LATESTD" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
     -engine concurrent -window 10m -data-dir "$DATA" \
     >"$WORK/run3.out" 2>"$WORK/run3.err"; then
