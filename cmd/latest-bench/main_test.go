@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -108,6 +109,85 @@ func TestQueryBenchJSONOut(t *testing.T) {
 	}
 	if _, err := os.Stat(outPath); err != nil {
 		t.Errorf("-out file not written: %v", err)
+	}
+}
+
+func TestIngestMatrixSmoke(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_ingest.json")
+	code, stdout, stderr := runBench(t,
+		"-exp", "ingest-matrix", "-objects", "4000", "-batch", "64",
+		"-shards-list", "1,2", "-producers-list", "1,2", "-json", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var res ingestMatrixResult
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("ingest-matrix -json stdout is not JSON: %v\n%s", err, stdout)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("matrix has %d cells, want 4 (2 shards × 2 producers)", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.WindowSize != 4000 {
+			t.Errorf("cell shards=%d producers=%d: window %d, want 4000 (objects lost in pipeline)",
+				c.Shards, c.Producers, c.WindowSize)
+		}
+		if c.ObjectsSec <= 0 {
+			t.Errorf("cell shards=%d producers=%d: nonpositive throughput", c.Shards, c.Producers)
+		}
+		if c.Shards > 1 && c.SpeedupVs1Shard <= 0 {
+			t.Errorf("cell shards=%d producers=%d: missing speedup vs 1-shard baseline", c.Shards, c.Producers)
+		}
+	}
+	// The CI scaling gate greps these exact keys; keep them stable.
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"objects_per_sec"`, `"batch_p99_ms"`, `"speedup_vs_1shard"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("-out file missing key %s", key)
+		}
+	}
+}
+
+// TestIngestMatrixGate pins the gate's host-awareness: on a sub-4-CPU host
+// an unmeetable floor must skip (exit 0, reason recorded); on a multi-core
+// host a trivially meetable floor must enforce and pass.
+func TestIngestMatrixGate(t *testing.T) {
+	code, stdout, stderr := runBench(t,
+		"-exp", "ingest-matrix", "-objects", "3000", "-batch", "64",
+		"-shards-list", "1,2", "-producers-list", "2", "-min-speedup", "1000", "-json")
+	var res ingestMatrixResult
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout)
+	}
+	if res.Gate == nil {
+		t.Fatal("gate result missing from output")
+	}
+	if runtime.NumCPU() < 4 {
+		if code != 0 || res.Gate.Enforced {
+			t.Errorf("sub-4-CPU host: gate must skip, got exit %d enforced=%t (stderr: %s)",
+				code, res.Gate.Enforced, stderr)
+		}
+		if !strings.Contains(res.Gate.Reason, "skipped") {
+			t.Errorf("gate reason %q does not record the skip", res.Gate.Reason)
+		}
+	} else {
+		// A 1000x floor is unmeetable anywhere: the gate must enforce and fail.
+		if code != 1 || !res.Gate.Enforced {
+			t.Errorf("multi-core host: unmeetable floor must fail, got exit %d enforced=%t", code, res.Gate.Enforced)
+		}
+	}
+}
+
+func TestIngestMatrixBadList(t *testing.T) {
+	code, _, stderr := runBench(t, "-exp", "ingest-matrix", "-shards-list", "1,zero")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (usage error)", code)
+	}
+	if !strings.Contains(stderr, "shards-list") {
+		t.Errorf("stderr does not name the bad flag:\n%s", stderr)
 	}
 }
 

@@ -1,0 +1,96 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/replay"
+)
+
+// golden_sharded.go replays the golden trace through a 1-shard
+// ShardedSystem with the ingest pipeline ON: objects flow through the
+// shard's bounded feed queue and are applied by its worker goroutine, and
+// the observable output must still be byte-identical to the monolithic
+// goldens. That is the determinism proof for the pipeline — hand-off order
+// is apply order within a shard, and the query path's drain barrier gives
+// single-threaded callers read-your-writes semantics.
+
+// engineView abstracts the observables a golden report line reads, so one
+// formatter serves both the monolithic System and the sharded engine.
+type engineView interface {
+	ActiveName() string
+	Phase() latest.Phase
+	WindowSize() int
+	Decisions() []latest.Decision
+}
+
+// sysView adapts *latest.System to engineView.
+type sysView struct{ *latest.System }
+
+func (v sysView) ActiveName() string { return v.ActiveEstimator() }
+
+// shardedView adapts *latest.ShardedSystem to engineView (1-shard use:
+// the golden replays pin shard 0's observables).
+type shardedView struct{ *latest.ShardedSystem }
+
+func (v shardedView) ActiveName() string           { return v.ActiveEstimators()[0] }
+func (v shardedView) Decisions() []latest.Decision { return v.Stats().Decisions }
+
+// RunGoldenSharded replays the trace from r through a 1-shard pipelined
+// ShardedSystem and returns the same golden-comparable count report and
+// decision trace as RunGolden. Synchronous prefill keeps switch-candidate
+// warming on the query path (the monolithic behaviour); ingest stays on
+// the pipeline — the property under test.
+func RunGoldenSharded(r io.Reader, cfg GoldenConfig) (counts, decisions string, err error) {
+	world := goldenWorld()
+	opts := append(goldenOptions(cfg),
+		latest.WithShards(1),
+		latest.WithSynchronousPrefill(),
+	)
+	s, err := latest.NewSharded(world, cfg.Window, opts...)
+	if err != nil {
+		return "", "", fmt.Errorf("check: build golden ShardedSystem: %w", err)
+	}
+	defer s.Close()
+	view := shardedView{s}
+
+	qm := newQueryMaker(cfg.Seed, world)
+	var report strings.Builder
+	reader := replay.NewReader(r)
+	fed, qi := 0, 0
+	var lastTS int64
+	for {
+		o, rerr := reader.Next()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return "", "", rerr
+		}
+		s.Feed(o)
+		qm.observe(&o)
+		lastTS = o.Timestamp
+		fed++
+		if fed%cfg.ObjectsPerQuery != 0 {
+			continue
+		}
+		q := qm.next(lastTS)
+		est, actual := s.EstimateAndExecute(&q)
+		reportLine(&report, qi, &q, est, actual, view)
+		qi++
+	}
+	return report.String(), renderDecisions(view.Decisions()), nil
+}
+
+// RunGoldenShardedFile is RunGoldenSharded over a trace file path.
+func RunGoldenShardedFile(tracePath string, cfg GoldenConfig) (counts, decisions string, err error) {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return "", "", err
+	}
+	defer f.Close()
+	return RunGoldenSharded(f, cfg)
+}

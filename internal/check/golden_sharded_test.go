@@ -1,0 +1,52 @@
+package check
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenReplayShardedPipeline is the pipeline determinism regression:
+// the golden trace replayed through a 1-shard ShardedSystem with the
+// ingest pipeline ON must match the monolithic System's golden files
+// byte-for-byte — counts AND switch decisions. Never refresh the goldens
+// from this runner; if it diverges, the pipeline broke per-shard feed
+// order (or the drain barrier stopped giving read-your-writes).
+func TestGoldenReplayShardedPipeline(t *testing.T) {
+	counts, decisions, err := RunGoldenShardedFile(
+		filepath.Join(goldenDir, traceFile), DefaultGoldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(decisions, "switch=") {
+		t.Fatal("sharded replay recorded no switches; the scenario is not exercising the adaptor")
+	}
+	compareGolden(t, filepath.Join(goldenDir, countsGolden), counts)
+	compareGolden(t, filepath.Join(goldenDir, decisionGolden), decisions)
+}
+
+// TestGoldenRecoveryPipelinedDrain is the crash-during-drain oracle: a
+// pipelined 1-shard engine under the durable layer takes a snapshot at
+// object 2000 (which must first drain the feed queue), feeds a 400-object
+// WAL tail that may still be sitting in the queue when the SIGKILL-style
+// crash lands, and recovers from snapshot + WAL replay. Byte-identity with
+// the uninterrupted pipelined control run proves both drain orderings: the
+// snapshot carried everything handed to the pipeline before it, and the
+// WAL carried everything the crash left queued.
+func TestGoldenRecoveryPipelinedDrain(t *testing.T) {
+	objs := loadGoldenTrace(t)
+	control, recovered, err := RunGoldenRecovery(objs, RecoveryConfig{
+		Golden:         DefaultGoldenConfig(),
+		SnapshotAt:     2000,
+		WALTailObjects: 400,
+		Pipelined:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(control.Decisions, "switch=") {
+		t.Fatal("control run recorded no switches; the scenario is not exercising the adaptor")
+	}
+	diffReplays(t, "count report", control.Counts, recovered.Counts)
+	diffReplays(t, "decision trace", control.Decisions, recovered.Decisions)
+}

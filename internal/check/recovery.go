@@ -65,10 +65,11 @@ func LoadTrace(r io.Reader) ([]stream.Object, error) {
 }
 
 // reportLine appends one golden count-report line; every runner goes
-// through here so the formats can never drift apart.
-func reportLine(b *strings.Builder, qi int, q *latest.Query, est float64, actual int, sys *latest.System) {
+// through here so the formats can never drift apart. The engineView
+// indirection lets monolithic and sharded incarnations share it.
+func reportLine(b *strings.Builder, qi int, q *latest.Query, est float64, actual int, v engineView) {
 	fmt.Fprintf(b, "q=%04d type=%-7s est=%.6f actual=%d active=%s phase=%s window=%d\n",
-		qi, q.Type(), est, actual, sys.ActiveEstimator(), phaseName(sys.Phase()), sys.WindowSize())
+		qi, q.Type(), est, actual, v.ActiveName(), phaseName(v.Phase()), v.WindowSize())
 }
 
 // renderDecisions formats the switch-decision trace; same single-source
@@ -111,6 +112,15 @@ type RecoveryConfig struct {
 	// the fallback chain is losing state. Requires SecondSnapshotAt:
 	// corrupting the only snapshot is the refusal case, not fallback.
 	CorruptLatest bool
+	// Pipelined runs both incarnations as 1-shard ShardedSystems with the
+	// ingest pipeline on: every feed is write-ahead logged, then handed to
+	// the shard's bounded feed queue. The crash at the end of the WAL tail
+	// lands while tail objects may still be queued but unapplied — the
+	// crash-during-drain case — and any snapshot taken must first drain
+	// the queue or it would persist a state the WAL generation before it
+	// already superseded. Recovery replays the WAL into a fresh pipelined
+	// engine and must come out byte-identical to the control run.
+	Pipelined bool
 }
 
 // RunGoldenRecovery replays the golden trace through an engine that is
@@ -170,18 +180,31 @@ type Replay struct {
 func runGoldenSegmented(objs []stream.Object, rc RecoveryConfig, gapStart, gapEnd, crashAt int) (Replay, error) {
 	cfg := rc.Golden
 	world := goldenWorld()
-	build := func() (*latest.System, error) {
-		return latest.New(world, cfg.Window, goldenOptions(cfg)...)
+	build := func() (latest.Engine, engineView, error) {
+		if rc.Pipelined {
+			opts := append(goldenOptions(cfg),
+				latest.WithShards(1), latest.WithSynchronousPrefill())
+			s, err := latest.NewSharded(world, cfg.Window, opts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, shardedView{s}, nil
+		}
+		s, err := latest.New(world, cfg.Window, goldenOptions(cfg)...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, sysView{s}, nil
 	}
-	sys, err := build()
+	base, view, err := build()
 	if err != nil {
 		return Replay{}, err
 	}
 
-	var eng latest.Engine = sys
+	eng := base
 	store := latest.NewMemStore()
 	if crashAt >= 0 {
-		dur, derr := latest.NewDurable(sys, store, latest.DurableConfig{WALSyncEvery: 1})
+		dur, derr := latest.NewDurable(base, store, latest.DurableConfig{WALSyncEvery: 1})
 		if derr != nil {
 			return Replay{}, derr
 		}
@@ -207,7 +230,7 @@ func runGoldenSegmented(objs []stream.Object, rc RecoveryConfig, gapStart, gapEn
 		if fed%cfg.ObjectsPerQuery == 0 && !(fed > gapStart && fed <= gapEnd) {
 			q := qm.next(lastTS)
 			est, actual := eng.EstimateAndExecute(&q)
-			reportLine(&report, qi, &q, est, actual, sys)
+			reportLine(&report, qi, &q, est, actual, view)
 			qi++
 		}
 
@@ -231,13 +254,15 @@ func runGoldenSegmented(objs []stream.Object, rc RecoveryConfig, gapStart, gapEn
 				}
 			}
 			// Crash: abandon the incarnation without Shutdown and recover a
-			// fresh one from the store. Everything since the restored
+			// fresh one from the store — under Pipelined, with whatever the
+			// abandoned incarnation still had queued left unapplied, exactly
+			// as a SIGKILL mid-drain would. Everything since the restored
 			// snapshot must come back out of the WAL chain.
-			sys, err = build()
+			base, view, err = build()
 			if err != nil {
 				return Replay{}, err
 			}
-			dur, derr := latest.NewDurable(sys, store, latest.DurableConfig{WALSyncEvery: 1})
+			dur, derr := latest.NewDurable(base, store, latest.DurableConfig{WALSyncEvery: 1})
 			if derr != nil {
 				return Replay{}, fmt.Errorf("recover at object %d: %w", fed, derr)
 			}
@@ -247,5 +272,5 @@ func runGoldenSegmented(objs []stream.Object, rc RecoveryConfig, gapStart, gapEn
 			eng = dur
 		}
 	}
-	return Replay{Counts: report.String(), Decisions: renderDecisions(sys.Decisions()), Fallback: fellBack}, nil
+	return Replay{Counts: report.String(), Decisions: renderDecisions(view.Decisions()), Fallback: fellBack}, nil
 }

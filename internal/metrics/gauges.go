@@ -32,19 +32,31 @@ type ShardGauges struct {
 	validationClamped  atomic.Uint64
 	prefillQueueFull   atomic.Uint64
 
+	// ingestRate is the rolling per-second feed rate, merged from its ring
+	// only at read time; ingestBacklog is the shard's queued-but-unapplied
+	// pipeline chunk count and ingestBackpressure counts hand-offs that
+	// found the queue full and had to block.
+	ingestRate         RollingCounter
+	ingestBacklog      atomic.Int64
+	ingestBackpressure atomic.Uint64
+
 	feedHist  telemetry.Histogram // sampled single-object ingests
 	batchHist telemetry.Histogram // whole FeedBatch calls
 	queryHist telemetry.Histogram // estimate/execute cycles
 }
 
 // RecordFeeds counts n single-object ingests without sampling.
-func (g *ShardGauges) RecordFeeds(n int) { g.feeds.Add(uint64(n)) }
+func (g *ShardGauges) RecordFeeds(n int) {
+	g.feeds.Add(uint64(n))
+	g.ingestRate.Add(time.Now(), n)
+}
 
 // RecordFeed counts one single-object ingest and reports whether the
 // caller should time this one (1 in FeedSampleInterval) and hand the
 // duration to RecordFeedLatency. The sampling decision rides on the feed
 // counter itself, so the unsampled hot path pays exactly one atomic add.
 func (g *ShardGauges) RecordFeed() (sample bool) {
+	g.ingestRate.Add(time.Now(), 1)
 	return g.feeds.Add(1)&(FeedSampleInterval-1) == 0
 }
 
@@ -54,6 +66,7 @@ func (g *ShardGauges) RecordFeedLatency(d time.Duration) { g.feedHist.Record(d) 
 // RecordBatch counts one ingested batch of n objects and its duration.
 func (g *ShardGauges) RecordBatch(n int, d time.Duration) {
 	g.feeds.Add(uint64(n))
+	g.ingestRate.Add(time.Now(), n)
 	g.batchHist.Record(d)
 }
 
@@ -91,6 +104,16 @@ func (g *ShardGauges) RecordValidationClamped() { g.validationClamped.Add(1) }
 // signal that the queue depth is undersized for the switch rate.
 func (g *ShardGauges) RecordPrefillQueueFull() { g.prefillQueueFull.Add(1) }
 
+// RecordIngestBackpressure counts one feed hand-off that found the shard's
+// ingest queue full and blocked until the feed worker caught up — the
+// signal that the queue depth (or the shard count) is undersized for the
+// producer rate.
+func (g *ShardGauges) RecordIngestBackpressure() { g.ingestBackpressure.Add(1) }
+
+// SetIngestBacklog publishes the shard's queued-but-unapplied ingest
+// pipeline chunk count.
+func (g *ShardGauges) SetIngestBacklog(n int) { g.ingestBacklog.Store(int64(n)) }
+
 // SetOccupancy publishes the shard's live window size.
 func (g *ShardGauges) SetOccupancy(n int) { g.occupancy.Store(int64(n)) }
 
@@ -116,6 +139,14 @@ type GaugeSnapshot struct {
 	// PrefillQueueFull counts deferred pre-fills that hit a full queue and
 	// fell back to an inline replay (backpressure events).
 	PrefillQueueFull uint64
+	// IngestRatePerSec is the trailing mean feed rate (objects/second over
+	// the last RollingWindowSeconds completed seconds).
+	IngestRatePerSec float64
+	// IngestBacklog is the number of routed chunks queued to the shard's
+	// feed worker but not yet applied; IngestBackpressure counts hand-offs
+	// that found the queue full and blocked.
+	IngestBacklog      int
+	IngestBackpressure uint64
 	// AvgBatchLatency is the mean wall-clock duration per ingested batch,
 	// kept for dashboards that want a single number (derived from the
 	// histogram).
@@ -144,10 +175,13 @@ func (g *ShardGauges) Snapshot() GaugeSnapshot {
 		ValidationRejected: g.validationRejected.Load(),
 		ValidationClamped:  g.validationClamped.Load(),
 		PrefillQueueFull:   g.prefillQueueFull.Load(),
+		IngestRatePerSec:   g.ingestRate.RateAt(time.Now()),
+		IngestBacklog:      int(g.ingestBacklog.Load()),
+		IngestBackpressure: g.ingestBackpressure.Load(),
 		Occupancy:          int(g.occupancy.Load()),
-		FeedLatency:    g.feedHist.Snapshot(),
-		BatchLatency:   g.batchHist.Snapshot(),
-		QueryLatency:   g.queryHist.Snapshot(),
+		FeedLatency:        g.feedHist.Snapshot(),
+		BatchLatency:       g.batchHist.Snapshot(),
+		QueryLatency:       g.queryHist.Snapshot(),
 	}
 	s.Batches = s.BatchLatency.Count
 	s.Queries = s.QueryLatency.Count

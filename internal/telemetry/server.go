@@ -39,6 +39,15 @@ type ShardSample struct {
 	ValidationClamped  uint64 `json:"validation_clamped,omitempty"`
 	PrefillQueueFull   uint64 `json:"prefill_queue_full,omitempty"`
 
+	// IngestRatePerSec is the shard's trailing mean feed rate (objects per
+	// second over the last ten completed seconds); IngestBacklog the routed
+	// chunks queued to the shard's feed worker but not yet applied; and
+	// IngestBackpressure the feed hand-offs that found the queue full and
+	// blocked.
+	IngestRatePerSec   float64 `json:"ingest_rate_per_sec"`
+	IngestBacklog      int     `json:"ingest_backlog,omitempty"`
+	IngestBackpressure uint64  `json:"ingest_backpressure,omitempty"`
+
 	// Resilience is the shard's fault-isolation health: per-estimator
 	// breaker states and fault counters plus fallback-answer counts.
 	Resilience ResilienceStats `json:"resilience,omitempty"`
@@ -378,6 +387,18 @@ func WriteProm(w interface{ Write([]byte) (int, error) }, snap Snapshot) {
 	counter("latest_prefill_queue_full_total", "Deferred pre-fills that found the queue full and replayed inline, per shard.")
 	for _, sh := range snap.Shards {
 		sample("latest_prefill_queue_full_total", shardLabel(sh.Index), float64(sh.PrefillQueueFull))
+	}
+	gauge("latest_ingest_rate", "Trailing mean feed rate per shard (objects/second over the last ten completed seconds).")
+	for _, sh := range snap.Shards {
+		sample("latest_ingest_rate", shardLabel(sh.Index), sh.IngestRatePerSec)
+	}
+	gauge("latest_ingest_backlog", "Routed chunks queued to the shard's feed worker but not yet applied.")
+	for _, sh := range snap.Shards {
+		sample("latest_ingest_backlog", shardLabel(sh.Index), float64(sh.IngestBacklog))
+	}
+	counter("latest_ingest_backpressure_total", "Feed hand-offs that found the shard's ingest queue full and blocked, per shard.")
+	for _, sh := range snap.Shards {
+		sample("latest_ingest_backpressure_total", shardLabel(sh.Index), float64(sh.IngestBackpressure))
 	}
 	counter("latest_faults_total", "Estimator faults contained by the guard, per shard, estimator and kind.")
 	for _, sh := range snap.Shards {

@@ -236,6 +236,14 @@ type config struct {
 	// (zero = 4). A full queue falls back to an inline replay, counted in
 	// the PrefillQueueFull gauge. New and NewConcurrent ignore it.
 	PrefillQueueDepth int
+	// IngestQueueDepth bounds each shard's ingest pipeline queue in routed
+	// chunks (zero = 8). A full queue blocks the producer, counted in the
+	// IngestBackpressure gauge. New and NewConcurrent reject it.
+	IngestQueueDepth int
+	// SyncIngest makes ShardedSystem apply feeds under the shard lock on
+	// the calling goroutine instead of the shard's feed worker. New and
+	// NewConcurrent always ingest synchronously and reject it.
+	SyncIngest bool
 	// LatencyModel, when non-nil, replaces wall-clock estimator latency
 	// measurement in the switching model's training signal. Correctness
 	// harnesses use it to make latency-sensitive switching decisions
@@ -443,6 +451,12 @@ func validateOptions(cfg *config, kind engineKind) error {
 		if cfg.PrefillQueueDepth != 0 {
 			return optionErr("WithPrefillQueueDepth", kind, "only a ShardedSystem defers prefills to a queue")
 		}
+		if cfg.IngestQueueDepth != 0 {
+			return optionErr("WithIngestQueueDepth", kind, "only a ShardedSystem pipelines ingest through per-shard queues")
+		}
+		if cfg.SyncIngest {
+			return optionErr("WithSynchronousIngest", kind, "this engine always ingests synchronously")
+		}
 	}
 	if kind == kindSingle && cfg.TelemetryAddr != "" {
 		return optionErr("WithTelemetry", kind, "a single-goroutine System cannot be scraped concurrently with traffic; use NewConcurrent or NewSharded")
@@ -477,6 +491,7 @@ func validateOptions(cfg *config, kind engineKind) error {
 		{"CooldownQueries", cfg.CooldownQueries},
 		{"TraceDepth", cfg.TraceDepth},
 		{"PrefillQueueDepth", cfg.PrefillQueueDepth},
+		{"IngestQueueDepth", cfg.IngestQueueDepth},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("latest: %s must be non-negative, got %d", f.name, f.v)

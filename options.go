@@ -193,6 +193,27 @@ func WithPrefillQueueDepth(n int) Option {
 	return func(c *config) { c.PrefillQueueDepth = n }
 }
 
+// WithIngestQueueDepth bounds each shard's ingest pipeline queue, in
+// routed chunks — one chunk per Feed call or per FeedBatch sub-batch
+// (default 8). A producer that finds the queue full blocks until the
+// shard's feed worker catches up; those stalls are counted in the
+// IngestBackpressure gauge. New and NewConcurrent reject it.
+func WithIngestQueueDepth(n int) Option {
+	return func(c *config) { c.IngestQueueDepth = n }
+}
+
+// WithSynchronousIngest disables a ShardedSystem's per-shard ingest
+// pipelines: Feed and FeedBatch apply objects under the shard lock on the
+// calling goroutine instead of handing them to the shard's feed worker.
+// Routing is still single-pass; what is lost is the producer/apply overlap
+// and the single-writer gauge path. Mainly for benchmark baselines and for
+// callers that need the apply completed when the call returns without
+// paying a drain. New and NewConcurrent are always synchronous and reject
+// it.
+func WithSynchronousIngest() Option {
+	return func(c *config) { c.SyncIngest = true }
+}
+
 // buildConfig folds options into a Config carrying the world and window.
 func buildConfig(world Rect, window time.Duration, opts []Option) config {
 	cfg := config{World: world, Window: window}

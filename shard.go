@@ -16,13 +16,16 @@ import (
 
 // ShardedSystem partitions the world rectangle into a grid of spatial
 // shards, each owning its own exact window store and estimator fleet
-// behind its own lock. Ingest locks only the shard an object's location
-// routes to, so producers on different shards proceed in parallel; queries
-// fan out to the shards whose rectangles intersect the query range
-// (keyword-only queries to all shards) and merge the partial counts. The
-// RC-DVQ count over a rectangle decomposes exactly over a spatial
-// partition — every object lives in exactly one shard — so merged exact
-// counts equal a monolithic System's.
+// behind its own lock. Ingest is pipelined: a producer routes a batch once
+// into per-shard sub-batches and hands each to the owning shard's bounded
+// feed queue, where the shard's dedicated worker applies it — producers
+// never hold shard locks, and feeds within a shard keep their hand-off
+// order. Queries fan out to the shards whose rectangles intersect the
+// query range (keyword-only queries to all shards), first waiting for each
+// target shard's queued feeds to land so callers always read their own
+// writes, and merge the partial counts. The RC-DVQ count over a rectangle
+// decomposes exactly over a spatial partition — every object lives in
+// exactly one shard — so merged exact counts equal a monolithic System's.
 //
 // Each shard runs its own LATEST module: its own learning model, its own
 // active estimator, its own switching decisions. Shards covering different
@@ -49,9 +52,16 @@ type ShardedSystem struct {
 	shards []*shard
 
 	syncPrefill bool
+	syncIngest  bool
 	policy      ValidationPolicy
 
 	telem *telemetry.Server
+
+	// bufPool recycles the pipeline's routed sub-batch buffers (ownership
+	// transfers to the shard worker, which returns them after applying);
+	// bucketPool recycles the per-FeedBatch bucket arrays indexed by shard.
+	bufPool    sync.Pool
+	bucketPool sync.Pool
 
 	closeOnce sync.Once
 	workers   sync.WaitGroup
@@ -76,6 +86,26 @@ type shard struct {
 	gauges metrics.ShardGauges
 	log    *telemetry.Logger
 
+	// feedCh is the shard's bounded ingest pipeline: producers enqueue
+	// routed chunks (never holding mu) and the shard's dedicated feed
+	// worker — the channel's only receiver — applies them in FIFO order,
+	// so feeds within a shard stay strictly ordered and all hot-path gauge
+	// recording has a single writer. A full queue blocks the producer
+	// (backpressure, counted in the IngestBackpressure gauge). Nil under
+	// WithSynchronousIngest.
+	feedCh chan ingestChunk
+
+	// feedQueued counts enqueued-but-unapplied chunks (guarded by feedMu;
+	// incremented by the producer before the channel send, decremented by
+	// the worker after the apply). drainFeeds waits on feedIdle until it
+	// reaches zero — the barrier the query, stats and snapshot paths use
+	// to keep read-your-writes semantics. feedClosed marks the pipeline
+	// shut: later feeds apply inline under the shard lock instead.
+	feedMu     sync.Mutex
+	feedIdle   *sync.Cond
+	feedQueued int
+	feedClosed bool
+
 	// refillCh carries deferred pre-fill work to the shard's background
 	// goroutine. Senders hold mu; the worker acquires mu per task, so the
 	// channel must never be sent to while blocking — enqueue falls back to
@@ -99,6 +129,136 @@ func (sh *shard) awaitPrefillsLocked() {
 	for sh.prefillPending > 0 {
 		sh.prefillIdle.Wait()
 	}
+}
+
+// ingestChunk is one unit of pipeline work: either a single object
+// (inline, allocation-free) or a routed sub-batch. owned marks buffers
+// drawn from the system's pool, returned there after the apply; a
+// caller-owned slice (synchronous ingest) is never pooled.
+type ingestChunk struct {
+	obj    Object
+	objs   []Object
+	single bool
+	owned  bool
+}
+
+// enqueue hands one routed chunk to the shard's feed worker, blocking
+// while the bounded queue is full. It returns false when the pipeline is
+// closed (or was never started); the caller applies the chunk inline.
+func (sh *shard) enqueue(c ingestChunk) bool {
+	if sh.feedCh == nil {
+		return false
+	}
+	sh.feedMu.Lock()
+	if sh.feedClosed {
+		sh.feedMu.Unlock()
+		return false
+	}
+	sh.feedQueued++
+	sh.feedMu.Unlock()
+	if len(sh.feedCh) == cap(sh.feedCh) {
+		sh.gauges.RecordIngestBackpressure()
+	}
+	sh.feedCh <- c
+	return true
+}
+
+// drainFeeds blocks until every chunk handed to the shard's feed worker
+// before the call has been applied. Chunks enqueued concurrently with the
+// wait may or may not be covered; callers needing a cut that is stable
+// across all shards must quiesce producers first (DurableEngine's write
+// lock does).
+func (sh *shard) drainFeeds() {
+	if sh.feedCh == nil {
+		return
+	}
+	sh.feedMu.Lock()
+	for sh.feedQueued > 0 {
+		sh.feedIdle.Wait()
+	}
+	sh.feedMu.Unlock()
+}
+
+// feedWorker is a shard's dedicated ingest goroutine: the only receiver of
+// feedCh and — with producers off the apply path — the only writer of the
+// shard's feed/batch/occupancy gauges, so hot-path recording never
+// contends across cores.
+func (s *ShardedSystem) feedWorker(sh *shard, ch <-chan ingestChunk) {
+	defer s.workers.Done()
+	for c := range ch {
+		s.applyChunk(sh, c)
+		sh.feedMu.Lock()
+		sh.feedQueued--
+		sh.gauges.SetIngestBacklog(sh.feedQueued)
+		if sh.feedQueued == 0 {
+			sh.feedIdle.Broadcast()
+		}
+		sh.feedMu.Unlock()
+	}
+}
+
+// applyChunk ingests one chunk under the shard lock, records the shard's
+// ingest gauges, and returns pooled buffers. Runs on the shard's feed
+// worker, or inline on the producer in synchronous mode and after Close.
+func (s *ShardedSystem) applyChunk(sh *shard, c ingestChunk) {
+	if c.single {
+		sampled := sh.gauges.RecordFeed()
+		var start time.Time
+		if sampled {
+			start = time.Now()
+		}
+		sh.mu.Lock()
+		sh.feedLocked(&c.obj)
+		occ := sh.sys.window.Size()
+		sh.mu.Unlock()
+		if sampled {
+			sh.gauges.RecordFeedLatency(time.Since(start))
+		}
+		sh.gauges.SetOccupancy(occ)
+		return
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	for i := range c.objs {
+		sh.feedLocked(&c.objs[i])
+	}
+	occ := sh.sys.window.Size()
+	sh.mu.Unlock()
+	sh.gauges.RecordBatch(len(c.objs), time.Since(start))
+	sh.gauges.SetOccupancy(occ)
+	if c.owned {
+		s.putBuf(c.objs)
+	}
+}
+
+// getBuf returns an empty pooled sub-batch buffer.
+func (s *ShardedSystem) getBuf() []Object {
+	if v := s.bufPool.Get(); v != nil {
+		return (*(v.(*[]Object)))[:0]
+	}
+	return make([]Object, 0, 512)
+}
+
+// putBuf recycles a sub-batch buffer, clearing it first so pooled memory
+// pins no object keyword slices.
+func (s *ShardedSystem) putBuf(b []Object) {
+	b = b[:cap(b)]
+	clear(b)
+	b = b[:0]
+	s.bufPool.Put(&b)
+}
+
+// getBuckets returns a per-shard bucket array for one FeedBatch routing
+// pass; entries are nil until a shard receives its first object.
+func (s *ShardedSystem) getBuckets() [][]Object {
+	if v := s.bucketPool.Get(); v != nil {
+		return *(v.(*[][]Object))
+	}
+	return make([][]Object, len(s.shards))
+}
+
+func (s *ShardedSystem) putBuckets(b [][]Object) {
+	s.bucketPool.Put(&b)
 }
 
 // refillTask is one deferred pre-fill: replay the window objects that
@@ -149,11 +309,16 @@ func newSharded(cfg config) (*ShardedSystem, error) {
 		ys:          partitionEdges(cfg.World.MinY, cfg.World.MaxY, rows),
 		shards:      make([]*shard, n),
 		syncPrefill: cfg.SyncPrefill,
+		syncIngest:  cfg.SyncIngest,
 		policy:      cfg.Validation,
 	}
 	queueDepth := cfg.PrefillQueueDepth
 	if queueDepth == 0 {
 		queueDepth = 4
+	}
+	ingestDepth := cfg.IngestQueueDepth
+	if ingestDepth == 0 {
+		ingestDepth = 8
 	}
 	baseLog := telemetry.NewLogger(cfg.LogOutput, cfg.LogLevel)
 	for i := range s.shards {
@@ -164,6 +329,10 @@ func newSharded(cfg config) (*ShardedSystem, error) {
 			log:  baseLog.Named(component),
 		}
 		sh.prefillIdle = sync.NewCond(&sh.mu)
+		sh.feedIdle = sync.NewCond(&sh.feedMu)
+		if !s.syncIngest {
+			sh.feedCh = make(chan ingestChunk, ingestDepth)
+		}
 		shardCfg := cfg
 		shardCfg.World = sh.rect
 		// Shard 0 keeps the configured seed so a 1-shard system matches
@@ -214,6 +383,10 @@ func newSharded(cfg config) (*ShardedSystem, error) {
 			// channel until it is closed.
 			go s.refillWorker(sh, sh.refillCh)
 		}
+		if sh.feedCh != nil {
+			s.workers.Add(1)
+			go s.feedWorker(sh, sh.feedCh)
+		}
 	}
 	// The sharded fingerprint derives from the top-level options (shard
 	// systems see derived worlds and seeds); the fleet is identical across
@@ -250,15 +423,38 @@ func (s *ShardedSystem) refillWorker(sh *shard, ch <-chan refillTask) {
 	}
 }
 
-// Close stops the telemetry server (if one was started) and the background
-// prefill workers, waiting for them to drain. Pending pre-fills complete;
-// using the system after Close may leave switch candidates cold but is
-// otherwise safe. Close is idempotent.
+// closeFeedPipelines marks every shard's ingest pipeline closed (later
+// feeds apply inline under the shard lock), waits for queued chunks to
+// land, and closes the channels so the feed workers exit. Safe against
+// producers mid-hand-off: a producer that passed the closed check has
+// already incremented feedQueued, so the wait covers its chunk, and one
+// that has not yet passed it sees feedClosed and falls back inline.
+func (s *ShardedSystem) closeFeedPipelines() {
+	for _, sh := range s.shards {
+		if sh.feedCh == nil {
+			continue
+		}
+		sh.feedMu.Lock()
+		sh.feedClosed = true
+		for sh.feedQueued > 0 {
+			sh.feedIdle.Wait()
+		}
+		sh.feedMu.Unlock()
+		close(sh.feedCh)
+	}
+}
+
+// Close stops the telemetry server (if one was started), drains and stops
+// the per-shard feed pipelines, and stops the background prefill workers,
+// waiting for them all to drain. Queued feeds and pending pre-fills
+// complete; using the system after Close feeds inline and may leave switch
+// candidates cold but is otherwise safe. Close is idempotent.
 func (s *ShardedSystem) Close() {
 	s.closeOnce.Do(func() {
 		if s.telem != nil {
 			s.telem.Close()
 		}
+		s.closeFeedPipelines()
 		for _, sh := range s.shards {
 			if sh.refillCh != nil {
 				sh.mu.Lock()
@@ -273,11 +469,12 @@ func (s *ShardedSystem) Close() {
 }
 
 // Shutdown is the graceful form of Close: the telemetry exposition server
-// (if one was started) finishes in-flight scrapes before stopping, and the
-// wait for background prefill workers is bounded by ctx. Shares Close's
-// once — whichever runs first wins, the other is a no-op. On ctx expiry
-// the workers keep draining in the background; the system is still safe to
-// use (refills fall back to inline replay).
+// (if one was started) finishes in-flight scrapes before stopping, the
+// per-shard feed queues are drained before the pipelines stop, and the
+// wait for queued feeds and background workers is bounded by ctx. Shares
+// Close's once — whichever runs first wins, the other is a no-op. On ctx
+// expiry the drain keeps completing in the background; the system is still
+// safe to use (feeds apply inline, refills fall back to inline replay).
 func (s *ShardedSystem) Shutdown(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -298,6 +495,9 @@ func (s *ShardedSystem) Shutdown(ctx context.Context) error {
 		}
 		done := make(chan struct{})
 		go func() {
+			// The feed drain can block behind a deep queue, so it lives
+			// inside the bounded wait with the worker join.
+			s.closeFeedPipelines()
 			s.workers.Wait()
 			close(done)
 		}()
@@ -391,69 +591,68 @@ func (sh *shard) feedLocked(o *Object) {
 	sh.sys.feedPtr(o)
 }
 
-// Feed ingests one stream object, locking only the shard its location
-// routes to. One in metrics.FeedSampleInterval feeds per shard is timed
-// (clock reads outside the lock) into the shard's ingest histogram.
+// Feed ingests one stream object by handing it to the owning shard's feed
+// pipeline; the shard's worker applies it (and records the shard's ingest
+// gauges, timing one in metrics.FeedSampleInterval) without the producer
+// ever holding the shard lock. Under WithSynchronousIngest — or after
+// Close — the apply runs inline on the caller instead.
 func (s *ShardedSystem) Feed(o Object) {
 	sh := s.shards[s.shardOf(o.Loc)]
-	sampled := sh.gauges.RecordFeed()
-	var start time.Time
-	if sampled {
-		start = time.Now()
+	c := ingestChunk{obj: o, single: true}
+	if s.syncIngest || !sh.enqueue(c) {
+		s.applyChunk(sh, c)
 	}
-	sh.mu.Lock()
-	sh.feedLocked(&o)
-	occ := sh.sys.window.Size()
-	sh.mu.Unlock()
-	if sampled {
-		sh.gauges.RecordFeedLatency(time.Since(start))
-	}
-	sh.gauges.SetOccupancy(occ)
 }
 
-// FeedBatch ingests a batch of stream objects, grouping them per shard so
-// each shard's lock is taken once per batch. Object order is preserved
-// within a shard; cross-shard ordering is irrelevant (shards hold disjoint
-// objects).
+// FeedBatch ingests a batch of stream objects with a single routing pass:
+// each object is appended to its shard's pooled sub-batch bucket (one
+// shardOf call per object, no per-shard rescans), and each non-empty
+// bucket is handed to its shard's feed pipeline in one chunk. Object order
+// is preserved within a shard; cross-shard ordering is irrelevant (shards
+// hold disjoint objects). The caller's slice is copied during routing and
+// may be reused as soon as FeedBatch returns.
 func (s *ShardedSystem) FeedBatch(objs []Object) {
 	if len(objs) == 0 {
 		return
 	}
 	if len(s.shards) == 1 {
-		sh := s.shards[0]
-		start := time.Now()
-		sh.mu.Lock()
-		for i := range objs {
-			sh.feedLocked(&objs[i])
-		}
-		occ := sh.sys.window.Size()
-		sh.mu.Unlock()
-		sh.gauges.RecordBatch(len(objs), time.Since(start))
-		sh.gauges.SetOccupancy(occ)
+		s.feedShard(s.shards[0], objs)
 		return
 	}
-	route := make([]int32, len(objs))
-	counts := make([]int, len(s.shards))
+	buckets := s.getBuckets()
 	for i := range objs {
 		si := s.shardOf(objs[i].Loc)
-		route[i] = int32(si)
-		counts[si]++
+		if buckets[si] == nil {
+			buckets[si] = s.getBuf()
+		}
+		buckets[si] = append(buckets[si], objs[i])
 	}
-	for si, sh := range s.shards {
-		if counts[si] == 0 {
+	for si, sub := range buckets {
+		if sub == nil {
 			continue
 		}
-		start := time.Now()
-		sh.mu.Lock()
-		for i := range objs {
-			if int(route[i]) == si {
-				sh.feedLocked(&objs[i])
-			}
+		buckets[si] = nil
+		sh := s.shards[si]
+		c := ingestChunk{objs: sub, owned: true}
+		if s.syncIngest || !sh.enqueue(c) {
+			s.applyChunk(sh, c)
 		}
-		occ := sh.sys.window.Size()
-		sh.mu.Unlock()
-		sh.gauges.RecordBatch(counts[si], time.Since(start))
-		sh.gauges.SetOccupancy(occ)
+	}
+	s.putBuckets(buckets)
+}
+
+// feedShard ingests a caller-owned batch into one shard. The pipeline owns
+// every buffer it applies, so the batch is copied into a pooled buffer
+// before the hand-off; synchronous mode applies the caller's slice in
+// place with no copy.
+func (s *ShardedSystem) feedShard(sh *shard, objs []Object) {
+	if s.syncIngest {
+		s.applyChunk(sh, ingestChunk{objs: objs})
+		return
+	}
+	c := ingestChunk{objs: append(s.getBuf(), objs...), owned: true}
+	if !sh.enqueue(c) {
+		s.applyChunk(sh, c)
 	}
 }
 
@@ -492,6 +691,7 @@ func (s *ShardedSystem) EstimateAndExecute(q *Query) (estimate float64, actual i
 		return 0, 0
 	case 1:
 		sh := targets[0]
+		sh.drainFeeds()
 		start := time.Now()
 		sh.mu.Lock()
 		estimate, actual = sh.sys.estimateAndExecute(q)
@@ -517,6 +717,7 @@ func (s *ShardedSystem) fanOut(q *Query, targets []*shard) (estimate float64, ac
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
+			sh.drainFeeds()
 			start := time.Now()
 			sh.mu.Lock()
 			e, a := sh.sys.estimateAndExecute(q)
@@ -568,10 +769,21 @@ func (s *ShardedSystem) ShardRects() []Rect {
 	return out
 }
 
+// Drain blocks until every feed handed to the per-shard ingest pipelines
+// before the call has been applied to its shard's window store and
+// estimators. The query, stats and snapshot paths drain implicitly;
+// benchmarks and tests call it to settle the system before measuring.
+func (s *ShardedSystem) Drain() {
+	for _, sh := range s.shards {
+		sh.drainFeeds()
+	}
+}
+
 // WindowSize returns the number of live objects across all shards.
 func (s *ShardedSystem) WindowSize() int {
 	total := 0
 	for _, sh := range s.shards {
+		sh.drainFeeds()
 		sh.mu.Lock()
 		total += sh.sys.WindowSize()
 		sh.mu.Unlock()
@@ -584,6 +796,7 @@ func (s *ShardedSystem) WindowSize() int {
 func (s *ShardedSystem) Phase() Phase {
 	phase := PhaseIncremental
 	for _, sh := range s.shards {
+		sh.drainFeeds()
 		sh.mu.Lock()
 		p := sh.sys.Phase()
 		sh.mu.Unlock()
@@ -599,6 +812,7 @@ func (s *ShardedSystem) Phase() Phase {
 func (s *ShardedSystem) ActiveEstimators() []string {
 	out := make([]string, len(s.shards))
 	for i, sh := range s.shards {
+		sh.drainFeeds()
 		sh.mu.Lock()
 		out[i] = sh.sys.ActiveEstimator()
 		sh.mu.Unlock()
@@ -612,6 +826,7 @@ func (s *ShardedSystem) ActiveEstimators() []string {
 func (s *ShardedSystem) Switches() []SwitchEvent {
 	var out []SwitchEvent
 	for _, sh := range s.shards {
+		sh.drainFeeds()
 		sh.mu.Lock()
 		out = append(out, sh.sys.Switches()...)
 		sh.mu.Unlock()
@@ -655,6 +870,7 @@ func (s *ShardedSystem) PerShardStats() ShardedStats {
 	out := ShardedStats{Shards: make([]ShardStats, len(s.shards))}
 	parts := make([]Stats, len(s.shards))
 	for i, sh := range s.shards {
+		sh.drainFeeds()
 		sh.mu.Lock()
 		parts[i] = sh.sys.Stats()
 		ws := sh.sys.WindowSize()

@@ -305,3 +305,135 @@ func TestShardedAsyncPrefillDrains(t *testing.T) {
 		t.Fatalf("post-close estimate %v", est)
 	}
 }
+
+// TestFeedBatchEmpty pins the no-op contract: an empty (or nil) batch
+// must not touch any shard state or gauges.
+func TestFeedBatchEmpty(t *testing.T) {
+	s := MustNewSharded(testWorld(), time.Hour, WithSeed(3), WithShards(4))
+	defer s.Close()
+	s.FeedBatch(nil)
+	s.FeedBatch([]Object{})
+	if got := s.WindowSize(); got != 0 {
+		t.Errorf("WindowSize after empty batches = %d, want 0", got)
+	}
+	for _, sh := range s.PerShardStats().Shards {
+		if sh.Gauges.Feeds != 0 || sh.Gauges.Batches != 0 {
+			t.Errorf("shard %d gauges touched by empty batch: %+v", sh.Index, sh.Gauges)
+		}
+	}
+}
+
+// TestFeedBatchAllOneShard routes a whole batch into a single shard: the
+// single-pass router must produce exactly one chunk (one batch gauge tick
+// on the owning shard, none elsewhere).
+func TestFeedBatchAllOneShard(t *testing.T) {
+	s := MustNewSharded(testWorld(), time.Hour, WithSeed(4), WithShards(4))
+	defer s.Close()
+	rects := s.ShardRects()
+	target := 2
+	c := rects[target].Center()
+	objs := make([]Object, 64)
+	for i := range objs {
+		objs[i] = Object{ID: uint64(i + 1), Loc: c, Timestamp: int64(i + 1)}
+	}
+	s.FeedBatch(objs)
+	s.Drain()
+	for _, sh := range s.PerShardStats().Shards {
+		wantFeeds, wantBatches := uint64(0), uint64(0)
+		if sh.Index == target {
+			wantFeeds, wantBatches = uint64(len(objs)), 1
+		}
+		if sh.Gauges.Feeds != wantFeeds || sh.Gauges.Batches != wantBatches {
+			t.Errorf("shard %d: feeds=%d batches=%d, want feeds=%d batches=%d",
+				sh.Index, sh.Gauges.Feeds, sh.Gauges.Batches, wantFeeds, wantBatches)
+		}
+	}
+	if got := s.WindowSize(); got != len(objs) {
+		t.Errorf("WindowSize = %d, want %d", got, len(objs))
+	}
+}
+
+// TestFeedBatchPartitionEdges feeds objects whose coordinates sit exactly
+// on the partition edges (including the world corners): each must land in
+// exactly one shard — the one whose rectangle routing assigns — and be
+// counted exactly once by a full-world query and by its shard's own
+// rectangle query.
+func TestFeedBatchPartitionEdges(t *testing.T) {
+	s := MustNewSharded(testWorld(), time.Hour, WithSeed(5), WithShards(4)) // 2x2 grid
+	defer s.Close()
+	edges := []float64{0, 0.5, 1} // 2x2 over the unit square
+	var objs []Object
+	id := uint64(0)
+	for _, x := range edges {
+		for _, y := range edges {
+			id++
+			objs = append(objs, Object{ID: id, Loc: Pt(x, y), Timestamp: int64(id)})
+		}
+	}
+	s.FeedBatch(objs)
+	s.Drain()
+	if got := s.WindowSize(); got != len(objs) {
+		t.Fatalf("WindowSize = %d, want %d", got, len(objs))
+	}
+	q := SpatialQuery(testWorld(), int64(len(objs)+1))
+	if _, actual := s.EstimateAndExecute(&q); actual != len(objs) {
+		t.Errorf("full-world count = %d, want %d (edge object lost or duplicated)", actual, len(objs))
+	}
+	// Per-shard rectangle queries overlap on the shared edges, so summing
+	// them would overcount; instead pin that occupancies sum exactly.
+	occ := 0
+	for _, sh := range s.PerShardStats().Shards {
+		occ += sh.WindowSize
+	}
+	if occ != len(objs) {
+		t.Errorf("per-shard occupancy sums to %d, want %d", occ, len(objs))
+	}
+}
+
+// TestFeedBatchBackpressureDepth pushes more batches than the pipeline
+// depth holds from a single producer: hand-offs must block (never drop),
+// so after a drain every batch is applied exactly once.
+func TestFeedBatchBackpressureDepth(t *testing.T) {
+	s := MustNewSharded(testWorld(), time.Hour,
+		WithSeed(6), WithShards(2), WithIngestQueueDepth(1))
+	defer s.Close()
+	const batches, per = 64, 50
+	objs := shardWorkload(51, batches*per)
+	for b := 0; b < batches; b++ {
+		s.FeedBatch(objs[b*per : (b+1)*per])
+	}
+	s.Drain()
+	if got := s.WindowSize(); got != len(objs) {
+		t.Errorf("WindowSize = %d, want %d", got, len(objs))
+	}
+	q := SpatialQuery(testWorld(), int64(len(objs)+1))
+	if _, actual := s.EstimateAndExecute(&q); actual != len(objs) {
+		t.Errorf("exact count = %d, want %d", actual, len(objs))
+	}
+}
+
+// TestShardedSynchronousIngest pins the WithSynchronousIngest escape
+// hatch: no pipeline goroutines, applies complete when the call returns,
+// and the routed result matches the pipelined engine object-for-object.
+func TestShardedSynchronousIngest(t *testing.T) {
+	sync1 := MustNewSharded(testWorld(), time.Hour,
+		WithSeed(7), WithShards(4), WithSynchronousIngest())
+	defer sync1.Close()
+	pipe := MustNewSharded(testWorld(), time.Hour, WithSeed(7), WithShards(4))
+	defer pipe.Close()
+	objs := shardWorkload(52, 2000)
+	sync1.FeedBatch(objs)
+	pipe.FeedBatch(objs)
+	// Synchronous mode needs no drain: the batch is applied already.
+	if got := sync1.WindowSize(); got != len(objs) {
+		t.Fatalf("sync WindowSize = %d, want %d", got, len(objs))
+	}
+	pipe.Drain()
+	a, b := sync1.PerShardStats(), pipe.PerShardStats()
+	for i := range a.Shards {
+		if a.Shards[i].WindowSize != b.Shards[i].WindowSize {
+			t.Errorf("shard %d: sync window=%d pipelined window=%d",
+				i, a.Shards[i].WindowSize, b.Shards[i].WindowSize)
+		}
+	}
+}
