@@ -66,6 +66,25 @@ func IsDraining(err error) bool {
 	return errors.As(err, &se) && wire.Code(se.Code) == wire.CodeDraining
 }
 
+// NotOwnerError is a clustered node's refusal of a request whose objects or
+// query footprint it does not own under its partition map. Epoch is the
+// node's map version; a router holding an older epoch refetches the map and
+// retries transparently, so callers normally never see this error unless
+// they talk to a clustered node directly.
+type NotOwnerError struct {
+	Epoch uint64
+	Msg   string
+}
+
+// Error implements error.
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("server: not owner (map epoch %d): %s", e.Epoch, e.Msg)
+}
+
+// NotOwnerEpoch reports the refusing node's map epoch; the cluster router
+// matches refusals by this method.
+func (e *NotOwnerError) NotOwnerEpoch() uint64 { return e.Epoch }
+
 // Options tune a Client. The zero value is usable.
 type Options struct {
 	// DialTimeout bounds each connection attempt. Default 5s.
@@ -168,6 +187,8 @@ type Client struct {
 
 	nextID    atomic.Uint64
 	dialFails int // consecutive dial failures, for backoff pacing
+
+	clusterEpoch atomic.Uint64 // last map epoch seen in a pong; 0 = none
 
 	traces *telemetry.TraceBuffer // nil unless Options.Trace
 }
@@ -430,6 +451,17 @@ func (c *Client) tryOnce(ctx context.Context, op string, build func(buf []byte, 
 				Msg:        re.Msg,
 			}
 		}
+		if res.h.Type == wire.TErrNotOwner {
+			no, derr := wire.DecodeNotOwner(res.payload)
+			if derr != nil {
+				tr.SetError("undecodable_error")
+				tr.Finish()
+				return result{}, nil, fmt.Errorf("client: undecodable not-owner frame: %w", derr)
+			}
+			tr.SetError("not_owner")
+			tr.Finish()
+			return result{}, nil, &NotOwnerError{Epoch: no.Epoch, Msg: no.Msg}
+		}
 		if res.h.Type != want {
 			tr.SetError("unexpected_type")
 			tr.Finish()
@@ -452,13 +484,48 @@ func finishDecode(tr *telemetry.ActiveTrace, decStart time.Time) {
 	tr.Finish()
 }
 
-// Ping round-trips a no-op frame.
+// Ping round-trips a no-op frame. A clustered server's pong carries its
+// partition-map epoch, readable afterwards via ClusterEpoch.
 func (c *Client) Ping(ctx context.Context) error {
-	_, tr, err := c.roundTrip(ctx, "ping", func(buf []byte, id, traceID uint64, _ uint32) []byte {
+	res, tr, err := c.roundTrip(ctx, "ping", func(buf []byte, id, traceID uint64, _ uint32) []byte {
 		return wire.AppendPingTraced(buf, id, traceID)
 	}, wire.TPong)
-	tr.Finish()
-	return err
+	if err != nil {
+		tr.Finish()
+		return err
+	}
+	decStart := time.Now()
+	epoch, has, derr := wire.DecodePong(res.payload)
+	finishDecode(tr, decStart)
+	if derr != nil {
+		return derr
+	}
+	if has {
+		c.clusterEpoch.Store(epoch)
+	}
+	return nil
+}
+
+// ClusterEpoch returns the partition-map epoch the server last reported in
+// a pong, or 0 when the server is not clustered (or was never pinged).
+func (c *Client) ClusterEpoch() uint64 { return c.clusterEpoch.Load() }
+
+// FetchMap retrieves the server's current encoded partition map. Servers
+// running without a cluster map refuse with CodeUnknownType.
+func (c *Client) FetchMap(ctx context.Context) ([]byte, error) {
+	res, tr, err := c.roundTrip(ctx, "map_fetch", func(buf []byte, id, traceID uint64, _ uint32) []byte {
+		return wire.AppendMapFetchTraced(buf, id, traceID)
+	}, wire.TMapResult)
+	if err != nil {
+		return nil, err
+	}
+	decStart := time.Now()
+	raw, err := wire.DecodeMapResult(res.payload)
+	finishDecode(tr, decStart)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), raw...), nil
 }
 
 // FeedBatch ingests a batch of stream objects, returning the accepted

@@ -1,0 +1,115 @@
+// cluster.go embeds the scatter-gather routing layer in the client: a
+// Cluster is the multi-node counterpart of Client, routing feeds to the
+// owning nodes and fanning queries out across the nodes whose territory
+// they overlap, with exact aggregation and transparent partition-map
+// renegotiation. It exposes the same FeedBatch/Estimate/QueryBatch/Ping
+// surface, so callers swap a Client for a Cluster without code changes.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/cluster"
+	"github.com/spatiotext/latest/internal/telemetry"
+)
+
+// ClusterReport is the routing layer's telemetry sample (epoch, routing
+// mode counters, map negotiation counters, per-node request stats).
+type ClusterReport = telemetry.ClusterSample
+
+// Cluster routes requests across a multi-node latestd deployment. It owns
+// one pipelined Client per node, dialed lazily. Safe for concurrent use.
+type Cluster struct {
+	r *cluster.Router
+}
+
+// nodeDialer adapts Dial to the router's Dialer: *Client satisfies
+// cluster.Node directly (the public latest types alias the stream types).
+func nodeDialer(opts Options) cluster.Dialer {
+	return func(addr string) cluster.Node { return Dial(addr, opts) }
+}
+
+// DialCluster fetches the partition map from the first reachable seed —
+// any cluster node or router — and returns a Cluster routing under it.
+// opts applies to every per-node connection.
+func DialCluster(ctx context.Context, seeds []string, opts Options) (*Cluster, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("client: no cluster seeds")
+	}
+	var lastErr error
+	for _, seed := range seeds {
+		c := Dial(seed, opts)
+		raw, err := c.FetchMap(ctx)
+		c.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("seed %s: %w", seed, err)
+			continue
+		}
+		cl, err := NewClusterFromMap(raw, opts)
+		if err != nil {
+			lastErr = fmt.Errorf("seed %s: %w", seed, err)
+			continue
+		}
+		return cl, nil
+	}
+	return nil, fmt.Errorf("client: no seed yielded a partition map: %w", lastErr)
+}
+
+// NewClusterFromMap builds a Cluster from an encoded partition map (as
+// written by latest-router -write-map or served over TMapFetch).
+func NewClusterFromMap(raw []byte, opts Options) (*Cluster, error) {
+	m, err := cluster.DecodeMap(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{r: cluster.NewRouter(m, nodeDialer(opts), cluster.Options{})}, nil
+}
+
+// Router exposes the underlying routing core — the Backend a
+// wire-protocol proxy front end serves.
+func (cl *Cluster) Router() *cluster.Router { return cl.r }
+
+// Epoch returns the held partition map's version.
+func (cl *Cluster) Epoch() uint64 { return cl.r.Epoch() }
+
+// Nodes returns the node addresses of the held partition map.
+func (cl *Cluster) Nodes() []string {
+	return append([]string(nil), cl.r.Map().Nodes...)
+}
+
+// MapBytes returns the held partition map in encoded form.
+func (cl *Cluster) MapBytes() []byte { return cl.r.MapBytes() }
+
+// Sample returns the routing layer's telemetry counters.
+func (cl *Cluster) Sample() ClusterReport { return cl.r.Sample() }
+
+// Close closes every node connection.
+func (cl *Cluster) Close() error { return cl.r.Close() }
+
+// FeedBatch routes each object to its owning node, feeding the per-node
+// buckets concurrently, and returns the total accepted count. Map
+// staleness is renegotiated transparently; a hard node failure surfaces as
+// one *cluster.NodeError with the counts accepted elsewhere still
+// reported.
+func (cl *Cluster) FeedBatch(ctx context.Context, objs []latest.Object) (uint32, error) {
+	return cl.r.FeedBatch(ctx, objs)
+}
+
+// Estimate answers one query: forwarded whole to the owning node when one
+// node covers it, otherwise clipped at partition boundaries and summed
+// across the owners (keyword-only queries broadcast).
+func (cl *Cluster) Estimate(ctx context.Context, q latest.Query) (float64, error) {
+	return cl.r.Estimate(ctx, q)
+}
+
+// QueryBatch runs full estimate+execute cycles with the same routing,
+// returning parallel estimate and exact-count slices.
+func (cl *Cluster) QueryBatch(ctx context.Context, qs []latest.Query) ([]float64, []int, error) {
+	return cl.r.QueryBatch(ctx, qs)
+}
+
+// Ping checks liveness of every node in the held map.
+func (cl *Cluster) Ping(ctx context.Context) error { return cl.r.Ping(ctx) }

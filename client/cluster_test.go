@@ -1,0 +1,204 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/cluster"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/server"
+	"github.com/spatiotext/latest/internal/stream"
+)
+
+var clusterWorld = geo.Rect{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+
+// bindListeners pre-binds n kernel-assigned listeners so the partition
+// map can name real addresses before any server starts.
+func bindListeners(t *testing.T, n int) ([]net.Listener, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	return lns, addrs
+}
+
+// startNodes starts one clustered server per listener, all holding m.
+func startNodes(t *testing.T, lns []net.Listener, m *cluster.Map) {
+	t.Helper()
+	for i, ln := range lns {
+		eng, err := latest.NewConcurrent(clusterWorld, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(eng, server.Config{Listener: ln, ClusterMap: m, NodeID: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Close()
+			eng.Shutdown(context.Background())
+		})
+	}
+}
+
+func clusterObjects(n int) []latest.Object {
+	objs := make([]latest.Object, n)
+	for i := range objs {
+		o := stream.Object{ID: uint64(i + 1), Timestamp: int64(i + 1), Keywords: []string{"kw"}}
+		o.Loc = geo.Pt(-170+float64(i)*340/float64(n), 10)
+		objs[i] = o
+	}
+	return objs
+}
+
+// TestDialClusterBootstrap: DialCluster fetches the map from the first
+// reachable seed (skipping dead ones) and serves the full surface through
+// real servers.
+func TestDialClusterBootstrap(t *testing.T) {
+	lns, addrs := bindListeners(t, 3)
+	m, err := cluster.Uniform(clusterWorld, 6, 1, addrs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startNodes(t, lns, m)
+
+	ctx := context.Background()
+	cl, err := DialCluster(ctx, []string{"127.0.0.1:1", addrs[1]}, Options{})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	defer cl.Close()
+	if cl.Epoch() != 3 || len(cl.Nodes()) != 3 {
+		t.Fatalf("bootstrapped epoch=%d nodes=%v", cl.Epoch(), cl.Nodes())
+	}
+
+	objs := clusterObjects(48)
+	accepted, err := cl.FeedBatch(ctx, objs)
+	if err != nil || int(accepted) != len(objs) {
+		t.Fatalf("feed: %d, %v", accepted, err)
+	}
+
+	// The whole-world spatial query spans all three territories; the
+	// scatter-gather sum must count every object exactly once.
+	world := stream.SpatialQ(clusterWorld, int64(len(objs)))
+	_, acts, err := cl.QueryBatch(ctx, []latest.Query{world})
+	if err != nil || acts[0] != len(objs) {
+		t.Fatalf("whole-world count = %v, %v; want %d", acts, err, len(objs))
+	}
+
+	// A sub-rect covering only the western third forwards to one owner.
+	west := stream.SpatialQ(geo.Rect{MinX: -175, MinY: 0, MaxX: -125, MaxY: 20}, int64(len(objs)))
+	_, acts, err = cl.QueryBatch(ctx, []latest.Query{west})
+	if err != nil {
+		t.Fatalf("west query: %v", err)
+	}
+	wantWest := 0
+	for _, o := range objs {
+		if west.Range.Contains(o.Loc) {
+			wantWest++
+		}
+	}
+	if acts[0] != wantWest {
+		t.Fatalf("west count %d, want %d", acts[0], wantWest)
+	}
+
+	if s := cl.Sample(); s.Epoch != 3 || s.FeedObjects != uint64(len(objs)) {
+		t.Fatalf("sample %+v", s)
+	}
+}
+
+// TestClusterStaleMapRetryRealServers: a router bootstrapped from an
+// outdated map file is refused by every node (their map reassigned the
+// stripes), refetches the live epoch over the wire, and retries without
+// surfacing a single error.
+func TestClusterStaleMapRetryRealServers(t *testing.T) {
+	lns, addrs := bindListeners(t, 2)
+	truth := &cluster.Map{Epoch: 2, World: clusterWorld, Cols: 4, Rows: 1, Nodes: addrs}
+	truth.Owners = []int32{1, 1, 0, 0} // reverse of Uniform's stripes
+	if err := truth.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	startNodes(t, lns, truth)
+
+	stale, err := cluster.Uniform(clusterWorld, 4, 1, addrs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClusterFromMap(stale.Encode(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	objs := clusterObjects(32)
+	accepted, err := cl.FeedBatch(ctx, objs)
+	if err != nil || int(accepted) != len(objs) {
+		t.Fatalf("feed under stale map: %d, %v", accepted, err)
+	}
+	if cl.Epoch() != 2 {
+		t.Fatalf("router still at epoch %d after refusal, want 2", cl.Epoch())
+	}
+	world := stream.SpatialQ(clusterWorld, int64(len(objs)))
+	_, acts, err := cl.QueryBatch(ctx, []latest.Query{world})
+	if err != nil || acts[0] != len(objs) {
+		t.Fatalf("post-retry count = %v, %v; want %d", acts, err, len(objs))
+	}
+	s := cl.Sample()
+	if s.NotOwner == 0 || s.MapRefetches == 0 {
+		t.Fatalf("retry counters unmoved: %+v", s)
+	}
+}
+
+// TestClusterNodeDeathSurfacesTypedError: killing a member mid-run makes
+// scatter queries fail with exactly one NodeError naming the dead node.
+func TestClusterNodeDeathSurfacesTypedError(t *testing.T) {
+	lns, addrs := bindListeners(t, 3)
+	m, err := cluster.Uniform(clusterWorld, 6, 1, addrs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 never starts: its listener closes, simulating a death the
+	// router discovers on first contact.
+	startNodes(t, lns[:2], m)
+	lns[2].Close()
+
+	cl, err := NewClusterFromMap(m.Encode(), Options{MaxAttempts: 1, DialTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	world := stream.SpatialQ(clusterWorld, 10)
+	_, _, err = cl.QueryBatch(ctx, []latest.Query{world})
+	var ne *cluster.NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want *cluster.NodeError", err)
+	}
+	if ne.Addr != addrs[2] {
+		t.Fatalf("NodeError names %s, want %s", ne.Addr, addrs[2])
+	}
+}
+
+// TestDialClusterAllSeedsDead: bootstrap fails with a useful error when
+// no seed answers.
+func TestDialClusterAllSeedsDead(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := DialCluster(ctx, []string{"127.0.0.1:1"}, Options{MaxAttempts: 1, DialTimeout: 200 * time.Millisecond})
+	if err == nil {
+		t.Fatal("DialCluster succeeded against dead seeds")
+	}
+}

@@ -11,6 +11,12 @@
 //
 //	latest-loadgen -addr 127.0.0.1:7707 -requests 5000 -conns 4 -feed-frac 0.9
 //	latest-loadgen -addr 127.0.0.1:7707 -qps 2000 -duration 30s -out bench.json
+//	latest-loadgen -addr 127.0.0.1:7707,127.0.0.1:7717,127.0.0.1:7727 -conns 6
+//
+// -addr accepts a comma-separated target list: worker i drives target
+// i mod N, and the report carries a per-target request/error/latency
+// split alongside the aggregate — the harness for N-daemon scaling runs
+// and for driving a cluster through several router replicas.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,13 +107,24 @@ type report struct {
 	// "timeout" for client-side deadline expiry and "conn" for transport
 	// failures).
 	ErrorCodes map[string]uint64 `json:"error_codes,omitempty"`
+	// PerTarget splits the run by target address when -addr lists
+	// several; one entry per target in flag order.
+	PerTarget []targetReport `json:"per_target,omitempty"`
+}
+
+// targetReport is one target's slice of a multi-target run.
+type targetReport struct {
+	Addr      string       `json:"addr"`
+	Requests  uint64       `json:"requests"`
+	Errors    uint64       `json:"errors"`
+	LatencyUS latencyStats `json:"latency_us"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("latest-loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var o loadOptions
-	fs.StringVar(&o.addr, "addr", "127.0.0.1:7707", "latestd wire address")
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:7707", "latestd wire address, or a comma-separated list (worker i drives target i mod N)")
 	fs.IntVar(&o.conns, "conns", 4, "concurrent connections (one worker each)")
 	fs.IntVar(&o.requests, "requests", 5000, "total requests for closed-loop mode")
 	fs.DurationVar(&o.duration, "duration", 0, "run length for open-loop mode (with -qps)")
@@ -177,10 +195,30 @@ func knownWorkload(name string) bool {
 // worker is one connection's request loop state.
 type worker struct {
 	c   *client.Client
+	tc  *targetCounters
 	rng *rand.Rand
 	gen *datagen.Generator
 	wl  *workload.Generator
 	now int64
+}
+
+// targetCounters accumulates one target's slice of the run.
+type targetCounters struct {
+	addr     string
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	hist     telemetry.Histogram
+}
+
+// splitTargets parses the -addr list.
+func splitTargets(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func drive(o loadOptions, stderr io.Writer) (*report, error) {
@@ -217,12 +255,22 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 		errMu.Unlock()
 	}
 
+	targets := splitTargets(o.addr)
+	if len(targets) == 0 {
+		return nil, errors.New("-addr lists no targets")
+	}
+	perTarget := make([]*targetCounters, len(targets))
+	for i, addr := range targets {
+		perTarget[i] = &targetCounters{addr: addr}
+	}
 	workers := make([]*worker, o.conns)
 	for i := range workers {
 		gen := datagen.ByName(o.dataset, o.seed+int64(i)*101, 1000)
 		spec := workload.ByName(o.wlName)
+		tc := perTarget[i%len(targets)]
 		workers[i] = &worker{
-			c:   client.Dial(o.addr, client.Options{RequestTimeout: o.deadline}),
+			c:   client.Dial(tc.addr, client.Options{RequestTimeout: o.deadline}),
+			tc:  tc,
 			rng: rand.New(rand.NewSource(o.seed + int64(i)*977)),
 			gen: gen,
 			wl:  workload.NewGenerator(spec, gen, 1<<30),
@@ -260,9 +308,11 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 			}
 		}
 		requests.Add(1)
+		w.tc.requests.Add(1)
 		if err == nil {
 			lat := time.Since(start)
 			hist.Record(lat)
+			w.tc.hist.Record(lat)
 			if isFeed {
 				feedHist.Record(lat)
 			} else {
@@ -278,6 +328,7 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 		}
 		countErr(err)
 		errorsN.Add(1)
+		w.tc.errors.Add(1)
 		if errorsN.Load() <= 5 {
 			fmt.Fprintln(stderr, "latest-loadgen: request error:", err)
 		}
@@ -327,6 +378,16 @@ func drive(o loadOptions, stderr io.Writer) (*report, error) {
 	rep.QueryLatencyUS = latencyOf(queryHist.Snapshot())
 	if len(errCodes) > 0 {
 		rep.ErrorCodes = errCodes
+	}
+	if len(perTarget) > 1 {
+		for _, tc := range perTarget {
+			rep.PerTarget = append(rep.PerTarget, targetReport{
+				Addr:      tc.addr,
+				Requests:  tc.requests.Load(),
+				Errors:    tc.errors.Load(),
+				LatencyUS: latencyOf(tc.hist.Snapshot()),
+			})
+		}
 	}
 	return rep, nil
 }

@@ -102,6 +102,50 @@ func TestOpenLoop(t *testing.T) {
 	}
 }
 
+// TestMultiTarget: a comma-separated -addr splits workers round-robin
+// across targets and the report carries per-target slices that sum to the
+// aggregate.
+func TestMultiTarget(t *testing.T) {
+	addrA, addrB := startTestServer(t), startTestServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", addrA + ", " + addrB,
+		"-conns", "4",
+		"-requests", "200",
+		"-batch", "8",
+		"-seed", "11",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests != 200 {
+		t.Fatalf("requests=%d errors=%d", rep.Requests, rep.Errors)
+	}
+	if len(rep.PerTarget) != 2 {
+		t.Fatalf("per_target has %d entries, want 2: %+v", len(rep.PerTarget), rep)
+	}
+	var sum uint64
+	for i, tr := range rep.PerTarget {
+		if tr.Requests == 0 {
+			t.Fatalf("target %d (%s) drove no requests", i, tr.Addr)
+		}
+		if tr.Errors != 0 {
+			t.Fatalf("target %d (%s) errors=%d", i, tr.Addr, tr.Errors)
+		}
+		sum += tr.Requests
+	}
+	if sum != rep.Requests {
+		t.Fatalf("per-target sum %d != total %d", sum, rep.Requests)
+	}
+	if rep.PerTarget[0].Addr != addrA || rep.PerTarget[1].Addr != addrB {
+		t.Fatalf("per-target order %+v, want flag order %s,%s", rep.PerTarget, addrA, addrB)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{"-conns", "0"},
@@ -109,6 +153,7 @@ func TestFlagValidation(t *testing.T) {
 		{"-qps", "100"}, // missing -duration
 		{"-dataset", "Mars"},
 		{"-workload", "NotAWorkload"},
+		{"-addr", " , "},
 		{"-definitely-not-a-flag"},
 	}
 	for _, args := range cases {

@@ -8,6 +8,12 @@
 //	latestd -addr 127.0.0.1:7707 -admin 127.0.0.1:7708
 //	latestd -engine concurrent -window 2m -addr-file /tmp/latestd.addr
 //	latestd -data-dir /var/lib/latestd -snapshot-interval 30s
+//	latestd -cluster-map /etc/latest/cluster.map -node-id 0
+//
+// With -cluster-map the daemon serves one partition of a multi-node
+// cluster: it refuses feeds and spatial queries outside its territory
+// with a typed not-owner frame carrying the map epoch, answers TMapFetch
+// with the map so routers can bootstrap, and stamps the epoch into pongs.
 //
 // With -data-dir the engine is wrapped in a latest.DurableEngine: every
 // feed is write-ahead logged, snapshots are taken periodically and on
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/cluster"
 	"github.com/spatiotext/latest/internal/geo"
 	"github.com/spatiotext/latest/internal/persist"
 	"github.com/spatiotext/latest/internal/server"
@@ -59,6 +66,8 @@ type daemonOptions struct {
 	maxInFlight  int
 	drainTimeout time.Duration
 	logLevel     string
+	clusterMap   string
+	nodeID       int
 	dataDir      string
 	snapInterval time.Duration
 	walSyncEvery int
@@ -85,6 +94,8 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 	fs.IntVar(&o.maxInFlight, "max-inflight", 64, "per-connection in-flight request window")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "bound on graceful drain before force-closing connections")
 	fs.StringVar(&o.logLevel, "log-level", "info", "minimum log severity: debug, info, warn, error")
+	fs.StringVar(&o.clusterMap, "cluster-map", "", "partition map file for multi-node serving (author one with latest-router -write-map); empty runs standalone")
+	fs.IntVar(&o.nodeID, "node-id", 0, "this daemon's index in the cluster map's node list (used with -cluster-map)")
 	fs.StringVar(&o.dataDir, "data-dir", "", "directory for durable state (snapshots + feed WAL); empty serves from memory only")
 	fs.DurationVar(&o.snapInterval, "snapshot-interval", 30*time.Second, "how often the durable engine snapshots (requires -data-dir)")
 	fs.IntVar(&o.walSyncEvery, "wal-sync-every", 0, "fsync the feed WAL every N records (0 = library default)")
@@ -115,6 +126,27 @@ func parseLevel(s string) (telemetry.Level, error) {
 		return telemetry.LevelError, nil
 	}
 	return 0, fmt.Errorf("unknown log level %q", s)
+}
+
+// loadClusterMap reads and validates the -cluster-map file. The daemon
+// refuses to start as a node the map does not know: serving with a wrong
+// -node-id would silently accept objects another node owns.
+func loadClusterMap(o daemonOptions) (*cluster.Map, error) {
+	if o.clusterMap == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(o.clusterMap)
+	if err != nil {
+		return nil, fmt.Errorf("-cluster-map: %w", err)
+	}
+	m, err := cluster.DecodeMap(raw)
+	if err != nil {
+		return nil, fmt.Errorf("-cluster-map %s: %w", o.clusterMap, err)
+	}
+	if o.nodeID < 0 || o.nodeID >= len(m.Nodes) {
+		return nil, fmt.Errorf("-node-id %d out of range: map %s names %d nodes", o.nodeID, o.clusterMap, len(m.Nodes))
+	}
+	return m, nil
 }
 
 // parseWorld parses "minx,miny,maxx,maxy".
@@ -208,6 +240,10 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 	if err != nil {
 		return fmt.Errorf("-world: %w", err)
 	}
+	cm, err := loadClusterMap(o)
+	if err != nil {
+		return err
+	}
 	log := telemetry.NewLogger(stderr, level)
 	eng, err := buildEngine(o, world, stderr, level, log)
 	if err != nil {
@@ -216,6 +252,8 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 	srv, err := server.New(eng, server.Config{
 		Addr:        o.addr,
 		AdminAddr:   o.adminAddr,
+		ClusterMap:  cm,
+		NodeID:      o.nodeID,
 		MaxConns:    o.maxConns,
 		MaxInFlight: o.maxInFlight,
 		TraceDepth:  o.traceDepth,
@@ -241,8 +279,12 @@ func serve(o daemonOptions, stdout, stderr io.Writer, shutdown <-chan os.Signal)
 		durability = fmt.Sprintf("%s gen=%d wal=%d recovery=%.3fs state=%s",
 			o.dataDir, dur.Generation(), dur.WALAppends(), dur.RecoverySeconds(), h.State)
 	}
-	fmt.Fprintf(stdout, "latestd listening addr=%s admin=%s engine=%s window=%s durability=%s\n",
-		srv.Addr(), srv.AdminAddr(), o.engine, o.window, durability)
+	clusterInfo := "standalone"
+	if cm != nil {
+		clusterInfo = fmt.Sprintf("node=%d/%d epoch=%d", o.nodeID, len(cm.Nodes), cm.Epoch)
+	}
+	fmt.Fprintf(stdout, "latestd listening addr=%s admin=%s engine=%s window=%s durability=%s cluster=%s\n",
+		srv.Addr(), srv.AdminAddr(), o.engine, o.window, durability, clusterInfo)
 
 	select {
 	case sig := <-shutdown:

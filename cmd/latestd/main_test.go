@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 
 	latest "github.com/spatiotext/latest"
 	"github.com/spatiotext/latest/client"
+	"github.com/spatiotext/latest/internal/cluster"
 	"github.com/spatiotext/latest/internal/geo"
 	"github.com/spatiotext/latest/internal/stream"
 	"github.com/spatiotext/latest/internal/telemetry"
@@ -151,6 +153,97 @@ func TestShardedEngineOption(t *testing.T) {
 	shutdown <- syscall.SIGTERM
 	if code, _ := wait(); code != 0 {
 		t.Fatalf("exit %d", code)
+	}
+}
+
+// TestClusteredDaemon: with -cluster-map the daemon serves one partition —
+// pongs carry the map epoch, TMapFetch serves the map, and objects outside
+// the node's territory are refused with a typed not-owner error.
+func TestClusteredDaemon(t *testing.T) {
+	world := geo.Rect{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+	m, err := cluster.Uniform(world, 4, 1, []string{"127.0.0.1:1", "127.0.0.1:2"}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapFile := filepath.Join(t.TempDir(), "cluster.map")
+	if err := os.WriteFile(mapFile, m.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, _, shutdown, wait := startDaemon(t,
+		"-world", "-180,-90,180,90", "-cluster-map", mapFile, "-node-id", "0")
+	c := client.Dial(addr, client.Options{})
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if got := c.ClusterEpoch(); got != 9 {
+		t.Fatalf("pong epoch %d, want 9", got)
+	}
+	raw, err := c.FetchMap(ctx)
+	if err != nil {
+		t.Fatalf("fetch map: %v", err)
+	}
+	served, err := cluster.DecodeMap(raw)
+	if err != nil || served.Epoch != 9 {
+		t.Fatalf("served map = (%+v, %v), want epoch 9", served, err)
+	}
+
+	// Node 0 owns the west half: owned feeds ack, strangers are refused.
+	if _, err := c.FeedBatch(ctx, testObjects(10)); err != nil {
+		t.Fatalf("owned feed: %v", err)
+	}
+	stranger := stream.Object{ID: 99, Timestamp: 1}
+	stranger.Loc.X, stranger.Loc.Y = 100, 35
+	_, err = c.FeedBatch(ctx, []latest.Object{stranger})
+	var no *client.NotOwnerError
+	if !errors.As(err, &no) || no.Epoch != 9 {
+		t.Fatalf("stranger feed err = %v, want NotOwnerError epoch 9", err)
+	}
+
+	c.Close()
+	shutdown <- syscall.SIGTERM
+	code, out := wait()
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "cluster=node=0/2 epoch=9") {
+		t.Fatalf("stdout missing cluster info:\n%s", out)
+	}
+}
+
+func TestClusterFlagValidation(t *testing.T) {
+	world := geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	m, err := cluster.Uniform(world, 2, 1, []string{"a:1", "b:2"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mapFile := filepath.Join(dir, "ok.map")
+	if err := os.WriteFile(mapFile, m.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.map")
+	raw := m.Encode()
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(corrupt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	cases := [][]string{
+		{"-cluster-map", filepath.Join(dir, "missing.map")},
+		{"-cluster-map", corrupt},
+		{"-cluster-map", mapFile, "-node-id", "2"},
+		{"-cluster-map", mapFile, "-node-id", "-1"},
+	}
+	for _, args := range cases {
+		ch := make(chan os.Signal)
+		if code := run(args, &out, &errOut, ch); code == 0 {
+			t.Fatalf("args %v accepted", args)
+		}
 	}
 }
 

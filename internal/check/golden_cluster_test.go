@@ -1,0 +1,37 @@
+package check
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestClusterExactness is the cross-node exactness oracle: the golden
+// trace replayed through a live 3-node cluster must produce per-query
+// actual counts byte-identical to a 1-node control of the same stack —
+// partitioning is invisible in the exact path.
+func TestClusterExactness(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	diff, sample, err := RunClusterExactness(filepath.Join(goldenDir, traceFile), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range diff {
+		t.Error(line)
+	}
+	if t.Failed() {
+		t.Fatal("3-node counts diverged from 1-node control")
+	}
+	// The run must actually have exercised every routing mode: forwards
+	// into single territories, boundary-clipped scatters (the periodic
+	// whole-world queries guarantee all-partition spans), and keyword
+	// broadcasts — an oracle that never scattered would prove nothing.
+	if sample.Nodes != 3 {
+		t.Fatalf("sample reports %d nodes, want 3", sample.Nodes)
+	}
+	if sample.ScatterMulti == 0 || sample.Broadcasts == 0 || sample.ForwardSingle == 0 {
+		t.Fatalf("routing modes unexercised: %+v", sample)
+	}
+	if sample.NodeErrors != 0 || sample.Retries != 0 {
+		t.Fatalf("oracle run saw errors: %+v", sample)
+	}
+}

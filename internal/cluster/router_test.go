@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/wire"
+)
+
+// fakeCluster is an in-process backend set: every fakeNode enforces
+// ownership against the cluster's current "truth" map, exactly as latestd
+// does, so routing under a stale router map draws real not-owner refusals.
+type fakeCluster struct {
+	mu    sync.Mutex
+	truth *Map
+	nodes map[string]*fakeNode
+}
+
+func newFakeCluster(t *testing.T, truth *Map) *fakeCluster {
+	t.Helper()
+	fc := &fakeCluster{truth: truth, nodes: make(map[string]*fakeNode)}
+	for _, addr := range truth.Nodes {
+		fc.nodes[addr] = &fakeNode{fc: fc, addr: addr}
+	}
+	return fc
+}
+
+func (fc *fakeCluster) Truth() *Map {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.truth
+}
+
+func (fc *fakeCluster) dial(addr string) Node {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	n, ok := fc.nodes[addr]
+	if !ok {
+		n = &fakeNode{fc: fc, addr: addr}
+		fc.nodes[addr] = n
+	}
+	return n
+}
+
+// fakeNode implements Node over an in-memory object list.
+type fakeNode struct {
+	fc   *fakeCluster
+	addr string
+
+	mu   sync.Mutex
+	objs []stream.Object
+
+	feedErr  error // forced hard failure
+	queryErr error
+	closed   bool
+}
+
+func (n *fakeNode) idx(m *Map) int {
+	for i, a := range m.Nodes {
+		if a == n.addr {
+			return i
+		}
+	}
+	return -1
+}
+
+func (n *fakeNode) FeedBatch(_ context.Context, objs []stream.Object) (uint32, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.feedErr != nil {
+		return 0, n.feedErr
+	}
+	truth := n.fc.Truth()
+	me := n.idx(truth)
+	for i := range objs {
+		if truth.OwnerOf(objs[i].Loc) != me {
+			return 0, &wire.NotOwnerError{Epoch: truth.Epoch, Msg: "wrong node"}
+		}
+	}
+	n.objs = append(n.objs, objs...)
+	return uint32(len(objs)), nil
+}
+
+func (n *fakeNode) QueryBatch(_ context.Context, qs []stream.Query) ([]float64, []int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.queryErr != nil {
+		return nil, nil, n.queryErr
+	}
+	truth := n.fc.Truth()
+	me := n.idx(truth)
+	ests := make([]float64, len(qs))
+	acts := make([]int, len(qs))
+	for i := range qs {
+		if qs[i].HasRange && !truth.OwnsQuery(me, qs[i].Range) {
+			return nil, nil, &wire.NotOwnerError{Epoch: truth.Epoch, Msg: "not my territory"}
+		}
+		for j := range n.objs {
+			if qs[i].Matches(&n.objs[j]) {
+				acts[i]++
+			}
+		}
+		ests[i] = float64(acts[i])
+	}
+	return ests, acts, nil
+}
+
+func (n *fakeNode) Estimate(ctx context.Context, q stream.Query) (float64, error) {
+	ests, _, err := n.QueryBatch(ctx, []stream.Query{q})
+	if err != nil {
+		return 0, err
+	}
+	return ests[0], nil
+}
+
+func (n *fakeNode) Ping(context.Context) error { return nil }
+
+func (n *fakeNode) FetchMap(context.Context) ([]byte, error) {
+	return n.fc.Truth().Encode(), nil
+}
+
+func (n *fakeNode) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	return nil
+}
+
+func (n *fakeNode) count() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.objs)
+}
+
+// reversedMap returns a two-node truth map whose stripe assignment is the
+// reverse of Uniform's, so a router holding the Uniform epoch-1 map is
+// wrong about every cell.
+func reversedMap(t *testing.T, epoch uint64, nodes []string) *Map {
+	t.Helper()
+	m := &Map{Epoch: epoch, World: geo.UnitSquare, Cols: 4, Rows: 1, Nodes: nodes}
+	m.Owners = []int32{1, 1, 0, 0}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testObjects() []stream.Object {
+	var objs []stream.Object
+	for i := 0; i < 16; i++ {
+		objs = append(objs, stream.Object{
+			ID:        uint64(i + 1),
+			Loc:       geo.Pt(float64(i)/16+0.01, 0.5),
+			Keywords:  []string{"kw"},
+			Timestamp: int64(i + 1),
+		})
+	}
+	return objs
+}
+
+// TestRouterStaleMapFeedRetry is the stale-map satellite: every node
+// refuses under the router's outdated map, and the router must refetch and
+// re-route transparently — zero errors surfaced, every object accepted by
+// its true owner, nothing double-fed.
+func TestRouterStaleMapFeedRetry(t *testing.T) {
+	nodes := []string{"n0", "n1"}
+	truth := reversedMap(t, 2, nodes)
+	fc := newFakeCluster(t, truth)
+	stale := mustUniform(t, geo.UnitSquare, 4, 1, nodes, 1)
+	r := NewRouter(stale, fc.dial, Options{})
+	defer r.Close()
+
+	objs := testObjects()
+	accepted, err := r.FeedBatch(context.Background(), objs)
+	if err != nil {
+		t.Fatalf("FeedBatch surfaced error despite retry: %v", err)
+	}
+	if int(accepted) != len(objs) {
+		t.Fatalf("accepted %d of %d objects", accepted, len(objs))
+	}
+	if got := fc.nodes["n0"].count() + fc.nodes["n1"].count(); got != len(objs) {
+		t.Fatalf("nodes hold %d objects, want %d (no double-feed, no loss)", got, len(objs))
+	}
+	for _, fn := range fc.nodes {
+		me := fn.idx(truth)
+		for _, o := range fn.objs {
+			if truth.OwnerOf(o.Loc) != me {
+				t.Fatalf("object %d landed on %s, not its owner", o.ID, fn.addr)
+			}
+		}
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("router epoch %d after retry, want 2", r.Epoch())
+	}
+	s := r.Sample()
+	if s.NotOwner == 0 || s.MapRefetches == 0 || s.Retries == 0 {
+		t.Fatalf("negotiation counters not incremented: %+v", s)
+	}
+}
+
+// TestRouterStaleMapQueryRetry covers the query path of the same
+// negotiation: a scatter planned under a stale map is refused, refetched
+// and rerun, and the caller still gets the exact answer with no error.
+func TestRouterStaleMapQueryRetry(t *testing.T) {
+	nodes := []string{"n0", "n1"}
+	truth := reversedMap(t, 2, nodes)
+	fc := newFakeCluster(t, truth)
+
+	// Feed through an up-to-date router first.
+	fresh := NewRouter(truth, fc.dial, Options{})
+	objs := testObjects()
+	if _, err := fresh.FeedBatch(context.Background(), objs); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Close()
+
+	stale := NewRouter(mustUniform(t, geo.UnitSquare, 4, 1, nodes, 1), fc.dial, Options{})
+	defer stale.Close()
+	q := stream.SpatialQ(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 100)
+	ests, acts, err := stale.QueryBatch(context.Background(), []stream.Query{q})
+	if err != nil {
+		t.Fatalf("QueryBatch surfaced error despite retry: %v", err)
+	}
+	if acts[0] != len(objs) {
+		t.Fatalf("whole-world count %d, want %d", acts[0], len(objs))
+	}
+	if ests[0] != float64(len(objs)) {
+		t.Fatalf("summed estimate %v, want %v", ests[0], float64(len(objs)))
+	}
+	if stale.Epoch() != 2 {
+		t.Fatalf("router epoch %d after query retry, want 2", stale.Epoch())
+	}
+}
+
+// TestRouterNodeDeathMidScatter is the failure satellite: one backend dies
+// mid-scatter and the caller sees exactly one typed *NodeError naming it.
+func TestRouterNodeDeathMidScatter(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2"}
+	truth := mustUniform(t, geo.UnitSquare, 6, 1, nodes, 1)
+	fc := newFakeCluster(t, truth)
+	r := NewRouter(truth, fc.dial, Options{})
+	defer r.Close()
+	if _, err := r.FeedBatch(context.Background(), testObjects()); err != nil {
+		t.Fatal(err)
+	}
+	fc.nodes["n1"].queryErr = errors.New("connection reset by peer")
+
+	q := stream.SpatialQ(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 100)
+	_, _, err := r.QueryBatch(context.Background(), []stream.Query{q})
+	if err == nil {
+		t.Fatal("scatter across a dead node returned no error")
+	}
+	var ne *NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("error %v (%T) is not a *NodeError", err, err)
+	}
+	if ne.Addr != "n1" {
+		t.Fatalf("NodeError names %q, want n1", ne.Addr)
+	}
+	if s := r.Sample(); s.NodeErrors != 1 {
+		t.Fatalf("NodeErrors = %d, want exactly 1", s.NodeErrors)
+	}
+}
+
+// TestRouterNodeDeathMidFeed: a hard feed failure surfaces one *NodeError
+// while still reporting the objects other nodes accepted.
+func TestRouterNodeDeathMidFeed(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2"}
+	truth := mustUniform(t, geo.UnitSquare, 6, 1, nodes, 1)
+	fc := newFakeCluster(t, truth)
+	r := NewRouter(truth, fc.dial, Options{})
+	defer r.Close()
+	fc.nodes["n2"].feedErr = errors.New("broken pipe")
+
+	objs := testObjects()
+	wantElsewhere := 0
+	for i := range objs {
+		if truth.Nodes[truth.OwnerOf(objs[i].Loc)] != "n2" {
+			wantElsewhere++
+		}
+	}
+	accepted, err := r.FeedBatch(context.Background(), objs)
+	var ne *NodeError
+	if !errors.As(err, &ne) || ne.Addr != "n2" {
+		t.Fatalf("err = %v, want *NodeError for n2", err)
+	}
+	if int(accepted) != wantElsewhere {
+		t.Fatalf("accepted %d, want %d (objects owned by live nodes)", accepted, wantElsewhere)
+	}
+}
+
+// TestRouterRetryBudgetExhausted: refusals that never resolve (the refetch
+// yields no newer epoch) stop after MaxMapRetries instead of spinning.
+func TestRouterRetryBudgetExhausted(t *testing.T) {
+	nodes := []string{"n0", "n1"}
+	// Truth and router maps share epoch 1, but the node enforces the
+	// reversed assignment: refusals carry epoch 1, refetch installs
+	// nothing newer, and the retry loop must terminate.
+	truth := reversedMap(t, 1, nodes)
+	fc := newFakeCluster(t, truth)
+	r := NewRouter(mustUniform(t, geo.UnitSquare, 4, 1, nodes, 1), fc.dial, Options{MaxMapRetries: 2})
+	defer r.Close()
+
+	_, err := r.FeedBatch(context.Background(), testObjects())
+	if err == nil {
+		t.Fatal("feed with unresolvable refusals returned no error")
+	}
+	if s := r.Sample(); s.Retries != 2 {
+		t.Fatalf("Retries = %d, want MaxMapRetries = 2", s.Retries)
+	}
+}
+
+// TestRouterBroadcastKeywordQuery: keyword-only queries broadcast and sum
+// object counts across every node.
+func TestRouterBroadcastKeywordQuery(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2"}
+	truth := mustUniform(t, geo.UnitSquare, 6, 1, nodes, 1)
+	fc := newFakeCluster(t, truth)
+	r := NewRouter(truth, fc.dial, Options{})
+	defer r.Close()
+	objs := testObjects()
+	if _, err := r.FeedBatch(context.Background(), objs); err != nil {
+		t.Fatal(err)
+	}
+	est, err := r.Estimate(context.Background(), stream.KeywordQ([]string{"kw"}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != float64(len(objs)) {
+		t.Fatalf("broadcast keyword estimate %v, want %v", est, float64(len(objs)))
+	}
+	if s := r.Sample(); s.Broadcasts != 1 || s.Subqueries < 3 {
+		t.Fatalf("broadcast counters off: %+v", s)
+	}
+}
+
+// TestRouterMapSwapClosesOrphans: installing a newer map that drops a node
+// closes its connection.
+func TestRouterMapSwapClosesOrphans(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2"}
+	truth := mustUniform(t, geo.UnitSquare, 6, 1, nodes, 1)
+	fc := newFakeCluster(t, truth)
+	r := NewRouter(truth, fc.dial, Options{})
+	defer r.Close()
+	if _, err := r.FeedBatch(context.Background(), testObjects()); err != nil {
+		t.Fatal(err)
+	}
+
+	shrunk := mustUniform(t, geo.UnitSquare, 6, 1, nodes[:2], 5)
+	fc.mu.Lock()
+	fc.truth = shrunk
+	fc.mu.Unlock()
+	nm, err := DecodeMap(shrunk.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.install(nm)
+	if r.Epoch() != 5 {
+		t.Fatalf("epoch %d after install, want 5", r.Epoch())
+	}
+	if !fc.nodes["n2"].closed {
+		t.Fatal("orphaned node n2 connection not closed on map swap")
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"github.com/spatiotext/latest/internal/cluster"
+	"github.com/spatiotext/latest/internal/geo"
+	"github.com/spatiotext/latest/internal/stream"
+	"github.com/spatiotext/latest/internal/wire"
+)
+
+// startClusteredServer pre-binds a listener, builds a single-node map
+// naming its real address plus a phantom second node, and starts a server
+// as node 0 — the coordinator sequence cmd/latestd and the exactness
+// oracle use.
+func startClusteredServer(t *testing.T, eng Engine) (*Server, *cluster.Map) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := geo.Rect{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90}
+	m, err := cluster.Uniform(world, 4, 1, []string{ln.Addr().String(), "127.0.0.1:1"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, Config{Listener: ln, ClusterMap: m, NodeID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, m
+}
+
+func TestClusteredPongCarriesEpoch(t *testing.T) {
+	srv, m := startClusteredServer(t, &fakeEngine{})
+	rc := dialRaw(t, srv.Addr())
+	rc.write(wire.AppendPing(nil, 1))
+	h, payload := rc.read()
+	if h.Type != wire.TPong {
+		t.Fatalf("got %v, want pong", h.Type)
+	}
+	epoch, has, err := wire.DecodePong(payload)
+	if err != nil || !has || epoch != m.Epoch {
+		t.Fatalf("pong epoch = (%d, %v, %v), want (%d, true, nil)", epoch, has, err, m.Epoch)
+	}
+}
+
+func TestMapFetchServesMap(t *testing.T) {
+	srv, m := startClusteredServer(t, &fakeEngine{})
+	rc := dialRaw(t, srv.Addr())
+	rc.write(wire.AppendMapFetch(nil, 1))
+	h, payload := rc.read()
+	if h.Type != wire.TMapResult {
+		t.Fatalf("got %v, want map_result", h.Type)
+	}
+	raw, err := wire.DecodeMapResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.DecodeMap(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || !reflect.DeepEqual(got.Nodes, m.Nodes) ||
+		!reflect.DeepEqual(got.Owners, m.Owners) {
+		t.Fatalf("served map differs: %+v vs %+v", got, m)
+	}
+}
+
+func TestMapFetchRefusedWhenNotClustered(t *testing.T) {
+	srv := startServer(t, &fakeEngine{}, Config{})
+	rc := dialRaw(t, srv.Addr())
+	rc.write(wire.AppendMapFetch(nil, 1))
+	_, re := rc.readErr()
+	if re.Code != wire.CodeUnknownType {
+		t.Fatalf("code %v, want unknown_type", re.Code)
+	}
+}
+
+// readNotOwner asserts the next frame is a typed not-owner refusal.
+func readNotOwner(t *testing.T, rc *rawConn, wantEpoch uint64) {
+	t.Helper()
+	h, payload := rc.read()
+	if h.Type != wire.TErrNotOwner {
+		t.Fatalf("got %v, want err_not_owner", h.Type)
+	}
+	ne, err := wire.DecodeNotOwner(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.Epoch != wantEpoch {
+		t.Fatalf("refusal epoch %d, want %d", ne.Epoch, wantEpoch)
+	}
+}
+
+func TestClusteredFeedOwnershipCheck(t *testing.T) {
+	eng := &fakeEngine{}
+	srv, m := startClusteredServer(t, eng)
+	rc := dialRaw(t, srv.Addr())
+
+	// Node 0 owns the west half (columns 0-1 of 4). An owned object feeds.
+	owned := stream.Object{ID: 1, Loc: geo.Pt(-100, 10), Timestamp: 1}
+	if m.OwnerOf(owned.Loc) != 0 {
+		t.Fatal("fixture: object not owned by node 0")
+	}
+	rc.write(wire.AppendFeedBatch(nil, 1, []stream.Object{owned}))
+	if h, _ := rc.read(); h.Type != wire.TAck {
+		t.Fatalf("owned feed answered %v, want ack", h.Type)
+	}
+
+	// A batch holding any non-owned object is refused whole, untouched.
+	stranger := stream.Object{ID: 2, Loc: geo.Pt(100, 10), Timestamp: 2}
+	rc.write(wire.AppendFeedBatch(nil, 2, []stream.Object{owned, stranger}))
+	readNotOwner(t, rc, m.Epoch)
+	if _, objects := eng.counts(); objects != 1 {
+		t.Fatalf("engine holds %d objects, want 1 (refused batch must not feed)", objects)
+	}
+	if srv.sample().Errors.NotOwner != 1 {
+		t.Fatalf("NotOwner counter = %d, want 1", srv.sample().Errors.NotOwner)
+	}
+}
+
+func TestClusteredQueryOwnershipCheck(t *testing.T) {
+	srv, m := startClusteredServer(t, startQueryEngine())
+	rc := dialRaw(t, srv.Addr())
+
+	// Estimate over the east half (node 1 territory): refused with epoch.
+	east := stream.SpatialQ(geo.Rect{MinX: 50, MinY: 0, MaxX: 120, MaxY: 40}, 5)
+	rc.write(wire.AppendEstimate(nil, 1, 0, &east))
+	readNotOwner(t, rc, m.Epoch)
+
+	// Estimate over owned territory: answered.
+	west := stream.SpatialQ(geo.Rect{MinX: -120, MinY: 0, MaxX: -50, MaxY: 40}, 5)
+	rc.write(wire.AppendEstimate(nil, 2, 0, &west))
+	if h, _ := rc.read(); h.Type != wire.TEstimateResult {
+		t.Fatalf("owned estimate answered %v, want estimate_result", h.Type)
+	}
+
+	// Keyword-only queries are owned by every node (broadcast leg).
+	kw := stream.KeywordQ([]string{"fire"}, 5)
+	rc.write(wire.AppendQueryBatch(nil, 3, 0, []stream.Query{kw}))
+	if h, _ := rc.read(); h.Type != wire.TQueryBatchResult {
+		t.Fatalf("keyword query answered %v, want query_batch_result", h.Type)
+	}
+
+	// A batch mixing owned and non-owned footprints is refused whole.
+	rc.write(wire.AppendQueryBatch(nil, 4, 0, []stream.Query{west, east}))
+	readNotOwner(t, rc, m.Epoch)
+}
+
+func startQueryEngine() *fakeEngine { return &fakeEngine{estimate: 3} }

@@ -192,6 +192,8 @@ func opName(t wire.Type) string {
 		return "query"
 	case wire.TPing:
 		return "ping"
+	case wire.TMapFetch:
+		return "map_fetch"
 	}
 	return t.String()
 }
@@ -231,7 +233,28 @@ func (c *conn) dispatch(h wire.Header, payload []byte, readStart time.Time) {
 		c.srv.st.ping.observe(start)
 		b := wire.GetBuf()
 		encStart := time.Now()
-		*b = wire.AppendPong(*b, h.ID)
+		if cm := c.srv.cfg.ClusterMap; cm != nil {
+			// A clustered pong carries the map epoch so routers detect
+			// staleness from their cheapest probe.
+			*b = wire.AppendPongEpoch(*b, h.ID, cm.Epoch)
+		} else {
+			*b = wire.AppendPong(*b, h.ID)
+		}
+		tr.AddSpan("encode", encStart)
+		tr.BeginSpan("write")
+		c.enqueue(b, tr)
+	case wire.TMapFetch:
+		if len(c.out) >= c.srv.cfg.MaxInFlight {
+			c.sendErr(tr, h.ID, wire.CodeBackpressure, c.srv.cfg.RetryAfter, "in-flight window full")
+			return
+		}
+		if c.srv.clusterBytes == nil {
+			c.sendErr(tr, h.ID, wire.CodeUnknownType, 0, "server is not clustered")
+			return
+		}
+		b := wire.GetBuf()
+		encStart := time.Now()
+		*b = wire.AppendMapResult(*b, h.ID, c.srv.clusterBytes)
 		tr.AddSpan("encode", encStart)
 		tr.BeginSpan("write")
 		c.enqueue(b, tr)
@@ -257,6 +280,45 @@ func (c *conn) dispatch(h wire.Header, payload []byte, readStart time.Time) {
 			c.handleQueryBatch(h, payload, start, tr)
 		}
 	}
+}
+
+// ownsAll reports whether this node owns every object in objs under the
+// cluster map. A server without a map owns everything.
+func (c *conn) ownsAll(objs []stream.Object) bool {
+	cm := c.srv.cfg.ClusterMap
+	if cm == nil {
+		return true
+	}
+	me := c.srv.cfg.NodeID
+	for i := range objs {
+		if !cm.OwnsPoint(me, objs[i].Loc) {
+			return false
+		}
+	}
+	return true
+}
+
+// ownsQuery reports whether this node may answer q. Keyword-only queries
+// are accepted anywhere: the router broadcasts them and each node counts
+// only its own objects.
+func (c *conn) ownsQuery(q *stream.Query) bool {
+	cm := c.srv.cfg.ClusterMap
+	if cm == nil || !q.HasRange {
+		return true
+	}
+	return cm.OwnsQuery(c.srv.cfg.NodeID, q.Range)
+}
+
+// sendNotOwner answers a request this node does not own with the typed
+// not-owner frame carrying the map epoch, so a stale router knows to
+// refetch the map and re-route.
+func (c *conn) sendNotOwner(tr *telemetry.ActiveTrace, id uint64, msg string) {
+	c.srv.st.notOwner.Add(1)
+	tr.SetError("not_owner")
+	b := wire.GetBuf()
+	*b = wire.AppendNotOwner(*b, id, c.srv.cfg.ClusterMap.Epoch, msg)
+	tr.BeginSpan("write")
+	c.enqueue(b, tr)
 }
 
 // guard runs an engine call, converting a panic into CodeInternal. The
@@ -286,6 +348,11 @@ func (c *conn) handleFeed(h wire.Header, payload []byte, start time.Time, tr *te
 		c.decodeErr(tr, h.ID, err)
 		return
 	}
+	if !c.ownsAll(objs) {
+		c.objs = objs[:0]
+		c.sendNotOwner(tr, h.ID, "batch contains objects this node does not own")
+		return
+	}
 	acks := append(c.acks[:0], feedAck{h.ID, uint32(len(objs))})
 	for len(objs) < c.srv.cfg.CoalesceObjects {
 		nh, ready := c.fr.PeekHeader()
@@ -306,6 +373,13 @@ func (c *conn) handleFeed(h wire.Header, payload []byte, start time.Time, tr *te
 		if err != nil {
 			// This frame alone is bad; answer it and feed what we have.
 			c.decodeErr(nil, nh.ID, err)
+			break
+		}
+		if !c.ownsAll(more) {
+			// Refuse this follower frame alone; the head (and any frames
+			// already folded in) passed the ownership check and still feeds.
+			c.sendNotOwner(nil, nh.ID, "batch contains objects this node does not own")
+			c.coalesce = more[:0]
 			break
 		}
 		c.coalesce = more[:0]
@@ -353,6 +427,11 @@ func (c *conn) handleEstimate(h wire.Header, payload []byte, start time.Time, tr
 		c.decodeErr(tr, h.ID, err)
 		return
 	}
+	if !c.ownsQuery(&q) {
+		<-c.window
+		c.sendNotOwner(tr, h.ID, "query footprint not owned by this node")
+		return
+	}
 	c.workers.Add(1)
 	queued := time.Now()
 	go func() {
@@ -392,6 +471,13 @@ func (c *conn) handleQueryBatch(h wire.Header, payload []byte, start time.Time, 
 		<-c.window
 		c.decodeErr(tr, h.ID, err)
 		return
+	}
+	for i := range qs {
+		if !c.ownsQuery(&qs[i]) {
+			<-c.window
+			c.sendNotOwner(tr, h.ID, "query footprint not owned by this node")
+			return
+		}
 	}
 	c.workers.Add(1)
 	queued := time.Now()

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	latest "github.com/spatiotext/latest"
+	"github.com/spatiotext/latest/internal/cluster"
 	"github.com/spatiotext/latest/internal/telemetry"
 	"github.com/spatiotext/latest/internal/wire"
 )
@@ -70,6 +71,20 @@ type Config struct {
 	TraceEvery int
 	// Log receives serving-layer lifecycle lines. nil is silent.
 	Log *telemetry.Logger
+
+	// ClusterMap, when set, makes this server one node of a cluster: it
+	// refuses feeds of objects and queries of footprints it does not own
+	// under the map with the typed not-owner frame (carrying the map
+	// epoch), serves the encoded map to TMapFetch, and stamps pongs with
+	// the epoch so routers detect staleness cheaply.
+	ClusterMap *cluster.Map
+	// NodeID is this server's index into ClusterMap.Nodes. Ignored unless
+	// ClusterMap is set.
+	NodeID int
+	// Listener, when non-nil, is served instead of binding Addr. A cluster
+	// coordinator pre-binds :0 listeners to learn real addresses, builds
+	// the partition map naming them, and only then starts the servers.
+	Listener net.Listener
 }
 
 func (c *Config) withDefaults() {
@@ -120,7 +135,8 @@ type serverStats struct {
 	query    opStat
 	ping     opStat
 
-	errs [9]atomic.Uint64 // indexed by wire.Code (1..8)
+	errs     [9]atomic.Uint64 // indexed by wire.Code (1..8)
+	notOwner atomic.Uint64    // typed not-owner refusals (no wire.Code)
 }
 
 func (st *serverStats) countErr(code wire.Code) {
@@ -137,6 +153,8 @@ type Server struct {
 	admin  *telemetry.Server
 	log    *telemetry.Logger
 	traces *telemetry.TraceBuffer
+
+	clusterBytes []byte // ClusterMap pre-encoded for TMapFetch
 
 	st       serverStats
 	draining atomic.Bool
@@ -160,9 +178,19 @@ func New(eng Engine, cfg Config) (*Server, error) {
 		return nil, errors.New("server: nil engine")
 	}
 	cfg.withDefaults()
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: listen: %w", err)
+	if cfg.ClusterMap != nil {
+		if cfg.NodeID < 0 || cfg.NodeID >= len(cfg.ClusterMap.Nodes) {
+			return nil, fmt.Errorf("server: node id %d out of range for %d-node map",
+				cfg.NodeID, len(cfg.ClusterMap.Nodes))
+		}
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("server: listen: %w", err)
+		}
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -172,6 +200,9 @@ func New(eng Engine, cfg Config) (*Server, error) {
 		traces:  telemetry.NewTraceBuffer(cfg.TraceDepth, cfg.TraceEvery),
 		drainCh: make(chan struct{}),
 		conns:   make(map[*conn]struct{}),
+	}
+	if cfg.ClusterMap != nil {
+		s.clusterBytes = cfg.ClusterMap.Encode()
 	}
 	if cfg.AdminAddr != "" {
 		admin, err := telemetry.Serve(cfg.AdminAddr, s.snapshot, cfg.Log,
@@ -188,7 +219,12 @@ func New(eng Engine, cfg Config) (*Server, error) {
 	}
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
-	s.log.Info("serving", "addr", ln.Addr().String(), "admin", cfg.AdminAddr)
+	if cfg.ClusterMap != nil {
+		s.log.Info("serving", "addr", ln.Addr().String(), "admin", cfg.AdminAddr,
+			"node", cfg.NodeID, "epoch", cfg.ClusterMap.Epoch)
+	} else {
+		s.log.Info("serving", "addr", ln.Addr().String(), "admin", cfg.AdminAddr)
+	}
 	return s, nil
 }
 
@@ -378,6 +414,7 @@ func (s *Server) sample() telemetry.ServerSample {
 			Draining:     st.errs[wire.CodeDraining].Load(),
 			Deadline:     st.errs[wire.CodeDeadlineExceeded].Load(),
 			Internal:     st.errs[wire.CodeInternal].Load(),
+			NotOwner:     st.notOwner.Load(),
 		},
 	}
 }

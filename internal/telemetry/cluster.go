@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+)
+
+// cluster.go holds the cluster routing layer's slice of a telemetry
+// Snapshot: the partition-map view, scatter/forward/broadcast routing
+// counters, map-negotiation counters and per-node request statistics that
+// the router (embedded client.Cluster or cmd/latest-router) publishes
+// through the same /metrics and /statusz endpoints as everything else. The
+// types live here, below the cluster package in the dependency order, for
+// the same reason ServerSample does.
+
+// ClusterNode is one backend node's share of the router's traffic.
+type ClusterNode struct {
+	// Addr is the node's wire-protocol address.
+	Addr string `json:"addr"`
+	// Requests counts sub-requests sent to this node (feeds, estimates,
+	// query batches, map fetches); Errors counts the ones that failed
+	// after the router's own retries.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// Latency is the router-observed round-trip distribution.
+	Latency HistSnapshot `json:"latency"`
+}
+
+// ClusterSample is the cluster routing layer's slice of a Snapshot.
+type ClusterSample struct {
+	// Epoch is the partition-map version the router currently holds.
+	Epoch uint64 `json:"epoch"`
+	// Nodes, Cols and Rows describe the held map.
+	Nodes int `json:"nodes"`
+	Cols  int `json:"cols"`
+	Rows  int `json:"rows"`
+
+	// FeedObjects counts objects routed; FeedBatches counts caller feed
+	// batches (one batch fans out to at most Nodes sub-batches).
+	FeedObjects uint64 `json:"feed_objects"`
+	FeedBatches uint64 `json:"feed_batches"`
+	// Estimates and Queries count caller-visible operations.
+	Estimates uint64 `json:"estimates"`
+	Queries   uint64 `json:"queries"`
+
+	// ForwardSingle counts queries forwarded unmodified to one owner,
+	// ScatterMulti queries clipped across several owners, Broadcasts
+	// keyword-only queries sent to every node.
+	ForwardSingle uint64 `json:"forward_single"`
+	ScatterMulti  uint64 `json:"scatter_multi"`
+	Broadcasts    uint64 `json:"broadcasts"`
+	// Subqueries counts node-bound sub-requests issued for queries.
+	Subqueries uint64 `json:"subqueries"`
+
+	// NotOwner counts not-owner refusals observed, MapRefetches the map
+	// fetches they (or startup) triggered, Retries the transparent
+	// re-routes that followed, NodeErrors the hard node failures
+	// surfaced to callers.
+	NotOwner     uint64 `json:"not_owner"`
+	MapRefetches uint64 `json:"map_refetches"`
+	Retries      uint64 `json:"retries"`
+	NodeErrors   uint64 `json:"node_errors"`
+
+	PerNode []ClusterNode `json:"per_node"`
+}
+
+// writeClusterProm renders the latest_cluster_* metric families.
+func writeClusterProm(b *strings.Builder, s *ClusterSample) {
+	counter := func(name, help string) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " counter\n")
+	}
+	gauge := func(name, help string) {
+		b.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " gauge\n")
+	}
+	sample := func(name, labels string, v float64) {
+		b.WriteString(name)
+		if labels != "" {
+			b.WriteString("{" + labels + "}")
+		}
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+
+	gauge("latest_cluster_epoch", "Partition-map epoch the router currently holds.")
+	sample("latest_cluster_epoch", "", float64(s.Epoch))
+	gauge("latest_cluster_nodes", "Backend nodes in the held partition map.")
+	sample("latest_cluster_nodes", "", float64(s.Nodes))
+	gauge("latest_cluster_cells", "Partition-map grid cells (cols x rows).")
+	sample("latest_cluster_cells", "", float64(s.Cols*s.Rows))
+
+	counter("latest_cluster_feed_objects_total", "Objects routed to owning nodes.")
+	sample("latest_cluster_feed_objects_total", "", float64(s.FeedObjects))
+	counter("latest_cluster_requests_total", "Caller-visible operations by kind.")
+	sample("latest_cluster_requests_total", `op="feed"`, float64(s.FeedBatches))
+	sample("latest_cluster_requests_total", `op="estimate"`, float64(s.Estimates))
+	sample("latest_cluster_requests_total", `op="query"`, float64(s.Queries))
+
+	counter("latest_cluster_routing_total", "Query routing decisions by mode.")
+	sample("latest_cluster_routing_total", `mode="forward"`, float64(s.ForwardSingle))
+	sample("latest_cluster_routing_total", `mode="scatter"`, float64(s.ScatterMulti))
+	sample("latest_cluster_routing_total", `mode="broadcast"`, float64(s.Broadcasts))
+	counter("latest_cluster_subqueries_total", "Node-bound sub-requests issued for queries.")
+	sample("latest_cluster_subqueries_total", "", float64(s.Subqueries))
+
+	counter("latest_cluster_not_owner_total", "Not-owner refusals observed from nodes.")
+	sample("latest_cluster_not_owner_total", "", float64(s.NotOwner))
+	counter("latest_cluster_map_refetches_total", "Partition-map refetches.")
+	sample("latest_cluster_map_refetches_total", "", float64(s.MapRefetches))
+	counter("latest_cluster_retries_total", "Transparent re-routes after a map refetch.")
+	sample("latest_cluster_retries_total", "", float64(s.Retries))
+	counter("latest_cluster_node_errors_total", "Hard node failures surfaced to callers.")
+	sample("latest_cluster_node_errors_total", "", float64(s.NodeErrors))
+
+	counter("latest_cluster_node_requests_total", "Sub-requests per backend node.")
+	for _, n := range s.PerNode {
+		sample("latest_cluster_node_requests_total", `node="`+n.Addr+`"`, float64(n.Requests))
+	}
+	counter("latest_cluster_node_request_errors_total", "Failed sub-requests per backend node.")
+	for _, n := range s.PerNode {
+		sample("latest_cluster_node_request_errors_total", `node="`+n.Addr+`"`, float64(n.Errors))
+	}
+	b.WriteString("# HELP latest_cluster_node_latency_seconds Router-observed round-trip latency per backend node.\n" +
+		"# TYPE latest_cluster_node_latency_seconds histogram\n")
+	for _, n := range s.PerNode {
+		promHistogramOne(b, "latest_cluster_node_latency_seconds", `node="`+n.Addr+`"`, n.Latency)
+	}
+}

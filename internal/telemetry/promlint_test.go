@@ -36,10 +36,32 @@ func fullSnapshot() Snapshot {
 			{Op: "feed", Requests: 80, Latency: hs},
 			{Op: "estimate", Requests: 30, Latency: hs},
 		},
-		Errors:        ServerErrors{Backpressure: 3, Deadline: 1},
+		Errors:        ServerErrors{Backpressure: 3, Deadline: 1, NotOwner: 2},
 		ConnDuration:  hs,
 		TracesSeen:    40,
 		TracesSampled: 5,
+	}
+	snap.Cluster = &ClusterSample{
+		Epoch:         4,
+		Nodes:         3,
+		Cols:          8,
+		Rows:          4,
+		FeedObjects:   1200,
+		FeedBatches:   40,
+		Estimates:     25,
+		Queries:       10,
+		ForwardSingle: 20,
+		ScatterMulti:  12,
+		Broadcasts:    3,
+		Subqueries:    55,
+		NotOwner:      2,
+		MapRefetches:  1,
+		Retries:       1,
+		NodeErrors:    1,
+		PerNode: []ClusterNode{
+			{Addr: "127.0.0.1:7101", Requests: 60, Errors: 1, Latency: hs},
+			{Addr: "127.0.0.1:7102", Requests: 58, Latency: hs},
+		},
 	}
 	snap.Durable = &DurableSample{
 		Generation:          3,

@@ -100,6 +100,11 @@ type Snapshot struct {
 	// Durable is the durability layer's slice of the snapshot when the
 	// engine is wrapped in a DurableEngine; nil otherwise.
 	Durable *DurableSample `json:"durable,omitempty"`
+
+	// Cluster is the routing layer's slice of the snapshot when this
+	// process routes to a multi-node cluster (client.Cluster or
+	// cmd/latest-router); nil otherwise.
+	Cluster *ClusterSample `json:"cluster,omitempty"`
 }
 
 // Server publishes telemetry over HTTP using only the standard library:
@@ -463,6 +468,9 @@ func WriteProm(w interface{ Write([]byte) (int, error) }, snap Snapshot) {
 	}
 	if snap.Durable != nil {
 		writeDurableProm(&b, snap.Durable)
+	}
+	if snap.Cluster != nil {
+		writeClusterProm(&b, snap.Cluster)
 	}
 
 	w.Write([]byte(b.String()))

@@ -33,12 +33,16 @@ type ServerErrors struct {
 	Draining     uint64 `json:"draining"`
 	Deadline     uint64 `json:"deadline_exceeded"`
 	Internal     uint64 `json:"internal"`
+	// NotOwner counts a clustered node's refusals of requests whose
+	// objects or query footprint it does not own under its partition map
+	// (the typed TErrNotOwner frame, not a wire.Code).
+	NotOwner uint64 `json:"not_owner"`
 }
 
 // Total sums all rejection counters.
 func (e ServerErrors) Total() uint64 {
 	return e.Malformed + e.TooLarge + e.VersionSkew + e.UnknownType +
-		e.Backpressure + e.Draining + e.Deadline + e.Internal
+		e.Backpressure + e.Draining + e.Deadline + e.Internal + e.NotOwner
 }
 
 // ServerSample is the serving layer's slice of a Snapshot.
@@ -141,6 +145,7 @@ func writeServerProm(b *strings.Builder, s *ServerSample) {
 		{"draining", s.Errors.Draining},
 		{"deadline_exceeded", s.Errors.Deadline},
 		{"internal", s.Errors.Internal},
+		{"not_owner", s.Errors.NotOwner},
 	} {
 		sample("latest_server_request_errors_total", `code="`+e.code+`"`, float64(e.n))
 	}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMapFetchRoundTrip(t *testing.T) {
+	frame := AppendMapFetch(nil, 9)
+	h, payload := readOne(t, frame)
+	if h.Type != TMapFetch || h.ID != 9 || len(payload) != 0 {
+		t.Fatalf("map fetch decoded as %+v with %d payload bytes", h, len(payload))
+	}
+	if !TMapFetch.Request() {
+		t.Fatal("TMapFetch must classify as a request")
+	}
+
+	traced := AppendMapFetchTraced(nil, 10, 0xfeed)
+	h2, p2 := readOne(t, traced)
+	tid, rest, err := SplitTrace(h2, p2)
+	if err != nil || tid != 0xfeed || len(rest) != 0 {
+		t.Fatalf("traced map fetch: tid=%x rest=%d err=%v", tid, len(rest), err)
+	}
+}
+
+func TestMapResultRoundTrip(t *testing.T) {
+	blob := []byte("LMAP\x01\x00 pretend map bytes")
+	frame := AppendMapResult(nil, 9, blob)
+	h, payload := readOne(t, frame)
+	if h.Type != TMapResult {
+		t.Fatalf("type %v, want map_result", h.Type)
+	}
+	got, err := DecodeMapResult(payload)
+	if err != nil {
+		t.Fatalf("DecodeMapResult: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("map blob mangled: %q", got)
+	}
+	if TMapResult.Request() {
+		t.Fatal("TMapResult must classify as a response")
+	}
+	if _, err := DecodeMapResult(nil); err == nil {
+		t.Fatal("empty map result must be rejected")
+	}
+}
+
+func TestNotOwnerRoundTrip(t *testing.T) {
+	frame := AppendNotOwner(nil, 3, 17, "cell 12 owned by node 2")
+	h, payload := readOne(t, frame)
+	if h.Type != TErrNotOwner {
+		t.Fatalf("type %v, want err_not_owner", h.Type)
+	}
+	ne, err := DecodeNotOwner(payload)
+	if err != nil {
+		t.Fatalf("DecodeNotOwner: %v", err)
+	}
+	if ne.Epoch != 17 || ne.Msg != "cell 12 owned by node 2" {
+		t.Fatalf("decoded %+v", ne)
+	}
+	if !strings.Contains(ne.Error(), "epoch 17") {
+		t.Fatalf("Error() = %q, want the epoch in it", ne.Error())
+	}
+	if ne.NotOwnerEpoch() != 17 {
+		t.Fatalf("NotOwnerEpoch() = %d", ne.NotOwnerEpoch())
+	}
+	// errors.As must find it through wrapping — the router's detection path.
+	var got interface{ NotOwnerEpoch() uint64 }
+	wrapped := errorsJoinLike(ne)
+	if !errors.As(wrapped, &got) || got.NotOwnerEpoch() != 17 {
+		t.Fatalf("errors.As failed through wrapping: %v", wrapped)
+	}
+}
+
+// errorsJoinLike wraps e one level, as client code does with %w.
+func errorsJoinLike(e error) error {
+	return &wrappedErr{e}
+}
+
+type wrappedErr struct{ inner error }
+
+func (w *wrappedErr) Error() string { return "request failed: " + w.inner.Error() }
+func (w *wrappedErr) Unwrap() error { return w.inner }
+
+func TestNotOwnerTruncatedPayloads(t *testing.T) {
+	full := AppendNotOwner(nil, 3, 17, "short")
+	payload := full[HeaderSize:]
+	for n := 0; n < len(payload); n++ {
+		if _, err := DecodeNotOwner(payload[:n]); err == nil {
+			t.Errorf("DecodeNotOwner accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestNotOwnerMsgTruncation(t *testing.T) {
+	long := strings.Repeat("x", 0x10010)
+	frame := AppendNotOwner(nil, 1, 2, long)
+	ne, err := DecodeNotOwner(frame[HeaderSize:])
+	if err != nil {
+		t.Fatalf("DecodeNotOwner: %v", err)
+	}
+	if len(ne.Msg) != 0xFFFF {
+		t.Fatalf("msg length %d, want capped at 65535", len(ne.Msg))
+	}
+}
+
+func TestPongEpochRoundTrip(t *testing.T) {
+	withEpoch := AppendPongEpoch(nil, 4, 99)
+	h, payload := readOne(t, withEpoch)
+	if h.Type != TPong {
+		t.Fatalf("type %v, want pong", h.Type)
+	}
+	epoch, has, err := DecodePong(payload)
+	if err != nil || !has || epoch != 99 {
+		t.Fatalf("DecodePong = (%d, %v, %v), want (99, true, nil)", epoch, has, err)
+	}
+
+	plain := AppendPong(nil, 4)
+	_, p2 := readOne(t, plain)
+	epoch, has, err = DecodePong(p2)
+	if err != nil || has || epoch != 0 {
+		t.Fatalf("plain pong = (%d, %v, %v), want (0, false, nil)", epoch, has, err)
+	}
+
+	if _, _, err := DecodePong([]byte{1, 2, 3}); err == nil {
+		t.Fatal("3-byte pong payload must be rejected")
+	}
+}

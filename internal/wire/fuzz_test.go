@@ -32,6 +32,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendEstimate(nil, 2, 100, &q))
 	f.Add(AppendQueryBatch(nil, 3, 0, []stream.Query{q}))
 	f.Add(AppendPing(nil, 4))
+	f.Add(AppendNotOwner(nil, 5, 7, "cell 12 owned by node 2"))
+	// A not-owner frame whose payload is cut mid-epoch, so the decoder's
+	// truncation path starts in the corpus too.
+	short := AppendNotOwner(nil, 6, 9, "")
+	short = short[:HeaderSize+4]
+	PutHeader(short, Header{Type: TErrNotOwner, ID: 6, Length: 4})
+	f.Add(short)
+	f.Add(AppendMapFetch(nil, 7))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr := NewFrameReader(bufio.NewReader(bytes.NewReader(data)), 1<<16)
@@ -74,6 +82,20 @@ func FuzzDecodeFrame(f *testing.F) {
 				}
 			case TError:
 				if _, err := DecodeError(payload); err != nil {
+					assertProto(t, err)
+					return
+				}
+			case TErrNotOwner:
+				no, err := DecodeNotOwner(payload)
+				if err != nil {
+					assertProto(t, err)
+					return
+				}
+				if again := AppendNotOwner(nil, h.ID, no.Epoch, no.Msg); !bytes.Equal(again[HeaderSize:], payload) {
+					t.Fatal("not-owner re-encode differs")
+				}
+			case TPong:
+				if _, _, err := DecodePong(payload); err != nil {
 					assertProto(t, err)
 					return
 				}

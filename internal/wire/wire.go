@@ -74,6 +74,8 @@ const (
 	TQueryBatch Type = 0x03
 	// TPing is a liveness/no-op request.
 	TPing Type = 0x04
+	// TMapFetch and its TMapResult/TErrNotOwner companions are the cluster
+	// extension, defined in cluster.go (TMapFetch = 0x05).
 
 	// TAck acknowledges a TFeedBatch with the accepted object count.
 	TAck Type = 0x41
@@ -101,6 +103,12 @@ func (t Type) String() string {
 		return "query_batch"
 	case TPing:
 		return "ping"
+	case TMapFetch:
+		return "map_fetch"
+	case TMapResult:
+		return "map_result"
+	case TErrNotOwner:
+		return "err_not_owner"
 	case TAck:
 		return "ack"
 	case TEstimateResult:
@@ -117,7 +125,7 @@ func (t Type) String() string {
 }
 
 // request reports whether t is a request type a server should accept.
-func (t Type) Request() bool { return t >= TFeedBatch && t <= TPing }
+func (t Type) Request() bool { return t >= TFeedBatch && t <= TMapFetch }
 
 // Code classifies protocol-level failures. Codes travel in TError frames
 // and in *ProtoError decode errors.
